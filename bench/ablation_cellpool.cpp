@@ -1,0 +1,94 @@
+// Ablation — cell recycling (ASPEN extension; the paper's "future work"
+// direction of transparently reducing remaining on-node overheads).
+//
+// The remaining per-operation allocation under eager completion is the
+// internal cell of value-carrying operations (rget futures) and of the
+// deferred path. This bench measures how much a per-thread recycling pool
+// recovers, on top of each emulated library version.
+#include <cstdio>
+#include <iostream>
+
+#include "benchutil/options.hpp"
+#include "benchutil/stats.hpp"
+#include "benchutil/table.hpp"
+#include "benchutil/timer.hpp"
+#include "core/aspen.hpp"
+
+namespace {
+using namespace aspen;
+
+constexpr emulated_version kVersions[] = {
+    emulated_version::v2021_3_6_defer,
+    emulated_version::v2021_3_6_eager,
+};
+
+double time_rget_loop(global_ptr<std::uint64_t> gp, std::size_t n) {
+  std::uint64_t acc = 0;
+  bench::stopwatch sw;
+  for (std::size_t i = 0; i < n; ++i)
+    acc ^= rget(gp, operation_cx::as_future()).wait();
+  const double s = sw.seconds();
+  bench::do_not_optimize(acc);
+  return s;
+}
+
+double time_rput_loop(global_ptr<std::uint64_t> gp, std::size_t n) {
+  bench::stopwatch sw;
+  for (std::size_t i = 0; i < n; ++i)
+    rput(std::uint64_t{1}, gp, operation_cx::as_future()).wait();
+  return sw.seconds();
+}
+
+}  // namespace
+
+int main() {
+  const auto opt = aspen::bench::options::from_env();
+  aspen::bench::print_figure_header(
+      std::cout, "extension (ablation)",
+      "cell-recycling pool: ns/op for value-producing rget and rput, "
+      "pool off vs on",
+      opt.describe());
+
+  aspen::bench::table t({"configuration", "rget (ns)", "rput (ns)",
+                         "cells recycled"});
+
+  aspen::spmd(1, [&] {
+    auto gp = new_<std::uint64_t>(7);
+    for (auto base : kVersions) {
+      for (bool pool : {false, true}) {
+        version_config v = version_config::make(base);
+        v.cell_recycling = pool;
+        set_version_config(v);
+        const auto recycled_before =
+            detail::tls_cell_pool().recycled_count();
+        const double tg = aspen::bench::measure(
+                              [&] { return time_rget_loop(gp, opt.micro_ops); },
+                              opt.samples, opt.keep)
+                              .mean /
+                          static_cast<double>(opt.micro_ops) * 1e9;
+        const double tp = aspen::bench::measure(
+                              [&] { return time_rput_loop(gp, opt.micro_ops); },
+                              opt.samples, opt.keep)
+                              .mean /
+                          static_cast<double>(opt.micro_ops) * 1e9;
+        const auto recycled =
+            detail::tls_cell_pool().recycled_count() - recycled_before;
+        char g[32], p[32], r[32];
+        std::snprintf(g, sizeof(g), "%.1f", tg);
+        std::snprintf(p, sizeof(p), "%.1f", tp);
+        std::snprintf(r, sizeof(r), "%llu",
+                      static_cast<unsigned long long>(recycled));
+        t.add_row({std::string(to_string(base)) +
+                       (pool ? " + pool" : "        "),
+                   g, p, r});
+      }
+    }
+    delete_(gp);
+  });
+
+  t.print(std::cout);
+  std::cout << "expectation: the pool removes most of the malloc/free cost "
+               "of value-producing gets under eager completion, and "
+               "narrows defer's allocation penalty.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation — promise vs. conjoined-future aggregation (paper §II-A).
+//
+// The paper argues promises are the efficient way to synchronize k
+// operations (one counter) while conjoining futures builds a k-node
+// dependency graph. This sweep quantifies the per-operation synchronization
+// cost of both idioms as k grows, under deferred and eager completion —
+// the mechanism behind the large future-variant gaps in Figs. 5-7.
+#include <cstdio>
+#include <iostream>
+
+#include "benchutil/options.hpp"
+#include "benchutil/stats.hpp"
+#include "benchutil/table.hpp"
+#include "benchutil/timer.hpp"
+#include "core/aspen.hpp"
+
+namespace {
+using namespace aspen;
+}
+
+int main() {
+  const auto opt = aspen::bench::options::from_env();
+
+  aspen::bench::print_figure_header(
+      std::cout, "S-II.A (ablation)",
+      "synchronizing k local rputs: promise counter vs conjoined futures, "
+      "defer vs eager",
+      opt.describe());
+
+  const std::size_t ks[] = {1, 4, 16, 64, 256, 1024, 4096};
+
+  aspen::bench::table t({"k ops/sync", "promise defer (ns/op)",
+                         "promise eager (ns/op)", "futures defer (ns/op)",
+                         "futures eager (ns/op)"});
+
+  aspen::spmd(1, [&] {
+    auto gp = new_<std::uint64_t>(0);
+
+    auto bench_one = [&](std::size_t k, bool eager, bool use_promise) {
+      version_config v = version_config::make(
+          eager ? emulated_version::v2021_3_6_eager
+                : emulated_version::v2021_3_6_defer);
+      set_version_config(v);
+      const std::size_t reps =
+          std::max<std::size_t>(1, opt.micro_ops / k / 8);
+      const auto summary = aspen::bench::measure(
+          [&] {
+            bench::stopwatch sw;
+            for (std::size_t r = 0; r < reps; ++r) {
+              if (use_promise) {
+                promise<> p;
+                for (std::size_t i = 0; i < k; ++i)
+                  rput(std::uint64_t{i}, gp, operation_cx::as_promise(p));
+                p.finalize().wait();
+              } else {
+                future<> f = make_future();
+                for (std::size_t i = 0; i < k; ++i)
+                  f = when_all(f, rput(std::uint64_t{i}, gp));
+                f.wait();
+              }
+            }
+            return sw.seconds();
+          },
+          opt.samples, opt.keep);
+      return summary.mean / static_cast<double>(reps * k) * 1e9;
+    };
+
+    for (std::size_t k : ks) {
+      char c0[32], c1[32], c2[32], c3[32], kk[32];
+      std::snprintf(kk, sizeof(kk), "%zu", k);
+      std::snprintf(c0, sizeof(c0), "%.1f", bench_one(k, false, true));
+      std::snprintf(c1, sizeof(c1), "%.1f", bench_one(k, true, true));
+      std::snprintf(c2, sizeof(c2), "%.1f", bench_one(k, false, false));
+      std::snprintf(c3, sizeof(c3), "%.1f", bench_one(k, true, false));
+      t.add_row({kk, c0, c1, c2, c3});
+    }
+    delete_(gp);
+  });
+
+  t.print(std::cout);
+  std::cout << "expectation: promise+eager is flat and cheapest; "
+               "futures+defer is the most expensive at every k (the Fig. 5-7 "
+               "future-conjoining penalty).\n";
+  return 0;
+}

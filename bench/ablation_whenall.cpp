@@ -1,0 +1,104 @@
+// Ablation — the when_all conjoining optimization (paper §III-C).
+//
+// Measures the cost of the future-conjoining idiom
+//     f = when_all(f, op_future)
+// as a function of whether the conjoined operation futures are ready
+// (eager completion) and whether the §III-C when_all optimization is
+// enabled. Also reports internal promise-cell allocations per conjoin, the
+// quantity the optimization eliminates.
+#include <cstdio>
+#include <iostream>
+
+#include "benchutil/options.hpp"
+#include "benchutil/stats.hpp"
+#include "benchutil/table.hpp"
+#include "benchutil/timer.hpp"
+#include "core/aspen.hpp"
+
+namespace {
+using namespace aspen;
+}
+
+int main() {
+  const auto opt = aspen::bench::options::from_env();
+  const std::size_t chain = 4096;
+  const std::size_t reps = std::max<std::size_t>(1, opt.micro_ops / chain / 4);
+
+  aspen::bench::print_figure_header(
+      std::cout, "S-III.C (ablation)",
+      "when_all conjoining cost per link, ready vs pending inputs, "
+      "optimization on/off",
+      opt.describe());
+
+  struct config_row {
+    const char* label;
+    bool opt_on;
+    bool ready_inputs;
+    double ns_per_link = 0.0;
+    double allocs_per_link = 0.0;
+  } rows[] = {
+      {"ready inputs, when_all opt ON", true, true},
+      {"ready inputs, when_all opt OFF", false, true},
+      {"pending inputs, when_all opt ON", true, false},
+      {"pending inputs, when_all opt OFF", false, false},
+  };
+
+  aspen::spmd(1, [&] {
+    for (auto& row : rows) {
+      version_config v = version_config::make(emulated_version::v2021_3_6_eager);
+      v.when_all_opt = row.opt_on;
+      set_version_config(v);
+
+      auto run_chain = [&] {
+        if (row.ready_inputs) {
+          future<> f = make_future();
+          for (std::size_t i = 0; i < chain; ++i)
+            f = when_all(f, make_future());
+          return f;
+        }
+        // Pending inputs: conjoin unfulfilled promises' futures, then
+        // fulfill them all so the chain drains.
+        std::vector<promise<>> ps(chain);
+        future<> f = make_future();
+        for (std::size_t i = 0; i < chain; ++i)
+          f = when_all(f, ps[i].get_future());
+        for (auto& p : ps) p.finalize();
+        return f;
+      };
+
+      const std::uint64_t allocs_before = detail::cell_allocation_count();
+      std::uint64_t chains_run = 0;
+      const auto summary = aspen::bench::measure(
+          [&] {
+            bench::stopwatch sw;
+            for (std::size_t r = 0; r < reps; ++r) {
+              future<> f = run_chain();
+              if (!f.ready()) f.wait();
+              ++chains_run;
+            }
+            return sw.seconds();
+          },
+          opt.samples, opt.keep);
+      const std::uint64_t allocs =
+          detail::cell_allocation_count() - allocs_before;
+      row.ns_per_link =
+          summary.mean / static_cast<double>(reps * chain) * 1e9;
+      row.allocs_per_link = static_cast<double>(allocs) /
+                            static_cast<double>(chains_run * chain);
+    }
+  });
+
+  aspen::bench::table t(
+      {"configuration", "ns/link", "cell allocs/link"});
+  for (const auto& row : rows) {
+    char ns[32], al[32];
+    std::snprintf(ns, sizeof(ns), "%.1f", row.ns_per_link);
+    std::snprintf(al, sizeof(al), "%.3f", row.allocs_per_link);
+    t.add_row({row.label, ns, al});
+  }
+  t.print(std::cout);
+  std::cout << "expectation: ready+opt-ON conjoins in O(ns) with ~0 "
+               "allocations; opt-OFF pays the full dependency-graph cost "
+               "even for ready inputs.\n";
+  return 0;
+}

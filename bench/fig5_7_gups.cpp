@@ -1,0 +1,108 @@
+// Figures 5, 6, 7 — GUPS (HPCC RandomAccess) across benchmark variants and
+// library versions (paper §IV-B).
+//
+// Single-node run: all updates resolve via shared memory. Six variants
+// (raw C++, manual localization, pure RMA w/promises, pure RMA w/futures,
+// atomics w/promises, atomics w/futures) under the three emulated library
+// versions. The paper reports 16 processes on each of its three systems;
+// rank count here defaults to the host's capability and is overridable with
+// ASPEN_BENCH_RANKS (the paper: "results for other process counts show the
+// same trends").
+//
+// Expected shape (paper): manual variants version-insensitive; pure RMA
+// w/promises +15/9/25% with eager; atomics w/promises +1-4%; the
+// future-conjoining variants gain multi-x (RMA 2.4-13.5x, AMO 1.5-7.1x);
+// with eager, atomics w/futures approaches atomics w/promises; RMA
+// w/promises lands within 25-36% of manual localization.
+#include <cstdio>
+#include <iostream>
+
+#include "apps/gups/gups.hpp"
+#include "benchutil/options.hpp"
+#include "benchutil/stats.hpp"
+#include "benchutil/table.hpp"
+
+namespace {
+
+using namespace aspen;
+namespace g = aspen::apps::gups;
+
+constexpr emulated_version kVersions[] = {
+    emulated_version::v2021_3_0,
+    emulated_version::v2021_3_6_defer,
+    emulated_version::v2021_3_6_eager,
+};
+
+int pow2_at_most(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  auto opt = aspen::bench::options::from_env();
+  opt.ranks = pow2_at_most(opt.ranks);  // GUPS partitioning requirement
+
+  g::params p;
+  p.table_bits = 20;
+  p.updates_per_rank = static_cast<std::uint64_t>(
+      131'072 * std::max(1.0, opt.scale));
+  p.batch = 512;
+
+  aspen::bench::print_figure_header(
+      std::cout, "Fig 5-7",
+      "GUPS RandomAccess, single node, all variants x library versions",
+      opt.describe());
+  std::cout << "table=2^" << p.table_bits
+            << " entries, updates/rank=" << p.updates_per_rank
+            << ", batch=" << p.batch << ", ranks=" << opt.ranks << "\n";
+
+  // The paper's six variants plus the rpc_ff extension (marked "+").
+  const auto& variants = g::extended_variants();
+  std::vector<std::vector<double>> mups(
+      variants.size(), std::vector<double>(std::size(kVersions), 0.0));
+
+  aspen::spmd(opt.ranks, [&] {
+    g::table t(p);
+    for (std::size_t vi = 0; vi < std::size(kVersions); ++vi) {
+      set_version_config(version_config::make(kVersions[vi]));
+      barrier();
+      for (std::size_t ui = 0; ui < variants.size(); ++ui) {
+        std::vector<double> samples;
+        for (std::size_t s = 0; s < opt.samples; ++s) {
+          const g::result r = g::run_variant(variants[ui], t, p);
+          samples.push_back(r.seconds);
+        }
+        if (rank_me() == 0) {
+          const auto summary =
+              aspen::bench::summarize_best(std::move(samples), opt.keep);
+          const double updates = static_cast<double>(p.updates_per_rank) *
+                                 static_cast<double>(rank_n());
+          mups[ui][vi] = updates / summary.mean / 1e6;
+        }
+        barrier();
+      }
+    }
+  });
+
+  aspen::bench::table t({"variant", "2021.3.0 (MUPS)", "3.6 defer (MUPS)",
+                         "3.6 eager (MUPS)", "eager vs defer"});
+  for (std::size_t ui = 0; ui < variants.size(); ++ui) {
+    auto cell = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", v);
+      return std::string(buf);
+    };
+    const bool extension = variants[ui] == g::variant::rpc_ff;
+    t.add_row({std::string(g::to_string(variants[ui])) +
+                   (extension ? " (+)" : ""),
+               cell(mups[ui][0]), cell(mups[ui][1]), cell(mups[ui][2]),
+               aspen::bench::format_speedup(mups[ui][2] / mups[ui][1])});
+  }
+  t.print(std::cout);
+  std::cout << "(MUPS = millions of updates per second; higher is better; "
+               "(+) = extension beyond the paper's figure)\n";
+  return 0;
+}

@@ -1,0 +1,167 @@
+// google-benchmark suite over the core primitives whose costs the paper
+// reasons about: ready-future construction (pooled vs allocated), promise
+// counter traffic, when_all shapes, and local RMA injection on each
+// notification path.
+#include <benchmark/benchmark.h>
+
+#include "core/aspen.hpp"
+
+namespace {
+
+using namespace aspen;
+
+/// Run a benchmark body inside a single-rank SPMD context.
+template <typename Body>
+void in_spmd(benchmark::State& state, Body body) {
+  aspen::spmd(1, [&] { body(state); });
+}
+
+void BM_MakeReadyFuturePooled(benchmark::State& state) {
+  in_spmd(state, [](benchmark::State& s) {
+    version_config v = version_config::make(emulated_version::v2021_3_6_eager);
+    set_version_config(v);
+    for (auto _ : s) {
+      future<> f = make_future();
+      benchmark::DoNotOptimize(f.ready());
+    }
+  });
+}
+BENCHMARK(BM_MakeReadyFuturePooled);
+
+void BM_MakeReadyFutureLegacyAlloc(benchmark::State& state) {
+  in_spmd(state, [](benchmark::State& s) {
+    version_config v = version_config::make(emulated_version::v2021_3_0);
+    set_version_config(v);
+    for (auto _ : s) {
+      future<> f = make_future();
+      benchmark::DoNotOptimize(f.ready());
+    }
+  });
+}
+BENCHMARK(BM_MakeReadyFutureLegacyAlloc);
+
+void BM_MakeValuedReadyFuture(benchmark::State& state) {
+  in_spmd(state, [](benchmark::State& s) {
+    for (auto _ : s) {
+      future<std::uint64_t> f = make_future(std::uint64_t{42});
+      benchmark::DoNotOptimize(f.result());
+    }
+  });
+}
+BENCHMARK(BM_MakeValuedReadyFuture);
+
+void BM_PromiseRegisterFulfill(benchmark::State& state) {
+  in_spmd(state, [](benchmark::State& s) {
+    const auto k = static_cast<std::size_t>(s.range(0));
+    for (auto _ : s) {
+      promise<> p;
+      p.require_anonymous(static_cast<std::intptr_t>(k));
+      for (std::size_t i = 0; i < k; ++i) p.fulfill_anonymous(1);
+      future<> f = p.finalize();
+      benchmark::DoNotOptimize(f.ready());
+    }
+  });
+}
+BENCHMARK(BM_PromiseRegisterFulfill)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_WhenAllReadyOptimized(benchmark::State& state) {
+  in_spmd(state, [](benchmark::State& s) {
+    version_config v = version_config::make(emulated_version::v2021_3_6_eager);
+    set_version_config(v);
+    future<> a = make_future(), b = make_future(), c = make_future();
+    for (auto _ : s) {
+      future<> f = when_all(a, b, c);
+      benchmark::DoNotOptimize(f.ready());
+    }
+  });
+}
+BENCHMARK(BM_WhenAllReadyOptimized);
+
+void BM_WhenAllReadyGeneralPath(benchmark::State& state) {
+  in_spmd(state, [](benchmark::State& s) {
+    version_config v = version_config::make(emulated_version::v2021_3_6_eager);
+    v.when_all_opt = false;
+    set_version_config(v);
+    future<> a = make_future(), b = make_future(), c = make_future();
+    for (auto _ : s) {
+      future<> f = when_all(a, b, c);
+      benchmark::DoNotOptimize(f.ready());
+    }
+  });
+}
+BENCHMARK(BM_WhenAllReadyGeneralPath);
+
+void BM_LocalRputEager(benchmark::State& state) {
+  in_spmd(state, [](benchmark::State& s) {
+    set_version_config(version_config::make(emulated_version::v2021_3_6_eager));
+    auto gp = new_<std::uint64_t>(0);
+    for (auto _ : s) {
+      rput(std::uint64_t{1}, gp, operation_cx::as_future()).wait();
+    }
+    delete_(gp);
+  });
+}
+BENCHMARK(BM_LocalRputEager);
+
+void BM_LocalRputDefer(benchmark::State& state) {
+  in_spmd(state, [](benchmark::State& s) {
+    set_version_config(version_config::make(emulated_version::v2021_3_6_defer));
+    auto gp = new_<std::uint64_t>(0);
+    for (auto _ : s) {
+      rput(std::uint64_t{1}, gp, operation_cx::as_future()).wait();
+    }
+    delete_(gp);
+  });
+}
+BENCHMARK(BM_LocalRputDefer);
+
+void BM_LocalRput2021_3_0(benchmark::State& state) {
+  in_spmd(state, [](benchmark::State& s) {
+    set_version_config(version_config::make(emulated_version::v2021_3_0));
+    auto gp = new_<std::uint64_t>(0);
+    for (auto _ : s) {
+      rput(std::uint64_t{1}, gp, operation_cx::as_future()).wait();
+    }
+    delete_(gp);
+  });
+}
+BENCHMARK(BM_LocalRput2021_3_0);
+
+void BM_LocalRputEagerPromise(benchmark::State& state) {
+  in_spmd(state, [](benchmark::State& s) {
+    set_version_config(version_config::make(emulated_version::v2021_3_6_eager));
+    auto gp = new_<std::uint64_t>(0);
+    for (auto _ : s) {
+      promise<> p;
+      rput(std::uint64_t{1}, gp, operation_cx::as_promise(p));
+      p.finalize().wait();
+    }
+    delete_(gp);
+  });
+}
+BENCHMARK(BM_LocalRputEagerPromise);
+
+void BM_ThenOnReadyFuture(benchmark::State& state) {
+  in_spmd(state, [](benchmark::State& s) {
+    future<std::uint64_t> f = make_future(std::uint64_t{7});
+    for (auto _ : s) {
+      auto g = f.then([](std::uint64_t v) { return v + 1; });
+      benchmark::DoNotOptimize(g.result());
+    }
+  });
+}
+BENCHMARK(BM_ThenOnReadyFuture);
+
+void BM_RpcSelfRoundTrip(benchmark::State& state) {
+  in_spmd(state, [](benchmark::State& s) {
+    for (auto _ : s) {
+      int v = rpc(0, [](int x) { return x + 1; }, 1).wait();
+      benchmark::DoNotOptimize(v);
+    }
+  });
+}
+BENCHMARK(BM_RpcSelfRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Graph-matching demo: the paper's §IV-C application end to end.
+//
+//   build/examples/example_matching_demo [ranks] [input] [scale] [file]
+//
+// Generates one of the Fig. 8 synthetic inputs (channel, delaunay, venturi,
+// youtube, random), computes the half-approximate maximum-weight matching
+// with the distributed solver, verifies it against the sequential greedy
+// reference, and prints locality/communication statistics explaining how
+// much room eager notification has on this input.
+//
+// If `file` is given, the generated graph is saved there on first use and
+// reloaded on subsequent runs — the paper's frozen-input methodology ("we
+// modified the code to save the graph to a file and used the same graph
+// across all runs").
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include <filesystem>
+
+#include "apps/matching/generators.hpp"
+#include "apps/matching/graph_io.hpp"
+#include "apps/matching/matcher.hpp"
+#include "apps/matching/verify.hpp"
+#include "core/aspen.hpp"
+
+using namespace aspen;
+namespace m = aspen::apps::matching;
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::string which = argc > 2 ? argv[2] : "random";
+  const double scale = argc > 3 ? std::atof(argv[3]) : 1.0;
+
+  const std::string file = argc > 4 ? argv[4] : "";
+  m::csr_graph g;
+  if (!file.empty() && std::filesystem::exists(file)) {
+    g = m::load_graph(file);
+    std::cout << "loaded frozen graph from " << file << "\n";
+  } else {
+    auto inputs = m::fig8_inputs(scale);
+    m::named_input* chosen = nullptr;
+    for (auto& in : inputs)
+      if (in.name == which) chosen = &in;
+    if (chosen == nullptr) {
+      std::cerr << "unknown input '" << which << "'; choose from:";
+      for (const auto& in : inputs) std::cerr << " " << in.name;
+      std::cerr << "\n";
+      return 2;
+    }
+    g = std::move(chosen->graph);
+    if (!file.empty()) {
+      m::save_graph(g, file);
+      std::cout << "saved graph to " << file << "\n";
+    }
+  }
+  std::cout << "input '" << which << "': " << g.num_vertices()
+            << " vertices, " << g.num_edges() << " edges\n";
+
+  const auto reference = m::solve_sequential(g);
+  const double ref_weight = m::matching_weight(g, reference);
+
+  bool ok = true;
+  spmd(ranks, [&] {
+    auto d = m::dist_graph::build(g);
+    m::solve_stats stats;
+    auto local = m::solve_distributed(d, stats);
+    auto full = m::gather_mates(d, local);
+
+    const auto gets = allreduce_sum(stats.rma_gets);
+    const auto direct = allreduce_sum(stats.direct_reads);
+    const double frac =
+        allreduce_sum(d.cross_rank_fraction()) / static_cast<double>(rank_n());
+
+    if (rank_me() == 0) {
+      const auto rep = m::verify_matching(g, full);
+      ok = rep.valid && rep.maximal && m::same_matching(full, reference);
+      std::size_t matched = 0;
+      for (const auto& mate : full)
+        if (mate != m::kUnmatched) ++matched;
+      std::cout << "solve: " << stats.seconds * 1e3 << " ms, "
+                << stats.rounds << " rounds on " << rank_n() << " ranks\n"
+                << "matching: " << matched / 2 << " pairs, weight "
+                << rep.weight << " (sequential greedy: " << ref_weight
+                << ")\n"
+                << "reads: " << direct << " same-process (direct), " << gets
+                << " co-located (RMA); cross-rank adjacency " << frac * 100
+                << "%\n"
+                << "checks: valid=" << rep.valid << " maximal=" << rep.maximal
+                << " equals-greedy=" << m::same_matching(full, reference)
+                << (ok ? "  -> verified OK" : "  -> FAILED") << "\n";
+      if (!rep.valid || !rep.maximal) std::cout << "  " << rep.error << "\n";
+    }
+  });
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,251 @@
+#include "apps/matching/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace aspen::apps::matching {
+
+double edge_weight(vid u, vid v, std::uint64_t seed) noexcept {
+  if (u > v) std::swap(u, v);
+  splitmix64 rng(seed ^ (static_cast<std::uint64_t>(u) * 0x9E3779B97F4A7C15ULL) ^
+                 (static_cast<std::uint64_t>(v) + 0xD1B54A32D192ED03ULL));
+  (void)rng.next();
+  return rng.next_unit();
+}
+
+csr_graph gen_channel(vid nx, vid ny, vid nz, std::uint64_t seed) {
+  const vid n = nx * ny * nz;
+  auto id = [&](vid x, vid y, vid z) { return (z * ny + y) * nx + x; };
+  std::vector<edge> edges;
+  edges.reserve(static_cast<std::size_t>(3 * n));
+  for (vid z = 0; z < nz; ++z) {
+    for (vid y = 0; y < ny; ++y) {
+      for (vid x = 0; x < nx; ++x) {
+        const vid u = id(x, y, z);
+        if (x + 1 < nx)
+          edges.push_back({u, id(x + 1, y, z), edge_weight(u, id(x + 1, y, z), seed)});
+        if (y + 1 < ny)
+          edges.push_back({u, id(x, y + 1, z), edge_weight(u, id(x, y + 1, z), seed)});
+        if (z + 1 < nz)
+          edges.push_back({u, id(x, y, z + 1), edge_weight(u, id(x, y, z + 1), seed)});
+      }
+    }
+  }
+  return csr_graph::from_edges(n, std::move(edges));
+}
+
+double rgg_radius_for_degree(vid n, double deg) noexcept {
+  // E[deg] = n * pi * r^2 for points in the unit square (ignoring borders).
+  return std::sqrt(deg / (std::numbers::pi * static_cast<double>(n)));
+}
+
+namespace {
+
+/// Points bucketed into a grid of cells of side >= radius; vertex ids are
+/// assigned in row-major cell order so that contiguous id blocks are
+/// spatially coherent (mirroring how mesh-like SuiteSparse inputs are
+/// ordered).
+struct point_set {
+  std::vector<double> x, y;
+  std::vector<std::size_t> cell_offs;  // CSR over cells -> point ids
+  vid cells_per_side;
+  double cell_size;
+
+  point_set(vid n, double radius, std::uint64_t seed) {
+    cells_per_side =
+        std::max<vid>(1, static_cast<vid>(std::floor(1.0 / radius)));
+    cell_size = 1.0 / static_cast<double>(cells_per_side);
+    const auto ncells =
+        static_cast<std::size_t>(cells_per_side * cells_per_side);
+    splitmix64 rng(seed);
+    std::vector<double> rx(static_cast<std::size_t>(n)),
+        ry(static_cast<std::size_t>(n));
+    std::vector<std::size_t> cell_of(static_cast<std::size_t>(n));
+    std::vector<std::size_t> count(ncells, 0);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+      rx[i] = rng.next_unit();
+      ry[i] = rng.next_unit();
+      const auto cx = std::min<vid>(cells_per_side - 1,
+                                    static_cast<vid>(rx[i] / cell_size));
+      const auto cy = std::min<vid>(cells_per_side - 1,
+                                    static_cast<vid>(ry[i] / cell_size));
+      cell_of[i] = static_cast<std::size_t>(cy * cells_per_side + cx);
+      ++count[cell_of[i]];
+    }
+    cell_offs.assign(ncells + 1, 0);
+    for (std::size_t c = 0; c < ncells; ++c)
+      cell_offs[c + 1] = cell_offs[c] + count[c];
+    // Reorder points by cell: new id = position in cell-sorted order.
+    x.resize(static_cast<std::size_t>(n));
+    y.resize(static_cast<std::size_t>(n));
+    std::vector<std::size_t> cursor(cell_offs.begin(), cell_offs.end() - 1);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+      const std::size_t nid = cursor[cell_of[i]]++;
+      x[nid] = rx[i];
+      y[nid] = ry[i];
+    }
+  }
+
+  [[nodiscard]] std::vector<edge> edges_within(double radius,
+                                               std::uint64_t wseed) const {
+    const double r2 = radius * radius;
+    std::vector<edge> edges;
+    const vid cps = cells_per_side;
+    for (vid cy = 0; cy < cps; ++cy) {
+      for (vid cx = 0; cx < cps; ++cx) {
+        const auto c = static_cast<std::size_t>(cy * cps + cx);
+        for (std::size_t i = cell_offs[c]; i < cell_offs[c + 1]; ++i) {
+          // Same cell + the 4 forward neighbor cells (each pair once).
+          for (std::size_t j = i + 1; j < cell_offs[c + 1]; ++j)
+            try_edge(edges, i, j, r2, wseed);
+          const vid dxs[4] = {1, -1, 0, 1};
+          const vid dys[4] = {0, 1, 1, 1};
+          for (int k = 0; k < 4; ++k) {
+            const vid nx = cx + dxs[k], ny = cy + dys[k];
+            if (nx < 0 || nx >= cps || ny >= cps) continue;
+            const auto nc = static_cast<std::size_t>(ny * cps + nx);
+            for (std::size_t j = cell_offs[nc]; j < cell_offs[nc + 1]; ++j)
+              try_edge(edges, i, j, r2, wseed);
+          }
+        }
+      }
+    }
+    return edges;
+  }
+
+ private:
+  void try_edge(std::vector<edge>& edges, std::size_t i, std::size_t j,
+                double r2, std::uint64_t wseed) const {
+    const double dx = x[i] - x[j], dy = y[i] - y[j];
+    if (dx * dx + dy * dy <= r2) {
+      const auto u = static_cast<vid>(i), v = static_cast<vid>(j);
+      edges.push_back({u, v, edge_weight(u, v, wseed)});
+    }
+  }
+};
+
+}  // namespace
+
+csr_graph gen_rgg(vid n, double radius, std::uint64_t seed) {
+  point_set ps(n, radius, seed);
+  return csr_graph::from_edges(n, ps.edges_within(radius, seed ^ 0xABCD));
+}
+
+csr_graph gen_powerlaw(vid n, int m, std::uint64_t seed) {
+  splitmix64 rng(seed);
+  std::vector<edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(m));
+  // Target list doubles as the degree-biased sampling pool (each endpoint
+  // appears once per incident edge — classic BA construction).
+  std::vector<vid> pool;
+  pool.reserve(2 * static_cast<std::size_t>(n) * static_cast<std::size_t>(m));
+  const vid seed_vertices = std::max<vid>(2, m + 1);
+  for (vid v = 1; v < seed_vertices && v < n; ++v) {
+    edges.push_back({v - 1, v, edge_weight(v - 1, v, seed)});
+    pool.push_back(v - 1);
+    pool.push_back(v);
+  }
+  for (vid v = seed_vertices; v < n; ++v) {
+    for (int k = 0; k < m; ++k) {
+      const vid t = pool[static_cast<std::size_t>(
+          rng.next_below(pool.size()))];
+      if (t == v) continue;
+      edges.push_back({v, t, edge_weight(v, t, seed)});
+      pool.push_back(v);
+      pool.push_back(t);
+    }
+  }
+  return csr_graph::from_edges(n, std::move(edges));
+}
+
+csr_graph gen_paper_random(vid n, int pct_long, std::uint64_t seed) {
+  const double radius = rgg_radius_for_degree(n, 10.0);
+  point_set ps(n, radius, seed);
+  std::vector<edge> edges = ps.edges_within(radius, seed ^ 0xABCD);
+  // "For each 100 such edges, the graph contains `pct_long` additional
+  // edges between random vertices that are not close together."
+  const auto nlong = edges.size() * static_cast<std::size_t>(pct_long) / 100;
+  splitmix64 rng(seed ^ 0xF00D);
+  const double r2 = radius * radius;
+  std::size_t added = 0;
+  while (added < nlong) {
+    const auto u = static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<vid>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    const double dx = ps.x[static_cast<std::size_t>(u)] -
+                      ps.x[static_cast<std::size_t>(v)];
+    const double dy = ps.y[static_cast<std::size_t>(u)] -
+                      ps.y[static_cast<std::size_t>(v)];
+    if (dx * dx + dy * dy <= r2) continue;  // must not be close together
+    edges.push_back({u, v, edge_weight(u, v, seed)});
+    ++added;
+  }
+  return csr_graph::from_edges(n, std::move(edges));
+}
+
+csr_graph relabel_fraction(const csr_graph& g, double fraction,
+                           std::uint64_t seed) {
+  const vid n = g.num_vertices();
+  const auto k = static_cast<std::size_t>(fraction * static_cast<double>(n));
+  std::vector<vid> perm(static_cast<std::size_t>(n));
+  for (vid v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+  if (k >= 2) {
+    // Choose k distinct vertices (Fisher-Yates prefix of a shuffled id
+    // array), then rotate their labels by one.
+    splitmix64 rng(seed);
+    std::vector<vid> ids(static_cast<std::size_t>(n));
+    for (vid v = 0; v < n; ++v) ids[static_cast<std::size_t>(v)] = v;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(
+                  rng.next_below(static_cast<std::uint64_t>(n) - i));
+      std::swap(ids[i], ids[j]);
+    }
+    for (std::size_t i = 0; i + 1 < k; ++i)
+      perm[static_cast<std::size_t>(ids[i])] = ids[i + 1];
+    perm[static_cast<std::size_t>(ids[k - 1])] = ids[0];
+  }
+  std::vector<edge> edges = g.edge_list();
+  for (auto& e : edges) {
+    e.u = perm[static_cast<std::size_t>(e.u)];
+    e.v = perm[static_cast<std::size_t>(e.v)];
+  }
+  return csr_graph::from_edges(n, std::move(edges));
+}
+
+std::vector<named_input> fig8_inputs(double scale) {
+  // Quick defaults sized so the full Fig. 8 sweep runs in seconds; the
+  // paper's graphs are reached around scale ~ 50-100.
+  const auto sv = [&](double base) {
+    return std::max<vid>(1024, static_cast<vid>(base * scale));
+  };
+  std::vector<named_input> out;
+  {
+    // channel: 3-D lattice, ~48k vertices at scale 1.
+    const auto side = std::max<vid>(
+        8, static_cast<vid>(std::cbrt(static_cast<double>(sv(48'000)))));
+    out.push_back({"channel", gen_channel(side, side, side)});
+  }
+  // The relabel fractions place the inputs on the paper's locality
+  // spectrum: channel (fully local) < venturi < random < delaunay <
+  // youtube (naturally non-local), matching the ordering of Fig. 8's
+  // observed speedups (0%, 2%, 5%, 6%, 11%).
+  out.push_back({"delaunay",
+                 relabel_fraction(gen_rgg(sv(33'000),
+                                          rgg_radius_for_degree(sv(33'000), 6.0),
+                                          0xDE1A),
+                                  0.12, 0xDE1A)});
+  out.push_back({"venturi",
+                 relabel_fraction(gen_rgg(sv(64'000),
+                                          rgg_radius_for_degree(sv(64'000), 4.0),
+                                          0x0E27),
+                                  0.04, 0x0E27)});
+  out.push_back({"youtube", gen_powerlaw(sv(18'000), 3, 0x707B)});
+  out.push_back({"random",
+                 relabel_fraction(gen_paper_random(sv(32'000), 15, 0x4A2D),
+                                  0.08, 0x4A2D)});
+  return out;
+}
+
+}  // namespace aspen::apps::matching

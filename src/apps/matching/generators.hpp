@@ -1,0 +1,93 @@
+// Deterministic graph generators spanning the locality spectrum of the
+// paper's Fig. 8 inputs (§IV-C). SuiteSparse matrices are not available
+// offline, so each input is replaced by a synthetic graph with matched
+// degree and locality structure (see DESIGN.md §1):
+//
+//   channel  -> 3-D lattice (nearly all edges between nearby vertex ids;
+//               the paper: "most updates are to memory owned by the same
+//               process");
+//   delaunay -> random geometric graph, avg degree ~6 (planar-like);
+//   venturi  -> sparser random geometric graph, avg degree ~4;
+//   youtube  -> preferential-attachment power-law graph (highly non-local);
+//   random   -> the paper's own recipe: geometric cutoff graph plus 15
+//               extra random long edges per 100 local edges (--n ... --p 15).
+//
+// All generators are deterministic in (parameters, seed) so every rank can
+// regenerate the identical graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/matching/graph.hpp"
+
+namespace aspen::apps::matching {
+
+/// SplitMix64: small deterministic PRNG used by all generators.
+class splitmix64 {
+ public:
+  explicit constexpr splitmix64(std::uint64_t seed) noexcept : x_(seed) {}
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (x_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform double in (0, 1).
+  constexpr double next_unit() noexcept {
+    return (static_cast<double>(next() >> 11) + 0.5) * 0x1.0p-53;
+  }
+  /// Uniform integer in [0, n).
+  constexpr std::uint64_t next_below(std::uint64_t n) noexcept {
+    return next() % n;
+  }
+
+ private:
+  std::uint64_t x_;
+};
+
+/// Deterministic per-edge weight in (0, 1) from the endpoint pair.
+[[nodiscard]] double edge_weight(vid u, vid v, std::uint64_t seed) noexcept;
+
+/// 3-D lattice of nx*ny*nz vertices with 6-neighbor connectivity
+/// (channel-flow analogue: maximal id-locality).
+[[nodiscard]] csr_graph gen_channel(vid nx, vid ny, vid nz,
+                                    std::uint64_t seed = 0x5EED);
+
+/// Random geometric graph: n points in the unit square, edges within
+/// `radius`, vertex ids assigned by spatial position (row-major grid cell)
+/// so that id-contiguous partitions are spatially coherent.
+[[nodiscard]] csr_graph gen_rgg(vid n, double radius,
+                                std::uint64_t seed = 0x5EED);
+
+/// RGG radius giving expected average degree `deg`.
+[[nodiscard]] double rgg_radius_for_degree(vid n, double deg) noexcept;
+
+/// Preferential-attachment (Barabási–Albert) power-law graph: each new
+/// vertex attaches to `m` existing vertices biased by degree
+/// (youtube-community analogue: highly non-local).
+[[nodiscard]] csr_graph gen_powerlaw(vid n, int m, std::uint64_t seed = 0x5EED);
+
+/// The paper's random-input recipe: geometric cutoff edges plus
+/// `pct_long` additional uniformly random edges per 100 cutoff edges.
+[[nodiscard]] csr_graph gen_paper_random(vid n, int pct_long,
+                                         std::uint64_t seed = 0x5EED);
+
+/// Randomly relabel `fraction` of the vertices (one random cyclic shift of
+/// the chosen ids). Injects cross-partition adjacency into an otherwise
+/// spatially-ordered graph — standing in for the imperfect orderings of
+/// real SuiteSparse matrices, whose varying locality is what differentiates
+/// the paper's Fig. 8 inputs.
+[[nodiscard]] csr_graph relabel_fraction(const csr_graph& g, double fraction,
+                                         std::uint64_t seed);
+
+/// A named input set scaled to `scale` (1.0 = quick defaults; the paper's
+/// graphs are 1.1M-4.8M vertices — reachable with ASPEN_BENCH_SCALE).
+struct named_input {
+  std::string name;
+  csr_graph graph;
+};
+[[nodiscard]] std::vector<named_input> fig8_inputs(double scale);
+
+}  // namespace aspen::apps::matching

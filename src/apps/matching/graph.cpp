@@ -1,0 +1,109 @@
+#include "apps/matching/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "core/runtime.hpp"
+
+namespace aspen::apps::matching {
+
+csr_graph csr_graph::from_edges(vid nv, std::vector<edge> edges) {
+  // Normalize to u < v, drop self-loops, dedup unordered pairs.
+  for (auto& e : edges) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+    if (e.u < 0 || e.v >= nv)
+      throw std::invalid_argument("csr_graph: endpoint out of range");
+  }
+  std::erase_if(edges, [](const edge& e) { return e.u == e.v; });
+  std::sort(edges.begin(), edges.end(), [](const edge& a, const edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const edge& a, const edge& b) {
+                            return a.u == b.u && a.v == b.v;
+                          }),
+              edges.end());
+
+  csr_graph g;
+  g.nv_ = nv;
+  std::vector<std::size_t> deg(static_cast<std::size_t>(nv), 0);
+  for (const auto& e : edges) {
+    ++deg[static_cast<std::size_t>(e.u)];
+    ++deg[static_cast<std::size_t>(e.v)];
+  }
+  g.offs_.assign(static_cast<std::size_t>(nv) + 1, 0);
+  for (vid v = 0; v < nv; ++v)
+    g.offs_[static_cast<std::size_t>(v) + 1] =
+        g.offs_[static_cast<std::size_t>(v)] + deg[static_cast<std::size_t>(v)];
+  g.nbr_.resize(g.offs_.back());
+  g.w_.resize(g.offs_.back());
+  std::vector<std::size_t> cursor(g.offs_.begin(), g.offs_.end() - 1);
+  for (const auto& e : edges) {
+    g.nbr_[cursor[static_cast<std::size_t>(e.u)]] = e.v;
+    g.w_[cursor[static_cast<std::size_t>(e.u)]++] = e.w;
+    g.nbr_[cursor[static_cast<std::size_t>(e.v)]] = e.u;
+    g.w_[cursor[static_cast<std::size_t>(e.v)]++] = e.w;
+  }
+
+  // Sort each adjacency heaviest-first with deterministic tie-breaking.
+  for (vid v = 0; v < nv; ++v) {
+    const std::size_t b = g.offs_[static_cast<std::size_t>(v)];
+    const std::size_t e = g.offs_[static_cast<std::size_t>(v) + 1];
+    std::vector<std::size_t> idx(e - b);
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = b + i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t c) {
+      return heavier(g.w_[a], g.nbr_[a], g.w_[c], g.nbr_[c]);
+    });
+    std::vector<vid> tn(idx.size());
+    std::vector<double> tw(idx.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      tn[i] = g.nbr_[idx[i]];
+      tw[i] = g.w_[idx[i]];
+    }
+    std::copy(tn.begin(), tn.end(), g.nbr_.begin() + static_cast<std::ptrdiff_t>(b));
+    std::copy(tw.begin(), tw.end(), g.w_.begin() + static_cast<std::ptrdiff_t>(b));
+  }
+  return g;
+}
+
+std::vector<edge> csr_graph::edge_list() const {
+  std::vector<edge> out;
+  out.reserve(num_edges());
+  for (vid v = 0; v < nv_; ++v) {
+    const auto ns = neighbors(v);
+    const auto ws = weights(v);
+    for (std::size_t i = 0; i < ns.size(); ++i)
+      if (v < ns[i]) out.push_back({v, ns[i], ws[i]});
+  }
+  return out;
+}
+
+dist_graph dist_graph::build(const csr_graph& g) {
+  dist_graph d;
+  d.nv_ = g.num_vertices();
+  const auto nranks = static_cast<vid>(rank_n());
+  d.block_ = (d.nv_ + nranks - 1) / nranks;
+  if (d.block_ == 0) d.block_ = 1;
+  const auto me = static_cast<vid>(rank_me());
+  d.lo_ = std::min(me * d.block_, d.nv_);
+  d.hi_ = std::min(d.lo_ + d.block_, d.nv_);
+
+  const vid owned = d.hi_ - d.lo_;
+  d.offs_.assign(static_cast<std::size_t>(owned) + 1, 0);
+  for (vid v = d.lo_; v < d.hi_; ++v)
+    d.offs_[static_cast<std::size_t>(v - d.lo_) + 1] =
+        d.offs_[static_cast<std::size_t>(v - d.lo_)] + g.degree(v);
+  d.nbr_.resize(d.offs_.back());
+  std::size_t pos = 0;
+  for (vid v = d.lo_; v < d.hi_; ++v) {
+    const auto ns = g.neighbors(v);
+    for (const vid n : ns) {
+      if (d.owner_of(n) != static_cast<int>(me)) ++d.cross_entries_;
+      d.nbr_[pos++] = n;
+    }
+  }
+  return d;
+}
+
+}  // namespace aspen::apps::matching

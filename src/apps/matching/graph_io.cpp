@@ -1,0 +1,53 @@
+#include "apps/matching/graph_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace aspen::apps::matching {
+
+void save_graph(const csr_graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_graph: cannot open " + path);
+  out.write(kGraphMagic, sizeof(kGraphMagic));
+  const auto nv = static_cast<std::uint64_t>(g.num_vertices());
+  const auto ne = static_cast<std::uint64_t>(g.num_edges());
+  out.write(reinterpret_cast<const char*>(&nv), sizeof(nv));
+  out.write(reinterpret_cast<const char*>(&ne), sizeof(ne));
+  for (const edge& e : g.edge_list()) {
+    const auto u = static_cast<std::int64_t>(e.u);
+    const auto v = static_cast<std::int64_t>(e.v);
+    out.write(reinterpret_cast<const char*>(&u), sizeof(u));
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    out.write(reinterpret_cast<const char*>(&e.w), sizeof(e.w));
+  }
+  if (!out) throw std::runtime_error("save_graph: write failed for " + path);
+}
+
+csr_graph load_graph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_graph: cannot open " + path);
+  char magic[sizeof(kGraphMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kGraphMagic, sizeof(magic)) != 0)
+    throw std::runtime_error("load_graph: bad magic in " + path);
+  std::uint64_t nv = 0, ne = 0;
+  in.read(reinterpret_cast<char*>(&nv), sizeof(nv));
+  in.read(reinterpret_cast<char*>(&ne), sizeof(ne));
+  if (!in) throw std::runtime_error("load_graph: truncated header");
+  std::vector<edge> edges;
+  edges.reserve(ne);
+  for (std::uint64_t i = 0; i < ne; ++i) {
+    std::int64_t u = 0, v = 0;
+    double w = 0.0;
+    in.read(reinterpret_cast<char*>(&u), sizeof(u));
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    in.read(reinterpret_cast<char*>(&w), sizeof(w));
+    if (!in) throw std::runtime_error("load_graph: truncated edge list");
+    edges.push_back({u, v, w});
+  }
+  return csr_graph::from_edges(static_cast<vid>(nv), std::move(edges));
+}
+
+}  // namespace aspen::apps::matching

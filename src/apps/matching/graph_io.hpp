@@ -1,0 +1,28 @@
+// Graph file I/O.
+//
+// The paper's §IV-C methodology: "We modified the code to save the graph to
+// a file and used the same graph across all runs." This module provides
+// that: a compact binary format for weighted undirected graphs, so a
+// generated input can be frozen once and reloaded identically for every
+// library version and rank count.
+#pragma once
+
+#include <string>
+
+#include "apps/matching/graph.hpp"
+
+namespace aspen::apps::matching {
+
+/// Magic/version header of the .aspengraph format.
+inline constexpr char kGraphMagic[8] = {'A', 'S', 'P', 'G',
+                                        'R', 'F', '0', '1'};
+
+/// Write `g` to `path` (binary: header, vertex count, edge count, then
+/// (u, v, w) triples with u < v). Throws std::runtime_error on I/O failure.
+void save_graph(const csr_graph& g, const std::string& path);
+
+/// Load a graph previously written by save_graph. Throws
+/// std::runtime_error on I/O failure or format mismatch.
+[[nodiscard]] csr_graph load_graph(const std::string& path);
+
+}  // namespace aspen::apps::matching

@@ -1,0 +1,54 @@
+// Half-approximate maximum-weight matching (paper §IV-C).
+//
+// Sequential reference: the classic greedy algorithm (repeatedly match the
+// globally heaviest remaining edge), which is a ½-approximation. For graphs
+// with distinct edge weights the locally-dominant matching computed by the
+// distributed algorithm is *identical* to the greedy one — which is the
+// correctness oracle the tests exploit.
+//
+// Distributed algorithm: pointer-based locally-dominant matching (after
+// Manne & Bisseling, as used by the ExaGraph application). Each rank owns a
+// contiguous vertex block and two shared arrays:
+//   candidate[v] — the heaviest still-eligible neighbor v proposes to;
+//   matched[v]   — v's mate (or kUnmatched / kExhausted).
+// Rounds alternate (a) advancing candidates past dead neighbors and (b)
+// detecting mutual proposals. Targets owned by the *same* rank are accessed
+// directly (the application's manual same-process optimization); targets on
+// co-located ranks use ASPEN RMA — the accesses whose notification overhead
+// the paper's Fig. 8 measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/matching/graph.hpp"
+#include "core/aspen.hpp"
+
+namespace aspen::apps::matching {
+
+/// Greedy ½-approximation; returns mate[v] (kUnmatched if unmatched).
+[[nodiscard]] std::vector<vid> solve_sequential(const csr_graph& g);
+
+/// Total weight of a matching given as a mate array.
+[[nodiscard]] double matching_weight(const csr_graph& g,
+                                     const std::vector<vid>& mate);
+
+struct solve_stats {
+  double seconds = 0.0;       // solve step only, max across ranks
+  int rounds = 0;
+  std::uint64_t rma_gets = 0;      // co-located reads issued by this rank
+  std::uint64_t direct_reads = 0;  // same-process reads by this rank
+};
+
+/// Distributed solve (collective). Returns the mate array for the caller's
+/// owned block; `stats` describes the caller's rank except `seconds`
+/// (global max).
+[[nodiscard]] std::vector<vid> solve_distributed(const dist_graph& g,
+                                                 solve_stats& stats);
+
+/// Convenience: gather the distributed result into a full mate array
+/// (collective; identical on all ranks).
+[[nodiscard]] std::vector<vid> gather_mates(const dist_graph& g,
+                                            const std::vector<vid>& local);
+
+}  // namespace aspen::apps::matching

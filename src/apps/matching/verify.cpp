@@ -1,0 +1,70 @@
+#include "apps/matching/verify.hpp"
+
+#include <sstream>
+
+#include "apps/matching/matcher.hpp"
+
+namespace aspen::apps::matching {
+
+verify_report verify_matching(const csr_graph& g,
+                              const std::vector<vid>& mate) {
+  verify_report r;
+  if (mate.size() != static_cast<std::size_t>(g.num_vertices())) {
+    r.error = "mate array size mismatch";
+    return r;
+  }
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    const vid m = mate[static_cast<std::size_t>(v)];
+    if (m == kUnmatched) continue;
+    if (m < 0 || m >= g.num_vertices()) {
+      std::ostringstream os;
+      os << "vertex " << v << " matched to out-of-range " << m;
+      r.error = os.str();
+      return r;
+    }
+    if (mate[static_cast<std::size_t>(m)] != v) {
+      std::ostringstream os;
+      os << "asymmetric match: " << v << "->" << m << " but " << m << "->"
+         << mate[static_cast<std::size_t>(m)];
+      r.error = os.str();
+      return r;
+    }
+    const auto ns = g.neighbors(v);
+    bool found = false;
+    for (const vid n : ns)
+      if (n == m) {
+        found = true;
+        break;
+      }
+    if (!found) {
+      std::ostringstream os;
+      os << "matched pair (" << v << "," << m << ") is not an edge";
+      r.error = os.str();
+      return r;
+    }
+  }
+  r.valid = true;
+
+  r.maximal = true;
+  for (vid v = 0; v < g.num_vertices() && r.maximal; ++v) {
+    if (mate[static_cast<std::size_t>(v)] != kUnmatched) continue;
+    for (const vid n : g.neighbors(v)) {
+      if (mate[static_cast<std::size_t>(n)] == kUnmatched) {
+        std::ostringstream os;
+        os << "not maximal: edge (" << v << "," << n
+           << ") has both endpoints unmatched";
+        r.error = os.str();
+        r.maximal = false;
+        break;
+      }
+    }
+  }
+  r.weight = matching_weight(g, mate);
+  return r;
+}
+
+bool same_matching(const std::vector<vid>& a, const std::vector<vid>& b) {
+  return a == b;
+}
+
+}  // namespace aspen::apps::matching

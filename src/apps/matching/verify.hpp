@@ -1,0 +1,28 @@
+// Verification of matching results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/matching/graph.hpp"
+
+namespace aspen::apps::matching {
+
+struct verify_report {
+  bool valid = false;        // symmetric, edge-supported, no double-matching
+  bool maximal = false;      // no edge with both endpoints unmatched
+  double weight = 0.0;
+  std::string error;         // first violation found, if any
+};
+
+/// Check structural validity (and maximality) of a mate array against g.
+[[nodiscard]] verify_report verify_matching(const csr_graph& g,
+                                            const std::vector<vid>& mate);
+
+/// True if two matchings pair exactly the same vertices. For distinct edge
+/// weights the distributed locally-dominant matching must equal the
+/// sequential greedy one.
+[[nodiscard]] bool same_matching(const std::vector<vid>& a,
+                                 const std::vector<vid>& b);
+
+}  // namespace aspen::apps::matching

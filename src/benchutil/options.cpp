@@ -1,0 +1,52 @@
+#include "benchutil/options.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+namespace aspen::bench {
+
+std::size_t env_size_t(const char* name, std::size_t dflt) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return dflt;
+  return static_cast<std::size_t>(parsed);
+}
+
+double env_double(const char* name, double dflt) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return dflt;
+  return parsed;
+}
+
+options options::from_env() {
+  options o;
+  o.micro_ops = env_size_t("ASPEN_BENCH_OPS", o.micro_ops);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  o.ranks = static_cast<int>(env_size_t(
+      "ASPEN_BENCH_RANKS",
+      std::min<std::size_t>(16,
+                            std::max<std::size_t>(2, static_cast<std::size_t>(hw)))));
+  o.ranks = std::max(1, o.ranks);
+  o.samples = env_size_t("ASPEN_BENCH_SAMPLES", o.samples);
+  o.keep = std::min(env_size_t("ASPEN_BENCH_KEEP", o.keep), o.samples);
+  o.scale = env_double("ASPEN_BENCH_SCALE", o.scale);
+  return o;
+}
+
+std::string options::describe() const {
+  std::ostringstream os;
+  os << "config: ranks=" << ranks << " micro_ops=" << micro_ops
+     << " samples=" << samples << " keep=" << keep << " scale=" << scale
+     << "  (paper protocol: ranks=16 micro_ops=1e7 samples=20 keep=10; set "
+        "ASPEN_BENCH_* to match)";
+  return os.str();
+}
+
+}  // namespace aspen::bench

@@ -1,0 +1,39 @@
+// Environment-driven sizing for the figure-reproduction benchmarks, so the
+// default `for b in build/bench/*; do $b; done` sweep finishes quickly while
+// paper-scale runs remain one environment variable away.
+//
+//   ASPEN_BENCH_OPS     per-operation microbenchmark iteration count
+//                       (paper: 10'000'000; default here: 1'000'000)
+//   ASPEN_BENCH_RANKS   rank count for GUPS/matching (paper: 16;
+//                       default: min(16, hardware_concurrency))
+//   ASPEN_BENCH_SAMPLES measurement repetitions   (paper: 20; default: 5)
+//   ASPEN_BENCH_KEEP    samples kept (best)       (paper: 10; default: 3)
+//   ASPEN_BENCH_SCALE   workload scale multiplier for GUPS/matching
+//                       (default 1; paper-comparable ~8-16)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace aspen::bench {
+
+struct options {
+  std::size_t micro_ops = 1'000'000;
+  int ranks = 16;
+  std::size_t samples = 5;
+  std::size_t keep = 3;
+  double scale = 1.0;
+
+  /// Read the ASPEN_BENCH_* environment, clamping ranks to hardware.
+  [[nodiscard]] static options from_env();
+
+  /// One-line description for figure headers.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Parse helpers (exposed for tests).
+[[nodiscard]] std::size_t env_size_t(const char* name, std::size_t dflt);
+[[nodiscard]] double env_double(const char* name, double dflt);
+
+}  // namespace aspen::bench

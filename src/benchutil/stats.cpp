@@ -1,0 +1,37 @@
+#include "benchutil/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aspen::bench {
+
+sample_summary summarize_best(std::vector<double> samples, std::size_t keep) {
+  sample_summary s;
+  s.total = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.worst = samples.back();
+  s.best = samples.front();
+  s.kept = std::min(keep, samples.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < s.kept; ++i) sum += samples[i];
+  s.mean = sum / static_cast<double>(s.kept);
+  double var = 0.0;
+  for (std::size_t i = 0; i < s.kept; ++i) {
+    const double d = samples[i] - s.mean;
+    var += d * d;
+  }
+  s.stddev = s.kept > 1 ? std::sqrt(var / static_cast<double>(s.kept - 1))
+                        : 0.0;
+  return s;
+}
+
+sample_summary measure(const std::function<double()>& fn, std::size_t samples,
+                       std::size_t keep) {
+  std::vector<double> times;
+  times.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) times.push_back(fn());
+  return summarize_best(std::move(times), keep);
+}
+
+}  // namespace aspen::bench

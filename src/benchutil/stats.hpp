@@ -1,0 +1,34 @@
+// The paper's measurement protocol (§IV): run `samples` repetitions of an
+// experiment, keep the best `keep` (top-k by performance, i.e. smallest
+// times), and report their average. Defaults match the paper: 20 samples,
+// average of the best 10.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace aspen::bench {
+
+struct sample_summary {
+  double mean = 0.0;    // mean of the kept (best) samples
+  double best = 0.0;    // single best sample
+  double worst = 0.0;   // worst overall sample (diagnostic)
+  double stddev = 0.0;  // stddev of the kept samples
+  std::size_t kept = 0;
+  std::size_t total = 0;
+};
+
+/// Summarize raw timing samples (seconds; smaller is better): average of
+/// the `keep` smallest.
+[[nodiscard]] sample_summary summarize_best(std::vector<double> samples,
+                                            std::size_t keep);
+
+/// Run `fn()` (returning elapsed seconds) `samples` times and summarize the
+/// best `keep`. The paper's protocol is samples=20, keep=10 (60/10 for one
+/// noisy configuration).
+[[nodiscard]] sample_summary measure(const std::function<double()>& fn,
+                                     std::size_t samples = 20,
+                                     std::size_t keep = 10);
+
+}  // namespace aspen::bench

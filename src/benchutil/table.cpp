@@ -1,0 +1,107 @@
+#include "benchutil/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace aspen::bench {
+
+table::table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  return std::isdigit(static_cast<unsigned char>(s.front())) != 0 ||
+         s.front() == '-' || s.front() == '+' || s.front() == '.';
+}
+}  // namespace
+
+void table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  rule();
+  os << '|';
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    os << ' ' << std::left << std::setw(static_cast<int>(widths[i]))
+       << headers_[i] << " |";
+  os << '\n';
+  rule();
+  for (const auto& row : rows_) {
+    os << '|';
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << ' ';
+      if (looks_numeric(row[i]))
+        os << std::right << std::setw(static_cast<int>(widths[i])) << row[i];
+      else
+        os << std::left << std::setw(static_cast<int>(widths[i])) << row[i];
+      os << " |";
+    }
+    os << '\n';
+  }
+  rule();
+}
+
+std::string format_time(double seconds) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  if (seconds < 1e-6) {
+    os << seconds * 1e9 << " ns";
+  } else if (seconds < 1e-3) {
+    os << seconds * 1e6 << " us";
+  } else if (seconds < 1.0) {
+    os << seconds * 1e3 << " ms";
+  } else {
+    os << std::setprecision(2) << seconds << " s";
+  }
+  return os.str();
+}
+
+std::string format_speedup(double ratio) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << ratio << "x";
+  return os.str();
+}
+
+std::string format_rate(double per_second) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  if (per_second >= 1e9) {
+    os << per_second / 1e9 << " G/s";
+  } else if (per_second >= 1e6) {
+    os << per_second / 1e6 << " M/s";
+  } else if (per_second >= 1e3) {
+    os << per_second / 1e3 << " K/s";
+  } else {
+    os << per_second << " /s";
+  }
+  return os.str();
+}
+
+void print_figure_header(std::ostream& os, const std::string& figure_id,
+                         const std::string& caption,
+                         const std::string& configuration) {
+  os << '\n'
+     << "=== " << figure_id << ": " << caption << " ===\n"
+     << configuration << '\n';
+}
+
+}  // namespace aspen::bench

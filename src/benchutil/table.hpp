@@ -1,0 +1,40 @@
+// Console tables that mirror the layout of the paper's figures: one row per
+// benchmark variant, one column per library version, plus derived speedup
+// columns.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aspen::bench {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment; numeric-looking cells right-aligned.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format seconds with an adaptive unit (ns/us/ms/s).
+[[nodiscard]] std::string format_time(double seconds);
+
+/// Format a dimensionless ratio like "1.85x".
+[[nodiscard]] std::string format_speedup(double ratio);
+
+/// Format a rate (ops/sec) with adaptive unit (K/M/G updates per second).
+[[nodiscard]] std::string format_rate(double per_second);
+
+/// Print a figure banner: id, caption, configuration line.
+void print_figure_header(std::ostream& os, const std::string& figure_id,
+                         const std::string& caption,
+                         const std::string& configuration);
+
+}  // namespace aspen::bench

@@ -1,0 +1,45 @@
+// Monotonic wall-clock timing helpers for the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace aspen::bench {
+
+class stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  stopwatch() : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction/reset.
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed nanoseconds since construction/reset.
+  [[nodiscard]] std::uint64_t nanos() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Prevent the optimizer from discarding a computed value.
+template <typename T>
+inline void do_not_optimize(T const& value) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  volatile T sink = value;
+  (void)sink;
+#endif
+}
+
+}  // namespace aspen::bench

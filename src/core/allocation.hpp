@@ -1,0 +1,79 @@
+// Shared-segment allocation: the aspen counterparts of upcxx::new_,
+// upcxx::new_array, upcxx::delete_ and upcxx::allocate.
+//
+// Allocation always happens in the *calling* rank's segment (only the owner
+// may allocate or free); the result is a global_ptr usable by every rank.
+#pragma once
+
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "core/global_ptr.hpp"
+
+namespace aspen {
+
+/// Allocate `n` objects' worth of uninitialized storage in the calling
+/// rank's shared segment. Throws std::bad_alloc on segment exhaustion.
+template <typename T>
+[[nodiscard]] global_ptr<T> allocate(std::size_t n = 1,
+                                     std::size_t align = alignof(T)) {
+  detail::rank_context& c = detail::ctx();
+  void* p = c.rt->arena().of(c.rank).allocator().allocate(n * sizeof(T),
+                                                          align);
+  if (p == nullptr) throw std::bad_alloc();
+  return global_ptr<T>(c.rank, static_cast<T*>(p));
+}
+
+/// Free storage obtained from allocate()/new_/new_array. Must be called by
+/// the owning rank. No destructors are run.
+template <typename T>
+void deallocate(global_ptr<T> g) {
+  if (g.is_null()) return;
+  detail::rank_context& c = detail::ctx();
+  assert(g.where() == c.rank && "deallocate: only the owner may free");
+  c.rt->arena().of(c.rank).allocator().deallocate(g.raw());
+}
+
+/// Allocate and construct one T in the calling rank's shared segment.
+template <typename T, typename... Args>
+[[nodiscard]] global_ptr<T> new_(Args&&... args) {
+  global_ptr<T> g = allocate<T>(1);
+  ::new (static_cast<void*>(g.raw())) T(std::forward<Args>(args)...);
+  return g;
+}
+
+/// Allocate and value-initialize an array of `n` Ts.
+template <typename T>
+[[nodiscard]] global_ptr<T> new_array(std::size_t n) {
+  global_ptr<T> g = allocate<T>(n);
+  if constexpr (!std::is_trivially_default_constructible_v<T>) {
+    for (std::size_t i = 0; i < n; ++i)
+      ::new (static_cast<void*>(g.raw() + i)) T();
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      ::new (static_cast<void*>(g.raw() + i)) T{};
+  }
+  return g;
+}
+
+/// Destroy and free a single object created by new_.
+template <typename T>
+void delete_(global_ptr<T> g) {
+  if (g.is_null()) return;
+  g.raw()->~T();
+  deallocate(g);
+}
+
+/// Destroy and free an array created by new_array. `n` must match the
+/// allocation size for non-trivially-destructible T.
+template <typename T>
+void delete_array(global_ptr<T> g, std::size_t n = 0) {
+  if (g.is_null()) return;
+  if constexpr (!std::is_trivially_destructible_v<T>) {
+    for (std::size_t i = 0; i < n; ++i) (g.raw() + i)->~T();
+  }
+  deallocate(g);
+}
+
+}  // namespace aspen

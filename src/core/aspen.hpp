@@ -1,0 +1,42 @@
+// ASPEN — ASynchronous PGAS with Eager Notifications.
+//
+// Umbrella header: include this to get the full public API.
+//
+// Quickstart:
+//
+//   #include "core/aspen.hpp"
+//
+//   int main() {
+//     aspen::spmd(4, [] {
+//       auto gp = aspen::new_<int>(aspen::rank_me());
+//       auto all = aspen::broadcast_vector(
+//           std::vector<aspen::global_ptr<int>>{gp}, 0);  // exchange ptrs
+//       aspen::future<int> f = aspen::rget(all[0]);
+//       int v = f.wait();
+//       ...
+//     });
+//   }
+//
+// See README.md for the architecture overview and DESIGN.md for the mapping
+// onto the paper this library reproduces.
+#pragma once
+
+#include "core/allocation.hpp"
+#include "core/atomic_domain.hpp"
+#include "core/collectives.hpp"
+#include "core/completion.hpp"
+#include "core/copy.hpp"
+#include "core/cx_state.hpp"
+#include "core/dist_object.hpp"
+#include "core/future.hpp"
+#include "core/global_ptr.hpp"
+#include "core/promise.hpp"
+#include "core/rma.hpp"
+#include "core/rma_irregular.hpp"
+#include "core/rma_strided.hpp"
+#include "core/rpc.hpp"
+#include "core/runtime.hpp"
+#include "core/serialization.hpp"
+#include "core/team.hpp"
+#include "core/version.hpp"
+#include "core/when_all.hpp"

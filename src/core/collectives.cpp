@@ -1,0 +1,74 @@
+#include "core/collectives.hpp"
+
+namespace aspen {
+
+namespace detail {
+
+void coll_rendezvous() {
+  rank_context& c = ctx();
+  coll_state& cs = c.w->coll();
+  const int n = c.rt->nranks();
+  const std::uint64_t my_phase = cs.phase.load(std::memory_order_relaxed);
+  if (cs.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+    cs.arrived.store(0, std::memory_order_relaxed);
+    cs.phase.fetch_add(1, std::memory_order_release);
+  } else {
+    for (std::size_t idle = 0;
+         cs.phase.load(std::memory_order_acquire) == my_phase;) {
+      if (aspen::progress() == 0) {
+        if (++idle >= 64) wait_yield();
+      } else {
+        idle = 0;
+      }
+    }
+  }
+}
+
+/// Re-armed once per progress entry until the epoch completes.
+void arm_async_barrier_poll(cell<>* c, coll_state* cs, std::uint64_t epoch) {
+  ctx().pq.push([c, cs, epoch] {
+    if (cs->async_done_epoch.load(std::memory_order_acquire) > epoch) {
+      c->satisfy(1);
+      c->drop_ref();
+    } else {
+      arm_async_barrier_poll(c, cs, epoch);
+    }
+  });
+}
+
+}  // namespace detail
+
+void barrier() { detail::coll_rendezvous(); }
+
+future<> barrier_async() {
+  detail::rank_context& c = detail::ctx();
+  detail::coll_state& cs = c.w->coll();
+  const int n = c.rt->nranks();
+  const std::uint64_t epoch = c.next_async_epoch++;
+
+  // Ring-capacity guard: wait (with progress) until the slot is free.
+  while (epoch >= cs.async_done_epoch.load(std::memory_order_acquire) +
+                      detail::coll_state::kAsyncEpochRing) {
+    aspen::progress();
+  }
+
+  auto& slot =
+      cs.async_arrived[epoch % detail::coll_state::kAsyncEpochRing];
+  if (slot.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+    slot.store(0, std::memory_order_relaxed);
+    // Epochs complete in order, so this increment publishes exactly
+    // epoch+1 as the done watermark.
+    cs.async_done_epoch.fetch_add(1, std::memory_order_release);
+  }
+
+  if (cs.async_done_epoch.load(std::memory_order_acquire) > epoch) {
+    return make_future();  // last arriver: eager, pooled, allocation-free
+  }
+  auto* cell = new detail::cell<>();
+  cell->deps = 1;
+  cell->add_ref();  // the poll task's reference
+  detail::arm_async_barrier_poll(cell, &cs, epoch);
+  return future<>(cell, /*add_ref=*/false);
+}
+
+}  // namespace aspen

@@ -1,0 +1,188 @@
+// Completion objects: how a program requests notification of communication
+// events (paper §II-A, §III-A).
+//
+// Events:
+//   - source completion:    the source buffer is reusable by the initiator;
+//   - operation completion: the whole operation is complete (this event
+//                           carries any values the operation produces);
+//   - remote completion:    data has arrived at the target (RMA put only) —
+//                           notified by running an RPC there.
+//
+// Notification kinds: futures, promises and local procedure calls for
+// source/operation; remote procedure calls for remote completion. Compose
+// requests with operator| :
+//
+//   rput(src, dest, n,
+//        source_cx::as_future() | operation_cx::as_promise(p) |
+//        remote_cx::as_rpc([] { ... }));
+//
+// This work adds explicit eagerness control (paper §III-A): the as_eager_*
+// factories *permit* (never require) synchronous notification when the data
+// movement completes synchronously; as_defer_* guarantees the legacy
+// deferred behavior; the plain factories follow the current
+// version_config::eager_default (compile ASPEN with -DASPEN_DEFER_COMPLETION
+// to restore the legacy default, mirroring UPCXX_DEFER_COMPLETION).
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+#include <utility>
+
+#include "core/promise.hpp"
+
+namespace aspen {
+
+namespace detail {
+
+struct event_source_t {};
+struct event_operation_t {};
+struct event_remote_t {};
+
+enum class eagerness : std::uint8_t {
+  dflt,   // follow version_config::eager_default
+  eager,  // permit eager notification on synchronous completion
+  defer,  // always defer to the next progress-engine entry
+};
+
+template <typename Event>
+struct future_cx {
+  eagerness e;
+};
+
+template <typename Event, typename... T>
+struct promise_cx {
+  eagerness e;
+  promise<T...> pro;
+};
+
+template <typename Event, typename Fn>
+struct lpc_cx {
+  eagerness e;
+  Fn fn;
+};
+
+template <typename Fn, typename... Args>
+struct rpc_cx {
+  Fn fn;
+  std::tuple<Args...> args;
+};
+
+/// An ordered list of completion requests.
+template <typename... Cx>
+struct completions {
+  std::tuple<Cx...> items;
+};
+
+template <typename... A, typename... B>
+[[nodiscard]] completions<A..., B...> operator|(completions<A...> a,
+                                                completions<B...> b) {
+  return {std::tuple_cat(std::move(a.items), std::move(b.items))};
+}
+
+}  // namespace detail
+
+namespace operation_cx {
+
+/// Notification via a future, default eagerness.
+[[nodiscard]] inline auto as_future() {
+  using cx = detail::future_cx<detail::event_operation_t>;
+  return detail::completions<cx>{{cx{detail::eagerness::dflt}}};
+}
+/// Notification via a future, eager permitted (paper §III-A).
+[[nodiscard]] inline auto as_eager_future() {
+  using cx = detail::future_cx<detail::event_operation_t>;
+  return detail::completions<cx>{{cx{detail::eagerness::eager}}};
+}
+/// Notification via a future, guaranteed deferred (legacy semantics).
+[[nodiscard]] inline auto as_defer_future() {
+  using cx = detail::future_cx<detail::event_operation_t>;
+  return detail::completions<cx>{{cx{detail::eagerness::defer}}};
+}
+
+template <typename... T>
+[[nodiscard]] auto as_promise(promise<T...> p) {
+  using cx = detail::promise_cx<detail::event_operation_t, T...>;
+  return detail::completions<cx>{{cx{detail::eagerness::dflt, std::move(p)}}};
+}
+template <typename... T>
+[[nodiscard]] auto as_eager_promise(promise<T...> p) {
+  using cx = detail::promise_cx<detail::event_operation_t, T...>;
+  return detail::completions<cx>{{cx{detail::eagerness::eager, std::move(p)}}};
+}
+template <typename... T>
+[[nodiscard]] auto as_defer_promise(promise<T...> p) {
+  using cx = detail::promise_cx<detail::event_operation_t, T...>;
+  return detail::completions<cx>{{cx{detail::eagerness::defer, std::move(p)}}};
+}
+
+/// Run a local callback on operation completion (receives the operation's
+/// values, if any).
+template <typename Fn>
+[[nodiscard]] auto as_lpc(Fn fn) {
+  using cx = detail::lpc_cx<detail::event_operation_t, Fn>;
+  return detail::completions<cx>{{cx{detail::eagerness::dflt, std::move(fn)}}};
+}
+template <typename Fn>
+[[nodiscard]] auto as_eager_lpc(Fn fn) {
+  using cx = detail::lpc_cx<detail::event_operation_t, Fn>;
+  return detail::completions<cx>{{cx{detail::eagerness::eager, std::move(fn)}}};
+}
+template <typename Fn>
+[[nodiscard]] auto as_defer_lpc(Fn fn) {
+  using cx = detail::lpc_cx<detail::event_operation_t, Fn>;
+  return detail::completions<cx>{{cx{detail::eagerness::defer, std::move(fn)}}};
+}
+
+}  // namespace operation_cx
+
+namespace source_cx {
+
+[[nodiscard]] inline auto as_future() {
+  using cx = detail::future_cx<detail::event_source_t>;
+  return detail::completions<cx>{{cx{detail::eagerness::dflt}}};
+}
+[[nodiscard]] inline auto as_eager_future() {
+  using cx = detail::future_cx<detail::event_source_t>;
+  return detail::completions<cx>{{cx{detail::eagerness::eager}}};
+}
+[[nodiscard]] inline auto as_defer_future() {
+  using cx = detail::future_cx<detail::event_source_t>;
+  return detail::completions<cx>{{cx{detail::eagerness::defer}}};
+}
+
+[[nodiscard]] inline auto as_promise(promise<> p) {
+  using cx = detail::promise_cx<detail::event_source_t>;
+  return detail::completions<cx>{{cx{detail::eagerness::dflt, std::move(p)}}};
+}
+[[nodiscard]] inline auto as_eager_promise(promise<> p) {
+  using cx = detail::promise_cx<detail::event_source_t>;
+  return detail::completions<cx>{{cx{detail::eagerness::eager, std::move(p)}}};
+}
+[[nodiscard]] inline auto as_defer_promise(promise<> p) {
+  using cx = detail::promise_cx<detail::event_source_t>;
+  return detail::completions<cx>{{cx{detail::eagerness::defer, std::move(p)}}};
+}
+
+template <typename Fn>
+[[nodiscard]] auto as_lpc(Fn fn) {
+  using cx = detail::lpc_cx<detail::event_source_t, Fn>;
+  return detail::completions<cx>{{cx{detail::eagerness::dflt, std::move(fn)}}};
+}
+
+}  // namespace source_cx
+
+namespace remote_cx {
+
+/// Schedule `fn(args...)` to run on the target process after the
+/// operation's data has been delivered there. `fn` must be trivially
+/// copyable; `args` must be serializable.
+template <typename Fn, typename... Args>
+[[nodiscard]] auto as_rpc(Fn fn, Args... args) {
+  using cx = detail::rpc_cx<Fn, Args...>;
+  return detail::completions<cx>{
+      {cx{std::move(fn), std::tuple<Args...>(std::move(args)...)}}};
+}
+
+}  // namespace remote_cx
+
+}  // namespace aspen

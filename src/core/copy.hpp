@@ -1,0 +1,93 @@
+// copy — one-sided transfer between two global pointers (either or both of
+// which may be remote). The four locality cases take different paths:
+//
+//   local -> local    : synchronous memcpy (eager completion applies);
+//   local -> remote   : put path;
+//   remote -> local   : get path;
+//   remote -> remote  : initiator-mediated two-hop (get into a staging
+//                       buffer, then put), with operation completion
+//                       delivered after the final ack.
+//
+// Completion support: operation event (future/promise/LPC). Source and
+// remote events are not meaningful for copy and are rejected statically.
+#pragma once
+
+#include "core/rma.hpp"
+
+namespace aspen {
+
+namespace detail {
+
+template <typename Item>
+struct copy_item_ok : std::false_type {};
+template <>
+struct copy_item_ok<future_cx<event_operation_t>> : std::true_type {};
+template <typename... T>
+struct copy_item_ok<promise_cx<event_operation_t, T...>> : std::true_type {};
+template <typename Fn>
+struct copy_item_ok<lpc_cx<event_operation_t, Fn>> : std::true_type {};
+
+template <typename Cxs>
+struct copy_cxs_ok;
+template <typename... Items>
+struct copy_cxs_ok<completions<Items...>>
+    : std::bool_constant<(copy_item_ok<Items>::value && ...)> {};
+
+}  // namespace detail
+
+/// Copy `n` objects from `src` to `dest`, wherever each resides.
+template <rma_type T,
+          typename Cxs = detail::completions<
+              detail::future_cx<detail::event_operation_t>>>
+auto copy(global_ptr<T> src, global_ptr<T> dest, std::size_t n,
+          Cxs cxs = operation_cx::as_future()) -> detail::cx_return_t<Cxs> {
+  static_assert(detail::copy_cxs_ok<std::decay_t<Cxs>>::value,
+                "copy supports only operation-event completions");
+  detail::rank_context& c = detail::ctx();
+  const bool src_local = detail::rma_target_local(c, src.where());
+  const bool dest_local = detail::rma_target_local(c, dest.where());
+  detail::no_remote_cx rs;
+
+  if (src_local && dest_local) {
+    detail::legacy_extra_alloc_if_configured(c);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    std::memmove(dest.raw(), src.raw(), n * sizeof(T));
+    std::atomic_thread_fence(std::memory_order_release);
+    return detail::collapse_futs(
+        detail::process_sync_tuple<>(std::move(cxs), rs));
+  }
+  if (src_local) {
+    return detail::rma_put_bytes(dest.where(), dest.raw(), src.raw(),
+                                 n * sizeof(T), std::move(cxs));
+  }
+  if (dest_local) {
+    return rget(src, dest.raw(), n, std::move(cxs));
+  }
+
+  // Both remote: stage through the initiator. The user's completions are
+  // wired into a record fulfilled after the final put acknowledges.
+  detail::op_record<>* rec = nullptr;
+  auto futs = detail::process_async_tuple<>(std::move(cxs), rs, rec);
+  auto* staging = new std::vector<T>(n);
+  T* buf = staging->data();
+  rget(src, buf, n,
+       operation_cx::as_eager_lpc([staging, buf, dest, n, rec] {
+         rput(buf, dest, n,
+              operation_cx::as_eager_lpc([staging, rec] {
+                delete staging;
+                rec->fulfill();
+              }));
+       }));
+  return detail::collapse_futs(std::move(futs));
+}
+
+/// Scalar convenience overload.
+template <rma_type T,
+          typename Cxs = detail::completions<
+              detail::future_cx<detail::event_operation_t>>>
+auto copy(global_ptr<T> src, global_ptr<T> dest,
+          Cxs cxs = operation_cx::as_future()) -> detail::cx_return_t<Cxs> {
+  return copy(src, dest, 1, std::move(cxs));
+}
+
+}  // namespace aspen

@@ -1,0 +1,85 @@
+// dist_object<T> — one instance of T per rank, addressable by rank.
+//
+// Construction is collective: every rank must construct its dist_objects in
+// the same order (ids are assigned from a per-rank counter). fetch(rank)
+// retrieves a copy of the remote instance via RPC; it is safe to fetch from
+// a rank that has not constructed its instance yet — the reply is delayed
+// until construction.
+#pragma once
+
+#include <cassert>
+#include <unordered_map>
+#include <utility>
+
+#include "core/collectives.hpp"
+#include "core/rpc.hpp"
+
+namespace aspen {
+
+namespace detail {
+
+/// Per-rank, per-type registry of dist_object instances.
+template <typename T>
+struct dist_registry_entry {
+  T* obj = nullptr;
+  promise<std::uint64_t> ready;  // carries the instance address
+};
+
+template <typename T>
+[[nodiscard]] inline std::unordered_map<std::uint64_t,
+                                        dist_registry_entry<T>>&
+dist_registry() {
+  static thread_local std::unordered_map<std::uint64_t,
+                                         dist_registry_entry<T>>
+      reg;
+  return reg;
+}
+
+}  // namespace detail
+
+template <typename T>
+class dist_object {
+ public:
+  /// Collective construction; all ranks must construct in the same order.
+  explicit dist_object(T value) : value_(std::move(value)) {
+    id_ = detail::ctx().next_collective_id++;
+    auto& e = detail::dist_registry<T>()[id_];
+    assert(e.obj == nullptr && "dist_object id collision");
+    e.obj = &value_;
+    e.ready.fulfill_result(reinterpret_cast<std::uint64_t>(&value_));
+    (void)e.ready.finalize();
+  }
+
+  dist_object(const dist_object&) = delete;
+  dist_object& operator=(const dist_object&) = delete;
+  dist_object(dist_object&&) = delete;  // registry holds our address
+  dist_object& operator=(dist_object&&) = delete;
+
+  ~dist_object() { detail::dist_registry<T>().erase(id_); }
+
+  [[nodiscard]] T& operator*() noexcept { return value_; }
+  [[nodiscard]] const T& operator*() const noexcept { return value_; }
+  [[nodiscard]] T* operator->() noexcept { return &value_; }
+  [[nodiscard]] const T* operator->() const noexcept { return &value_; }
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  /// Retrieve a copy of the instance held by `rank`. Requires T to be
+  /// serializable. Completes even if the remote instance has not been
+  /// constructed yet.
+  [[nodiscard]] future<T> fetch(int rank) const {
+    static_assert(serializable<T>, "dist_object::fetch requires serializable T");
+    return rpc(rank, [](std::uint64_t id) {
+      auto& e = detail::dist_registry<T>()[id];
+      return e.ready.get_future().then(
+          [](std::uint64_t addr) { return *reinterpret_cast<T*>(addr); });
+    },
+    id_);
+  }
+
+ private:
+  T value_;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace aspen

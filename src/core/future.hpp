@@ -1,0 +1,348 @@
+// aspen::future<T...> — the consumer side of an asynchronous result.
+//
+// A future encapsulates the readiness state of an operation and any values
+// it produces. Futures are cheap reference-counted handles onto an internal
+// cell (future_cell.hpp). `then` chains a callback (run inline if the
+// future is already ready — this is why eager completion is a *semantic*
+// relaxation, not just an optimization); `wait` spins on the progress
+// engine until ready.
+#pragma once
+
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "core/future_cell.hpp"
+#include "core/runtime.hpp"
+
+namespace aspen {
+
+template <typename... T>
+class future;
+
+namespace detail {
+
+template <typename X>
+struct is_future : std::false_type {};
+template <typename... U>
+struct is_future<future<U...>> : std::true_type {};
+template <typename X>
+inline constexpr bool is_future_v = is_future<std::decay_t<X>>::value;
+
+/// future<A...> + future<B...> -> future<A..., B...>
+template <typename... Fs>
+struct future_cat;
+template <>
+struct future_cat<> {
+  using type = future<>;
+};
+template <typename... A>
+struct future_cat<future<A...>> {
+  using type = future<A...>;
+};
+template <typename... A, typename... B, typename... Rest>
+struct future_cat<future<A...>, future<B...>, Rest...> {
+  using type = typename future_cat<future<A..., B...>, Rest...>::type;
+};
+template <typename... Fs>
+using future_cat_t = typename future_cat<Fs...>::type;
+
+/// Result of invoking a then-callback: plain value -> future<V>, void ->
+/// future<>, future<U...> -> future<U...> (unwrapped).
+template <typename R>
+struct then_result {
+  using type = future<std::decay_t<R>>;
+};
+template <>
+struct then_result<void> {
+  using type = future<>;
+};
+template <typename... U>
+struct then_result<future<U...>> {
+  using type = future<U...>;
+};
+template <typename R>
+using then_result_t = typename then_result<R>::type;
+
+/// Whether ready value-less futures may use the pooled cell right now.
+[[nodiscard]] inline bool use_ready_pool() noexcept {
+  return have_ctx() ? ctx().ver.ready_future_pool : true;
+}
+
+template <typename... U>
+future<U...> wrap_cell(cell<U...>* c, bool add_ref) noexcept;
+
+template <typename RFut>
+struct rfut_traits;
+template <typename... U>
+struct rfut_traits<future<U...>> {
+  using cell_t = cell<U...>;
+};
+
+template <typename RFut>
+[[nodiscard]] typename rfut_traits<RFut>::cell_t* make_pending_cell();
+
+template <typename RFut>
+RFut wrap_cell_of(typename rfut_traits<RFut>::cell_t* c, bool add_ref);
+
+template <typename RFut, typename Fn, typename Tup>
+RFut invoke_to_future(Fn&& fn, Tup& args);
+
+/// Continuation that copies the source cell's values into a target cell and
+/// satisfies it. Used to forward an inner future's result out of a
+/// future-returning then-callback.
+template <typename... U>
+struct forward_cont final : continuation {
+  cell<U...>* target;
+
+  explicit forward_cont(cell<U...>* t) noexcept : target(t) {
+    target->add_ref();
+  }
+  void fire(cell_base* src) override {
+    auto* s = static_cast<cell<U...>*>(src);
+    cell<U...>* t = target;
+    target = nullptr;
+    t->set_value_tuple(s->value_ref());
+    t->satisfy(1);
+    t->drop_ref();
+  }
+  ~forward_cont() override {
+    if (target != nullptr) target->drop_ref();
+  }
+};
+
+/// Deliver the result of invoking `fn` on `src`'s values into `rc`.
+template <typename Fn, typename SrcCell, typename RFut>
+struct then_cont;
+
+template <typename Fn, typename... S, typename... U>
+struct then_cont<Fn, cell<S...>, future<U...>> final : continuation {
+  Fn fn;
+  cell<U...>* rc;
+
+  then_cont(Fn f, cell<U...>* r) noexcept : fn(std::move(f)), rc(r) {
+    rc->add_ref();
+  }
+  void fire(cell_base* src) override;
+  ~then_cont() override {
+    if (rc != nullptr) rc->drop_ref();
+  }
+};
+
+}  // namespace detail
+
+/// The consumer handle of an asynchronous result producing values T... .
+/// Default-constructed futures are *invalid* (never ready); all futures
+/// produced by the library are valid.
+template <typename... T>
+class future {
+ public:
+  future() = default;
+
+  future(const future& o) noexcept : c_(o.c_) {
+    if (c_ != nullptr) c_->add_ref();
+  }
+  future(future&& o) noexcept : c_(o.c_) { o.c_ = nullptr; }
+  future& operator=(const future& o) noexcept {
+    if (this != &o) {
+      if (o.c_ != nullptr) o.c_->add_ref();
+      if (c_ != nullptr) c_->drop_ref();
+      c_ = o.c_;
+    }
+    return *this;
+  }
+  future& operator=(future&& o) noexcept {
+    if (this != &o) {
+      if (c_ != nullptr) c_->drop_ref();
+      c_ = o.c_;
+      o.c_ = nullptr;
+    }
+    return *this;
+  }
+  ~future() {
+    if (c_ != nullptr) c_->drop_ref();
+  }
+
+  /// True if this future refers to an operation (default-constructed
+  /// futures do not).
+  [[nodiscard]] bool valid() const noexcept { return c_ != nullptr; }
+
+  /// True if the result is available.
+  [[nodiscard]] bool ready() const noexcept {
+    return c_ != nullptr && c_->ready();
+  }
+
+  /// Block (spinning on the progress engine) until ready; returns the
+  /// result: void for future<>, T for future<T>, std::tuple for more.
+  decltype(auto) wait() const {
+    assert(valid() && "wait() on an invalid future");
+    // Spin on progress; back off to the OS scheduler when idle so
+    // oversubscribed rank threads (more ranks than cores) do not starve
+    // the rank that must produce our completion.
+    for (std::size_t idle = 0; !c_->ready();) {
+      if (aspen::progress() == 0) {
+        if (++idle >= 64) detail::wait_yield();
+      } else {
+        idle = 0;
+      }
+    }
+    return result();
+  }
+
+  /// The result of a ready future, by value (void for future<>, T for
+  /// future<T>, std::tuple<T...> otherwise) — copies never dangle if the
+  /// future is reassigned.
+  decltype(auto) result() const {
+    assert(ready() && "result() on a non-ready future");
+    if constexpr (sizeof...(T) == 0) {
+      return;
+    } else if constexpr (sizeof...(T) == 1) {
+      using T0 = std::tuple_element_t<0, std::tuple<T...>>;
+      return T0(std::get<0>(c_->value_ref()));
+    } else {
+      return std::tuple<T...>(c_->value_ref());
+    }
+  }
+
+  /// The i-th result component of a ready future.
+  template <std::size_t I>
+  [[nodiscard]] auto result() const {
+    assert(ready());
+    return std::get<I>(c_->value_ref());
+  }
+
+  /// Full result tuple of a ready future.
+  [[nodiscard]] std::tuple<T...> result_tuple() const {
+    assert(ready());
+    return c_->value_ref();
+  }
+
+  /// Attach a callback invoked with the result values once ready. If the
+  /// future is already ready the callback runs *synchronously, right here*.
+  /// Returns a future for the callback's own result; callbacks returning a
+  /// future are unwrapped.
+  template <typename Fn>
+  auto then(Fn&& fn) const -> detail::then_result_t<std::invoke_result_t<Fn, T...>> {
+    using R = std::invoke_result_t<Fn, T...>;
+    using RFut = detail::then_result_t<R>;
+    assert(valid() && "then() on an invalid future");
+    if (c_->ready()) {
+      return detail::invoke_to_future<RFut>(std::forward<Fn>(fn),
+                                            c_->value_ref());
+    }
+    auto* rc = detail::make_pending_cell<RFut>();
+    c_->enqueue(new detail::then_cont<std::decay_t<Fn>, detail::cell<T...>, RFut>(
+        std::forward<Fn>(fn), rc));
+    return detail::wrap_cell_of<RFut>(rc, /*add_ref=*/false);
+  }
+
+  // --- internal ---
+  using cell_type = detail::cell<T...>;
+
+  explicit future(cell_type* c, bool add_ref) noexcept : c_(c) {
+    if (add_ref && c_ != nullptr) c_->add_ref();
+  }
+  [[nodiscard]] cell_type* raw_cell() const noexcept { return c_; }
+
+ private:
+  cell_type* c_ = nullptr;
+};
+
+namespace detail {
+
+template <typename... U>
+future<U...> wrap_cell(cell<U...>* c, bool add_ref) noexcept {
+  return future<U...>(c, add_ref);
+}
+
+template <typename RFut>
+[[nodiscard]] typename rfut_traits<RFut>::cell_t* make_pending_cell() {
+  auto* c = new typename rfut_traits<RFut>::cell_t();
+  c->deps = 1;
+  return c;
+}
+
+template <typename RFut>
+RFut wrap_cell_of(typename rfut_traits<RFut>::cell_t* c, bool add_ref) {
+  return RFut(c, add_ref);
+}
+
+/// Invoke fn on a tuple of arguments and package the result as a ready
+/// future (unwrapping future-returning callbacks).
+template <typename RFut, typename Fn, typename Tup>
+RFut invoke_to_future(Fn&& fn, Tup& args) {
+  using R = decltype(std::apply(std::forward<Fn>(fn), args));
+  if constexpr (is_future_v<R>) {
+    return std::apply(std::forward<Fn>(fn), args);
+  } else if constexpr (std::is_void_v<R>) {
+    std::apply(std::forward<Fn>(fn), args);
+    if (use_ready_pool()) return RFut(pooled_ready_cell(), false);
+    auto* c = new cell<>();
+    c->deps = 0;
+    return RFut(c, false);
+  } else {
+    auto* c = new cell<std::decay_t<R>>();
+    c->deps = 0;
+    c->set_value(std::apply(std::forward<Fn>(fn), args));
+    return RFut(c, false);
+  }
+}
+
+template <typename Fn, typename... S, typename... U>
+void then_cont<Fn, cell<S...>, future<U...>>::fire(cell_base* src) {
+  auto* s = static_cast<cell<S...>*>(src);
+  cell<U...>* target = rc;
+  rc = nullptr;
+  using R = decltype(std::apply(fn, s->value_ref()));
+  if constexpr (is_future_v<R>) {
+    future<U...> inner = std::apply(fn, s->value_ref());
+    if (inner.ready()) {
+      target->set_value_tuple(inner.raw_cell()->value_ref());
+      target->satisfy(1);
+    } else {
+      inner.raw_cell()->enqueue(new forward_cont<U...>(target));
+    }
+  } else if constexpr (std::is_void_v<R>) {
+    std::apply(fn, s->value_ref());
+    target->set_value_tuple(std::tuple<>{});
+    target->satisfy(1);
+  } else {
+    target->set_value(std::apply(fn, s->value_ref()));
+    target->satisfy(1);
+  }
+  target->drop_ref();
+}
+
+}  // namespace detail
+
+/// A ready value-less future. Costs no allocation when the ready-future
+/// pool is enabled (2021.3.6 behavior).
+[[nodiscard]] inline future<> make_future() {
+  if (detail::use_ready_pool())
+    return future<>(detail::pooled_ready_cell(), false);
+  auto* c = new detail::cell<>();
+  c->deps = 0;
+  return future<>(c, false);
+}
+
+/// A ready future carrying the given values. Value-carrying ready futures
+/// always allocate a cell (the values must live somewhere — paper §III-B).
+template <typename... U>
+[[nodiscard]] future<std::decay_t<U>...> make_future(U&&... v) {
+  auto* c = new detail::cell<std::decay_t<U>...>();
+  c->deps = 0;
+  c->set_value(std::forward<U>(v)...);
+  return future<std::decay_t<U>...>(c, false);
+}
+
+/// Lift a value into a ready future; futures pass through unchanged.
+template <typename X>
+[[nodiscard]] auto to_future(X&& x) {
+  if constexpr (detail::is_future_v<X>) {
+    return std::forward<X>(x);
+  } else {
+    return make_future(std::forward<X>(x));
+  }
+}
+
+}  // namespace aspen

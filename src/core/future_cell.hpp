@@ -1,0 +1,195 @@
+// Internal promise cells: the reference-counted state shared by futures and
+// promises.
+//
+// A cell is ready when its dependency counter reaches zero; value-carrying
+// cells additionally store a tuple of results. Cells are the unit of heap
+// allocation whose elimination (for ready value-less futures, and for
+// eagerly-completed operations) is the subject of the paper — tests assert
+// on `cell_allocation_count()` to prove the optimizations really elide
+// allocations.
+//
+// Threading: cells never migrate across rank threads. Completions always
+// fire on the initiating rank's thread (remote completions arrive as reply
+// active messages executed by the initiator's own progress engine), so
+// reference counts and dependency counters are plain integers, matching the
+// persona rules of UPC++.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <utility>
+
+#include "core/cell_pool.hpp"
+#include "core/runtime.hpp"
+
+namespace aspen {
+
+template <typename... T>
+class future;
+template <typename... T>
+class promise;
+
+namespace detail {
+
+/// Count of cell heap allocations performed by the calling thread. Used by
+/// tests and the primitive benchmarks to verify allocation elision.
+[[nodiscard]] inline std::uint64_t& cell_allocation_count() noexcept {
+  static thread_local std::uint64_t n = 0;
+  return n;
+}
+
+struct cell_base;
+
+/// A continuation attached to a non-ready cell, fired when the cell becomes
+/// ready. `src` is the cell the continuation was attached to, so the
+/// continuation can read its values (continuations hold no reference on the
+/// source to avoid ownership cycles; the source owns them).
+struct continuation {
+  continuation* next = nullptr;
+  virtual void fire(cell_base* src) = 0;
+  virtual ~continuation() = default;
+};
+
+struct cell_base {
+  std::intptr_t refs = 1;
+  std::intptr_t deps = 1;
+  bool immortal = false;   // the pooled ready future<> cell
+  bool finalized = false;  // promise::finalize called
+  continuation* head = nullptr;
+  continuation* tail = nullptr;
+
+  cell_base() = default;
+  cell_base(const cell_base&) = delete;
+  cell_base& operator=(const cell_base&) = delete;
+
+  [[nodiscard]] bool ready() const noexcept { return deps == 0; }
+
+  void add_ref() noexcept {
+    if (!immortal) ++refs;
+  }
+  void drop_ref() noexcept {
+    if (!immortal && --refs == 0) delete this;
+  }
+
+  /// Attach a continuation (cell must not be ready; ready cells run
+  /// callbacks inline at the call site instead).
+  void enqueue(continuation* c) noexcept {
+    assert(!ready());
+    c->next = nullptr;
+    if (tail != nullptr) {
+      tail->next = c;
+      tail = c;
+    } else {
+      head = tail = c;
+    }
+  }
+
+  /// Fulfill `n` dependencies; fires continuations (FIFO) if this makes the
+  /// cell ready.
+  void satisfy(std::intptr_t n = 1) {
+    assert(deps >= n && "dependency counter underflow");
+    deps -= n;
+    if (deps == 0 && head != nullptr) {
+      continuation* c = head;
+      head = tail = nullptr;
+      while (c != nullptr) {
+        continuation* nxt = c->next;
+        c->fire(this);
+        delete c;
+        c = nxt;
+      }
+    }
+  }
+
+  virtual ~cell_base() {
+    // Unfired continuations of an abandoned cell are destroyed unfired.
+    continuation* c = head;
+    while (c != nullptr) {
+      continuation* nxt = c->next;
+      delete c;
+      c = nxt;
+    }
+  }
+};
+
+/// Is the cell-recycling extension active on the calling thread?
+[[nodiscard]] inline bool cell_recycling_enabled() noexcept {
+  return have_ctx() && ctx().ver.cell_recycling;
+}
+
+template <typename... T>
+struct cell final : cell_base {
+  std::optional<std::tuple<T...>> value;
+
+  cell() { ++cell_allocation_count(); }
+
+  // Cells are the per-operation allocation the paper's optimizations
+  // target; route them through the (optionally recycling) pool.
+  static void* operator new(std::size_t n) {
+    return tls_cell_pool().allocate(n, cell_recycling_enabled());
+  }
+  static void operator delete(void* p) noexcept {
+    tls_cell_pool().deallocate(p);
+  }
+
+  template <typename... U>
+  void set_value(U&&... v) {
+    assert(!value.has_value() && "result fulfilled twice");
+    value.emplace(std::forward<U>(v)...);
+  }
+
+  void set_value_tuple(std::tuple<T...> t) {
+    assert(!value.has_value() && "result fulfilled twice");
+    value.emplace(std::move(t));
+  }
+
+  [[nodiscard]] std::tuple<T...>& value_ref() noexcept {
+    if constexpr (sizeof...(T) == 0) {
+      if (!value.has_value()) value.emplace();
+    }
+    assert(value.has_value());
+    return *value;
+  }
+
+  [[nodiscard]] bool has_value() const noexcept {
+    return sizeof...(T) == 0 || value.has_value();
+  }
+};
+
+/// The pooled, immortal, always-ready value-less cell (one per rank thread).
+/// Constructing a ready future<> from it costs no allocation — the §III-B
+/// optimization. The pool cell itself is counted once at thread birth.
+[[nodiscard]] inline cell<>* pooled_ready_cell() noexcept {
+  static thread_local std::unique_ptr<cell<>> c = [] {
+    auto p = std::make_unique<cell<>>();
+    p->immortal = true;
+    p->deps = 0;
+    return p;
+  }();
+  return c.get();
+}
+
+/// Continuation that simply satisfies one dependency of a target cell
+/// (holding a reference on it).
+struct satisfy_cont final : continuation {
+  cell_base* target;
+
+  explicit satisfy_cont(cell_base* t) noexcept : target(t) {
+    target->add_ref();
+  }
+  void fire(cell_base* /*src*/) override {
+    cell_base* t = target;
+    target = nullptr;
+    t->satisfy(1);
+    t->drop_ref();
+  }
+  ~satisfy_cont() override {
+    if (target != nullptr) target->drop_ref();
+  }
+};
+
+}  // namespace detail
+}  // namespace aspen

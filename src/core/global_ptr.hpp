@@ -1,0 +1,123 @@
+// global_ptr<T> — a pointer into the partitioned global address space.
+//
+// A global pointer pairs the owning rank with the raw address of the object
+// inside that rank's shared segment. On this substrate every segment is
+// physically addressable by every rank thread, but *logical* locality (the
+// is_local() query, and whether RMA may use shared-memory bypass) is decided
+// by the conduit/locality model, so the off-node code paths are exercised
+// faithfully under the loopback conduit.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+
+#include "core/runtime.hpp"
+
+namespace aspen {
+
+template <typename T>
+class global_ptr {
+ public:
+  using element_type = T;
+
+  constexpr global_ptr() noexcept = default;
+  constexpr global_ptr(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  global_ptr(int rank, T* raw) noexcept : rank_(rank), raw_(raw) {}
+
+  /// Owning rank.
+  [[nodiscard]] int where() const noexcept { return rank_; }
+
+  /// Is the referenced memory directly accessible to the calling rank?
+  ///
+  /// On the SMP conduit this is statically true; the 2021.3.6 snapshot
+  /// exploits that to compile the check away, while 2021.3.0 semantics
+  /// (version_config::dynamic_is_local) always perform the dynamic check.
+  [[nodiscard]] bool is_local() const noexcept {
+    if (raw_ == nullptr) return true;
+    const detail::rank_context& c = detail::ctx();
+    if (!c.ver.dynamic_is_local &&
+        c.rt->cfg().transport == gex::conduit::smp) {
+      return true;  // resolved without consulting the locality model
+    }
+    return c.rt->shares_memory(c.rank, rank_);
+  }
+
+  /// Downcast to a raw pointer. Precondition: is_local().
+  [[nodiscard]] T* local() const noexcept {
+    assert(is_local() && "local() on a non-local global_ptr");
+    return raw_;
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return raw_ != nullptr;
+  }
+  [[nodiscard]] bool is_null() const noexcept { return raw_ == nullptr; }
+
+  // Pointer arithmetic within the owning segment.
+  [[nodiscard]] global_ptr operator+(std::ptrdiff_t n) const noexcept {
+    return global_ptr(rank_, raw_ + n);
+  }
+  [[nodiscard]] global_ptr operator-(std::ptrdiff_t n) const noexcept {
+    return global_ptr(rank_, raw_ - n);
+  }
+  [[nodiscard]] std::ptrdiff_t operator-(const global_ptr& o) const noexcept {
+    assert(rank_ == o.rank_);
+    return raw_ - o.raw_;
+  }
+  global_ptr& operator+=(std::ptrdiff_t n) noexcept {
+    raw_ += n;
+    return *this;
+  }
+  global_ptr& operator-=(std::ptrdiff_t n) noexcept {
+    raw_ -= n;
+    return *this;
+  }
+  global_ptr& operator++() noexcept {
+    ++raw_;
+    return *this;
+  }
+  global_ptr& operator--() noexcept {
+    --raw_;
+    return *this;
+  }
+
+  [[nodiscard]] friend bool operator==(const global_ptr& a,
+                                       const global_ptr& b) noexcept {
+    return a.raw_ == b.raw_ && (a.raw_ == nullptr || a.rank_ == b.rank_);
+  }
+  [[nodiscard]] friend auto operator<=>(const global_ptr& a,
+                                        const global_ptr& b) noexcept {
+    return a.raw_ <=> b.raw_;
+  }
+
+  // --- internal ---
+  /// Raw address regardless of locality (substrate-internal: every segment
+  /// is physically mapped).
+  [[nodiscard]] T* raw() const noexcept { return raw_; }
+
+ private:
+  int rank_ = -1;
+  T* raw_ = nullptr;
+};
+
+/// Construct a global_ptr from a raw pointer into *some* rank's segment
+/// (resolves the owner via the arena). Returns a null pointer if `p` is not
+/// segment memory.
+template <typename T>
+[[nodiscard]] global_ptr<T> try_global_ptr(T* p) noexcept {
+  if (p == nullptr) return {};
+  const int owner = detail::ctx().rt->arena().owner_of(p);
+  if (owner < 0) return {};
+  return global_ptr<T>(owner, p);
+}
+
+}  // namespace aspen
+
+template <typename T>
+struct std::hash<aspen::global_ptr<T>> {
+  std::size_t operator()(const aspen::global_ptr<T>& g) const noexcept {
+    return std::hash<T*>{}(g.raw());
+  }
+};

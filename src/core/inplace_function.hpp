@@ -1,0 +1,129 @@
+// A move-only callable wrapper with small-buffer storage.
+//
+// The progress engine's deferred-notification queue and the remote-operation
+// completion records need type-erased callables whose typical captures (a
+// cell pointer plus an 8-byte value) must not cost a heap allocation — the
+// allocation behavior of the deferred path is precisely what the paper
+// measures, and it must be exactly one cell allocation, not two.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace aspen {
+
+template <typename Signature, std::size_t BufBytes = 48>
+class inplace_function;
+
+/// Move-only std::function-alike. Callables up to BufBytes with alignment
+/// <= alignof(std::max_align_t) are stored inline; larger ones fall back to
+/// the heap.
+template <typename R, typename... A, std::size_t BufBytes>
+class inplace_function<R(A...), BufBytes> {
+ public:
+  inplace_function() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, inplace_function> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, A...>)
+  inplace_function(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  inplace_function(inplace_function&& other) noexcept { move_from(other); }
+
+  inplace_function& operator=(inplace_function&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  inplace_function(const inplace_function&) = delete;
+  inplace_function& operator=(const inplace_function&) = delete;
+
+  ~inplace_function() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtbl_ != nullptr;
+  }
+
+  R operator()(A... args) {
+    return vtbl_->invoke(storage(), std::forward<A>(args)...);
+  }
+
+  void reset() noexcept {
+    if (vtbl_ != nullptr) {
+      vtbl_->destroy(storage());
+      vtbl_ = nullptr;
+    }
+  }
+
+ private:
+  struct vtable {
+    R (*invoke)(void*, A&&...);
+    void (*destroy)(void*) noexcept;
+    void (*relocate)(void* dst, void* src) noexcept;  // move + destroy src
+    bool heap;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= BufBytes && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (buf_) Fn(std::forward<F>(f));
+      static constexpr vtable vt{
+          [](void* p, A&&... args) -> R {
+            return (*static_cast<Fn*>(p))(std::forward<A>(args)...);
+          },
+          [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+          [](void* dst, void* src) noexcept {
+            ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+            static_cast<Fn*>(src)->~Fn();
+          },
+          false};
+      vtbl_ = &vt;
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      static constexpr vtable vt{
+          [](void* p, A&&... args) -> R {
+            return (**static_cast<Fn**>(p))(std::forward<A>(args)...);
+          },
+          [](void* p) noexcept { delete *static_cast<Fn**>(p); },
+          [](void* dst, void* src) noexcept {
+            *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+          },
+          true};
+      vtbl_ = &vt;
+    }
+  }
+
+  void move_from(inplace_function& other) noexcept {
+    vtbl_ = other.vtbl_;
+    if (vtbl_ != nullptr) {
+      vtbl_->relocate(storage(), other.storage());
+      other.vtbl_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] void* storage() noexcept {
+    return vtbl_ != nullptr && vtbl_->heap ? static_cast<void*>(&heap_)
+                                           : static_cast<void*>(buf_);
+  }
+
+  const vtable* vtbl_ = nullptr;
+  union {
+    alignas(std::max_align_t) std::byte buf_[BufBytes];
+    void* heap_;
+  };
+};
+
+}  // namespace aspen

@@ -1,0 +1,108 @@
+// aspen::promise<T...> — the producer side of an asynchronous result.
+//
+// A promise is essentially a dependency counter plus (for non-empty T...)
+// result storage. It is the efficient way to track the completion of many
+// operations: registering an operation increments the counter, completing
+// it decrements, and the associated future becomes ready when the counter
+// reaches zero after finalize(). Compare the future-conjoining idiom, which
+// builds a heap-allocated dependency graph (see when_all.hpp and Fig. 1 of
+// the paper).
+//
+// Counter protocol (documented here because UPC++ releases differ subtly):
+//   - construction sets the counter to 1 (the registration token);
+//   - require_anonymous(n) adds n;
+//   - fulfill_anonymous(n) subtracts n;
+//   - fulfill_result(v...) stores the values (counter unchanged);
+//   - finalize() subtracts the registration token (exactly once) and
+//     returns the future.
+// So `p.fulfill_result(v); p.finalize()` readies a fresh promise, and each
+// completion-object registration performs a matching require at injection
+// and fulfill at completion, leaving only finalize()/wait() to user code.
+// Under eager completion of a synchronously-completed operation with a
+// *value-less* promise, both the require and the fulfill are elided
+// entirely (paper §III-A).
+#pragma once
+
+#include <cstdint>
+
+#include "core/future.hpp"
+
+namespace aspen {
+
+template <typename... T>
+class promise {
+ public:
+  promise() : c_(new detail::cell<T...>()) { c_->deps = 1; }
+
+  promise(const promise& o) noexcept : c_(o.c_) { c_->add_ref(); }
+  promise(promise&& o) noexcept : c_(o.c_) { o.c_ = nullptr; }
+  promise& operator=(const promise& o) noexcept {
+    if (this != &o) {
+      o.c_->add_ref();
+      if (c_ != nullptr) c_->drop_ref();
+      c_ = o.c_;
+    }
+    return *this;
+  }
+  promise& operator=(promise&& o) noexcept {
+    if (this != &o) {
+      if (c_ != nullptr) c_->drop_ref();
+      c_ = o.c_;
+      o.c_ = nullptr;
+    }
+    return *this;
+  }
+  ~promise() {
+    if (c_ != nullptr) c_->drop_ref();
+  }
+
+  /// Register `n` additional anonymous dependencies. Must not be called
+  /// after the promise has been readied.
+  void require_anonymous(std::intptr_t n) {
+    assert(c_ != nullptr && !c_->ready());
+    c_->deps += n;
+  }
+
+  /// Fulfill `n` anonymous dependencies.
+  void fulfill_anonymous(std::intptr_t n = 1) {
+    assert(c_ != nullptr);
+    c_->satisfy(n);
+  }
+
+  /// Store the result values. Does not change the dependency counter; the
+  /// future still readies only when all dependencies (including the
+  /// finalize token) are fulfilled.
+  template <typename... U>
+  void fulfill_result(U&&... v) {
+    assert(c_ != nullptr);
+    c_->set_value(std::forward<U>(v)...);
+  }
+
+  /// Consume the registration token created at construction; no further
+  /// require_anonymous calls are permitted. Returns the associated future,
+  /// which readies once all registered dependencies are fulfilled.
+  future<T...> finalize() {
+    assert(c_ != nullptr && !c_->finalized && "finalize() called twice");
+    c_->finalized = true;
+    c_->satisfy(1);
+    return future<T...>(c_, /*add_ref=*/true);
+  }
+
+  /// The associated future (may be obtained before finalize).
+  [[nodiscard]] future<T...> get_future() const {
+    assert(c_ != nullptr);
+    return future<T...>(c_, /*add_ref=*/true);
+  }
+
+  [[nodiscard]] bool finalized() const noexcept {
+    return c_ != nullptr && c_->finalized;
+  }
+
+  // --- internal (used by the completions engine) ---
+  [[nodiscard]] detail::cell<T...>* raw_cell() const noexcept { return c_; }
+
+ private:
+  detail::cell<T...>* c_;
+};
+
+}  // namespace aspen

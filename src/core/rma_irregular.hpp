@@ -1,0 +1,246 @@
+// Irregular RMA — fragment-list transfers (the general member of the
+// UPC++/GASNet "VIS" family).
+//
+// An irregular transfer moves data between an arbitrary list of local
+// fragments and an arbitrary list of remote fragments (all on one target
+// rank); the two sides may be fragmented differently as long as the total
+// element counts match. Remote transfers pack everything into one active
+// message: one round trip regardless of fragment count.
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "core/rma.hpp"
+
+namespace aspen {
+
+/// One local fragment: pointer + element count.
+template <typename T>
+using local_frag = std::pair<T*, std::size_t>;
+/// One remote fragment: global pointer + element count.
+template <typename T>
+using global_frag = std::pair<global_ptr<T>, std::size_t>;
+
+namespace detail {
+
+template <typename T>
+[[nodiscard]] std::size_t frag_total(
+    std::span<const local_frag<T>> frags) noexcept {
+  std::size_t n = 0;
+  for (const auto& f : frags) n += f.second;
+  return n;
+}
+template <typename T>
+[[nodiscard]] std::size_t frag_total(
+    std::span<const global_frag<T>> frags) noexcept {
+  std::size_t n = 0;
+  for (const auto& f : frags) n += f.second;
+  return n;
+}
+
+/// Request: [u64 reply_h][u64 rec][u64 nfrags]{[u64 addr][u64 bytes]}...
+///          [packed data] — scatter into the fragments, acknowledge.
+inline void rma_put_irregular_request_handler(gex::runtime&, int /*me*/,
+                                              int src, std::byte* p,
+                                              std::size_t len) {
+  ser_reader r(p, len);
+  auto reply_h = reinterpret_cast<gex::am_handler>(r.read<std::uint64_t>());
+  const auto rec = r.read<std::uint64_t>();
+  const auto nfrags = r.read<std::uint64_t>();
+  // Fragment table precedes the data; read (addr, bytes) pairs first.
+  std::vector<std::pair<std::byte*, std::uint64_t>> table(nfrags);
+  for (auto& [addr, bytes] : table) {
+    addr = reinterpret_cast<std::byte*>(r.read<std::uint64_t>());
+    bytes = r.read<std::uint64_t>();
+  }
+  for (auto& [addr, bytes] : table) r.read_bytes(addr, bytes);
+  send_rma_reply(ctx(), src, reply_h, rec, 0, nullptr, 0);
+}
+
+/// Reply for an irregular get: [rec][nfrags]{[addr][bytes]}...[data].
+inline void rma_get_irregular_reply_handler(gex::runtime&, int, int,
+                                            std::byte* p, std::size_t len) {
+  ser_reader r(p, len);
+  auto* rec = reinterpret_cast<op_record<>*>(r.read<std::uint64_t>());
+  const auto nfrags = r.read<std::uint64_t>();
+  std::vector<std::pair<std::byte*, std::uint64_t>> table(nfrags);
+  for (auto& [addr, bytes] : table) {
+    addr = reinterpret_cast<std::byte*>(r.read<std::uint64_t>());
+    bytes = r.read<std::uint64_t>();
+  }
+  for (auto& [addr, bytes] : table) r.read_bytes(addr, bytes);
+  rec->fulfill();
+}
+
+/// Request: [u64 reply_h][u64 rec][u64 n_src]{[addr][bytes]}...
+///          [u64 n_dest]{[addr][bytes]}... — gather the source fragments,
+/// ship them back labeled with the destination fragment table.
+inline void rma_get_irregular_request_handler(gex::runtime&, int /*me*/,
+                                              int src, std::byte* p,
+                                              std::size_t len) {
+  ser_reader r(p, len);
+  auto reply_h = reinterpret_cast<gex::am_handler>(r.read<std::uint64_t>());
+  const auto rec = r.read<std::uint64_t>();
+  const auto n_src = r.read<std::uint64_t>();
+  std::vector<std::pair<const std::byte*, std::uint64_t>> stable(n_src);
+  std::size_t total = 0;
+  for (auto& [addr, bytes] : stable) {
+    addr = reinterpret_cast<const std::byte*>(r.read<std::uint64_t>());
+    bytes = r.read<std::uint64_t>();
+    total += bytes;
+  }
+  const auto n_dest = r.read<std::uint64_t>();
+  ser_writer w(2 * sizeof(std::uint64_t) +
+               n_dest * 2 * sizeof(std::uint64_t) + total);
+  w.write(rec);
+  w.write(n_dest);
+  for (std::uint64_t i = 0; i < n_dest; ++i) {
+    w.write(r.read<std::uint64_t>());  // dest addr
+    w.write(r.read<std::uint64_t>());  // dest bytes
+  }
+  for (const auto& [addr, bytes] : stable) w.write_bytes(addr, bytes);
+  rank_context& c = ctx();
+  c.rt->send_am(src, gex::am_message(reply_h, c.rank, w.data(), w.size()));
+}
+
+template <typename T>
+[[nodiscard]] int irregular_target_rank(
+    std::span<const global_frag<T>> frags) {
+  assert(!frags.empty());
+  const int target = frags.front().first.where();
+  for (const auto& f : frags) {
+    assert(f.first.where() == target &&
+           "irregular RMA: all remote fragments must live on one rank");
+    (void)f;
+  }
+  return target;
+}
+
+}  // namespace detail
+
+/// Scatter local fragments into remote fragments (all on one target rank).
+/// Total element counts must match.
+template <rma_type T,
+          typename Cxs = detail::completions<
+              detail::future_cx<detail::event_operation_t>>>
+auto rput_irregular(std::span<const local_frag<const T>> src,
+                    std::span<const global_frag<T>> dest,
+                    Cxs cxs = operation_cx::as_future())
+    -> detail::cx_return_t<Cxs> {
+  assert(detail::frag_total(src) == detail::frag_total(dest) &&
+         "irregular RMA: element totals must match");
+  detail::rank_context& c = detail::ctx();
+  const int target = detail::irregular_target_rank(dest);
+  detail::no_remote_cx rs;
+
+  if (detail::rma_target_local(c, target)) {
+    detail::legacy_extra_alloc_if_configured(c);
+    // Stream source fragments into destination fragments.
+    auto si = src.begin();
+    const T* sp = si != src.end() ? si->first : nullptr;
+    std::size_t sleft = si != src.end() ? si->second : 0;
+    for (const auto& [gp, dcount] : dest) {
+      T* dp = gp.raw();
+      std::size_t dleft = dcount;
+      while (dleft > 0) {
+        while (sleft == 0) {
+          ++si;
+          sp = si->first;
+          sleft = si->second;
+        }
+        const std::size_t chunk = std::min(sleft, dleft);
+        std::memcpy(dp, sp, chunk * sizeof(T));
+        dp += chunk;
+        sp += chunk;
+        dleft -= chunk;
+        sleft -= chunk;
+      }
+    }
+    std::atomic_thread_fence(std::memory_order_release);
+    return detail::collapse_futs(
+        detail::process_sync_tuple<>(std::move(cxs), rs));
+  }
+
+  detail::op_record<>* rec = nullptr;
+  auto futs = detail::process_async_tuple<>(std::move(cxs), rs, rec);
+  std::size_t total_bytes = detail::frag_total(src) * sizeof(T);
+  ser_writer w((3 + 2 * dest.size()) * sizeof(std::uint64_t) + total_bytes);
+  w.write(reinterpret_cast<std::uint64_t>(&detail::rma_put_reply_handler));
+  w.write(reinterpret_cast<std::uint64_t>(rec));
+  w.write(static_cast<std::uint64_t>(dest.size()));
+  for (const auto& [gp, count] : dest) {
+    w.write(reinterpret_cast<std::uint64_t>(gp.raw()));
+    w.write(static_cast<std::uint64_t>(count * sizeof(T)));
+  }
+  for (const auto& [p, count] : src) w.write_bytes(p, count * sizeof(T));
+  c.rt->send_am(target,
+                gex::am_message(&detail::rma_put_irregular_request_handler,
+                                c.rank, w.data(), w.size()));
+  return detail::collapse_futs(std::move(futs));
+}
+
+/// Gather remote fragments (all on one rank) into local fragments.
+template <rma_type T,
+          typename Cxs = detail::completions<
+              detail::future_cx<detail::event_operation_t>>>
+auto rget_irregular(std::span<const global_frag<T>> src,
+                    std::span<const local_frag<T>> dest,
+                    Cxs cxs = operation_cx::as_future())
+    -> detail::cx_return_t<Cxs> {
+  assert(detail::frag_total(src) == detail::frag_total(dest) &&
+         "irregular RMA: element totals must match");
+  detail::rank_context& c = detail::ctx();
+  const int target = detail::irregular_target_rank(src);
+  detail::no_remote_cx rs;
+
+  if (detail::rma_target_local(c, target)) {
+    detail::legacy_extra_alloc_if_configured(c);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    auto si = src.begin();
+    const T* sp = si != src.end() ? si->first.raw() : nullptr;
+    std::size_t sleft = si != src.end() ? si->second : 0;
+    for (const auto& [dp_, dcount] : dest) {
+      T* dp = dp_;
+      std::size_t dleft = dcount;
+      while (dleft > 0) {
+        while (sleft == 0) {
+          ++si;
+          sp = si->first.raw();
+          sleft = si->second;
+        }
+        const std::size_t chunk = std::min(sleft, dleft);
+        std::memcpy(dp, sp, chunk * sizeof(T));
+        dp += chunk;
+        sp += chunk;
+        dleft -= chunk;
+        sleft -= chunk;
+      }
+    }
+    return detail::collapse_futs(
+        detail::process_sync_tuple<>(std::move(cxs), rs));
+  }
+
+  detail::op_record<>* rec = nullptr;
+  auto futs = detail::process_async_tuple<>(std::move(cxs), rs, rec);
+  ser_writer w((4 + 2 * (src.size() + dest.size())) * sizeof(std::uint64_t));
+  w.write(reinterpret_cast<std::uint64_t>(
+      &detail::rma_get_irregular_reply_handler));
+  w.write(reinterpret_cast<std::uint64_t>(rec));
+  w.write(static_cast<std::uint64_t>(src.size()));
+  for (const auto& [gp, count] : src) {
+    w.write(reinterpret_cast<std::uint64_t>(gp.raw()));
+    w.write(static_cast<std::uint64_t>(count * sizeof(T)));
+  }
+  w.write(static_cast<std::uint64_t>(dest.size()));
+  for (const auto& [p, count] : dest) {
+    w.write(reinterpret_cast<std::uint64_t>(p));
+    w.write(static_cast<std::uint64_t>(count * sizeof(T)));
+  }
+  c.rt->send_am(target,
+                gex::am_message(&detail::rma_get_irregular_request_handler,
+                                c.rank, w.data(), w.size()));
+  return detail::collapse_futs(std::move(futs));
+}
+
+}  // namespace aspen

@@ -1,0 +1,180 @@
+// Strided RMA — regular-section transfers (the UPC++/GASNet "VIS" family).
+//
+// A strided transfer moves `nblocks` blocks of `block_elems` contiguous
+// elements, with independent element strides on the source and destination
+// sides — enough to move matrix rows/columns/tiles in one operation. Local
+// transfers are synchronous loops (eager completion applies); remote ones
+// pack the section into a single active message and scatter on arrival, so
+// a strided op costs one round trip regardless of block count.
+#pragma once
+
+#include "core/rma.hpp"
+
+namespace aspen {
+
+namespace detail {
+
+/// Gather a strided section into a contiguous buffer.
+template <typename T>
+void pack_strided(const T* src, std::ptrdiff_t src_stride,
+                  std::size_t block_elems, std::size_t nblocks, T* out) {
+  for (std::size_t b = 0; b < nblocks; ++b)
+    std::memcpy(out + b * block_elems,
+                src + static_cast<std::ptrdiff_t>(b) * src_stride,
+                block_elems * sizeof(T));
+}
+
+/// Scatter a contiguous buffer into a strided section.
+template <typename T>
+void unpack_strided(const T* in, T* dest, std::ptrdiff_t dest_stride,
+                    std::size_t block_elems, std::size_t nblocks) {
+  for (std::size_t b = 0; b < nblocks; ++b)
+    std::memcpy(dest + static_cast<std::ptrdiff_t>(b) * dest_stride,
+                in + b * block_elems, block_elems * sizeof(T));
+}
+
+/// Request: [u64 reply_h][u64 rec][u64 dest][i64 dest_stride_bytes]
+///          [u64 block_bytes][u64 nblocks][packed data]
+inline void rma_put_strided_request_handler(gex::runtime&, int /*me*/,
+                                            int src, std::byte* p,
+                                            std::size_t len) {
+  ser_reader r(p, len);
+  auto reply_h = reinterpret_cast<gex::am_handler>(r.read<std::uint64_t>());
+  const auto rec = r.read<std::uint64_t>();
+  auto* dest = reinterpret_cast<std::byte*>(r.read<std::uint64_t>());
+  const auto stride = r.read<std::int64_t>();
+  const auto block = r.read<std::uint64_t>();
+  const auto nblocks = r.read<std::uint64_t>();
+  for (std::uint64_t b = 0; b < nblocks; ++b)
+    r.read_bytes(dest + static_cast<std::ptrdiff_t>(b) * stride, block);
+  send_rma_reply(ctx(), src, reply_h, rec, 0, nullptr, 0);
+}
+
+/// Request: [u64 reply_h][u64 rec][u64 src][i64 src_stride_bytes]
+///          [u64 block_bytes][u64 nblocks][u64 dest][i64 dest_stride_bytes]
+/// Reply:   [rec][dest][i64 dest_stride][u64 block][packed data] via the
+/// strided get reply handler below.
+inline void rma_get_strided_reply_handler(gex::runtime&, int, int,
+                                          std::byte* p, std::size_t len) {
+  ser_reader r(p, len);
+  auto* rec = reinterpret_cast<op_record<>*>(r.read<std::uint64_t>());
+  auto* dest = reinterpret_cast<std::byte*>(r.read<std::uint64_t>());
+  const auto stride = r.read<std::int64_t>();
+  const auto block = r.read<std::uint64_t>();
+  const auto nblocks = r.read<std::uint64_t>();
+  for (std::uint64_t b = 0; b < nblocks; ++b)
+    r.read_bytes(dest + static_cast<std::ptrdiff_t>(b) * stride, block);
+  rec->fulfill();
+}
+
+inline void rma_get_strided_request_handler(gex::runtime&, int /*me*/,
+                                            int src, std::byte* p,
+                                            std::size_t len) {
+  ser_reader r(p, len);
+  auto reply_h = reinterpret_cast<gex::am_handler>(r.read<std::uint64_t>());
+  const auto rec = r.read<std::uint64_t>();
+  const auto* sbase = reinterpret_cast<const std::byte*>(r.read<std::uint64_t>());
+  const auto sstride = r.read<std::int64_t>();
+  const auto block = r.read<std::uint64_t>();
+  const auto nblocks = r.read<std::uint64_t>();
+  const auto dest = r.read<std::uint64_t>();
+  const auto dstride = r.read<std::int64_t>();
+
+  ser_writer w(5 * sizeof(std::uint64_t) + block * nblocks);
+  w.write(rec);
+  w.write(dest);
+  w.write(dstride);
+  w.write(block);
+  w.write(nblocks);
+  for (std::uint64_t b = 0; b < nblocks; ++b)
+    w.write_bytes(sbase + static_cast<std::ptrdiff_t>(b) * sstride, block);
+  rank_context& c = ctx();
+  c.rt->send_am(src, gex::am_message(reply_h, c.rank, w.data(), w.size()));
+}
+
+}  // namespace detail
+
+/// Put a strided section: nblocks blocks of block_elems elements, read from
+/// `src` advancing src_stride elements per block, written at `dest`
+/// advancing dest_stride elements per block.
+template <rma_type T,
+          typename Cxs = detail::completions<
+              detail::future_cx<detail::event_operation_t>>>
+auto rput_strided(const T* src, std::ptrdiff_t src_stride,
+                  global_ptr<T> dest, std::ptrdiff_t dest_stride,
+                  std::size_t block_elems, std::size_t nblocks,
+                  Cxs cxs = operation_cx::as_future())
+    -> detail::cx_return_t<Cxs> {
+  detail::rank_context& c = detail::ctx();
+  detail::no_remote_cx rs;
+  if (detail::rma_target_local(c, dest.where())) {
+    detail::legacy_extra_alloc_if_configured(c);
+    for (std::size_t b = 0; b < nblocks; ++b)
+      std::memcpy(dest.raw() + static_cast<std::ptrdiff_t>(b) * dest_stride,
+                  src + static_cast<std::ptrdiff_t>(b) * src_stride,
+                  block_elems * sizeof(T));
+    std::atomic_thread_fence(std::memory_order_release);
+    return detail::collapse_futs(
+        detail::process_sync_tuple<>(std::move(cxs), rs));
+  }
+  detail::op_record<>* rec = nullptr;
+  auto futs = detail::process_async_tuple<>(std::move(cxs), rs, rec);
+  const std::size_t block_bytes = block_elems * sizeof(T);
+  ser_writer w(6 * sizeof(std::uint64_t) + block_bytes * nblocks);
+  w.write(reinterpret_cast<std::uint64_t>(&detail::rma_put_reply_handler));
+  w.write(reinterpret_cast<std::uint64_t>(rec));
+  w.write(reinterpret_cast<std::uint64_t>(dest.raw()));
+  w.write(static_cast<std::int64_t>(dest_stride *
+                                    static_cast<std::ptrdiff_t>(sizeof(T))));
+  w.write(static_cast<std::uint64_t>(block_bytes));
+  w.write(static_cast<std::uint64_t>(nblocks));
+  for (std::size_t b = 0; b < nblocks; ++b)
+    w.write_bytes(src + static_cast<std::ptrdiff_t>(b) * src_stride,
+                  block_bytes);
+  c.rt->send_am(dest.where(),
+                gex::am_message(&detail::rma_put_strided_request_handler,
+                                c.rank, w.data(), w.size()));
+  return detail::collapse_futs(std::move(futs));
+}
+
+/// Get a strided section from `src` into the local buffer `dest`.
+template <rma_type T,
+          typename Cxs = detail::completions<
+              detail::future_cx<detail::event_operation_t>>>
+auto rget_strided(global_ptr<T> src, std::ptrdiff_t src_stride, T* dest,
+                  std::ptrdiff_t dest_stride, std::size_t block_elems,
+                  std::size_t nblocks, Cxs cxs = operation_cx::as_future())
+    -> detail::cx_return_t<Cxs> {
+  detail::rank_context& c = detail::ctx();
+  detail::no_remote_cx rs;
+  if (detail::rma_target_local(c, src.where())) {
+    detail::legacy_extra_alloc_if_configured(c);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    for (std::size_t b = 0; b < nblocks; ++b)
+      std::memcpy(dest + static_cast<std::ptrdiff_t>(b) * dest_stride,
+                  src.raw() + static_cast<std::ptrdiff_t>(b) * src_stride,
+                  block_elems * sizeof(T));
+    return detail::collapse_futs(
+        detail::process_sync_tuple<>(std::move(cxs), rs));
+  }
+  detail::op_record<>* rec = nullptr;
+  auto futs = detail::process_async_tuple<>(std::move(cxs), rs, rec);
+  ser_writer w(8 * sizeof(std::uint64_t));
+  w.write(reinterpret_cast<std::uint64_t>(
+      &detail::rma_get_strided_reply_handler));
+  w.write(reinterpret_cast<std::uint64_t>(rec));
+  w.write(reinterpret_cast<std::uint64_t>(src.raw()));
+  w.write(static_cast<std::int64_t>(src_stride *
+                                    static_cast<std::ptrdiff_t>(sizeof(T))));
+  w.write(static_cast<std::uint64_t>(block_elems * sizeof(T)));
+  w.write(static_cast<std::uint64_t>(nblocks));
+  w.write(reinterpret_cast<std::uint64_t>(dest));
+  w.write(static_cast<std::int64_t>(dest_stride *
+                                    static_cast<std::ptrdiff_t>(sizeof(T))));
+  c.rt->send_am(src.where(),
+                gex::am_message(&detail::rma_get_strided_request_handler,
+                                c.rank, w.data(), w.size()));
+  return detail::collapse_futs(std::move(futs));
+}
+
+}  // namespace aspen

@@ -1,0 +1,88 @@
+#include "core/runtime.hpp"
+
+#include <barrier>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+namespace aspen {
+
+namespace detail {
+
+rank_context*& tls_context() noexcept {
+  static thread_local rank_context* c = nullptr;
+  return c;
+}
+
+}  // namespace detail
+
+namespace detail {
+void wait_yield() noexcept { std::this_thread::yield(); }
+}  // namespace detail
+
+std::size_t progress() {
+  detail::rank_context& c = detail::ctx();
+  std::size_t n = c.rt->poll(c.rank);
+  c.in_progress = true;
+  n += c.pq.fire();
+  c.in_progress = false;
+  return n;
+}
+
+void spmd(int nranks, gex::config gcfg, version_config ver,
+          const std::function<void()>& fn) {
+  if (nranks < 1) throw std::invalid_argument("spmd: nranks must be >= 1");
+  if (detail::have_ctx())
+    throw std::logic_error("spmd: nested SPMD runs are not supported");
+
+  world w(nranks, gcfg, ver);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::barrier sync(nranks);
+  std::atomic<int> done{0};
+
+  auto body = [&](int rank) {
+    detail::rank_context rc;
+    rc.rt = &w.rt();
+    rc.w = &w;
+    rc.rank = rank;
+    rc.ver = ver;
+    detail::tls_context() = &rc;
+    sync.arrive_and_wait();  // all contexts live before user code runs
+    try {
+      fn();
+    } catch (...) {
+      errors[static_cast<std::size_t>(rank)] = std::current_exception();
+    }
+    // Keep servicing AMs until every rank is done with user code, so a rank
+    // still blocked in an RPC round trip or collective can be answered even
+    // by ranks that returned early.
+    done.fetch_add(1, std::memory_order_acq_rel);
+    while (done.load(std::memory_order_acquire) < nranks) {
+      if (w.rt().poll(rank) + rc.pq.fire() == 0) std::this_thread::yield();
+    }
+    sync.arrive_and_wait();
+    w.rt().poll(rank);  // final drain
+    rc.pq.fire();
+    detail::tls_context() = nullptr;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks) - 1);
+  for (int r = 1; r < nranks; ++r) threads.emplace_back(body, r);
+  body(0);
+  for (auto& t : threads) t.join();
+
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+void spmd(int nranks, gex::config gcfg, const std::function<void()>& fn) {
+  spmd(nranks, gcfg, version_config::current_default(), fn);
+}
+
+void spmd(int nranks, const std::function<void()>& fn) {
+  spmd(nranks, gex::config{}, version_config::current_default(), fn);
+}
+
+}  // namespace aspen

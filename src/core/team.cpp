@@ -1,0 +1,156 @@
+#include "core/team.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+
+namespace aspen {
+
+namespace detail {
+
+namespace {
+
+// (world, parent team uid, collective id, color)
+using registry_key =
+    std::tuple<const void*, std::uint64_t, std::uint64_t, int>;
+
+std::mutex& registry_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<registry_key, std::weak_ptr<team_shared>>& registry() {
+  static std::map<registry_key, std::weak_ptr<team_shared>> reg;
+  return reg;
+}
+
+constexpr std::uint64_t kWorldTeamId = ~std::uint64_t{0};
+
+std::shared_ptr<team_shared> get_or_create_keyed(
+    const registry_key& key, const std::vector<int>& members) {
+  std::lock_guard<std::mutex> g(registry_mutex());
+  auto& reg = registry();
+  // Purge expired entries opportunistically (setup path only).
+  for (auto it = reg.begin(); it != reg.end();) {
+    if (it->second.expired())
+      it = reg.erase(it);
+    else
+      ++it;
+  }
+  auto it = reg.find(key);
+  if (it != reg.end()) {
+    if (auto sp = it->second.lock()) {
+      assert(sp->members == members && "team id collision");
+      return sp;
+    }
+  }
+  auto sp = std::make_shared<team_shared>(members);
+  static std::uint64_t next_uid = 1;
+  sp->uid = next_uid++;  // under registry_mutex
+  reg[key] = sp;
+  return sp;
+}
+
+}  // namespace
+
+std::shared_ptr<team_shared> team_registry_get_or_create(
+    std::uint64_t id, const std::vector<int>& members) {
+  return get_or_create_keyed({ctx().w, 0, id, 0}, members);
+}
+
+void team_rendezvous(team_shared& ts) {
+  const int n = static_cast<int>(ts.members.size());
+  const std::uint64_t my_phase = ts.phase.load(std::memory_order_relaxed);
+  if (ts.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+    ts.arrived.store(0, std::memory_order_relaxed);
+    ts.phase.fetch_add(1, std::memory_order_release);
+  } else {
+    for (std::size_t idle = 0;
+         ts.phase.load(std::memory_order_acquire) == my_phase;) {
+      if (aspen::progress() == 0) {
+        if (++idle >= 64) wait_yield();
+      } else {
+        idle = 0;
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+team team::world() {
+  detail::rank_context& c = detail::ctx();
+  std::vector<int> members(static_cast<std::size_t>(c.rt->nranks()));
+  for (int r = 0; r < c.rt->nranks(); ++r)
+    members[static_cast<std::size_t>(r)] = r;
+  auto shared = detail::get_or_create_keyed(
+      {c.w, 0, detail::kWorldTeamId, 0}, members);
+  return team(std::move(shared), c.rank);
+}
+
+team team::split(int color, int key) const {
+  if (color < 0) throw std::invalid_argument("team::split: color must be >= 0");
+  detail::rank_context& c = detail::ctx();
+  const std::uint64_t id = c.next_collective_id++;
+
+  // Exchange (color, key) among the members of *this* team via its own
+  // contribution slots. Two-phase: everyone publishes, everyone reads.
+  struct entry {
+    int color;
+    int key;
+  };
+  static_assert(sizeof(entry) <= detail::coll_state::kSlotBytes);
+  entry mine{color, key};
+  std::memcpy(shared_->contrib[static_cast<std::size_t>(my_rank_)].data,
+              &mine, sizeof(entry));
+  detail::team_rendezvous(*shared_);
+
+  std::vector<std::pair<entry, int>> all;  // (entry, world rank)
+  all.reserve(shared_->members.size());
+  for (std::size_t r = 0; r < shared_->members.size(); ++r) {
+    entry e{};
+    std::memcpy(&e, shared_->contrib[r].data, sizeof(entry));
+    all.emplace_back(e, shared_->members[r]);
+  }
+  detail::team_rendezvous(*shared_);
+
+  std::vector<int> members;
+  for (const auto& [e, wr] : all)
+    if (e.color == color) members.push_back(wr);
+  std::stable_sort(members.begin(), members.end(), [&](int a, int b) {
+    auto key_of = [&](int w) {
+      for (const auto& [e, wr] : all)
+        if (wr == w) return e.key;
+      return 0;
+    };
+    return key_of(a) < key_of(b);
+  });
+
+  auto shared =
+      detail::get_or_create_keyed({c.w, shared_->uid, id, color}, members);
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i)
+    if (members[i] == c.rank) my_new_rank = static_cast<int>(i);
+  assert(my_new_rank >= 0);
+
+  team result(std::move(shared), my_new_rank);
+  // Hold the parent rendezvous until every member has attached, so no
+  // member can observe (and expire) a half-constructed registry entry.
+  detail::team_rendezvous(*shared_);
+  return result;
+}
+
+team local_team() {
+  detail::rank_context& c = detail::ctx();
+  // Color = pseudo-node index under the active locality model.
+  const auto& cfg = c.rt->cfg();
+  int color = 0;
+  if (cfg.transport != gex::conduit::smp && cfg.locality.node_size != 0)
+    color = static_cast<int>(static_cast<std::size_t>(c.rank) /
+                             cfg.locality.node_size);
+  return team::world().split(color, c.rank);
+}
+
+}  // namespace aspen

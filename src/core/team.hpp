@@ -1,0 +1,134 @@
+// Teams — subsets of ranks with their own rank numbering and collectives.
+//
+// A team is created collectively (by splitting an existing team, as in
+// upcxx::team::split / MPI_Comm_split) and provides barrier / broadcast /
+// allreduce restricted to its members. The world team always exists.
+//
+// Implementation: each team's shared coordination state (arrival counters,
+// contribution slots) lives in a process-wide registry keyed by a
+// collectively-agreed team id; the first member to arrive materializes the
+// state, the others attach. Team handles are rank-local values.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/collectives.hpp"
+#include "core/runtime.hpp"
+
+namespace aspen {
+
+namespace detail {
+
+/// Shared coordination state of one team (same shape as the world's
+/// coll_state, sized to the team).
+struct team_shared {
+  /// Process-unique identity, used to scope child-team registry keys to
+  /// their parent (sibling teams split concurrently share collective ids).
+  std::uint64_t uid = 0;
+  std::atomic<int> arrived{0};
+  std::atomic<std::uint64_t> phase{0};
+  std::vector<coll_state::slot> contrib;
+  std::vector<std::byte> bulk_buf;
+  std::vector<int> members;  // world ranks in team-rank order
+
+  explicit team_shared(std::vector<int> m)
+      : contrib(m.size()), members(std::move(m)) {}
+};
+
+/// Process-wide team registry (per world). Access is mutex-guarded; team
+/// creation is a setup-path operation, never on the critical path.
+[[nodiscard]] std::shared_ptr<team_shared> team_registry_get_or_create(
+    std::uint64_t id, const std::vector<int>& members);
+
+/// Rendezvous on a team's own phase counter, servicing progress.
+void team_rendezvous(team_shared& ts);
+
+}  // namespace detail
+
+class team {
+ public:
+  /// The team containing every rank (cheap to construct; no registry use).
+  [[nodiscard]] static team world();
+
+  /// Collectively split this team: members with the same `color` form a new
+  /// team, ordered by (key, world rank). Every member of *this* team must
+  /// call split with some color. Color must be >= 0.
+  [[nodiscard]] team split(int color, int key) const;
+
+  [[nodiscard]] int rank_me() const noexcept { return my_rank_; }
+  [[nodiscard]] int rank_n() const noexcept {
+    return static_cast<int>(shared_->members.size());
+  }
+
+  /// Translate a team rank to the world rank.
+  [[nodiscard]] int to_world(int team_rank) const noexcept {
+    return shared_->members[static_cast<std::size_t>(team_rank)];
+  }
+  /// Translate a world rank to this team's numbering (-1 if not a member).
+  [[nodiscard]] int from_world(int world_rank) const noexcept {
+    for (std::size_t i = 0; i < shared_->members.size(); ++i)
+      if (shared_->members[i] == world_rank) return static_cast<int>(i);
+    return -1;
+  }
+
+  /// Barrier over this team's members only.
+  void barrier() const { detail::team_rendezvous(*shared_); }
+
+  /// Broadcast a trivially copyable value from team rank `root`.
+  template <typename T>
+  [[nodiscard]] T broadcast(T value, int root) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(sizeof(T) <= detail::coll_state::kSlotBytes);
+    if (my_rank_ == root)
+      std::memcpy(shared_->contrib[static_cast<std::size_t>(root)].data,
+                  &value, sizeof(T));
+    detail::team_rendezvous(*shared_);
+    T out;
+    std::memcpy(&out, shared_->contrib[static_cast<std::size_t>(root)].data,
+                sizeof(T));
+    detail::team_rendezvous(*shared_);
+    return out;
+  }
+
+  /// All-reduce over the team (combined in team-rank order).
+  template <typename T, typename Op>
+  [[nodiscard]] T allreduce(T value, Op op) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(sizeof(T) <= detail::coll_state::kSlotBytes);
+    std::memcpy(shared_->contrib[static_cast<std::size_t>(my_rank_)].data,
+                &value, sizeof(T));
+    detail::team_rendezvous(*shared_);
+    T acc;
+    std::memcpy(&acc, shared_->contrib[0].data, sizeof(T));
+    for (int r = 1; r < rank_n(); ++r) {
+      T x;
+      std::memcpy(&x, shared_->contrib[static_cast<std::size_t>(r)].data,
+                  sizeof(T));
+      acc = op(acc, x);
+    }
+    detail::team_rendezvous(*shared_);
+    return acc;
+  }
+
+  template <typename T>
+  [[nodiscard]] T allreduce_sum(T v) const {
+    return allreduce(v, std::plus<T>{});
+  }
+
+ private:
+  team(std::shared_ptr<detail::team_shared> shared, int my_rank)
+      : shared_(std::move(shared)), my_rank_(my_rank) {}
+
+  std::shared_ptr<detail::team_shared> shared_;
+  int my_rank_ = -1;
+};
+
+/// Split the world by pseudo-node (all co-located ranks), the analogue of
+/// upcxx::local_team(). On the smp conduit this is the whole world.
+[[nodiscard]] team local_team();
+
+}  // namespace aspen

@@ -1,0 +1,80 @@
+#include "core/version.hpp"
+
+#include <sstream>
+
+namespace aspen {
+
+std::string_view to_string(emulated_version v) noexcept {
+  switch (v) {
+    case emulated_version::v2021_3_0:
+      return "2021.3.0";
+    case emulated_version::v2021_3_6_defer:
+      return "2021.3.6 defer";
+    case emulated_version::v2021_3_6_eager:
+      return "2021.3.6 eager";
+  }
+  return "?";
+}
+
+version_config version_config::make(emulated_version v) noexcept {
+  version_config c;
+  switch (v) {
+    case emulated_version::v2021_3_0:
+      c.eager_default = false;
+      c.ready_future_pool = false;
+      c.when_all_opt = false;
+      c.extra_rma_alloc = true;
+      c.dynamic_is_local = true;
+      c.nonfetching_atomics = false;
+      break;
+    case emulated_version::v2021_3_6_defer:
+      c.eager_default = false;
+      c.ready_future_pool = true;
+      c.when_all_opt = true;
+      c.extra_rma_alloc = false;
+      c.dynamic_is_local = false;
+      c.nonfetching_atomics = true;
+      break;
+    case emulated_version::v2021_3_6_eager:
+      c.eager_default = true;
+      c.ready_future_pool = true;
+      c.when_all_opt = true;
+      c.extra_rma_alloc = false;
+      c.dynamic_is_local = false;
+      c.nonfetching_atomics = true;
+      break;
+  }
+  return c;
+}
+
+version_config version_config::current_default() noexcept {
+#ifdef ASPEN_DEFER_COMPLETION
+  return make(emulated_version::v2021_3_6_defer);
+#else
+  return make(emulated_version::v2021_3_6_eager);
+#endif
+}
+
+bool operator==(const version_config& a, const version_config& b) noexcept {
+  return a.eager_default == b.eager_default &&
+         a.ready_future_pool == b.ready_future_pool &&
+         a.when_all_opt == b.when_all_opt &&
+         a.extra_rma_alloc == b.extra_rma_alloc &&
+         a.dynamic_is_local == b.dynamic_is_local &&
+         a.nonfetching_atomics == b.nonfetching_atomics &&
+         a.cell_recycling == b.cell_recycling;
+}
+
+std::string describe(const version_config& v) {
+  std::ostringstream os;
+  os << "{eager_default=" << v.eager_default
+     << " ready_future_pool=" << v.ready_future_pool
+     << " when_all_opt=" << v.when_all_opt
+     << " extra_rma_alloc=" << v.extra_rma_alloc
+     << " dynamic_is_local=" << v.dynamic_is_local
+     << " nonfetching_atomics=" << v.nonfetching_atomics
+     << " cell_recycling=" << v.cell_recycling << "}";
+  return os.str();
+}
+
+}  // namespace aspen

@@ -1,0 +1,86 @@
+// Emulation of the three UPC++ builds the paper compares.
+//
+// The paper evaluates:
+//   - 2021.3.0        : last official release; deferred notifications only,
+//                       plus one extra heap allocation per RMA targeting a
+//                       directly-addressable global pointer, a dynamic
+//                       is_local() check even on the SMP conduit, no pooled
+//                       ready future<>, and no when_all conjoining opt.
+//   - 2021.3.6 defer  : development snapshot with the orthogonal
+//                       optimizations (allocation elimination, constexpr
+//                       is_local on SMP, when_all opt, ready-future pool)
+//                       but still deferring all notifications.
+//   - 2021.3.6 eager  : same snapshot with eager notification by default.
+//
+// ASPEN implements all behaviors in one library and selects between them at
+// runtime via this config, so a single benchmark binary can sweep versions.
+// Every legacy behavior is genuinely performed (a real allocation, a real
+// queue round trip), never a timing shim.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace aspen {
+
+/// Identifiers for the three emulated library versions.
+enum class emulated_version {
+  v2021_3_0,
+  v2021_3_6_defer,
+  v2021_3_6_eager,
+};
+
+/// Returns a human-readable label ("2021.3.0", "2021.3.6 defer", ...).
+[[nodiscard]] std::string_view to_string(emulated_version v) noexcept;
+
+/// Per-flag behavioral configuration. Individual flags may be overridden
+/// after construction for ablation studies.
+struct version_config {
+  /// Do the legacy as_future()/as_promise() factories request eager
+  /// notification? (The paper's UPCXX_DEFER_COMPLETION macro restores
+  /// deferred; compiling ASPEN with -DASPEN_DEFER_COMPLETION flips the
+  /// default produced by version_config::current_default().)
+  bool eager_default = true;
+
+  /// Construct ready value-less futures from a pooled immortal cell instead
+  /// of heap-allocating an internal promise cell (paper §III-B).
+  bool ready_future_pool = true;
+
+  /// Apply the when_all conjoining optimization (paper §III-C).
+  bool when_all_opt = true;
+
+  /// 2021.3.0 behavior: perform one additional heap allocation per RMA
+  /// operation on a directly-addressable global pointer (the allocation the
+  /// 2021.3.6 snapshot eliminated, §IV-A).
+  bool extra_rma_alloc = false;
+
+  /// 2021.3.0 behavior: always perform the dynamic locality check, even on
+  /// the SMP conduit where 2021.3.6 resolves is_local without a branch
+  /// (§IV-B).
+  bool dynamic_is_local = false;
+
+  /// Expose the non-fetching variants of fetching atomics (introduced by
+  /// this work; absent from 2021.3.0, §III-B).
+  bool nonfetching_atomics = true;
+
+  /// ASPEN extension (beyond the paper, in the direction of its stated
+  /// future work): recycle internal promise cells through a per-thread
+  /// freelist instead of malloc/free. Off in all three emulated versions;
+  /// see bench/ablation_cellpool.
+  bool cell_recycling = false;
+
+  [[nodiscard]] static version_config make(emulated_version v) noexcept;
+
+  /// The configuration a fresh SPMD run starts with: 2021.3.6 eager, unless
+  /// the library was compiled with -DASPEN_DEFER_COMPLETION, in which case
+  /// the legacy factories default to deferred (2021.3.6 defer).
+  [[nodiscard]] static version_config current_default() noexcept;
+};
+
+[[nodiscard]] bool operator==(const version_config&,
+                              const version_config&) noexcept;
+
+/// Pretty-print a config (used by benchmark headers).
+[[nodiscard]] std::string describe(const version_config& v);
+
+}  // namespace aspen

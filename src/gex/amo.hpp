@@ -1,0 +1,180 @@
+// Atomic-memory-operation backend.
+//
+// ASPEN routes *all* atomics through this layer — even when the target is
+// directly addressable — mirroring the paper's observation that atomics
+// cannot be manually localized: they must go through the runtime so that a
+// single coherency domain is used (on real hardware, to interoperate with
+// NIC-offloaded atomics). Local application uses std::atomic_ref; remote
+// application happens inside an AM handler on the owner, which is the same
+// function, so the coherency domain is uniform.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+
+namespace aspen::gex {
+
+/// Atomic opcodes. `f`-prefixed ops fetch (return the prior value); their
+/// unprefixed counterparts are the same update without a fetched result
+/// (callers simply ignore the returned value, but the distinction matters
+/// one level up, where it determines whether a value must be carried in the
+/// completion notification).
+enum class amo_op : std::uint8_t {
+  load,
+  store,
+  add,
+  fadd,
+  sub,
+  fsub,
+  inc,
+  finc,
+  dec,
+  fdec,
+  bxor,
+  fxor,
+  band,
+  fand,
+  bor,
+  fbor,
+  swap,   // exchange, fetches by nature
+  cswap,  // compare-and-swap: operand1 = expected, operand2 = desired
+};
+
+/// True if `op` semantically produces a fetched value.
+[[nodiscard]] constexpr bool amo_fetches(amo_op op) noexcept {
+  switch (op) {
+    case amo_op::load:
+    case amo_op::fadd:
+    case amo_op::fsub:
+    case amo_op::finc:
+    case amo_op::fdec:
+    case amo_op::fxor:
+    case amo_op::fand:
+    case amo_op::fbor:
+    case amo_op::swap:
+    case amo_op::cswap:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True if `op` is valid for floating-point domains (bitwise ops are not).
+[[nodiscard]] constexpr bool amo_valid_for_floating(amo_op op) noexcept {
+  switch (op) {
+    case amo_op::bxor:
+    case amo_op::fxor:
+    case amo_op::band:
+    case amo_op::fand:
+    case amo_op::bor:
+    case amo_op::fbor:
+      return false;
+    default:
+      return true;
+  }
+}
+
+namespace detail {
+
+template <typename T>
+concept amo_integral = std::integral<T> && (sizeof(T) == 4 || sizeof(T) == 8);
+
+template <typename T>
+concept amo_floating = std::floating_point<T> &&
+                       (sizeof(T) == 4 || sizeof(T) == 8);
+
+/// Read-modify-write via CAS loop, used for ops std::atomic_ref lacks.
+template <typename T, typename F>
+T rmw_cas(T* target, F&& update) noexcept {
+  std::atomic_ref<T> ref(*target);
+  T old = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(old, update(old),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+  }
+  return old;
+}
+
+}  // namespace detail
+
+template <typename T>
+concept amo_type = detail::amo_integral<T> || detail::amo_floating<T>;
+
+/// Apply `op` to `*target` atomically. Returns the fetched (prior) value;
+/// for non-fetching ops the return value is unspecified-but-harmless (the
+/// prior value where cheap, else T{}).
+///
+/// `op1`/`op2` meaning: store/add/sub/xor/and/or/swap use op1 as operand;
+/// cswap uses op1 = expected, op2 = desired; inc/dec/load ignore both.
+template <amo_type T>
+T apply_amo(T* target, amo_op op, T op1 = T{}, T op2 = T{}) noexcept {
+  std::atomic_ref<T> ref(*target);
+  switch (op) {
+    case amo_op::load:
+      return ref.load(std::memory_order_acquire);
+    case amo_op::store:
+      ref.store(op1, std::memory_order_release);
+      return T{};
+    case amo_op::add:
+    case amo_op::fadd:
+      if constexpr (std::integral<T>) {
+        return ref.fetch_add(op1, std::memory_order_acq_rel);
+      } else {
+        return detail::rmw_cas(target, [op1](T v) { return v + op1; });
+      }
+    case amo_op::sub:
+    case amo_op::fsub:
+      if constexpr (std::integral<T>) {
+        return ref.fetch_sub(op1, std::memory_order_acq_rel);
+      } else {
+        return detail::rmw_cas(target, [op1](T v) { return v - op1; });
+      }
+    case amo_op::inc:
+    case amo_op::finc:
+      if constexpr (std::integral<T>) {
+        return ref.fetch_add(T{1}, std::memory_order_acq_rel);
+      } else {
+        return detail::rmw_cas(target, [](T v) { return v + T{1}; });
+      }
+    case amo_op::dec:
+    case amo_op::fdec:
+      if constexpr (std::integral<T>) {
+        return ref.fetch_sub(T{1}, std::memory_order_acq_rel);
+      } else {
+        return detail::rmw_cas(target, [](T v) { return v - T{1}; });
+      }
+    case amo_op::bxor:
+    case amo_op::fxor:
+      if constexpr (std::integral<T>) {
+        return ref.fetch_xor(op1, std::memory_order_acq_rel);
+      } else {
+        return T{};  // rejected earlier by amo_valid_for_floating
+      }
+    case amo_op::band:
+    case amo_op::fand:
+      if constexpr (std::integral<T>) {
+        return ref.fetch_and(op1, std::memory_order_acq_rel);
+      } else {
+        return T{};
+      }
+    case amo_op::bor:
+    case amo_op::fbor:
+      if constexpr (std::integral<T>) {
+        return ref.fetch_or(op1, std::memory_order_acq_rel);
+      } else {
+        return T{};
+      }
+    case amo_op::swap:
+      return ref.exchange(op1, std::memory_order_acq_rel);
+    case amo_op::cswap: {
+      T expected = op1;
+      ref.compare_exchange_strong(expected, op2, std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+      return expected;  // prior value; equals op1 iff the swap happened
+    }
+  }
+  return T{};
+}
+
+}  // namespace aspen::gex

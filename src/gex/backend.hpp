@@ -1,0 +1,80 @@
+// The substrate runtime: rank table, segments, inboxes, AM delivery, and the
+// locality oracle. One instance exists per SPMD run (see aspen::spmd).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gex/am.hpp"
+#include "gex/config.hpp"
+#include "gex/mpsc_queue.hpp"
+#include "gex/segment.hpp"
+
+namespace aspen::gex {
+
+/// Per-rank substrate state.
+struct rank_state {
+  mpsc_queue<am_message> inbox;
+  /// Scratch buffer reused by poll() to drain the inbox.
+  std::vector<am_message> drain_buf;
+  /// Monotonic counters, readable cross-thread for diagnostics/tests.
+  std::atomic<std::uint64_t> ams_sent{0};
+  std::atomic<std::uint64_t> ams_executed{0};
+};
+
+class runtime {
+ public:
+  runtime(int nranks, config cfg)
+      : cfg_(cfg),
+        arena_(nranks, cfg.segment_bytes),
+        states_(static_cast<std::size_t>(nranks)) {
+    for (auto& s : states_) s = std::make_unique<rank_state>();
+  }
+
+  runtime(const runtime&) = delete;
+  runtime& operator=(const runtime&) = delete;
+
+  [[nodiscard]] int nranks() const noexcept { return arena_.nranks(); }
+  [[nodiscard]] const config& cfg() const noexcept { return cfg_; }
+  [[nodiscard]] segment_arena& arena() noexcept { return arena_; }
+  [[nodiscard]] rank_state& state(int rank) noexcept {
+    return *states_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Do ranks `a` and `b` share direct load/store access? On the smp
+  /// conduit this is unconditionally true; on loopback it consults the
+  /// locality model.
+  [[nodiscard]] bool shares_memory(int a, int b) const noexcept {
+    if (cfg_.transport == conduit::smp) return true;
+    return cfg_.locality.same_node(a, b);
+  }
+
+  /// Enqueue an active message for `target`. Callable from any rank thread.
+  void send_am(int target, am_message msg) {
+    state(target).inbox.push(std::move(msg));
+    state(target).ams_sent.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Drain and execute all pending AMs for rank `me`. Returns the number of
+  /// messages executed. Must be called only by rank `me`'s thread.
+  std::size_t poll(int me) {
+    rank_state& st = state(me);
+    if (!st.inbox.maybe_nonempty()) return 0;
+    st.drain_buf.clear();
+    st.inbox.drain_into(st.drain_buf);
+    const std::size_t n = st.drain_buf.size();
+    for (auto& msg : st.drain_buf) msg.execute(*this, me);
+    st.drain_buf.clear();
+    st.ams_executed.fetch_add(n, std::memory_order_relaxed);
+    return n;
+  }
+
+ private:
+  config cfg_;
+  segment_arena arena_;
+  std::vector<std::unique_ptr<rank_state>> states_;
+};
+
+}  // namespace aspen::gex

@@ -1,0 +1,57 @@
+// ASPEN substrate configuration.
+//
+// The substrate ("gex") plays the role GASNet-EX plays under UPC++: it owns
+// the shared-memory segments, the inter-rank active-message transport, and
+// the raw RMA/atomic primitives. Everything above it (futures, completions,
+// the progress engine) lives in aspen::core.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aspen::gex {
+
+/// Transport "conduit" the substrate emulates. All conduits here communicate
+/// through shared memory (the paper's experiments are single-node with
+/// process-shared memory); the distinction controls metadata behavior:
+///
+///  - smp:      every rank is known local at startup; `is_local` can be
+///              resolved without a dynamic check (the 2021.3.6 constexpr
+///              `is_local` optimization applies).
+///  - loopback: models the UDP/MPI conduits of the paper: ranks may be
+///              declared "remote" via the locality model, in which case
+///              RMA/atomics take the active-message path even though the
+///              memory is physically shared. Used by tests and the off-node
+///              ablation benchmark.
+enum class conduit : std::uint8_t {
+  smp,
+  loopback,
+};
+
+/// Locality model: which rank pairs are treated as sharing a node.
+///
+/// `node_size == 0` (or >= rank count) means all ranks share one node, the
+/// configuration of every timed experiment in the paper. A positive
+/// `node_size` partitions ranks into pseudo-nodes of that size; cross-node
+/// pairs then use the AM path, standing in for off-node communication.
+struct locality_model {
+  std::size_t node_size = 0;
+
+  [[nodiscard]] constexpr bool same_node(int a, int b) const noexcept {
+    if (node_size == 0) return true;
+    return static_cast<std::size_t>(a) / node_size ==
+           static_cast<std::size_t>(b) / node_size;
+  }
+};
+
+/// Substrate-wide tunables, fixed for the duration of one SPMD run.
+struct config {
+  conduit transport = conduit::smp;
+  locality_model locality{};
+  /// Bytes of shared segment reserved per rank.
+  std::size_t segment_bytes = std::size_t{64} << 20;
+  /// Capacity (messages) of each rank's active-message inbox ring.
+  std::size_t am_inbox_capacity = 1 << 14;
+};
+
+}  // namespace aspen::gex

@@ -1,0 +1,74 @@
+// Multi-producer / single-consumer queue used for inter-rank active-message
+// delivery. Producers are other rank threads; the sole consumer is the
+// owning rank's progress engine.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace aspen::gex {
+
+/// A simple two-phase MPSC queue: producers append under a spinlock, the
+/// consumer drains by swapping the whole backlog out under the same lock and
+/// then processing lock-free. Inter-rank messaging is off the critical path
+/// of every timed experiment (all timed communication resolves via
+/// shared-memory bypass), so simplicity and correctness win over a lock-free
+/// design here.
+template <typename T>
+class mpsc_queue {
+ public:
+  mpsc_queue() = default;
+  mpsc_queue(const mpsc_queue&) = delete;
+  mpsc_queue& operator=(const mpsc_queue&) = delete;
+
+  /// Enqueue one item. Callable from any thread.
+  void push(T item) {
+    std::lock_guard<spinlock> g(lock_);
+    backlog_.push_back(std::move(item));
+    approx_size_.store(backlog_.size(), std::memory_order_relaxed);
+  }
+
+  /// True if the queue *might* contain items. A cheap pre-check so the
+  /// consumer's poll loop can skip taking the lock when idle.
+  [[nodiscard]] bool maybe_nonempty() const noexcept {
+    return approx_size_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Move the entire backlog into `out` (appended). Returns number drained.
+  /// Consumer-thread only.
+  std::size_t drain_into(std::vector<T>& out) {
+    if (!maybe_nonempty()) return 0;
+    std::deque<T> grabbed;
+    {
+      std::lock_guard<spinlock> g(lock_);
+      grabbed.swap(backlog_);
+      approx_size_.store(0, std::memory_order_relaxed);
+    }
+    const std::size_t n = grabbed.size();
+    for (auto& item : grabbed) out.push_back(std::move(item));
+    return n;
+  }
+
+ private:
+  struct spinlock {
+    std::atomic_flag flag = ATOMIC_FLAG_INIT;
+    void lock() noexcept {
+      while (flag.test_and_set(std::memory_order_acquire)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+    void unlock() noexcept { flag.clear(std::memory_order_release); }
+  };
+
+  spinlock lock_;
+  std::deque<T> backlog_;
+  std::atomic<std::size_t> approx_size_{0};
+};
+
+}  // namespace aspen::gex

@@ -1,0 +1,299 @@
+// atomic_domain tests: every opcode, every supported type, local and remote
+// paths, concurrency, non-fetching variants, and domain registration rules.
+#include <gtest/gtest.h>
+
+#include "core/aspen.hpp"
+
+using namespace aspen;
+using gex::amo_op;
+
+namespace {
+
+gex::config split_config() {
+  gex::config g;
+  g.transport = gex::conduit::loopback;
+  g.locality.node_size = 1;
+  return g;
+}
+
+template <typename T>
+atomic_domain<T> full_domain() {
+  return atomic_domain<T>({amo_op::load, amo_op::store, amo_op::add,
+                           amo_op::fadd, amo_op::sub, amo_op::fsub,
+                           amo_op::inc, amo_op::finc, amo_op::dec,
+                           amo_op::fdec, amo_op::swap, amo_op::cswap});
+}
+
+template <typename T>
+atomic_domain<T> full_integer_domain() {
+  return atomic_domain<T>(
+      {amo_op::load, amo_op::store, amo_op::add, amo_op::fadd, amo_op::sub,
+       amo_op::fsub, amo_op::inc, amo_op::finc, amo_op::dec, amo_op::fdec,
+       amo_op::bxor, amo_op::fxor, amo_op::band, amo_op::fand, amo_op::bor,
+       amo_op::fbor, amo_op::swap, amo_op::cswap});
+}
+
+// --- typed coverage over all supported element types -------------------------
+
+template <typename T>
+class AtomicTyped : public ::testing::Test {};
+
+using AmoTypes = ::testing::Types<std::int32_t, std::uint32_t, std::int64_t,
+                                  std::uint64_t, float, double>;
+TYPED_TEST_SUITE(AtomicTyped, AmoTypes);
+
+TYPED_TEST(AtomicTyped, ArithmeticOpsLocal) {
+  aspen::spmd(1, [] {
+    using T = TypeParam;
+    auto ad = full_domain<T>();
+    auto gp = new_<T>(T{10});
+    EXPECT_EQ(ad.load(gp).wait(), T{10});
+    EXPECT_EQ(ad.fetch_add(gp, T{5}).wait(), T{10});
+    EXPECT_EQ(ad.load(gp).wait(), T{15});
+    EXPECT_EQ(ad.fetch_sub(gp, T{3}).wait(), T{15});
+    ad.add(gp, T{1}).wait();
+    ad.sub(gp, T{2}).wait();
+    EXPECT_EQ(ad.load(gp).wait(), T{11});
+    EXPECT_EQ(ad.fetch_inc(gp).wait(), T{11});
+    EXPECT_EQ(ad.fetch_dec(gp).wait(), T{12});
+    ad.inc(gp).wait();
+    ad.dec(gp).wait();
+    EXPECT_EQ(ad.load(gp).wait(), T{11});
+    ad.store(gp, T{42}).wait();
+    EXPECT_EQ(ad.exchange(gp, T{7}).wait(), T{42});
+    EXPECT_EQ(ad.load(gp).wait(), T{7});
+    delete_(gp);
+  });
+}
+
+TYPED_TEST(AtomicTyped, CompareExchangeSemantics) {
+  aspen::spmd(1, [] {
+    using T = TypeParam;
+    auto ad = full_domain<T>();
+    auto gp = new_<T>(T{5});
+    // Mismatch: no swap, returns current value.
+    EXPECT_EQ(ad.compare_exchange(gp, T{4}, T{9}).wait(), T{5});
+    EXPECT_EQ(ad.load(gp).wait(), T{5});
+    // Match: swap happens, returns prior (== expected).
+    EXPECT_EQ(ad.compare_exchange(gp, T{5}, T{9}).wait(), T{5});
+    EXPECT_EQ(ad.load(gp).wait(), T{9});
+    delete_(gp);
+  });
+}
+
+TYPED_TEST(AtomicTyped, NonFetchingVariantsDepositToMemory) {
+  aspen::spmd(1, [] {
+    using T = TypeParam;
+    auto ad = full_domain<T>();
+    auto gp = new_<T>(T{20});
+    T out{};
+    ad.fetch_add_into(gp, T{5}, &out).wait();
+    EXPECT_EQ(out, T{20});
+    ad.load_into(gp, &out).wait();
+    EXPECT_EQ(out, T{25});
+    ad.exchange_into(gp, T{1}, &out).wait();
+    EXPECT_EQ(out, T{25});
+    ad.compare_exchange_into(gp, T{1}, T{3}, &out).wait();
+    EXPECT_EQ(out, T{1});
+    EXPECT_EQ(ad.load(gp).wait(), T{3});
+    delete_(gp);
+  });
+}
+
+// --- integer-only bitwise ops -------------------------------------------------
+
+TEST(AtomicBitwise, XorAndOr) {
+  aspen::spmd(1, [] {
+    auto ad = full_integer_domain<std::uint64_t>();
+    auto gp = new_<std::uint64_t>(0b1100);
+    EXPECT_EQ(ad.fetch_xor(gp, 0b1010).wait(), 0b1100u);
+    EXPECT_EQ(ad.load(gp).wait(), 0b0110u);
+    ad.bit_or(gp, 0b1000).wait();
+    EXPECT_EQ(ad.load(gp).wait(), 0b1110u);
+    ad.bit_and(gp, 0b0111).wait();
+    EXPECT_EQ(ad.load(gp).wait(), 0b0110u);
+    EXPECT_EQ(ad.fetch_and(gp, 0b0010).wait(), 0b0110u);
+    EXPECT_EQ(ad.fetch_or(gp, 0b1001).wait(), 0b0010u);
+    std::uint64_t out = 0;
+    ad.fetch_xor_into(gp, 0b1011, &out).wait();
+    EXPECT_EQ(out, 0b1011u);
+    EXPECT_EQ(ad.load(gp).wait(), 0u);
+    delete_(gp);
+  });
+}
+
+TEST(AtomicDomain, FloatingDomainRejectsBitwiseOps) {
+  EXPECT_THROW(atomic_domain<double>({amo_op::bxor}), std::invalid_argument);
+  EXPECT_THROW(atomic_domain<float>({amo_op::fand}), std::invalid_argument);
+}
+
+TEST(AtomicDomain, UnregisteredOpThrows) {
+  aspen::spmd(1, [] {
+    atomic_domain<std::uint64_t> ad({amo_op::load});
+    auto gp = new_<std::uint64_t>(0);
+    EXPECT_NO_THROW(ad.load(gp).wait());
+    EXPECT_THROW((void)ad.fetch_add(gp, 1), std::logic_error);
+    EXPECT_THROW(ad.store(gp, 2), std::logic_error);
+    delete_(gp);
+  });
+}
+
+TEST(AtomicDomain, NonFetchingVariantsAbsentIn2021_3_0) {
+  aspen::spmd(1, [] {
+    set_version_config(version_config::make(emulated_version::v2021_3_0));
+    auto ad = full_domain<std::uint64_t>();
+    auto gp = new_<std::uint64_t>(0);
+    std::uint64_t out = 0;
+    // Introduced by this work — absent from the 2021.3.0 release.
+    EXPECT_THROW(ad.fetch_add_into(gp, 1, &out), std::logic_error);
+    set_version_config(version_config::make(emulated_version::v2021_3_6_eager));
+    EXPECT_NO_THROW(ad.fetch_add_into(gp, 1, &out).wait());
+    delete_(gp);
+  });
+}
+
+// --- concurrency: the whole point of atomics ---------------------------------
+
+TEST(AtomicConcurrency, FetchAddFromAllRanksIsExact) {
+  aspen::spmd(8, [] {
+    constexpr int kPer = 500;
+    global_ptr<std::uint64_t> gp;
+    if (rank_me() == 0) gp = new_<std::uint64_t>(0);
+    gp = broadcast(gp, 0);
+    atomic_domain<std::uint64_t> ad({amo_op::fadd, amo_op::load});
+    std::uint64_t local_sum = 0;
+    for (int i = 0; i < kPer; ++i) local_sum += ad.fetch_add(gp, 1).wait();
+    barrier();
+    EXPECT_EQ(ad.load(gp).wait(),
+              static_cast<std::uint64_t>(kPer) * 8u);
+    // Sum of all fetched values must be 0+1+...+(N-1).
+    const std::uint64_t n = static_cast<std::uint64_t>(kPer) * 8u;
+    EXPECT_EQ(allreduce_sum(local_sum), n * (n - 1) / 2);
+    barrier();
+    if (rank_me() == 0) delete_(gp);
+  });
+}
+
+TEST(AtomicConcurrency, CswapElectsExactlyOneWinnerPerRound) {
+  aspen::spmd(8, [] {
+    global_ptr<std::uint64_t> gp;
+    if (rank_me() == 0) gp = new_<std::uint64_t>(0);
+    gp = broadcast(gp, 0);
+    atomic_domain<std::uint64_t> ad({amo_op::cswap, amo_op::store});
+    std::uint64_t wins = 0;
+    constexpr int kRounds = 100;
+    for (int round = 1; round <= kRounds; ++round) {
+      // Everyone races to advance the counter from round-1 to round.
+      const auto prior =
+          ad.compare_exchange(gp, static_cast<std::uint64_t>(round - 1),
+                              static_cast<std::uint64_t>(round))
+              .wait();
+      if (prior == static_cast<std::uint64_t>(round - 1)) ++wins;
+      barrier();
+    }
+    EXPECT_EQ(allreduce_sum(wins), static_cast<std::uint64_t>(kRounds));
+    barrier();
+    if (rank_me() == 0) delete_(gp);
+  });
+}
+
+// --- remote (pseudo-off-node) path --------------------------------------------
+
+TEST(AtomicRemote, OpsRouteToOwner) {
+  aspen::spmd(2, split_config(), [] {
+    global_ptr<std::uint64_t> gp;
+    if (rank_me() == 1) gp = new_<std::uint64_t>(100);
+    gp = broadcast(gp, 1);
+    atomic_domain<std::uint64_t> ad(
+        {amo_op::fadd, amo_op::load, amo_op::cswap});
+    if (rank_me() == 0) {
+      EXPECT_FALSE(gp.is_local());
+      EXPECT_EQ(ad.fetch_add(gp, 10).wait(), 100u);
+      EXPECT_EQ(ad.load(gp).wait(), 110u);
+      EXPECT_EQ(ad.compare_exchange(gp, 110, 7).wait(), 110u);
+    }
+    barrier();
+    if (rank_me() == 1) {
+      EXPECT_EQ(*gp.local(), 7u);
+      delete_(gp);
+    }
+  });
+}
+
+TEST(AtomicRemote, NonFetchingIntoAcrossPseudoNodes) {
+  aspen::spmd(2, split_config(), [] {
+    global_ptr<std::uint64_t> gp;
+    if (rank_me() == 1) gp = new_<std::uint64_t>(40);
+    gp = broadcast(gp, 1);
+    atomic_domain<std::uint64_t> ad({amo_op::fadd});
+    if (rank_me() == 0) {
+      std::uint64_t out = 0;
+      future<> f = ad.fetch_add_into(gp, 2, &out, operation_cx::as_future());
+      EXPECT_FALSE(f.ready());  // remote: never synchronous
+      f.wait();
+      EXPECT_EQ(out, 40u);
+    }
+    barrier();
+    if (rank_me() == 1) {
+      EXPECT_EQ(*gp.local(), 42u);
+      delete_(gp);
+    }
+  });
+}
+
+TEST(AtomicRemote, ConcurrentRemoteAndLocalStayCoherent) {
+  // Ranks 0,1 share a pseudo-node; rank 2 is remote from both. All hammer
+  // one counter owned by rank 0; the final count must be exact.
+  gex::config g;
+  g.transport = gex::conduit::loopback;
+  g.locality.node_size = 2;
+  aspen::spmd(3, g, [] {
+    constexpr int kPer = 300;
+    global_ptr<std::uint64_t> gp;
+    if (rank_me() == 0) gp = new_<std::uint64_t>(0);
+    gp = broadcast(gp, 0);
+    atomic_domain<std::uint64_t> ad({amo_op::add, amo_op::load});
+    promise<> p;
+    for (int i = 0; i < kPer; ++i)
+      ad.add(gp, 1, operation_cx::as_promise(p));
+    p.finalize().wait();
+    barrier();
+    EXPECT_EQ(ad.load(gp).wait(), static_cast<std::uint64_t>(kPer) * 3u);
+    barrier();
+    if (rank_me() == 0) delete_(gp);
+  });
+}
+
+// --- completions integration ---------------------------------------------------
+
+TEST(AtomicCompletions, PromiseAndLpcOnAtomics) {
+  aspen::spmd(1, [] {
+    auto ad = full_domain<std::uint64_t>();
+    auto gp = new_<std::uint64_t>(1);
+    promise<std::uint64_t> vp;
+    ad.fetch_add(gp, 1, operation_cx::as_promise(vp));
+    EXPECT_EQ(vp.finalize().wait(), 1u);
+    std::uint64_t lpc_saw = 0;
+    ad.fetch_add(gp, 1, operation_cx::as_lpc([&](std::uint64_t v) {
+                   lpc_saw = v;
+                 }) | operation_cx::as_future())
+        .wait();
+    EXPECT_EQ(lpc_saw, 2u);
+    delete_(gp);
+  });
+}
+
+TEST(AtomicCompletions, ConjoiningNonFetchingAtomicsInLoop) {
+  // The §III-B motivation: value-less atomic completions conjoin in a loop.
+  aspen::spmd(1, [] {
+    auto ad = full_integer_domain<std::uint64_t>();
+    auto gp = new_<std::uint64_t>(0);
+    future<> f = make_future();
+    for (int i = 0; i < 50; ++i) f = when_all(f, ad.add(gp, 1));
+    f.wait();
+    EXPECT_EQ(ad.load(gp).wait(), 50u);
+    delete_(gp);
+  });
+}
+
+}  // namespace

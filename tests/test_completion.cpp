@@ -1,0 +1,230 @@
+// Completion-object tests: factory composition, event wiring, return-shape
+// computation, and LPC/RPC completions.
+#include <gtest/gtest.h>
+
+#include "core/aspen.hpp"
+
+using namespace aspen;
+
+namespace {
+
+TEST(Completion, DefaultRputReturnsSingleOperationFuture) {
+  aspen::spmd(1, [] {
+    auto gp = new_<int>(0);
+    auto f = rput(1, gp);
+    static_assert(std::is_same_v<decltype(f), future<>>);
+    f.wait();
+    EXPECT_EQ(*gp.local(), 1);
+    delete_(gp);
+  });
+}
+
+TEST(Completion, PromiseOnlyCompletionReturnsVoid) {
+  aspen::spmd(1, [] {
+    auto gp = new_<int>(0);
+    promise<> p;
+    static_assert(
+        std::is_void_v<decltype(rput(1, gp, operation_cx::as_promise(p)))>);
+    rput(1, gp, operation_cx::as_promise(p));
+    p.finalize().wait();
+    EXPECT_EQ(*gp.local(), 1);
+    delete_(gp);
+  });
+}
+
+TEST(Completion, SourceAndOperationFuturesComposeToTuple) {
+  aspen::spmd(1, [] {
+    auto gp = new_array<int>(8);
+    int src[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto [sf, of] =
+        rput(src, gp, 8, source_cx::as_future() | operation_cx::as_future());
+    static_assert(std::is_same_v<decltype(sf), future<>>);
+    static_assert(std::is_same_v<decltype(of), future<>>);
+    sf.wait();
+    of.wait();
+    EXPECT_EQ(gp.local()[7], 8);
+    delete_array(gp);
+  });
+}
+
+TEST(Completion, CompositionOrderDeterminesTupleOrder) {
+  aspen::spmd(1, [] {
+    auto gp = new_array<int>(2);
+    int src[2] = {5, 6};
+    // operation first, then source: tuple order must follow request order.
+    auto [of, sf] =
+        rput(src, gp, 2, operation_cx::as_future() | source_cx::as_future());
+    of.wait();
+    sf.wait();
+    EXPECT_EQ(gp.local()[0], 5);
+    delete_array(gp);
+  });
+}
+
+TEST(Completion, RgetValueFlowsIntoOperationFuture) {
+  aspen::spmd(1, [] {
+    auto gp = new_<double>(6.25);
+    future<double> f = rget(gp);
+    EXPECT_DOUBLE_EQ(f.wait(), 6.25);
+    delete_(gp);
+  });
+}
+
+TEST(Completion, OperationLpcReceivesValue) {
+  aspen::spmd(1, [] {
+    auto gp = new_<int>(31);
+    int seen = 0;
+    rget(gp, operation_cx::as_lpc([&](int v) { seen = v; }) |
+                 operation_cx::as_future())
+        .wait();
+    // Default (eager) LPC on a synchronously-completed get runs inline.
+    EXPECT_EQ(seen, 31);
+    delete_(gp);
+  });
+}
+
+TEST(Completion, DeferredLpcRunsAtProgress) {
+  aspen::spmd(1, [] {
+    auto gp = new_<int>(0);
+    bool ran = false;
+    rput(1, gp, operation_cx::as_defer_lpc([&] { ran = true; }));
+    EXPECT_FALSE(ran);  // deferred: not during injection
+    progress();
+    EXPECT_TRUE(ran);
+    delete_(gp);
+  });
+}
+
+TEST(Completion, SourceLpc) {
+  aspen::spmd(1, [] {
+    auto gp = new_array<int>(4);
+    int src[4] = {1, 1, 1, 1};
+    bool src_done = false;
+    rput(src, gp, 4,
+         source_cx::as_lpc([&] { src_done = true; }) |
+             operation_cx::as_future())
+        .wait();
+    EXPECT_TRUE(src_done);
+    delete_array(gp);
+  });
+}
+
+TEST(Completion, RemoteRpcRunsOnTargetAfterData) {
+  aspen::spmd(2, [] {
+    global_ptr<int> gp;
+    if (rank_me() == 1) gp = new_<int>(0);
+    gp = broadcast(gp, 1);
+    // Rank 1 observes the remote completion; the callback must see the
+    // written data (delivery-after-data ordering).
+    static thread_local int observed = -1;
+    if (rank_me() == 0) {
+      rput(1234, gp,
+           operation_cx::as_future() |
+               remote_cx::as_rpc([](global_ptr<int> p) { observed = *p.local(); },
+                                 gp))
+          .wait();
+    }
+    barrier();
+    if (rank_me() == 1) {
+      progress();  // the remote-completion AM is in our inbox by now
+      EXPECT_EQ(observed, 1234);
+      delete_(gp);
+    }
+  });
+}
+
+TEST(Completion, RemoteRpcWithArguments) {
+  aspen::spmd(2, [] {
+    global_ptr<int> gp;
+    if (rank_me() == 1) gp = new_<int>(0);
+    gp = broadcast(gp, 1);
+    static thread_local std::string tag;
+    if (rank_me() == 0) {
+      rput(1, gp,
+           operation_cx::as_future() |
+               remote_cx::as_rpc(
+                   [](std::string s, int k) { tag = s + std::to_string(k); },
+                   std::string("msg"), 7))
+          .wait();
+    }
+    barrier();
+    if (rank_me() == 1) {
+      progress();
+      EXPECT_EQ(tag, "msg7");
+      delete_(gp);
+    }
+  });
+}
+
+TEST(Completion, RemoteRpcToSelfRunsDeferred) {
+  aspen::spmd(1, [] {
+    auto gp = new_<int>(0);
+    bool ran = false;
+    rput(9, gp,
+         operation_cx::as_future() | remote_cx::as_rpc([&] { ran = true; }))
+        .wait();
+    // Self-targeted remote completion goes through the progress engine and
+    // never runs synchronously during injection (an eager operation future
+    // can be ready before the callback has run).
+    progress();
+    EXPECT_TRUE(ran);
+    delete_(gp);
+  });
+}
+
+TEST(Completion, FullThreeEventComposition) {
+  // The paper's §II-A example: source future | remote rpc | operation
+  // future | operation promise, all on one bulk put.
+  aspen::spmd(2, [] {
+    constexpr std::size_t kN = 16;
+    global_ptr<int> gp;
+    if (rank_me() == 1) gp = new_array<int>(kN);
+    gp = broadcast(gp, 1);
+    static thread_local bool done = false;
+    if (rank_me() == 0) {
+      int array[kN];
+      for (std::size_t i = 0; i < kN; ++i) array[i] = static_cast<int>(i);
+      promise<> prom;
+      auto [sf, of] = rput(array, gp, kN,
+                           source_cx::as_future() |
+                               remote_cx::as_rpc([] { done = true; }) |
+                               operation_cx::as_future() |
+                               operation_cx::as_promise(prom));
+      sf.wait();
+      of.wait();
+      prom.finalize().wait();
+    }
+    barrier();
+    if (rank_me() == 1) {
+      progress();
+      EXPECT_TRUE(done);
+      EXPECT_EQ(gp.local()[15], 15);
+      delete_array(gp);
+    }
+  });
+}
+
+TEST(Completion, MultiplePromisesOnOneOp) {
+  aspen::spmd(1, [] {
+    auto gp = new_<int>(0);
+    promise<> p1, p2;
+    rput(3, gp,
+         operation_cx::as_promise(p1) | operation_cx::as_promise(p2));
+    p1.finalize().wait();
+    p2.finalize().wait();
+    EXPECT_EQ(*gp.local(), 3);
+    delete_(gp);
+  });
+}
+
+TEST(Completion, ValuedPromiseTypeMatchesOperation) {
+  aspen::spmd(1, [] {
+    auto gp = new_<std::uint64_t>(5);
+    promise<std::uint64_t> p;
+    rget(gp, operation_cx::as_promise(p));
+    EXPECT_EQ(p.finalize().wait(), 5u);
+    delete_(gp);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// copy() tests across all four locality combinations.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/aspen.hpp"
+
+using namespace aspen;
+
+namespace {
+
+gex::config three_node_config() {
+  gex::config g;
+  g.transport = gex::conduit::loopback;
+  g.locality.node_size = 1;  // ranks 0,1,2 all mutually remote
+  return g;
+}
+
+TEST(Copy, LocalToLocal) {
+  aspen::spmd(1, [] {
+    auto a = new_array<int>(16);
+    auto b = new_array<int>(16);
+    for (int i = 0; i < 16; ++i) a.local()[i] = i * 2;
+    copy(a, b, 16).wait();
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(b.local()[i], i * 2);
+    delete_array(a);
+    delete_array(b);
+  });
+}
+
+TEST(Copy, LocalToLocalOverlappingRanges) {
+  aspen::spmd(1, [] {
+    auto a = new_array<int>(16);
+    for (int i = 0; i < 16; ++i) a.local()[i] = i;
+    copy(a, a + 4, 8).wait();  // memmove semantics
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(a.local()[i + 4], i);
+    delete_array(a);
+  });
+}
+
+TEST(Copy, ScalarOverload) {
+  aspen::spmd(1, [] {
+    auto a = new_<double>(4.5);
+    auto b = new_<double>(0.0);
+    copy(a, b).wait();
+    EXPECT_DOUBLE_EQ(*b.local(), 4.5);
+    delete_(a);
+    delete_(b);
+  });
+}
+
+TEST(Copy, LocalToRemote) {
+  aspen::spmd(2, three_node_config(), [] {
+    global_ptr<int> remote;
+    if (rank_me() == 1) remote = new_array<int>(32);
+    remote = broadcast(remote, 1);
+    if (rank_me() == 0) {
+      auto mine = new_array<int>(32);
+      for (int i = 0; i < 32; ++i) mine.local()[i] = 100 + i;
+      copy(mine, remote, 32).wait();
+      delete_array(mine);
+    }
+    barrier();
+    if (rank_me() == 1) {
+      for (int i = 0; i < 32; ++i) EXPECT_EQ(remote.local()[i], 100 + i);
+      delete_array(remote);
+    }
+  });
+}
+
+TEST(Copy, RemoteToLocal) {
+  aspen::spmd(2, three_node_config(), [] {
+    global_ptr<int> remote;
+    if (rank_me() == 1) {
+      remote = new_array<int>(32);
+      for (int i = 0; i < 32; ++i) remote.local()[i] = 7 * i;
+    }
+    remote = broadcast(remote, 1);
+    barrier();
+    if (rank_me() == 0) {
+      auto mine = new_array<int>(32);
+      copy(remote, mine, 32).wait();
+      for (int i = 0; i < 32; ++i) EXPECT_EQ(mine.local()[i], 7 * i);
+      delete_array(mine);
+    }
+    barrier();
+    if (rank_me() == 1) delete_array(remote);
+  });
+}
+
+TEST(Copy, RemoteToRemoteTwoHop) {
+  aspen::spmd(3, three_node_config(), [] {
+    global_ptr<std::uint64_t> src, dst;
+    if (rank_me() == 1) {
+      src = new_array<std::uint64_t>(64);
+      for (int i = 0; i < 64; ++i)
+        src.local()[i] = 0xA000u + static_cast<std::uint64_t>(i);
+    }
+    if (rank_me() == 2) dst = new_array<std::uint64_t>(64);
+    src = broadcast(src, 1);
+    dst = broadcast(dst, 2);
+    barrier();
+    if (rank_me() == 0) {
+      EXPECT_FALSE(src.is_local());
+      EXPECT_FALSE(dst.is_local());
+      copy(src, dst, 64).wait();
+    }
+    barrier();
+    if (rank_me() == 2) {
+      for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(dst.local()[i], 0xA000u + static_cast<std::uint64_t>(i));
+      delete_array(dst);
+    }
+    if (rank_me() == 1) delete_array(src);
+    barrier();
+  });
+}
+
+TEST(Copy, PromiseCompletion) {
+  aspen::spmd(1, [] {
+    auto a = new_<int>(9);
+    auto b = new_<int>(0);
+    promise<> p;
+    copy(a, b, 1, operation_cx::as_promise(p));
+    p.finalize().wait();
+    EXPECT_EQ(*b.local(), 9);
+    delete_(a);
+    delete_(b);
+  });
+}
+
+TEST(Copy, EagerLocalCopyIsReadyImmediately) {
+  aspen::spmd(1, [] {
+    set_version_config(version_config::make(emulated_version::v2021_3_6_eager));
+    auto a = new_<int>(1);
+    auto b = new_<int>(0);
+    EXPECT_TRUE(copy(a, b, 1, operation_cx::as_eager_future()).ready());
+    future<> f = copy(a, b, 1, operation_cx::as_defer_future());
+    EXPECT_FALSE(f.ready());
+    f.wait();
+    delete_(a);
+    delete_(b);
+  });
+}
+
+TEST(Copy, ManyConcurrentTwoHops) {
+  aspen::spmd(3, three_node_config(), [] {
+    constexpr int kN = 16;
+    global_ptr<int> src, dst;
+    if (rank_me() == 1) {
+      src = new_array<int>(kN);
+      for (int i = 0; i < kN; ++i) src.local()[i] = i + 1;
+    }
+    if (rank_me() == 2) dst = new_array<int>(kN);
+    src = broadcast(src, 1);
+    dst = broadcast(dst, 2);
+    barrier();
+    if (rank_me() == 0) {
+      promise<> p;
+      for (int i = 0; i < kN; ++i)
+        copy(src + i, dst + i, 1, operation_cx::as_promise(p));
+      p.finalize().wait();
+    }
+    barrier();
+    if (rank_me() == 2) {
+      for (int i = 0; i < kN; ++i) EXPECT_EQ(dst.local()[i], i + 1);
+      delete_array(dst);
+    }
+    if (rank_me() == 1) delete_array(src);
+    barrier();
+  });
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// dist_object tests: per-rank instances, fetch, fetch-before-construction,
+// and collective construction ordering.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/aspen.hpp"
+
+using namespace aspen;
+
+namespace {
+
+TEST(DistObject, LocalAccess) {
+  aspen::spmd(3, [] {
+    dist_object<int> d(rank_me() * 7);
+    EXPECT_EQ(*d, rank_me() * 7);
+    *d += 1;
+    EXPECT_EQ(*d, rank_me() * 7 + 1);
+    barrier();  // keep lifetimes aligned
+  });
+}
+
+TEST(DistObject, FetchFromEveryRank) {
+  aspen::spmd(4, [] {
+    dist_object<int> d(100 + rank_me());
+    barrier();
+    for (int r = 0; r < rank_n(); ++r)
+      EXPECT_EQ(d.fetch(r).wait(), 100 + r);
+    barrier();
+  });
+}
+
+TEST(DistObject, FetchNonTrivialPayload) {
+  aspen::spmd(2, [] {
+    dist_object<std::string> d("rank-" + std::to_string(rank_me()));
+    barrier();
+    EXPECT_EQ(d.fetch(1 - rank_me()).wait(),
+              "rank-" + std::to_string(1 - rank_me()));
+    barrier();
+  });
+}
+
+TEST(DistObject, MultipleObjectsKeepIdentity) {
+  aspen::spmd(2, [] {
+    dist_object<int> a(rank_me());
+    dist_object<int> b(rank_me() + 1000);
+    barrier();
+    const int other = 1 - rank_me();
+    EXPECT_EQ(a.fetch(other).wait(), other);
+    EXPECT_EQ(b.fetch(other).wait(), other + 1000);
+    EXPECT_NE(a.id(), b.id());
+    barrier();
+  });
+}
+
+TEST(DistObject, FetchBeforeRemoteConstructionWaits) {
+  aspen::spmd(2, [] {
+    if (rank_me() == 0) {
+      // Fire the fetch before rank 1 has constructed its instance; the
+      // registry must hold the request until construction.
+      dist_object<int> d(7);
+      future<int> f = d.fetch(1);
+      EXPECT_EQ(f.wait(), 8);
+      barrier();
+    } else {
+      // Delay construction: rank 0's fetch RPC arrives first and parks.
+      for (int i = 0; i < 1000; ++i) progress();
+      dist_object<int> d(8);
+      progress();
+      barrier();
+    }
+  });
+}
+
+TEST(DistObject, StructPayloadByMembers) {
+  struct stats {
+    int count;
+    double mean;
+  };
+  aspen::spmd(3, [] {
+    dist_object<stats> d(stats{rank_me(), rank_me() * 0.5});
+    barrier();
+    const int nxt = (rank_me() + 1) % rank_n();
+    const stats got = d.fetch(nxt).wait();
+    EXPECT_EQ(got.count, nxt);
+    EXPECT_DOUBLE_EQ(got.mean, nxt * 0.5);
+    barrier();
+  });
+}
+
+TEST(DistObject, VectorPayload) {
+  aspen::spmd(2, [] {
+    std::vector<int> mine(static_cast<std::size_t>(rank_me()) + 3,
+                          rank_me());
+    dist_object<std::vector<int>> d(mine);
+    barrier();
+    const int other = 1 - rank_me();
+    auto got = d.fetch(other).wait();
+    EXPECT_EQ(got.size(), static_cast<std::size_t>(other) + 3);
+    if (!got.empty()) {
+      EXPECT_EQ(got.front(), other);
+    }
+    barrier();
+  });
+}
+
+TEST(DistObject, ReconstructionAfterDestruction) {
+  aspen::spmd(2, [] {
+    {
+      dist_object<int> d(1);
+      barrier();
+      EXPECT_EQ(d.fetch(1 - rank_me()).wait(), 1);
+      barrier();
+    }
+    {
+      dist_object<int> d(2);
+      barrier();
+      EXPECT_EQ(d.fetch(1 - rank_me()).wait(), 2);
+      barrier();
+    }
+  });
+}
+
+}  // namespace

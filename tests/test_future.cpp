@@ -1,0 +1,259 @@
+// future<T...> unit tests: readiness, results, then-chaining, unwrapping,
+// copy/move semantics, and the ready-future pooling optimization.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/aspen.hpp"
+
+using namespace aspen;
+
+namespace {
+
+// Futures and promises are usable outside spmd for pure dataflow; several
+// tests exercise that directly, others need the runtime (wait/progress).
+
+TEST(Future, DefaultConstructedIsInvalid) {
+  future<int> f;
+  EXPECT_FALSE(f.valid());
+  EXPECT_FALSE(f.ready());
+}
+
+TEST(Future, MakeFutureIsReadyValueless) {
+  future<> f = make_future();
+  EXPECT_TRUE(f.valid());
+  EXPECT_TRUE(f.ready());
+}
+
+TEST(Future, MakeFutureWithValue) {
+  future<int> f = make_future(42);
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.result(), 42);
+}
+
+TEST(Future, MakeFutureMultipleValues) {
+  future<int, std::string> f = make_future(7, std::string("seven"));
+  ASSERT_TRUE(f.ready());
+  auto [i, s] = f.result_tuple();
+  EXPECT_EQ(i, 7);
+  EXPECT_EQ(s, "seven");
+  EXPECT_EQ(f.result<0>(), 7);
+  EXPECT_EQ(f.result<1>(), "seven");
+}
+
+TEST(Future, ToFutureLiftsValues) {
+  auto f = to_future(3.5);
+  static_assert(std::is_same_v<decltype(f), future<double>>);
+  EXPECT_DOUBLE_EQ(f.result(), 3.5);
+}
+
+TEST(Future, ToFuturePassesThroughFutures) {
+  future<int> f = make_future(1);
+  auto g = to_future(f);
+  static_assert(std::is_same_v<decltype(g), future<int>>);
+  EXPECT_TRUE(g.ready());
+}
+
+TEST(Future, CopySharesState) {
+  promise<int> p;
+  future<int> a = p.get_future();
+  future<int> b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_FALSE(b.ready());
+  p.fulfill_result(9);
+  p.finalize();
+  EXPECT_TRUE(a.ready());
+  EXPECT_TRUE(b.ready());
+  EXPECT_EQ(b.result(), 9);
+}
+
+TEST(Future, MoveTransfersState) {
+  future<int> a = make_future(5);
+  future<int> b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.ready());
+  EXPECT_EQ(b.result(), 5);
+}
+
+TEST(Future, SelfAssignmentIsSafe) {
+  future<int> a = make_future(5);
+  auto& ref = a;
+  a = ref;
+  EXPECT_TRUE(a.ready());
+  EXPECT_EQ(a.result(), 5);
+}
+
+TEST(Future, AssignmentReleasesOldState) {
+  future<int> a = make_future(1);
+  future<int> b = make_future(2);
+  a = b;
+  EXPECT_EQ(a.result(), 2);
+  a = std::move(b);
+  EXPECT_EQ(a.result(), 2);
+}
+
+// --- then() ---------------------------------------------------------------
+
+TEST(FutureThen, ReadyFutureRunsCallbackInline) {
+  bool ran = false;
+  future<int> f = make_future(10);
+  future<int> g = f.then([&](int v) {
+    ran = true;
+    return v * 2;
+  });
+  EXPECT_TRUE(ran);  // synchronous execution on a ready future
+  ASSERT_TRUE(g.ready());
+  EXPECT_EQ(g.result(), 20);
+}
+
+TEST(FutureThen, VoidCallbackYieldsEmptyFuture) {
+  int seen = 0;
+  future<> g = make_future(3).then([&](int v) { seen = v; });
+  static_assert(std::is_same_v<decltype(g), future<>>);
+  EXPECT_TRUE(g.ready());
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(FutureThen, PendingFutureDefersCallback) {
+  promise<int> p;
+  bool ran = false;
+  future<int> g = p.get_future().then([&](int v) {
+    ran = true;
+    return v + 1;
+  });
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(g.ready());
+  p.fulfill_result(1);
+  p.finalize();
+  EXPECT_TRUE(ran);
+  ASSERT_TRUE(g.ready());
+  EXPECT_EQ(g.result(), 2);
+}
+
+TEST(FutureThen, FutureReturningCallbackUnwrapsReadyInner) {
+  future<int> g = make_future(1).then([](int v) { return make_future(v + 10); });
+  static_assert(std::is_same_v<decltype(g), future<int>>);
+  ASSERT_TRUE(g.ready());
+  EXPECT_EQ(g.result(), 11);
+}
+
+TEST(FutureThen, FutureReturningCallbackUnwrapsPendingInner) {
+  promise<int> outer, inner;
+  future<int> g =
+      outer.get_future().then([&](int) { return inner.get_future(); });
+  outer.fulfill_result(0);
+  outer.finalize();
+  EXPECT_FALSE(g.ready());  // inner still pending
+  inner.fulfill_result(99);
+  inner.finalize();
+  ASSERT_TRUE(g.ready());
+  EXPECT_EQ(g.result(), 99);
+}
+
+TEST(FutureThen, ChainsOfThens) {
+  promise<int> p;
+  auto f = p.get_future()
+               .then([](int v) { return v + 1; })
+               .then([](int v) { return v * 2; })
+               .then([](int v) { return std::to_string(v); });
+  static_assert(std::is_same_v<decltype(f), future<std::string>>);
+  p.fulfill_result(20);
+  p.finalize();
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.result(), "42");
+}
+
+TEST(FutureThen, MultipleCallbacksOnOneFutureFireInOrder) {
+  promise<> p;
+  std::vector<int> order;
+  future<> f = p.get_future();
+  f.then([&] { order.push_back(1); });
+  f.then([&] { order.push_back(2); });
+  f.then([&] { order.push_back(3); });
+  p.finalize();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FutureThen, MultiValueCallbackReceivesAllValues) {
+  auto f = make_future(2, 3.5).then([](int a, double b) {
+    return static_cast<double>(a) + b;
+  });
+  EXPECT_DOUBLE_EQ(f.result(), 5.5);
+}
+
+// --- wait() within the runtime ---------------------------------------------
+
+TEST(FutureWait, WaitReturnsValue) {
+  aspen::spmd(1, [] {
+    EXPECT_EQ(make_future(13).wait(), 13);
+    auto [a, b] = make_future(1, 2).wait();
+    EXPECT_EQ(a + b, 3);
+    make_future().wait();  // void
+  });
+}
+
+TEST(FutureWait, WaitDrivesProgressUntilReady) {
+  aspen::spmd(1, [] {
+    auto gp = new_<int>(0);
+    future<> f = rput(1, gp, operation_cx::as_defer_future());
+    EXPECT_FALSE(f.ready());
+    f.wait();  // must call progress internally
+    EXPECT_TRUE(f.ready());
+    delete_(gp);
+  });
+}
+
+// --- pooling (paper §III-B) -------------------------------------------------
+
+TEST(FuturePool, ReadyValuelessFutureCostsNoAllocation) {
+  aspen::spmd(1, [] {
+    set_version_config(version_config::make(emulated_version::v2021_3_6_eager));
+    (void)make_future();  // ensure the pool cell itself exists
+    const auto before = detail::cell_allocation_count();
+    for (int i = 0; i < 100; ++i) {
+      future<> f = make_future();
+      EXPECT_TRUE(f.ready());
+    }
+    EXPECT_EQ(detail::cell_allocation_count(), before);
+  });
+}
+
+TEST(FuturePool, LegacyVersionAllocatesPerReadyFuture) {
+  aspen::spmd(1, [] {
+    set_version_config(version_config::make(emulated_version::v2021_3_0));
+    const auto before = detail::cell_allocation_count();
+    for (int i = 0; i < 100; ++i) (void)make_future();
+    EXPECT_EQ(detail::cell_allocation_count(), before + 100);
+  });
+}
+
+TEST(FuturePool, ValueCarryingReadyFutureAlwaysAllocates) {
+  aspen::spmd(1, [] {
+    set_version_config(version_config::make(emulated_version::v2021_3_6_eager));
+    const auto before = detail::cell_allocation_count();
+    for (int i = 0; i < 10; ++i) (void)make_future(i);
+    // "the value must be stored somewhere" — paper §III-B.
+    EXPECT_EQ(detail::cell_allocation_count(), before + 10);
+  });
+}
+
+// --- result types ------------------------------------------------------------
+
+TEST(FutureTypes, WaitReturnTypeShapes) {
+  aspen::spmd(1, [] {
+    future<> f0 = make_future();
+    static_assert(std::is_same_v<decltype(f0.wait()), void>);
+    future<int> f1 = make_future(1);
+    static_assert(std::is_same_v<decltype(f1.wait()), int>);
+    future<int, int> f2 = make_future(1, 2);
+    static_assert(std::is_same_v<decltype(f2.wait()), std::tuple<int, int>>);
+  });
+}
+
+TEST(FutureTypes, NonTrivialValueTypes) {
+  auto f = make_future(std::string("hello"), std::vector<int>{1, 2, 3});
+  auto [s, v] = f.result_tuple();
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(v.size(), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Property-style stress of the dataflow core: random DAGs of promises,
+// then-chains and when_all conjunctions, fulfilled in random order, must
+// deliver every callback exactly once with correct values, regardless of
+// the when_all optimization setting.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/aspen.hpp"
+
+using namespace aspen;
+
+namespace {
+
+class FutureDag : public ::testing::TestWithParam<std::tuple<unsigned, bool>> {
+};
+
+TEST_P(FutureDag, RandomDagDeliversEverything) {
+  const auto [seed, opt_on] = GetParam();
+  aspen::spmd(1, [&, s = seed, opt = opt_on] {
+    version_config v = version_config::make(emulated_version::v2021_3_6_eager);
+    v.when_all_opt = opt;
+    set_version_config(v);
+
+    std::mt19937 rng(s);
+    constexpr int kSources = 40;
+    constexpr int kDerived = 200;
+
+    // Sources: promises carrying their index as value.
+    std::vector<promise<int>> sources(kSources);
+    std::vector<future<int>> nodes;
+    nodes.reserve(kSources + kDerived);
+    for (auto& p : sources) nodes.push_back(p.get_future());
+
+    // Expected value of each node (sources: their index; derived: computed
+    // the same way the callbacks do).
+    std::vector<long> expected;
+    expected.reserve(kSources + kDerived);
+    for (int i = 0; i < kSources; ++i) expected.push_back(i);
+
+    std::vector<int> fire_count(kSources + kDerived, 0);
+
+    std::uniform_int_distribution<int> kind_dist(0, 2);
+    for (int d = 0; d < kDerived; ++d) {
+      const auto idx = static_cast<int>(nodes.size());
+      std::uniform_int_distribution<int> pick(0, idx - 1);
+      const int a = pick(rng);
+      switch (kind_dist(rng)) {
+        case 0: {  // then: x -> x + 1
+          auto f = nodes[static_cast<std::size_t>(a)].then(
+              [&fire_count, idx](int x) {
+                ++fire_count[static_cast<std::size_t>(idx)];
+                return x + 1;
+              });
+          nodes.push_back(std::move(f));
+          expected.push_back(expected[static_cast<std::size_t>(a)] + 1);
+          break;
+        }
+        case 1: {  // when_all of two valued nodes, collapsed via then
+          const int b = pick(rng);
+          auto f = when_all(nodes[static_cast<std::size_t>(a)],
+                            nodes[static_cast<std::size_t>(b)])
+                       .then([&fire_count, idx](int x, int y) {
+                         ++fire_count[static_cast<std::size_t>(idx)];
+                         return x * 3 + y;
+                       });
+          nodes.push_back(std::move(f));
+          expected.push_back(expected[static_cast<std::size_t>(a)] * 3 +
+                             expected[static_cast<std::size_t>(b)]);
+          break;
+        }
+        default: {  // when_all with a ready value-less future mixed in
+          auto f = when_all(make_future(), nodes[static_cast<std::size_t>(a)],
+                            make_future())
+                       .then([&fire_count, idx](int x) {
+                         ++fire_count[static_cast<std::size_t>(idx)];
+                         return x - 2;
+                       });
+          nodes.push_back(std::move(f));
+          expected.push_back(expected[static_cast<std::size_t>(a)] - 2);
+          break;
+        }
+      }
+    }
+
+    // Fulfill sources in random order.
+    std::vector<int> order(kSources);
+    for (int i = 0; i < kSources; ++i) order[static_cast<std::size_t>(i)] = i;
+    std::shuffle(order.begin(), order.end(), rng);
+    for (int i : order) {
+      EXPECT_FALSE(sources[static_cast<std::size_t>(i)].get_future().ready());
+      sources[static_cast<std::size_t>(i)].fulfill_result(i);
+      sources[static_cast<std::size_t>(i)].finalize();
+    }
+
+    // Everything must now be ready with the right value, every callback
+    // fired exactly once.
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      ASSERT_TRUE(nodes[i].ready()) << "node " << i;
+      EXPECT_EQ(static_cast<long>(nodes[i].result()), expected[i])
+          << "node " << i;
+    }
+    for (std::size_t i = kSources; i < fire_count.size(); ++i)
+      EXPECT_EQ(fire_count[i], 1) << "node " << i;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FutureDag,
+    ::testing::Combine(::testing::Values(1u, 7u, 42u, 99u, 1234u),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<unsigned, bool>>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_opt" : "_noopt");
+    });
+
+// Deep linear chains must not overflow anything and must propagate.
+TEST(FutureDagDepth, LongThenChain) {
+  aspen::spmd(1, [] {
+    promise<int> p;
+    future<int> f = p.get_future();
+    constexpr int kDepth = 10'000;
+    for (int i = 0; i < kDepth; ++i)
+      f = f.then([](int x) { return x + 1; });
+    p.fulfill_result(0);
+    p.finalize();
+    ASSERT_TRUE(f.ready());
+    EXPECT_EQ(f.result(), kDepth);
+  });
+}
+
+TEST(FutureDagDepth, WideFanOut) {
+  aspen::spmd(1, [] {
+    promise<int> p;
+    future<int> src = p.get_future();
+    constexpr int kWidth = 5'000;
+    std::vector<future<int>> outs;
+    outs.reserve(kWidth);
+    for (int i = 0; i < kWidth; ++i)
+      outs.push_back(src.then([i](int x) { return x + i; }));
+    p.fulfill_result(100);
+    p.finalize();
+    for (int i = 0; i < kWidth; ++i) {
+      ASSERT_TRUE(outs[static_cast<std::size_t>(i)].ready());
+      EXPECT_EQ(outs[static_cast<std::size_t>(i)].result(), 100 + i);
+    }
+  });
+}
+
+TEST(FutureDagDepth, WideConjunction) {
+  aspen::spmd(1, [] {
+    constexpr int kWidth = 2'000;
+    std::vector<promise<>> ps(kWidth);
+    future<> all = make_future();
+    for (auto& p : ps) all = when_all(all, p.get_future());
+    for (auto it = ps.rbegin(); it != ps.rend(); ++it) it->finalize();
+    EXPECT_TRUE(all.ready());
+  });
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// global_ptr tests: construction, locality queries, arithmetic, comparison,
+// conversion, hashing, and allocation helpers.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/aspen.hpp"
+
+using namespace aspen;
+
+namespace {
+
+TEST(GlobalPtr, NullSemantics) {
+  global_ptr<int> p;
+  EXPECT_TRUE(p.is_null());
+  EXPECT_FALSE(static_cast<bool>(p));
+  global_ptr<int> q = nullptr;
+  EXPECT_EQ(p, q);
+}
+
+TEST(GlobalPtr, NewAndDowncast) {
+  aspen::spmd(1, [] {
+    auto gp = new_<int>(55);
+    EXPECT_FALSE(gp.is_null());
+    EXPECT_EQ(gp.where(), 0);
+    ASSERT_TRUE(gp.is_local());
+    EXPECT_EQ(*gp.local(), 55);
+    delete_(gp);
+  });
+}
+
+TEST(GlobalPtr, ArithmeticWithinArray) {
+  aspen::spmd(1, [] {
+    auto gp = new_array<int>(10);
+    for (int i = 0; i < 10; ++i) gp.local()[i] = i;
+    global_ptr<int> p = gp + 3;
+    EXPECT_EQ(*p.local(), 3);
+    EXPECT_EQ(*(p - 2).local(), 1);
+    EXPECT_EQ(p - gp, 3);
+    ++p;
+    EXPECT_EQ(*p.local(), 4);
+    --p;
+    p += 5;
+    EXPECT_EQ(*p.local(), 8);
+    p -= 8;
+    EXPECT_EQ(p, gp);
+    delete_array(gp);
+  });
+}
+
+TEST(GlobalPtr, ComparisonAndOrdering) {
+  aspen::spmd(1, [] {
+    auto gp = new_array<int>(4);
+    EXPECT_LT(gp, gp + 1);
+    EXPECT_GT(gp + 3, gp + 2);
+    EXPECT_LE(gp, gp);
+    EXPECT_NE(gp, gp + 1);
+    delete_array(gp);
+  });
+}
+
+TEST(GlobalPtr, HashingDistinguishesPointers) {
+  aspen::spmd(1, [] {
+    auto gp = new_array<int>(8);
+    std::unordered_set<global_ptr<int>> set;
+    for (int i = 0; i < 8; ++i) set.insert(gp + i);
+    EXPECT_EQ(set.size(), 8u);
+    EXPECT_TRUE(set.contains(gp + 4));
+    delete_array(gp);
+  });
+}
+
+TEST(GlobalPtr, TryGlobalPtrResolvesSegmentMemory) {
+  aspen::spmd(2, [] {
+    auto gp = new_<int>(1);
+    auto resolved = try_global_ptr(gp.local());
+    EXPECT_EQ(resolved, gp);
+    EXPECT_EQ(resolved.where(), rank_me());
+    int stack_var = 0;
+    EXPECT_TRUE(try_global_ptr(&stack_var).is_null());
+    barrier();
+    delete_(gp);
+  });
+}
+
+TEST(GlobalPtr, CrossRankPointersCarryOwner) {
+  aspen::spmd(3, [] {
+    auto gp = new_<int>(rank_me());
+    for (int r = 0; r < rank_n(); ++r) {
+      auto theirs = broadcast(gp, r);
+      EXPECT_EQ(theirs.where(), r);
+      EXPECT_TRUE(theirs.is_local());  // smp conduit: all on-node
+      EXPECT_EQ(*theirs.local(), r);
+    }
+    barrier();
+    delete_(gp);
+  });
+}
+
+TEST(GlobalPtr, IsLocalFalseAcrossPseudoNodes) {
+  gex::config g;
+  g.transport = gex::conduit::loopback;
+  g.locality.node_size = 2;
+  aspen::spmd(4, g, [] {
+    auto gp = new_<int>(0);
+    for (int r = 0; r < 4; ++r) {
+      auto theirs = broadcast(gp, r);
+      const bool same_node = (r / 2) == (rank_me() / 2);
+      EXPECT_EQ(theirs.is_local(), same_node) << "rank " << rank_me()
+                                              << " -> " << r;
+    }
+    barrier();
+    delete_(gp);
+  });
+}
+
+TEST(Allocation, NewArrayValueInitializes) {
+  aspen::spmd(1, [] {
+    auto gp = new_array<std::uint64_t>(64);
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(gp.local()[i], 0u);
+    delete_array(gp);
+  });
+}
+
+TEST(Allocation, ConstructorArgumentsForwarded) {
+  struct widget {
+    int a;
+    double b;
+    widget(int x, double y) : a(x), b(y) {}
+  };
+  aspen::spmd(1, [] {
+    auto gp = new_<widget>(4, 2.25);
+    EXPECT_EQ(gp.local()->a, 4);
+    EXPECT_DOUBLE_EQ(gp.local()->b, 2.25);
+    delete_(gp);
+  });
+}
+
+TEST(Allocation, ExhaustionThrowsBadAlloc) {
+  gex::config g;
+  g.segment_bytes = 1 << 16;  // tiny segment
+  aspen::spmd(1, g, [] {
+    EXPECT_THROW((void)allocate<std::byte>(1 << 20), std::bad_alloc);
+    // The failed allocation must not have corrupted the segment.
+    auto ok = new_array<int>(16);
+    EXPECT_FALSE(ok.is_null());
+    delete_array(ok);
+  });
+}
+
+TEST(Allocation, AllocationsAreSegmentMemory) {
+  aspen::spmd(2, [] {
+    auto gp = new_<double>(1.0);
+    EXPECT_EQ(detail::ctx().rt->arena().owner_of(gp.raw()), rank_me());
+    barrier();
+    delete_(gp);
+  });
+}
+
+TEST(Allocation, ManyAllocationsAndFrees) {
+  aspen::spmd(1, [] {
+    std::vector<global_ptr<int>> ptrs;
+    for (int round = 0; round < 10; ++round) {
+      for (int i = 0; i < 100; ++i) ptrs.push_back(new_<int>(i));
+      for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(*ptrs[static_cast<std::size_t>(i)].local(), i);
+      }
+      for (auto& p : ptrs) delete_(p);
+      ptrs.clear();
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Graph save/load round-trip tests (the paper's frozen-input methodology).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "apps/matching/generators.hpp"
+#include "apps/matching/graph_io.hpp"
+#include "apps/matching/matcher.hpp"
+
+namespace m = aspen::apps::matching;
+
+namespace {
+
+std::string temp_path(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("aspen_graph_io_") + tag + ".bin"))
+      .string();
+}
+
+void expect_same_graph(const m::csr_graph& a, const m::csr_graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (m::vid v = 0; v < a.num_vertices(); ++v) {
+    auto na = a.neighbors(v), nb = b.neighbors(v);
+    auto wa = a.weights(v), wb = b.weights(v);
+    ASSERT_EQ(na.size(), nb.size()) << "vertex " << v;
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      ASSERT_EQ(na[i], nb[i]);
+      ASSERT_DOUBLE_EQ(wa[i], wb[i]);
+    }
+  }
+}
+
+TEST(GraphIo, RoundTripsGeneratedGraph) {
+  const std::string path = temp_path("rt");
+  auto g = m::gen_paper_random(2000, 15, 3);
+  m::save_graph(g, path);
+  auto back = m::load_graph(path);
+  expect_same_graph(g, back);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, RoundTripsEmptyAndTinyGraphs) {
+  const std::string path = temp_path("tiny");
+  {
+    auto g = m::csr_graph::from_edges(3, {});
+    m::save_graph(g, path);
+    expect_same_graph(g, m::load_graph(path));
+  }
+  {
+    auto g = m::csr_graph::from_edges(2, {{0, 1, 0.25}});
+    m::save_graph(g, path);
+    expect_same_graph(g, m::load_graph(path));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadedGraphYieldsIdenticalMatching) {
+  const std::string path = temp_path("match");
+  auto g = m::gen_powerlaw(1500, 3, 11);
+  m::save_graph(g, path);
+  auto back = m::load_graph(path);
+  EXPECT_EQ(m::solve_sequential(g), m::solve_sequential(back));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, RejectsMissingFile) {
+  EXPECT_THROW((void)m::load_graph("/nonexistent/dir/graph.bin"),
+               std::runtime_error);
+}
+
+TEST(GraphIo, RejectsCorruptMagic) {
+  const std::string path = temp_path("bad");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTAGRAPHFILE----------------";
+  }
+  EXPECT_THROW((void)m::load_graph(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, RejectsTruncatedFile) {
+  const std::string path = temp_path("trunc");
+  auto g = m::csr_graph::from_edges(4, {{0, 1, 1.0}, {2, 3, 2.0}});
+  m::save_graph(g, path);
+  // Chop the file mid-edge.
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 7);
+  EXPECT_THROW((void)m::load_graph(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace

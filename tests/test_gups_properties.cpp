@@ -1,0 +1,132 @@
+// Property-style GUPS tests: partitioning invariants across table shapes
+// and rank counts, stream disjointness, and version-independence of
+// results.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/gups/gups.hpp"
+
+namespace g = aspen::apps::gups;
+using namespace aspen;
+
+namespace {
+
+class GupsPartition
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(GupsPartition, LocateCoversTableExactlyOnce) {
+  const auto [ranks, bits] = GetParam();
+  aspen::spmd(ranks, [&, table_bits = bits] {
+    g::params p;
+    p.table_bits = table_bits;
+    g::table t(p);
+    // Every index maps to exactly one (rank, offset): verify a sample of
+    // indices round-trips through locate() to the identity fill.
+    const std::uint64_t step = std::max<std::uint64_t>(1, t.size() / 1024);
+    for (std::uint64_t idx = 0; idx < t.size(); idx += step) {
+      auto gp = t.locate(idx);
+      ASSERT_GE(gp.where(), 0);
+      ASSERT_LT(gp.where(), rank_n());
+      ASSERT_EQ(*gp.local(), idx);
+    }
+    // Boundaries of every slice.
+    for (int r = 0; r < rank_n(); ++r) {
+      const std::uint64_t lo = t.per_rank() * static_cast<std::uint64_t>(r);
+      EXPECT_EQ(t.locate(lo).where(), r);
+      EXPECT_EQ(t.locate(lo + t.per_rank() - 1).where(), r);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GupsPartition,
+    ::testing::Values(std::make_tuple(1, 10u), std::make_tuple(2, 12u),
+                      std::make_tuple(4, 12u), std::make_tuple(8, 15u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, unsigned>>& info) {
+      return "ranks" + std::to_string(std::get<0>(info.param)) + "_bits" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(GupsStream, RankStreamsAreDisjointPrefixes) {
+  // Rank r's stream starts at position r * updates_per_rank of the global
+  // HPCC sequence; consecutive rank streams must butt up exactly.
+  constexpr std::uint64_t kPer = 1000;
+  std::uint64_t r0 = g::starts(0);
+  for (std::uint64_t i = 1; i < kPer; ++i) r0 = g::next_random(r0);
+  // One more step reaches the start of rank 1's stream... the stream value
+  // at position kPer equals starts(kPer).
+  EXPECT_EQ(g::next_random(r0), g::starts(static_cast<std::int64_t>(kPer)));
+}
+
+TEST(GupsStream, ValuesLookRandomEnough) {
+  // Sanity: distinct values and reasonable bit mixing over a window.
+  std::set<std::uint64_t> seen;
+  std::uint64_t r = g::starts(12345);
+  int ones = 0;
+  for (int i = 0; i < 4096; ++i) {
+    r = g::next_random(r);
+    seen.insert(r);
+    ones += __builtin_popcountll(r);
+  }
+  EXPECT_EQ(seen.size(), 4096u);  // no short cycles
+  const double mean_ones = static_cast<double>(ones) / 4096.0;
+  EXPECT_GT(mean_ones, 24.0);
+  EXPECT_LT(mean_ones, 40.0);
+}
+
+TEST(GupsVersions, TableStateIdenticalAcrossVersionsForAtomics) {
+  // The atomics variant applies exact updates, so the final table must be
+  // bit-identical across all three emulated library versions.
+  std::vector<std::uint64_t> reference;
+  for (auto ver : {emulated_version::v2021_3_0,
+                   emulated_version::v2021_3_6_defer,
+                   emulated_version::v2021_3_6_eager}) {
+    std::vector<std::uint64_t> snapshot;
+    aspen::spmd(4, gex::config{}, version_config::make(ver), [&] {
+      g::params p;
+      p.table_bits = 12;
+      p.updates_per_rank = 1 << 10;
+      p.batch = 64;
+      g::table t(p);
+      (void)g::run_variant(g::variant::amo_promises, t, p);
+      barrier();
+      if (rank_me() == 0) {
+        // Collect the full table through rank 0.
+        for (std::uint64_t idx = 0; idx < t.size(); ++idx)
+          snapshot.push_back(*t.locate(idx).local());
+      }
+      barrier();
+    });
+    if (reference.empty()) {
+      reference = snapshot;
+    } else {
+      EXPECT_EQ(snapshot, reference) << to_string(ver);
+    }
+  }
+}
+
+TEST(GupsParams, RejectsNonDivisibleRankCount) {
+  aspen::spmd(3, [] {
+    g::params p;
+    p.table_bits = 10;  // 1024 entries, not divisible by 3
+    EXPECT_THROW(g::table t(p), std::invalid_argument);
+  });
+}
+
+TEST(GupsBatching, BatchSizeDoesNotChangeAtomicResults) {
+  for (std::uint64_t batch : {1ull, 16ull, 1024ull}) {
+    aspen::spmd(2, [&] {
+      g::params p;
+      p.table_bits = 12;
+      p.updates_per_rank = 1 << 10;
+      p.batch = batch;
+      g::table t(p);
+      (void)g::run_variant(g::variant::amo_futures, t, p);
+      (void)g::run_variant(g::variant::amo_futures, t, p);
+      EXPECT_EQ(t.count_errors(), 0u) << "batch=" << batch;
+    });
+  }
+}
+
+}  // namespace

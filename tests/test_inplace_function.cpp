@@ -1,0 +1,130 @@
+// inplace_function tests: SBO vs heap storage, move-only semantics,
+// destruction accounting, and reuse.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/inplace_function.hpp"
+
+using aspen::inplace_function;
+
+namespace {
+
+TEST(InplaceFunction, EmptyByDefault) {
+  inplace_function<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InplaceFunction, InvokesSmallCallable) {
+  int hits = 0;
+  inplace_function<void()> f = [&] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunction, ReturnsValuesAndTakesArgs) {
+  inplace_function<int(int, int)> f = [](int a, int b) { return a * b; };
+  EXPECT_EQ(f(6, 7), 42);
+}
+
+TEST(InplaceFunction, CapturesByValue) {
+  std::uint64_t payload = 0xAB54A98CEB1F0AD2ull;
+  inplace_function<std::uint64_t()> f = [payload] { return payload; };
+  EXPECT_EQ(f(), payload);
+}
+
+TEST(InplaceFunction, LargeCallableSpillsToHeapAndWorks) {
+  struct big {
+    char filler[256];
+    int x;
+  };
+  big b{};
+  b.x = 9;
+  inplace_function<int(), 48> f = [b] { return b.x; };
+  EXPECT_EQ(f(), 9);
+}
+
+TEST(InplaceFunction, MoveTransfersOwnership) {
+  int hits = 0;
+  inplace_function<void()> a = [&] { ++hits; };
+  inplace_function<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InplaceFunction, MoveAssignReplacesTarget) {
+  int first = 0, second = 0;
+  inplace_function<void()> a = [&] { ++first; };
+  inplace_function<void()> b = [&] { ++second; };
+  a = std::move(b);
+  a();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+struct dtor_counter {
+  std::shared_ptr<int> count;
+  explicit dtor_counter(std::shared_ptr<int> c) : count(std::move(c)) {}
+  dtor_counter(dtor_counter&& o) noexcept = default;
+  dtor_counter(const dtor_counter& o) = default;
+  ~dtor_counter() {
+    if (count) ++*count;
+  }
+  void operator()() const {}
+};
+
+TEST(InplaceFunction, DestroysCapturedStateOnce) {
+  auto count = std::make_shared<int>(0);
+  {
+    inplace_function<void()> f{dtor_counter(count)};
+    f();
+  }
+  // Temporaries are moved-from (their counts are null); the single live
+  // capture must be destroyed exactly once by the wrapper.
+  EXPECT_EQ(count.use_count(), 1);  // wrapper released its reference
+}
+
+TEST(InplaceFunction, ResetClearsCallable) {
+  auto count = std::make_shared<int>(0);
+  inplace_function<void()> f{dtor_counter(count)};
+  f.reset();
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_EQ(count.use_count(), 1);
+}
+
+TEST(InplaceFunction, MoveOnlyCaptures) {
+  auto p = std::make_unique<int>(31);
+  inplace_function<int()> f = [q = std::move(p)] { return *q; };
+  EXPECT_EQ(f(), 31);
+  inplace_function<int()> g = std::move(f);
+  EXPECT_EQ(g(), 31);
+}
+
+TEST(InplaceFunction, ChainedReassignments) {
+  inplace_function<int()> f;
+  for (int i = 0; i < 10; ++i) {
+    f = [i] { return i; };
+    EXPECT_EQ(f(), i);
+  }
+}
+
+TEST(InplaceFunction, NestedWrappersCompose) {
+  // The op_record chaining pattern: a wrapper capturing two prior wrappers.
+  int a = 0, b = 0;
+  inplace_function<void(), 64> first = [&] { ++a; };
+  inplace_function<void(), 64> second = [&] { ++b; };
+  inplace_function<void(), 64> both = [f = std::move(first),
+                                       s = std::move(second)]() mutable {
+    f();
+    s();
+  };
+  both();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Cross-module integration stress: mixed RMA, atomics, RPC, collectives and
+// conjoining under several locality models, with full verification.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/aspen.hpp"
+
+using namespace aspen;
+
+namespace {
+
+/// Deterministic mixed workload: every rank performs `ops` randomly chosen
+/// operations against a shared ledger, tracked by a mix of promises and
+/// conjoined futures; afterwards global invariants are checked.
+void run_mixed_workload(int ranks, gex::config gcfg, unsigned seed,
+                        int ops) {
+  aspen::spmd(ranks, gcfg, [&] {
+    const int n = rank_n();
+    // Shared state: per-rank counter array + one global atomic total.
+    auto counters = new_array<std::uint64_t>(static_cast<std::size_t>(n));
+    std::vector<global_ptr<std::uint64_t>> dir(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r)
+      dir[static_cast<std::size_t>(r)] = broadcast(counters, r);
+    global_ptr<std::uint64_t> total;
+    if (rank_me() == 0) total = new_<std::uint64_t>(0);
+    total = broadcast(total, 0);
+    atomic_domain<std::uint64_t> ad(
+        {gex::amo_op::add, gex::amo_op::fadd, gex::amo_op::load});
+    barrier();
+
+    std::mt19937 rng(seed + static_cast<unsigned>(rank_me()));
+    std::uniform_int_distribution<int> op_dist(0, 3);
+    std::uniform_int_distribution<int> rank_dist(0, n - 1);
+
+    std::uint64_t my_contribution = 0;
+    promise<> tracker;
+    future<> conjoined = make_future();
+    for (int i = 0; i < ops; ++i) {
+      const int target = rank_dist(rng);
+      // Each op adds 1 to slot[me] on some target rank's counter array and
+      // 1 to the global total. Slot writes are rank-private (no races);
+      // the total is atomic.
+      auto slot = dir[static_cast<std::size_t>(target)] +
+                  static_cast<std::ptrdiff_t>(rank_me());
+      switch (op_dist(rng)) {
+        case 0: {  // read-modify-write via scalar RMA
+          const std::uint64_t v = rget(slot).wait();
+          // Wait before the next op on this slot may read it (remote puts
+          // complete asynchronously).
+          rput(v + 1, slot).wait();
+          break;
+        }
+        case 1: {  // bulk get + put; conjoin the completed op too
+          std::uint64_t v = 0;
+          rget(slot, &v, 1).wait();
+          future<> put = rput(v + 1, slot, operation_cx::as_future());
+          put.wait();
+          conjoined = when_all(conjoined, put);
+          break;
+        }
+        case 2: {  // rpc does the increment at the owner
+          rpc(target, [](global_ptr<std::uint64_t> s) { *s.local() += 1; },
+              slot)
+              .wait();
+          break;
+        }
+        default: {  // atomic add through the domain
+          std::uint64_t prior = 0;
+          if (current_version().nonfetching_atomics) {
+            ad.fetch_add_into(slot, 1, &prior).wait();
+          } else {
+            (void)ad.fetch_add(slot, 1).wait();
+          }
+          break;
+        }
+      }
+      ad.add(total, 1, operation_cx::as_promise(tracker));
+      ++my_contribution;
+      if (i % 16 == 0) (void)progress();
+    }
+    tracker.finalize().wait();
+    conjoined.wait();
+    barrier();
+
+    // Invariant 1: the global atomic total equals all ops everywhere.
+    const std::uint64_t expected_total =
+        static_cast<std::uint64_t>(ops) * static_cast<std::uint64_t>(n);
+    EXPECT_EQ(ad.load(total).wait(), expected_total);
+
+    // Invariant 2: summing my slot across all counter arrays returns my
+    // op count (slots are written only by me -> no lost updates).
+    std::uint64_t mine = 0;
+    for (int r = 0; r < n; ++r) {
+      std::uint64_t v = 0;
+      rget(dir[static_cast<std::size_t>(r)] +
+               static_cast<std::ptrdiff_t>(rank_me()),
+           &v, 1)
+          .wait();
+      mine += v;
+    }
+    EXPECT_EQ(mine, my_contribution);
+
+    barrier();
+    deallocate(counters);
+    if (rank_me() == 0) delete_(total);
+  });
+}
+
+class IntegrationStress
+    : public ::testing::TestWithParam<std::tuple<int, int, unsigned>> {};
+
+TEST_P(IntegrationStress, MixedWorkloadSmp) {
+  const auto [ranks, ops, seed] = GetParam();
+  run_mixed_workload(ranks, gex::config{}, seed, ops);
+}
+
+TEST_P(IntegrationStress, MixedWorkloadSplitLocality) {
+  const auto [ranks, ops, seed] = GetParam();
+  gex::config g;
+  g.transport = gex::conduit::loopback;
+  g.locality.node_size = 2;
+  run_mixed_workload(ranks, g, seed, ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, IntegrationStress,
+    ::testing::Values(std::make_tuple(2, 300, 11u),
+                      std::make_tuple(4, 200, 23u),
+                      std::make_tuple(8, 100, 37u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, unsigned>>& info) {
+      return "ranks" + std::to_string(std::get<0>(info.param)) + "_ops" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Every emulated library version must produce identical application-level
+// results for the same workload.
+TEST(IntegrationVersions, AllVersionsAgree) {
+  for (auto ver : {emulated_version::v2021_3_0,
+                   emulated_version::v2021_3_6_defer,
+                   emulated_version::v2021_3_6_eager}) {
+    aspen::spmd(4, gex::config{}, version_config::make(ver), [&] {
+      auto gp = new_<std::uint64_t>(0);
+      auto dir0 = broadcast(gp, 0);
+      atomic_domain<std::uint64_t> ad({gex::amo_op::add, gex::amo_op::load});
+      promise<> p;
+      for (int i = 0; i < 100; ++i)
+        ad.add(dir0, 1, operation_cx::as_promise(p));
+      p.finalize().wait();
+      barrier();
+      EXPECT_EQ(ad.load(dir0).wait(), 400u) << to_string(ver);
+      barrier();
+      delete_(gp);
+    });
+  }
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// Graph-matching application tests: generators, sequential reference,
+// distributed solver, and the equality oracle between them.
+#include <gtest/gtest.h>
+
+#include "apps/matching/generators.hpp"
+#include "apps/matching/matcher.hpp"
+#include "apps/matching/verify.hpp"
+
+namespace m = aspen::apps::matching;
+
+namespace {
+
+m::csr_graph triangle_plus_pendant() {
+  // 0-1 (w=5), 1-2 (w=3), 0-2 (w=1), 2-3 (w=2)
+  return m::csr_graph::from_edges(
+      4, {{0, 1, 5.0}, {1, 2, 3.0}, {0, 2, 1.0}, {2, 3, 2.0}});
+}
+
+TEST(CsrGraph, BuildsSymmetrizedDedupedAdjacency) {
+  auto g = m::csr_graph::from_edges(
+      3, {{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 2.0}, {2, 2, 9.0}});
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2u);  // dup removed, self-loop dropped
+  EXPECT_EQ(g.degree(1), 2u);
+  // adjacency heaviest-first
+  EXPECT_EQ(g.neighbors(1)[0], 2);
+  EXPECT_EQ(g.neighbors(1)[1], 0);
+}
+
+TEST(CsrGraph, EdgeListRoundTrips) {
+  auto g = triangle_plus_pendant();
+  auto edges = g.edge_list();
+  EXPECT_EQ(edges.size(), 4u);
+  auto g2 = m::csr_graph::from_edges(4, edges);
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  for (m::vid v = 0; v < 4; ++v) {
+    ASSERT_EQ(g2.degree(v), g.degree(v));
+  }
+}
+
+TEST(SequentialMatcher, PicksGreedyEdges) {
+  auto g = triangle_plus_pendant();
+  auto mate = m::solve_sequential(g);
+  // Greedy: edge (0,1) w=5 first, then (2,3) w=2.
+  EXPECT_EQ(mate[0], 1);
+  EXPECT_EQ(mate[1], 0);
+  EXPECT_EQ(mate[2], 3);
+  EXPECT_EQ(mate[3], 2);
+  auto rep = m::verify_matching(g, mate);
+  EXPECT_TRUE(rep.valid) << rep.error;
+  EXPECT_TRUE(rep.maximal) << rep.error;
+  EXPECT_DOUBLE_EQ(rep.weight, 7.0);
+}
+
+TEST(SequentialMatcher, HalfApproximationOnPath) {
+  // Path 0-1-2-3 with weights 1, 2, 1: greedy takes the middle edge (w=2);
+  // optimum is 1+1=2 as well here, so greedy == optimum; with weights
+  // 1, 1.5, 1 greedy takes middle (1.5) vs optimum 2 -> ratio 0.75 >= 0.5.
+  auto g = m::csr_graph::from_edges(4,
+                                    {{0, 1, 1.0}, {1, 2, 1.5}, {2, 3, 1.0}});
+  auto mate = m::solve_sequential(g);
+  EXPECT_EQ(mate[1], 2);
+  EXPECT_EQ(mate[2], 1);
+  EXPECT_EQ(mate[0], m::kUnmatched);
+  EXPECT_GE(m::matching_weight(g, mate), 0.5 * 2.0);
+}
+
+TEST(VerifyMatching, CatchesAsymmetry) {
+  auto g = triangle_plus_pendant();
+  std::vector<m::vid> mate{1, m::kUnmatched, m::kUnmatched, m::kUnmatched};
+  auto rep = m::verify_matching(g, mate);
+  EXPECT_FALSE(rep.valid);
+  EXPECT_NE(rep.error.find("asymmetric"), std::string::npos);
+}
+
+TEST(VerifyMatching, CatchesNonEdgeMatch) {
+  auto g = m::csr_graph::from_edges(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  std::vector<m::vid> mate{2, m::kUnmatched, 0, m::kUnmatched};
+  auto rep = m::verify_matching(g, mate);
+  EXPECT_FALSE(rep.valid);
+  EXPECT_NE(rep.error.find("not an edge"), std::string::npos);
+}
+
+TEST(VerifyMatching, CatchesNonMaximal) {
+  auto g = m::csr_graph::from_edges(2, {{0, 1, 1.0}});
+  std::vector<m::vid> mate{m::kUnmatched, m::kUnmatched};
+  auto rep = m::verify_matching(g, mate);
+  EXPECT_TRUE(rep.valid);
+  EXPECT_FALSE(rep.maximal);
+}
+
+// --- generators -----------------------------------------------------------
+
+TEST(Generators, ChannelLatticeShape) {
+  auto g = m::gen_channel(4, 5, 6);
+  EXPECT_EQ(g.num_vertices(), 120);
+  // |E| = (nx-1)ny nz + nx(ny-1)nz + nx ny(nz-1)
+  EXPECT_EQ(g.num_edges(), 3u * 30 + 4 * 4 * 6 + 4 * 5 * 5);
+}
+
+TEST(Generators, RggDegreeNearTarget) {
+  const m::vid n = 4000;
+  auto g = m::gen_rgg(n, m::rgg_radius_for_degree(n, 6.0));
+  const double avg_deg =
+      2.0 * static_cast<double>(g.num_edges()) / static_cast<double>(n);
+  EXPECT_GT(avg_deg, 3.5);
+  EXPECT_LT(avg_deg, 8.5);
+}
+
+TEST(Generators, PowerlawHasHubs) {
+  auto g = m::gen_powerlaw(2000, 3);
+  std::size_t max_deg = 0;
+  for (m::vid v = 0; v < g.num_vertices(); ++v)
+    max_deg = std::max(max_deg, g.degree(v));
+  // Preferential attachment must produce hubs far above the mean (~6).
+  EXPECT_GT(max_deg, 30u);
+}
+
+TEST(Generators, PaperRandomAddsLongEdges) {
+  auto base_n = m::vid{3000};
+  auto g0 = m::gen_rgg(base_n, m::rgg_radius_for_degree(base_n, 10.0));
+  auto g15 = m::gen_paper_random(base_n, 15);
+  EXPECT_GT(g15.num_edges(), g0.num_edges());
+}
+
+TEST(Generators, Deterministic) {
+  auto a = m::gen_powerlaw(500, 2, 42);
+  auto b = m::gen_powerlaw(500, 2, 42);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (m::vid v = 0; v < a.num_vertices(); ++v) {
+    ASSERT_EQ(a.degree(v), b.degree(v));
+    auto na = a.neighbors(v), nb = b.neighbors(v);
+    for (std::size_t i = 0; i < na.size(); ++i) ASSERT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(Generators, EdgeWeightSymmetricAndDistinctish) {
+  EXPECT_DOUBLE_EQ(m::edge_weight(3, 9, 1), m::edge_weight(9, 3, 1));
+  EXPECT_NE(m::edge_weight(3, 9, 1), m::edge_weight(3, 10, 1));
+  const double w = m::edge_weight(100, 200, 7);
+  EXPECT_GT(w, 0.0);
+  EXPECT_LT(w, 1.0);
+}
+
+// --- distributed solver ----------------------------------------------------
+
+void expect_distributed_equals_sequential(const m::csr_graph& g, int ranks) {
+  const auto expected = m::solve_sequential(g);
+  aspen::spmd(ranks, [&] {
+    auto d = m::dist_graph::build(g);
+    m::solve_stats stats;
+    auto local = m::solve_distributed(d, stats);
+    auto full = m::gather_mates(d, local);
+    if (aspen::rank_me() == 0) {
+      auto rep = m::verify_matching(g, full);
+      EXPECT_TRUE(rep.valid) << rep.error;
+      EXPECT_TRUE(rep.maximal) << rep.error;
+      EXPECT_TRUE(m::same_matching(full, expected))
+          << "distributed matching differs from greedy reference";
+    }
+  });
+}
+
+TEST(DistributedMatcher, TinyGraph) {
+  expect_distributed_equals_sequential(triangle_plus_pendant(), 2);
+}
+
+TEST(DistributedMatcher, ChannelFourRanks) {
+  expect_distributed_equals_sequential(m::gen_channel(6, 6, 6), 4);
+}
+
+TEST(DistributedMatcher, RggFourRanks) {
+  const m::vid n = 3000;
+  expect_distributed_equals_sequential(
+      m::gen_rgg(n, m::rgg_radius_for_degree(n, 6.0)), 4);
+}
+
+TEST(DistributedMatcher, PowerlawEightRanks) {
+  expect_distributed_equals_sequential(m::gen_powerlaw(2000, 3), 8);
+}
+
+TEST(DistributedMatcher, PaperRandomTwoRanks) {
+  expect_distributed_equals_sequential(m::gen_paper_random(1500, 15), 2);
+}
+
+TEST(DistributedMatcher, SingleRankMatchesSequential) {
+  expect_distributed_equals_sequential(m::gen_powerlaw(1000, 2), 1);
+}
+
+TEST(DistributedMatcher, CrossRankFractionOrdersInputs) {
+  // The premise of Fig. 8: channel has far fewer cross-rank adjacency
+  // entries than the power-law graph under the same partitioning.
+  aspen::spmd(4, [] {
+    auto channel = m::dist_graph::build(m::gen_channel(12, 12, 12));
+    auto youtube = m::dist_graph::build(m::gen_powerlaw(1728, 3));
+    const double cf = aspen::allreduce_sum(channel.cross_rank_fraction());
+    const double yf = aspen::allreduce_sum(youtube.cross_rank_fraction());
+    if (aspen::rank_me() == 0) {
+      EXPECT_LT(cf, yf);
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// Property-style matching tests: the distributed solver must equal the
+// sequential greedy reference on randomized inputs across rank counts, and
+// the generators must satisfy their structural contracts.
+#include <gtest/gtest.h>
+
+#include "apps/matching/generators.hpp"
+#include "apps/matching/matcher.hpp"
+#include "apps/matching/verify.hpp"
+
+namespace m = aspen::apps::matching;
+using namespace aspen;
+
+namespace {
+
+class MatchingProperty
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(MatchingProperty, RandomGraphsMatchGreedy) {
+  const auto [ranks, seed] = GetParam();
+  // Erdos-Renyi-ish random graph from the splitmix generator.
+  m::splitmix64 rng(seed);
+  const m::vid n = 600;
+  std::vector<m::edge> edges;
+  const int medges = 2500;
+  for (int i = 0; i < medges; ++i) {
+    const auto u = static_cast<m::vid>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<m::vid>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    edges.push_back({u, v, m::edge_weight(u, v, seed)});
+  }
+  auto g = m::csr_graph::from_edges(n, std::move(edges));
+  const auto expected = m::solve_sequential(g);
+
+  aspen::spmd(ranks, [&] {
+    auto d = m::dist_graph::build(g);
+    m::solve_stats stats;
+    auto local = m::solve_distributed(d, stats);
+    auto full = m::gather_mates(d, local);
+    if (rank_me() == 0) {
+      auto rep = m::verify_matching(g, full);
+      EXPECT_TRUE(rep.valid) << rep.error;
+      EXPECT_TRUE(rep.maximal) << rep.error;
+      EXPECT_TRUE(m::same_matching(full, expected));
+      // Half-approximation sanity: greedy weight is within 2x of any
+      // matching, in particular itself; just check equality of weights.
+      EXPECT_DOUBLE_EQ(rep.weight, m::matching_weight(g, expected));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, MatchingProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(17u, 91u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, unsigned>>& info) {
+      return "ranks" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(MatchingEdgeCases, EmptyGraph) {
+  auto g = m::csr_graph::from_edges(5, {});
+  auto mate = m::solve_sequential(g);
+  for (m::vid v = 0; v < 5; ++v) EXPECT_EQ(mate[v], m::kUnmatched);
+  aspen::spmd(2, [&] {
+    auto d = m::dist_graph::build(g);
+    m::solve_stats stats;
+    auto local = m::solve_distributed(d, stats);
+    auto full = m::gather_mates(d, local);
+    if (rank_me() == 0) {
+      for (m::vid v = 0; v < 5; ++v) EXPECT_EQ(full[v], m::kUnmatched);
+    }
+  });
+}
+
+TEST(MatchingEdgeCases, SingleEdge) {
+  auto g = m::csr_graph::from_edges(2, {{0, 1, 1.0}});
+  aspen::spmd(2, [&] {
+    auto d = m::dist_graph::build(g);
+    m::solve_stats stats;
+    auto local = m::solve_distributed(d, stats);
+    auto full = m::gather_mates(d, local);
+    if (rank_me() == 0) {
+      EXPECT_EQ(full[0], 1);
+      EXPECT_EQ(full[1], 0);
+    }
+  });
+}
+
+TEST(MatchingEdgeCases, StarGraphMatchesHeaviestSpoke) {
+  // Center 0 with spokes of increasing weight: only the heaviest spoke
+  // edge can be matched.
+  std::vector<m::edge> edges;
+  for (m::vid v = 1; v <= 6; ++v)
+    edges.push_back({0, v, static_cast<double>(v)});
+  auto g = m::csr_graph::from_edges(7, edges);
+  auto mate = m::solve_sequential(g);
+  EXPECT_EQ(mate[0], 6);
+  EXPECT_EQ(mate[6], 0);
+  for (m::vid v = 1; v <= 5; ++v) EXPECT_EQ(mate[v], m::kUnmatched);
+
+  aspen::spmd(4, [&] {
+    auto d = m::dist_graph::build(g);
+    m::solve_stats stats;
+    auto local = m::solve_distributed(d, stats);
+    auto full = m::gather_mates(d, local);
+    if (rank_me() == 0) {
+      EXPECT_TRUE(m::same_matching(full, mate));
+    }
+  });
+}
+
+TEST(MatchingEdgeCases, PerfectMatchingOnEvenCycle) {
+  // Even cycle with strictly decreasing weights: greedy pairs (0,1),
+  // (2,3), ... — a perfect matching.
+  std::vector<m::edge> edges;
+  const m::vid n = 10;
+  for (m::vid v = 0; v < n; ++v)
+    edges.push_back({v, (v + 1) % n, 100.0 - static_cast<double>(v)});
+  auto g = m::csr_graph::from_edges(n, edges);
+  auto mate = m::solve_sequential(g);
+  for (m::vid v = 0; v < n; ++v) EXPECT_NE(mate[v], m::kUnmatched);
+  aspen::spmd(3, [&] {
+    auto d = m::dist_graph::build(g);
+    m::solve_stats stats;
+    auto local = m::solve_distributed(d, stats);
+    auto full = m::gather_mates(d, local);
+    if (rank_me() == 0) {
+      EXPECT_TRUE(m::same_matching(full, mate));
+    }
+  });
+}
+
+TEST(MatchingGenerators, RelabelPreservesStructure) {
+  auto g = m::gen_rgg(2000, m::rgg_radius_for_degree(2000, 6.0), 5);
+  auto r = m::relabel_fraction(g, 0.1, 99);
+  EXPECT_EQ(r.num_vertices(), g.num_vertices());
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  // Degree multiset preserved (relabeling is a permutation).
+  std::vector<std::size_t> dg, dr;
+  for (m::vid v = 0; v < g.num_vertices(); ++v) {
+    dg.push_back(g.degree(v));
+    dr.push_back(r.degree(v));
+  }
+  std::sort(dg.begin(), dg.end());
+  std::sort(dr.begin(), dr.end());
+  EXPECT_EQ(dg, dr);
+}
+
+TEST(MatchingGenerators, RelabelIncreasesCrossRankAdjacency) {
+  auto g = m::gen_rgg(4000, m::rgg_radius_for_degree(4000, 6.0), 5);
+  auto r = m::relabel_fraction(g, 0.2, 99);
+  aspen::spmd(4, [&] {
+    auto dg = m::dist_graph::build(g);
+    auto dr = m::dist_graph::build(r);
+    // Collectives must be explicitly sequenced (argument evaluation order
+    // inside one expression is unspecified and would desynchronize ranks).
+    const double base = allreduce_sum(dg.cross_rank_fraction());
+    const double relabeled = allreduce_sum(dr.cross_rank_fraction());
+    if (rank_me() == 0) {
+      EXPECT_GT(relabeled, base);
+    }
+  });
+}
+
+TEST(MatchingGenerators, Fig8InputsConstructAtSmallScale) {
+  const auto inputs = m::fig8_inputs(0.25);
+  ASSERT_EQ(inputs.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& in : inputs) {
+    names.insert(in.name);
+    EXPECT_GE(in.graph.num_vertices(), 1024);
+    EXPECT_GT(in.graph.num_edges(), 0u);
+  }
+  EXPECT_EQ(names.size(), 5u);  // all distinct
+}
+
+TEST(MatchingStats, SolveReportsCommunicationCounts) {
+  auto g = m::gen_powerlaw(1200, 3, 7);
+  aspen::spmd(4, [&] {
+    auto d = m::dist_graph::build(g);
+    m::solve_stats stats;
+    (void)m::solve_distributed(d, stats);
+    const auto gets = allreduce_sum(stats.rma_gets);
+    const auto direct = allreduce_sum(stats.direct_reads);
+    if (rank_me() == 0) {
+      EXPECT_GT(stats.rounds, 0);
+      EXPECT_GT(gets + direct, 0u);
+      // A power-law graph on 4 ranks must need cross-rank reads.
+      EXPECT_GT(gets, 0u);
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// MPSC queue tests: FIFO-per-producer delivery, drain semantics, and a
+// multi-threaded stress test.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "gex/mpsc_queue.hpp"
+
+using aspen::gex::mpsc_queue;
+
+namespace {
+
+TEST(MpscQueue, EmptyDrainsNothing) {
+  mpsc_queue<int> q;
+  std::vector<int> out;
+  EXPECT_FALSE(q.maybe_nonempty());
+  EXPECT_EQ(q.drain_into(out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MpscQueue, SingleProducerFifo) {
+  mpsc_queue<int> q;
+  for (int i = 0; i < 100; ++i) q.push(i);
+  EXPECT_TRUE(q.maybe_nonempty());
+  std::vector<int> out;
+  EXPECT_EQ(q.drain_into(out), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+  EXPECT_FALSE(q.maybe_nonempty());
+}
+
+TEST(MpscQueue, DrainAppendsToExistingVector) {
+  mpsc_queue<int> q;
+  q.push(2);
+  std::vector<int> out{1};
+  q.drain_into(out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+}
+
+TEST(MpscQueue, InterleavedPushDrain) {
+  mpsc_queue<int> q;
+  std::vector<int> out;
+  q.push(1);
+  q.drain_into(out);
+  q.push(2);
+  q.push(3);
+  q.drain_into(out);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(MpscQueue, MoveOnlyElements) {
+  mpsc_queue<std::unique_ptr<int>> q;
+  q.push(std::make_unique<int>(5));
+  std::vector<std::unique_ptr<int>> out;
+  q.drain_into(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(*out[0], 5);
+}
+
+TEST(MpscQueue, MultiProducerStress) {
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 5'000;
+  mpsc_queue<std::pair<int, int>> q;  // (producer, seq)
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push({p, i});
+    });
+  }
+
+  std::vector<std::pair<int, int>> got;
+  got.reserve(kProducers * kPerProducer);
+  while (got.size() < kProducers * kPerProducer) {
+    q.drain_into(got);
+    std::this_thread::yield();
+  }
+  for (auto& t : producers) t.join();
+
+  // Every message delivered exactly once, and FIFO per producer.
+  std::vector<int> next_seq(kProducers, 0);
+  for (const auto& [p, seq] : got) {
+    ASSERT_EQ(seq, next_seq[static_cast<std::size_t>(p)]);
+    ++next_seq[static_cast<std::size_t>(p)];
+  }
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next_seq[p], kPerProducer);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// promise<T...> unit tests: the dependency-counter protocol, result
+// fulfillment, finalize semantics, and sharing.
+#include <gtest/gtest.h>
+
+#include "core/aspen.hpp"
+
+using namespace aspen;
+
+namespace {
+
+TEST(Promise, FreshPromiseNotReady) {
+  promise<> p;
+  EXPECT_FALSE(p.get_future().ready());
+  EXPECT_FALSE(p.finalized());
+}
+
+TEST(Promise, FinalizeAloneReadiesEmptyPromise) {
+  promise<> p;
+  future<> f = p.finalize();
+  EXPECT_TRUE(p.finalized());
+  EXPECT_TRUE(f.ready());
+}
+
+TEST(Promise, AnonymousDependenciesGateReadiness) {
+  promise<> p;
+  p.require_anonymous(3);
+  future<> f = p.finalize();
+  EXPECT_FALSE(f.ready());
+  p.fulfill_anonymous(1);
+  EXPECT_FALSE(f.ready());
+  p.fulfill_anonymous(2);
+  EXPECT_TRUE(f.ready());
+}
+
+TEST(Promise, FulfillBeforeFinalizeKeepsPending) {
+  promise<> p;
+  p.require_anonymous(2);
+  p.fulfill_anonymous(2);
+  EXPECT_FALSE(p.get_future().ready());  // finalize token outstanding
+  EXPECT_TRUE(p.finalize().ready());
+}
+
+TEST(Promise, BulkFulfillment) {
+  promise<> p;
+  p.require_anonymous(100);
+  future<> f = p.finalize();
+  p.fulfill_anonymous(100);
+  EXPECT_TRUE(f.ready());
+}
+
+TEST(Promise, ValuedPromiseProtocol) {
+  promise<int> p;
+  future<int> f = p.get_future();
+  p.fulfill_result(41);
+  EXPECT_FALSE(f.ready());  // counter still holds the finalize token
+  p.finalize();
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.result(), 41);
+}
+
+TEST(Promise, MultiValuedPromise) {
+  promise<int, double> p;
+  p.fulfill_result(1, 2.5);
+  auto f = p.finalize();
+  auto [i, d] = f.result_tuple();
+  EXPECT_EQ(i, 1);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+}
+
+TEST(Promise, CopiesShareTheSameCell) {
+  promise<> p;
+  p.require_anonymous(1);
+  promise<> q = p;
+  future<> f = p.finalize();
+  EXPECT_TRUE(q.finalized());  // shared state
+  EXPECT_FALSE(f.ready());
+  q.fulfill_anonymous(1);
+  EXPECT_TRUE(f.ready());
+}
+
+TEST(Promise, MoveLeavesSourceDetached) {
+  promise<> p;
+  promise<> q = std::move(p);
+  future<> f = q.finalize();
+  EXPECT_TRUE(f.ready());
+}
+
+TEST(Promise, GetFutureBeforeAndAfterReadinessAgree) {
+  promise<int> p;
+  future<int> before = p.get_future();
+  p.fulfill_result(5);
+  future<int> mid = p.get_future();
+  p.finalize();
+  future<int> after = p.get_future();
+  EXPECT_TRUE(before.ready());
+  EXPECT_TRUE(mid.ready());
+  EXPECT_TRUE(after.ready());
+  EXPECT_EQ(before.result(), after.result());
+}
+
+TEST(Promise, ContinuationsFireWhenCounterHitsZero) {
+  promise<> p;
+  p.require_anonymous(2);
+  int fired = 0;
+  p.get_future().then([&] { ++fired; });
+  future<> f = p.finalize();
+  EXPECT_EQ(fired, 0);
+  p.fulfill_anonymous(1);
+  EXPECT_EQ(fired, 0);
+  p.fulfill_anonymous(1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(f.ready());
+}
+
+TEST(Promise, ManyPromisesIndependent) {
+  std::vector<promise<>> ps(50);
+  std::vector<future<>> fs;
+  fs.reserve(ps.size());
+  for (auto& p : ps) {
+    p.require_anonymous(1);
+    fs.push_back(p.finalize());
+  }
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_FALSE(fs[i].ready());
+    ps[i].fulfill_anonymous(1);
+    EXPECT_TRUE(fs[i].ready());
+  }
+}
+
+// The GUPS idiom: one promise tracking many operations (paper §II-A).
+TEST(Promise, TracksManyRmaOperations) {
+  aspen::spmd(2, [] {
+    constexpr int kOps = 200;
+    global_ptr<std::uint64_t> gp;
+    if (rank_me() == 1) gp = new_<std::uint64_t>(0);
+    gp = broadcast(gp, 1);
+    if (aspen::rank_me() == 0) {
+      promise<> p;
+      for (int i = 0; i < kOps; ++i)
+        rput(static_cast<std::uint64_t>(i), gp,
+             operation_cx::as_promise(p));
+      p.finalize().wait();
+      EXPECT_EQ(rget(gp).wait(), static_cast<std::uint64_t>(kOps - 1));
+    }
+    barrier();
+    if (rank_me() == 1) delete_(gp);
+  });
+}
+
+// A valued promise fed by a fetching operation (rget's as_promise).
+TEST(Promise, ValuedPromiseFromRget) {
+  aspen::spmd(1, [] {
+    auto gp = new_<std::uint64_t>(77);
+    promise<std::uint64_t> p;
+    rget(gp, operation_cx::as_promise(p));
+    EXPECT_EQ(p.finalize().wait(), 77u);
+    delete_(gp);
+  });
+}
+
+}  // namespace

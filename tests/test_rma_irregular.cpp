@@ -1,0 +1,143 @@
+// Irregular (fragment-list) RMA tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/aspen.hpp"
+
+using namespace aspen;
+
+namespace {
+
+gex::config split_config() {
+  gex::config g;
+  g.transport = gex::conduit::loopback;
+  g.locality.node_size = 1;
+  return g;
+}
+
+TEST(RmaIrregular, LocalScatterGather) {
+  aspen::spmd(1, [] {
+    auto arr = new_array<int>(20);
+    std::vector<int> src(10);
+    std::iota(src.begin(), src.end(), 1);
+    // One contiguous source fragment scattered into three remote pieces.
+    const local_frag<const int> sfrags[] = {{src.data(), 10}};
+    const global_frag<int> dfrags[] = {{arr + 0, 3}, {arr + 8, 5},
+                                       {arr + 17, 2}};
+    rput_irregular<int>(sfrags, dfrags).wait();
+    EXPECT_EQ(arr.local()[0], 1);
+    EXPECT_EQ(arr.local()[2], 3);
+    EXPECT_EQ(arr.local()[8], 4);
+    EXPECT_EQ(arr.local()[12], 8);
+    EXPECT_EQ(arr.local()[17], 9);
+    EXPECT_EQ(arr.local()[18], 10);
+
+    // Gather the same three pieces back into two local fragments.
+    std::vector<int> back(10, 0);
+    const global_frag<int> gfrags[] = {{arr + 0, 3}, {arr + 8, 5},
+                                       {arr + 17, 2}};
+    const local_frag<int> lfrags[] = {{back.data(), 4}, {back.data() + 4, 6}};
+    rget_irregular<int>(gfrags, lfrags).wait();
+    EXPECT_EQ(back, src);
+    delete_array(arr);
+  });
+}
+
+TEST(RmaIrregular, DifferentFragmentationBothSides) {
+  aspen::spmd(1, [] {
+    auto arr = new_array<std::uint64_t>(12);
+    std::vector<std::uint64_t> a(5), b(7);
+    std::iota(a.begin(), a.end(), 100u);
+    std::iota(b.begin(), b.end(), 200u);
+    const local_frag<const std::uint64_t> sfrags[] = {{a.data(), 5},
+                                                      {b.data(), 7}};
+    const global_frag<std::uint64_t> dfrags[] = {
+        {arr + 0, 2}, {arr + 2, 9}, {arr + 11, 1}};
+    rput_irregular<std::uint64_t>(sfrags, dfrags).wait();
+    const std::uint64_t expect[12] = {100, 101, 102, 103, 104, 200,
+                                      201, 202, 203, 204, 205, 206};
+    for (int i = 0; i < 12; ++i) EXPECT_EQ(arr.local()[i], expect[i]);
+    delete_array(arr);
+  });
+}
+
+TEST(RmaIrregular, RemotePutAndGet) {
+  aspen::spmd(2, split_config(), [] {
+    global_ptr<int> arr;
+    if (rank_me() == 1) arr = new_array<int>(32);
+    arr = broadcast(arr, 1);
+    if (rank_me() == 0) {
+      std::vector<int> src(12);
+      std::iota(src.begin(), src.end(), 50);
+      const local_frag<const int> sfrags[] = {{src.data(), 5},
+                                              {src.data() + 5, 7}};
+      const global_frag<int> dfrags[] = {{arr + 1, 4}, {arr + 10, 8}};
+      future<> f = rput_irregular<int>(sfrags, dfrags);
+      EXPECT_FALSE(f.ready());  // remote: deferred
+      f.wait();
+
+      std::vector<int> back(12, 0);
+      const global_frag<int> gfrags[] = {{arr + 1, 4}, {arr + 10, 8}};
+      const local_frag<int> lfrags[] = {{back.data(), 12}};
+      rget_irregular<int>(gfrags, lfrags).wait();
+      EXPECT_EQ(back, src);
+    }
+    barrier();
+    if (rank_me() == 1) {
+      EXPECT_EQ(arr.local()[1], 50);
+      EXPECT_EQ(arr.local()[4], 53);
+      EXPECT_EQ(arr.local()[10], 54);
+      EXPECT_EQ(arr.local()[17], 61);
+      delete_array(arr);
+    }
+  });
+}
+
+TEST(RmaIrregular, PromiseCompletionAndEagerness) {
+  aspen::spmd(1, [] {
+    auto arr = new_array<int>(8);
+    int v[4] = {9, 8, 7, 6};
+    const local_frag<const int> s[] = {{v, 4}};
+    const global_frag<int> d[] = {{arr + 0, 2}, {arr + 6, 2}};
+    promise<> p;
+    rput_irregular<int>(s, d, operation_cx::as_promise(p));
+    p.finalize().wait();
+    EXPECT_EQ(arr.local()[6], 7);
+    EXPECT_TRUE(
+        rput_irregular<int>(s, d, operation_cx::as_eager_future()).ready());
+    future<> df =
+        rput_irregular<int>(s, d, operation_cx::as_defer_future());
+    EXPECT_FALSE(df.ready());
+    df.wait();
+    delete_array(arr);
+  });
+}
+
+TEST(RmaIrregular, ManyTinyFragments) {
+  aspen::spmd(2, split_config(), [] {
+    constexpr int kN = 64;
+    global_ptr<int> arr;
+    if (rank_me() == 1) arr = new_array<int>(kN);
+    arr = broadcast(arr, 1);
+    if (rank_me() == 0) {
+      std::vector<int> src(kN);
+      std::iota(src.begin(), src.end(), 0);
+      // One fragment per element on the destination side.
+      std::vector<global_frag<int>> dfrags;
+      for (int i = 0; i < kN; ++i)
+        dfrags.push_back({arr + (kN - 1 - i), 1});  // reversed order
+      const local_frag<const int> sfrags[] = {{src.data(), kN}};
+      rput_irregular<int>(sfrags, dfrags).wait();
+      std::vector<int> back(kN, -1);
+      const global_frag<int> gfrags[] = {{arr + 0, kN}};
+      const local_frag<int> lfrags[] = {{back.data(), kN}};
+      rget_irregular<int>(gfrags, lfrags).wait();
+      for (int i = 0; i < kN; ++i) EXPECT_EQ(back[i], kN - 1 - i);
+    }
+    barrier();
+    if (rank_me() == 1) delete_array(arr);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Serialization round-trip tests for every supported type family.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/serialization.hpp"
+
+using namespace aspen;
+
+namespace {
+
+template <typename T>
+T round_trip(const T& v) {
+  ser_writer w;
+  w.write(v);
+  ser_reader r(w.data(), w.size());
+  T out = r.read<T>();
+  EXPECT_EQ(r.remaining(), 0u) << "trailing bytes after read";
+  return out;
+}
+
+TEST(Serialization, TrivialScalars) {
+  EXPECT_EQ(round_trip(42), 42);
+  EXPECT_EQ(round_trip(std::uint64_t{0xDEADBEEFCAFEBABE}),
+            0xDEADBEEFCAFEBABEull);
+  EXPECT_DOUBLE_EQ(round_trip(3.14159), 3.14159);
+  EXPECT_EQ(round_trip('x'), 'x');
+  EXPECT_EQ(round_trip(true), true);
+}
+
+TEST(Serialization, TrivialStruct) {
+  struct pod {
+    int a;
+    double b;
+    bool operator==(const pod&) const = default;
+  };
+  EXPECT_EQ(round_trip(pod{5, 2.5}), (pod{5, 2.5}));
+}
+
+TEST(Serialization, Strings) {
+  EXPECT_EQ(round_trip(std::string{}), "");
+  EXPECT_EQ(round_trip(std::string("hello world")), "hello world");
+  std::string big(10'000, 'q');
+  EXPECT_EQ(round_trip(big), big);
+  std::string with_nulls("a\0b\0c", 5);
+  EXPECT_EQ(round_trip(with_nulls), with_nulls);
+}
+
+TEST(Serialization, VectorsOfTrivial) {
+  EXPECT_EQ(round_trip(std::vector<int>{}), std::vector<int>{});
+  std::vector<std::uint32_t> v{1, 2, 3, 4, 5};
+  EXPECT_EQ(round_trip(v), v);
+}
+
+TEST(Serialization, VectorsOfStrings) {
+  std::vector<std::string> v{"a", "", "long string with spaces", "z"};
+  EXPECT_EQ(round_trip(v), v);
+}
+
+TEST(Serialization, NestedVectors) {
+  std::vector<std::vector<int>> v{{1, 2}, {}, {3}};
+  EXPECT_EQ(round_trip(v), v);
+}
+
+TEST(Serialization, PairsAndTuples) {
+  auto p = std::pair<std::string, int>{"k", 9};
+  EXPECT_EQ(round_trip(p), p);
+  auto t = std::tuple<int, std::string, double>{1, "two", 3.0};
+  EXPECT_EQ(round_trip(t), t);
+}
+
+TEST(Serialization, TupleReadOrderIsLeftToRight) {
+  // Regression guard: tuple deserialization must consume fields in
+  // declaration order, or heterogeneous tuples scramble.
+  auto t = std::tuple<std::uint8_t, std::uint32_t, std::string>{7, 123456,
+                                                                "tail"};
+  EXPECT_EQ(round_trip(t), t);
+}
+
+TEST(Serialization, ArraysOfNonTrivial) {
+  std::array<std::string, 3> a{"x", "yy", "zzz"};
+  EXPECT_EQ(round_trip(a), a);
+}
+
+TEST(Serialization, MultipleValuesSequentially) {
+  ser_writer w;
+  w.write(1);
+  w.write(std::string("mid"));
+  w.write(2.0);
+  ser_reader r(w.data(), w.size());
+  EXPECT_EQ(r.read<int>(), 1);
+  EXPECT_EQ(r.read<std::string>(), "mid");
+  EXPECT_DOUBLE_EQ(r.read<double>(), 2.0);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Serialization, WriterTakeMovesBuffer) {
+  ser_writer w;
+  w.write(77);
+  auto buf = w.take();
+  EXPECT_EQ(buf.size(), sizeof(int));
+  ser_reader r(buf.data(), buf.size());
+  EXPECT_EQ(r.read<int>(), 77);
+}
+
+TEST(Serialization, ConceptAcceptsAndRejects) {
+  static_assert(serializable<int>);
+  static_assert(serializable<std::string>);
+  static_assert(serializable<std::vector<std::string>>);
+  static_assert(serializable<std::pair<int, std::string>>);
+  struct has_pointer_graph {
+    std::unique_ptr<int> p;
+  };
+  static_assert(!serializable<has_pointer_graph>);
+}
+
+// User-type customization point.
+struct custom {
+  int x = 0;
+  std::string tag;
+  bool operator==(const custom&) const = default;
+};
+
+}  // namespace
+
+template <>
+struct aspen::serde<custom> {
+  static void write(ser_writer& w, const custom& c) {
+    w.write(c.x);
+    w.write(c.tag);
+  }
+  static custom read(ser_reader& r) {
+    custom c;
+    c.x = r.read<int>();
+    c.tag = r.read<std::string>();
+    return c;
+  }
+};
+
+namespace {
+
+TEST(Serialization, UserSpecialization) {
+  custom c{11, "custom-tag"};
+  EXPECT_EQ(round_trip(c), c);
+  static_assert(serializable<custom>);
+}
+
+}  // namespace

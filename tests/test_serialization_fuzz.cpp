@@ -1,0 +1,121 @@
+// Randomized serialization round-trip property tests: nested containers of
+// random shapes and contents must survive write/read exactly, and packed
+// streams of mixed values must decode in order.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/serialization.hpp"
+
+using namespace aspen;
+
+namespace {
+
+std::string random_string(std::mt19937& rng, std::size_t max_len) {
+  std::uniform_int_distribution<std::size_t> len(0, max_len);
+  std::uniform_int_distribution<int> ch(0, 255);
+  std::string s(len(rng), '\0');
+  for (char& c : s) c = static_cast<char>(ch(rng));
+  return s;
+}
+
+TEST(SerializationFuzz, NestedVectorOfStringsRoundTrips) {
+  std::mt19937 rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    std::uniform_int_distribution<std::size_t> outer(0, 8);
+    std::vector<std::vector<std::string>> v(outer(rng));
+    for (auto& inner : v) {
+      inner.resize(outer(rng));
+      for (auto& s : inner) s = random_string(rng, 64);
+    }
+    ser_writer w;
+    w.write(v);
+    ser_reader r(w.data(), w.size());
+    const auto back = r.read<std::vector<std::vector<std::string>>>();
+    ASSERT_EQ(back, v) << "round " << round;
+    ASSERT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(SerializationFuzz, MixedValueStreamsDecodeInOrder) {
+  std::mt19937 rng(7);
+  for (int round = 0; round < 50; ++round) {
+    // Write a random-length interleaving of (tag, value) pairs, then read
+    // it back following the tags.
+    std::uniform_int_distribution<int> tag_dist(0, 2);
+    std::uniform_int_distribution<std::uint64_t> u64;
+    std::uniform_int_distribution<int> count(1, 30);
+    const int n = count(rng);
+    std::vector<int> tags;
+    std::vector<std::uint64_t> u64s;
+    std::vector<double> doubles;
+    std::vector<std::string> strings;
+
+    ser_writer w;
+    for (int i = 0; i < n; ++i) {
+      const int tag = tag_dist(rng);
+      tags.push_back(tag);
+      w.write(tag);
+      switch (tag) {
+        case 0: {
+          u64s.push_back(u64(rng));
+          w.write(u64s.back());
+          break;
+        }
+        case 1: {
+          doubles.push_back(static_cast<double>(u64(rng)) * 0x1.0p-32);
+          w.write(doubles.back());
+          break;
+        }
+        default: {
+          strings.push_back(random_string(rng, 40));
+          w.write(strings.back());
+          break;
+        }
+      }
+    }
+
+    ser_reader r(w.data(), w.size());
+    std::size_t iu = 0, id = 0, is = 0;
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(r.read<int>(), tags[static_cast<std::size_t>(i)]);
+      switch (tags[static_cast<std::size_t>(i)]) {
+        case 0:
+          ASSERT_EQ(r.read<std::uint64_t>(), u64s[iu++]);
+          break;
+        case 1:
+          ASSERT_DOUBLE_EQ(r.read<double>(), doubles[id++]);
+          break;
+        default:
+          ASSERT_EQ(r.read<std::string>(), strings[is++]);
+          break;
+      }
+    }
+    ASSERT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(SerializationFuzz, TuplesOfEverything) {
+  std::mt19937 rng(99);
+  for (int round = 0; round < 30; ++round) {
+    auto t = std::tuple<std::uint32_t, std::string,
+                        std::vector<std::pair<int, std::string>>>(
+        static_cast<std::uint32_t>(rng()), random_string(rng, 20), {});
+    std::uniform_int_distribution<std::size_t> count(0, 6);
+    auto& vec = std::get<2>(t);
+    vec.resize(count(rng));
+    for (auto& [k, s] : vec) {
+      k = static_cast<int>(rng());
+      s = random_string(rng, 12);
+    }
+    ser_writer w;
+    w.write(t);
+    ser_reader r(w.data(), w.size());
+    const auto back = r.read<decltype(t)>();
+    ASSERT_EQ(back, t) << "round " << round;
+  }
+}
+
+}  // namespace

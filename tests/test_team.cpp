@@ -1,0 +1,134 @@
+// Team tests: world team, splits, rank translation, team collectives,
+// local_team under different locality models.
+#include <gtest/gtest.h>
+
+#include "core/aspen.hpp"
+
+using namespace aspen;
+
+namespace {
+
+TEST(Team, WorldCoversAllRanks) {
+  aspen::spmd(4, [] {
+    team w = team::world();
+    EXPECT_EQ(w.rank_n(), 4);
+    EXPECT_EQ(w.rank_me(), rank_me());
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(w.to_world(r), r);
+      EXPECT_EQ(w.from_world(r), r);
+    }
+    w.barrier();
+  });
+}
+
+TEST(Team, SplitEvenOdd) {
+  aspen::spmd(6, [] {
+    team t = team::world().split(rank_me() % 2, rank_me());
+    EXPECT_EQ(t.rank_n(), 3);
+    EXPECT_EQ(t.to_world(t.rank_me()), rank_me());
+    // Team ranks ordered by key (here: world rank).
+    EXPECT_EQ(t.rank_me(), rank_me() / 2);
+    // Non-members translate to -1.
+    const int non_member = rank_me() % 2 == 0 ? 1 : 0;
+    EXPECT_EQ(t.from_world(non_member), -1);
+    t.barrier();
+    barrier();
+  });
+}
+
+TEST(Team, SplitWithReversedKeys) {
+  aspen::spmd(4, [] {
+    // One team, ranks ordered by descending world rank.
+    team t = team::world().split(0, -rank_me());
+    EXPECT_EQ(t.rank_n(), 4);
+    EXPECT_EQ(t.rank_me(), 3 - rank_me());
+    EXPECT_EQ(t.to_world(0), 3);
+    t.barrier();
+    barrier();
+  });
+}
+
+TEST(Team, TeamCollectivesAreScoped) {
+  aspen::spmd(6, [] {
+    team t = team::world().split(rank_me() % 3, rank_me());
+    // Sum within the team: ranks {c, c+3} contribute c and c+3.
+    const int color = rank_me() % 3;
+    EXPECT_EQ(t.allreduce_sum(rank_me()), color + (color + 3));
+    // Broadcast from team rank 0 (= world rank `color`).
+    EXPECT_EQ(t.broadcast(rank_me() * 10, 0), color * 10);
+    t.barrier();
+    barrier();
+  });
+}
+
+TEST(Team, IndependentTeamBarriersDoNotInterfere) {
+  aspen::spmd(4, [] {
+    team t = team::world().split(rank_me() / 2, rank_me());
+    // Each pair barriers a different number of times; no cross-team wait.
+    const int rounds = (rank_me() / 2 == 0) ? 10 : 3;
+    for (int i = 0; i < rounds; ++i) t.barrier();
+    barrier();
+  });
+}
+
+TEST(Team, SequentialSplitsGetDistinctTeams) {
+  aspen::spmd(4, [] {
+    team a = team::world().split(0, rank_me());
+    team b = team::world().split(rank_me() % 2, rank_me());
+    EXPECT_EQ(a.rank_n(), 4);
+    EXPECT_EQ(b.rank_n(), 2);
+    EXPECT_EQ(a.allreduce_sum(1), 4);
+    EXPECT_EQ(b.allreduce_sum(1), 2);
+    barrier();
+  });
+}
+
+TEST(Team, SplitOfSplit) {
+  aspen::spmd(8, [] {
+    team half = team::world().split(rank_me() / 4, rank_me());
+    EXPECT_EQ(half.rank_n(), 4);
+    team quarter = half.split(half.rank_me() / 2, half.rank_me());
+    EXPECT_EQ(quarter.rank_n(), 2);
+    EXPECT_EQ(quarter.allreduce_sum(1), 2);
+    quarter.barrier();
+    barrier();
+  });
+}
+
+TEST(Team, NegativeColorRejected) {
+  aspen::spmd(1, [] {
+    EXPECT_THROW((void)team::world().split(-1, 0), std::invalid_argument);
+  });
+}
+
+TEST(LocalTeam, SmpConduitIsWholeWorld) {
+  aspen::spmd(4, [] {
+    team lt = local_team();
+    EXPECT_EQ(lt.rank_n(), 4);
+    barrier();
+  });
+}
+
+TEST(LocalTeam, SplitLocalityGroupsPseudoNodes) {
+  gex::config g;
+  g.transport = gex::conduit::loopback;
+  g.locality.node_size = 2;
+  aspen::spmd(6, g, [] {
+    team lt = local_team();
+    EXPECT_EQ(lt.rank_n(), 2);
+    // My teammate is the other rank of my pseudo-node.
+    const int mate = lt.to_world(1 - lt.rank_me());
+    EXPECT_EQ(mate / 2, rank_me() / 2);
+    EXPECT_NE(mate, rank_me());
+    // Every teammate's memory is directly addressable.
+    auto gp = new_<int>(rank_me());
+    auto leader_ptr = lt.broadcast(gp, 0);
+    EXPECT_TRUE(leader_ptr.is_local());
+    EXPECT_EQ(*leader_ptr.local(), lt.to_world(0));
+    lt.barrier();
+    delete_(gp);
+    barrier();
+  });
+}
+
+}  // namespace

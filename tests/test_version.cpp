@@ -1,0 +1,148 @@
+// version_config and benchutil unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "benchutil/options.hpp"
+#include "benchutil/stats.hpp"
+#include "benchutil/table.hpp"
+#include "core/version.hpp"
+
+using namespace aspen;
+
+namespace {
+
+TEST(Version, Labels) {
+  EXPECT_EQ(to_string(emulated_version::v2021_3_0), "2021.3.0");
+  EXPECT_EQ(to_string(emulated_version::v2021_3_6_defer), "2021.3.6 defer");
+  EXPECT_EQ(to_string(emulated_version::v2021_3_6_eager), "2021.3.6 eager");
+}
+
+TEST(Version, ConfigsDiffer) {
+  const auto a = version_config::make(emulated_version::v2021_3_0);
+  const auto b = version_config::make(emulated_version::v2021_3_6_defer);
+  const auto c = version_config::make(emulated_version::v2021_3_6_eager);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(b == c);
+  EXPECT_TRUE(a == version_config::make(emulated_version::v2021_3_0));
+}
+
+TEST(Version, DeferAndEagerDifferOnlyInDefault) {
+  auto d = version_config::make(emulated_version::v2021_3_6_defer);
+  auto e = version_config::make(emulated_version::v2021_3_6_eager);
+  d.eager_default = true;
+  EXPECT_TRUE(d == e);
+}
+
+TEST(Version, DescribeMentionsEveryFlag) {
+  const auto s = describe(version_config::make(emulated_version::v2021_3_0));
+  for (const char* key :
+       {"eager_default", "ready_future_pool", "when_all_opt",
+        "extra_rma_alloc", "dynamic_is_local", "nonfetching_atomics"}) {
+    EXPECT_NE(s.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Version, CurrentDefaultRespectsBuildMacro) {
+  const auto v = version_config::current_default();
+#ifdef ASPEN_DEFER_COMPLETION
+  EXPECT_FALSE(v.eager_default);
+#else
+  EXPECT_TRUE(v.eager_default);
+#endif
+  EXPECT_TRUE(v.ready_future_pool);  // 2021.3.6 either way
+}
+
+// --- benchutil ---------------------------------------------------------------
+
+TEST(Stats, SummarizeBestKeepsSmallest) {
+  auto s = bench::summarize_best({5.0, 1.0, 3.0, 2.0, 4.0}, 2);
+  EXPECT_DOUBLE_EQ(s.mean, 1.5);
+  EXPECT_DOUBLE_EQ(s.best, 1.0);
+  EXPECT_DOUBLE_EQ(s.worst, 5.0);
+  EXPECT_EQ(s.kept, 2u);
+  EXPECT_EQ(s.total, 5u);
+}
+
+TEST(Stats, KeepLargerThanSampleCount) {
+  auto s = bench::summarize_best({2.0, 4.0}, 10);
+  EXPECT_EQ(s.kept, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(Stats, EmptySamples) {
+  auto s = bench::summarize_best({}, 10);
+  EXPECT_EQ(s.total, 0u);
+  EXPECT_EQ(s.kept, 0u);
+}
+
+TEST(Stats, MeasureRunsExactly) {
+  int calls = 0;
+  auto s = bench::measure([&] { return static_cast<double>(++calls); }, 7, 3);
+  EXPECT_EQ(calls, 7);
+  EXPECT_EQ(s.total, 7u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);  // best three: 1,2,3
+}
+
+TEST(Stats, StddevOfKept) {
+  auto s = bench::summarize_best({1.0, 3.0, 100.0}, 2);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(TableFormat, TimeUnits) {
+  EXPECT_EQ(bench::format_time(5e-9), "5.0 ns");
+  EXPECT_EQ(bench::format_time(2.5e-6), "2.5 us");
+  EXPECT_EQ(bench::format_time(1.5e-3), "1.5 ms");
+  EXPECT_EQ(bench::format_time(2.0), "2.00 s");
+}
+
+TEST(TableFormat, SpeedupAndRate) {
+  EXPECT_EQ(bench::format_speedup(13.5), "13.50x");
+  EXPECT_EQ(bench::format_rate(2.5e6), "2.50 M/s");
+  EXPECT_EQ(bench::format_rate(3.1e9), "3.10 G/s");
+  EXPECT_EQ(bench::format_rate(900.0), "900.00 /s");
+}
+
+TEST(TableFormat, RendersAlignedTable) {
+  bench::table t({"name", "value"});
+  t.add_row({"alpha", "1.0"});
+  t.add_row({"much-longer-name", "23.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("much-longer-name"), std::string::npos);
+  EXPECT_NE(s.find("+--"), std::string::npos);
+}
+
+TEST(Options, EnvParsing) {
+  ::setenv("ASPEN_TEST_SIZE", "12345", 1);
+  EXPECT_EQ(bench::env_size_t("ASPEN_TEST_SIZE", 1), 12345u);
+  ::setenv("ASPEN_TEST_SIZE", "garbage", 1);
+  EXPECT_EQ(bench::env_size_t("ASPEN_TEST_SIZE", 7), 7u);
+  ::unsetenv("ASPEN_TEST_SIZE");
+  EXPECT_EQ(bench::env_size_t("ASPEN_TEST_SIZE", 9), 9u);
+  ::setenv("ASPEN_TEST_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(bench::env_double("ASPEN_TEST_SCALE", 1.0), 2.5);
+  ::unsetenv("ASPEN_TEST_SCALE");
+}
+
+TEST(Options, FromEnvRespectsOverrides) {
+  ::setenv("ASPEN_BENCH_OPS", "777", 1);
+  ::setenv("ASPEN_BENCH_RANKS", "3", 1);
+  ::setenv("ASPEN_BENCH_SAMPLES", "4", 1);
+  ::setenv("ASPEN_BENCH_KEEP", "9", 1);  // clamped to samples
+  auto o = bench::options::from_env();
+  EXPECT_EQ(o.micro_ops, 777u);
+  EXPECT_EQ(o.ranks, 3);
+  EXPECT_EQ(o.samples, 4u);
+  EXPECT_EQ(o.keep, 4u);
+  ::unsetenv("ASPEN_BENCH_OPS");
+  ::unsetenv("ASPEN_BENCH_RANKS");
+  ::unsetenv("ASPEN_BENCH_SAMPLES");
+  ::unsetenv("ASPEN_BENCH_KEEP");
+}
+
+}  // namespace

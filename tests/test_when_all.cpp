@@ -1,0 +1,241 @@
+// when_all unit tests, including every case of the paper's §III-C
+// conjoining optimization and its allocation behavior.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/aspen.hpp"
+
+using namespace aspen;
+
+namespace {
+
+version_config with_when_all_opt(bool on) {
+  version_config v = version_config::make(emulated_version::v2021_3_6_eager);
+  v.when_all_opt = on;
+  return v;
+}
+
+TEST(WhenAll, EmptyCallIsReady) {
+  future<> f = when_all();
+  EXPECT_TRUE(f.ready());
+}
+
+TEST(WhenAll, SingleReadyValueless) {
+  EXPECT_TRUE(when_all(make_future()).ready());
+}
+
+TEST(WhenAll, ConcatenatesValueTypes) {
+  future<int> a = make_future(1);
+  future<double, char> b = make_future(2.5, 'x');
+  future<> c = make_future();
+  auto f = when_all(a, b, c);
+  static_assert(std::is_same_v<decltype(f), future<int, double, char>>);
+  ASSERT_TRUE(f.ready());
+  auto [i, d, ch] = f.result_tuple();
+  EXPECT_EQ(i, 1);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_EQ(ch, 'x');
+}
+
+TEST(WhenAll, LiftsPlainValues) {
+  auto f = when_all(1, make_future(std::string("s")), 2.0);
+  static_assert(std::is_same_v<decltype(f), future<int, std::string, double>>);
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.result<0>(), 1);
+  EXPECT_EQ(f.result<1>(), "s");
+}
+
+TEST(WhenAll, PendingInputGatesResult) {
+  promise<> p;
+  future<> f = when_all(make_future(), p.get_future(), make_future());
+  EXPECT_FALSE(f.ready());
+  p.finalize();
+  EXPECT_TRUE(f.ready());
+}
+
+TEST(WhenAll, AllPendingInputs) {
+  promise<int> p1;
+  promise<int> p2;
+  auto f = when_all(p1.get_future(), p2.get_future());
+  EXPECT_FALSE(f.ready());
+  p1.fulfill_result(10);
+  p1.finalize();
+  EXPECT_FALSE(f.ready());
+  p2.fulfill_result(20);
+  p2.finalize();
+  ASSERT_TRUE(f.ready());
+  auto [a, b] = f.result_tuple();
+  EXPECT_EQ(a, 10);
+  EXPECT_EQ(b, 20);
+}
+
+TEST(WhenAll, FulfillmentOrderIrrelevant) {
+  promise<int> p1, p2, p3;
+  auto f = when_all(p1.get_future(), p2.get_future(), p3.get_future());
+  p3.fulfill_result(3);
+  p3.finalize();
+  p1.fulfill_result(1);
+  p1.finalize();
+  p2.fulfill_result(2);
+  p2.finalize();
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.result_tuple(), std::make_tuple(1, 2, 3));  // input order kept
+}
+
+TEST(WhenAll, LoopConjoiningValueless) {
+  std::vector<promise<>> ps(20);
+  future<> f = make_future();
+  for (auto& p : ps) f = when_all(f, p.get_future());
+  EXPECT_FALSE(f.ready());
+  for (auto& p : ps) p.finalize();
+  EXPECT_TRUE(f.ready());
+}
+
+// --- §III-C optimization cases ----------------------------------------------
+
+TEST(WhenAllOpt, AllValuelessReadyReturnsExistingCell) {
+  aspen::spmd(1, [] {
+    set_version_config(with_when_all_opt(true));
+    future<> a = make_future(), b = make_future(), c = make_future();
+    const auto before = detail::cell_allocation_count();
+    future<> f = when_all(a, b, c);
+    EXPECT_EQ(detail::cell_allocation_count(), before);  // no new cell
+    EXPECT_TRUE(f.ready());
+    // The optimization returns one of the inputs (shared cell).
+    EXPECT_TRUE(f.raw_cell() == a.raw_cell() || f.raw_cell() == b.raw_cell() ||
+                f.raw_cell() == c.raw_cell());
+  });
+}
+
+TEST(WhenAllOpt, SinglePendingValuelessReturnsThatInput) {
+  aspen::spmd(1, [] {
+    set_version_config(with_when_all_opt(true));
+    promise<> p;
+    future<> pending = p.get_future();
+    const auto before = detail::cell_allocation_count();
+    future<> f = when_all(make_future(), pending, make_future());
+    EXPECT_EQ(detail::cell_allocation_count(), before);
+    EXPECT_EQ(f.raw_cell(), pending.raw_cell());  // semantically the input
+    p.finalize();
+    EXPECT_TRUE(f.ready());
+  });
+}
+
+TEST(WhenAllOpt, SingleValuedInputWithReadyOthersReturnsIt) {
+  aspen::spmd(1, [] {
+    set_version_config(with_when_all_opt(true));
+    // The paper's example: fut1 carries values, fut2/fut3 value-less ready.
+    promise<int, double> p;
+    future<int, double> fut1 = p.get_future();
+    future<> fut2 = make_future(), fut3 = make_future();
+    const auto before = detail::cell_allocation_count();
+    auto result = when_all(fut1, fut2, fut3);
+    EXPECT_EQ(detail::cell_allocation_count(), before);
+    EXPECT_EQ(result.raw_cell(), fut1.raw_cell());
+    p.fulfill_result(4, 0.5);
+    p.finalize();
+    ASSERT_TRUE(result.ready());
+    EXPECT_EQ(result.result<0>(), 4);
+  });
+}
+
+TEST(WhenAllOpt, ValuedReadyInputAlsoCollapses) {
+  aspen::spmd(1, [] {
+    set_version_config(with_when_all_opt(true));
+    future<int> v = make_future(9);
+    const auto before = detail::cell_allocation_count();
+    auto f = when_all(make_future(), v);
+    EXPECT_EQ(detail::cell_allocation_count(), before);
+    EXPECT_EQ(f.result(), 9);
+  });
+}
+
+TEST(WhenAllOpt, PendingValuelessOtherPreventsCollapse) {
+  aspen::spmd(1, [] {
+    set_version_config(with_when_all_opt(true));
+    promise<> gate;
+    future<int> v = make_future(3);
+    auto f = when_all(v, gate.get_future());
+    EXPECT_FALSE(f.ready());  // must not collapse to the ready valued input
+    gate.finalize();
+    ASSERT_TRUE(f.ready());
+    EXPECT_EQ(f.result(), 3);
+  });
+}
+
+TEST(WhenAllOpt, TwoValuedInputsUseGeneralPath) {
+  aspen::spmd(1, [] {
+    set_version_config(with_when_all_opt(true));
+    future<int> a = make_future(1);
+    future<int> b = make_future(2);
+    const auto before = detail::cell_allocation_count();
+    auto f = when_all(a, b);
+    EXPECT_GT(detail::cell_allocation_count(), before);  // real conjunction
+    ASSERT_TRUE(f.ready());
+    EXPECT_EQ(f.result_tuple(), std::make_tuple(1, 2));
+  });
+}
+
+TEST(WhenAllOpt, DisabledOptimizationStillCorrect) {
+  aspen::spmd(1, [] {
+    set_version_config(with_when_all_opt(false));
+    future<> a = make_future(), b = make_future();
+    const auto before = detail::cell_allocation_count();
+    future<> f = when_all(a, b);
+    EXPECT_GT(detail::cell_allocation_count(), before);  // graph built
+    EXPECT_TRUE(f.ready());
+    EXPECT_NE(f.raw_cell(), a.raw_cell());
+    EXPECT_NE(f.raw_cell(), b.raw_cell());
+  });
+}
+
+// --- parameterized chain-length sweep ----------------------------------------
+
+class WhenAllChain : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(WhenAllChain, ConjoinedRputsAllLand) {
+  const auto [chain_len, opt_on] = GetParam();
+  aspen::spmd(1, [&, len = chain_len, opt = opt_on] {
+    set_version_config(with_when_all_opt(opt));
+    auto arr = new_array<std::uint64_t>(static_cast<std::size_t>(len));
+    future<> f = make_future();
+    for (int i = 0; i < len; ++i)
+      f = when_all(f, rput(static_cast<std::uint64_t>(i) + 1,
+                           arr + static_cast<std::ptrdiff_t>(i)));
+    f.wait();
+    for (int i = 0; i < len; ++i)
+      ASSERT_EQ(arr.local()[i], static_cast<std::uint64_t>(i) + 1);
+    delete_array(arr);
+  });
+}
+
+TEST_P(WhenAllChain, ConjoinedDeferredRputsAllLand) {
+  const auto [chain_len, opt_on] = GetParam();
+  aspen::spmd(1, [&, len = chain_len, opt = opt_on] {
+    version_config v = with_when_all_opt(opt);
+    v.eager_default = false;  // every rput future is pending at conjoin time
+    set_version_config(v);
+    auto arr = new_array<std::uint64_t>(static_cast<std::size_t>(len));
+    future<> f = make_future();
+    for (int i = 0; i < len; ++i)
+      f = when_all(f, rput(static_cast<std::uint64_t>(i) + 7,
+                           arr + static_cast<std::ptrdiff_t>(i)));
+    EXPECT_FALSE(f.ready());
+    f.wait();
+    for (int i = 0; i < len; ++i)
+      ASSERT_EQ(arr.local()[i], static_cast<std::uint64_t>(i) + 7);
+    delete_array(arr);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WhenAllChain,
+    ::testing::Combine(::testing::Values(1, 2, 7, 64, 1000),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
+      return "len" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_opt" : "_noopt");
+    });
+
+}  // namespace
