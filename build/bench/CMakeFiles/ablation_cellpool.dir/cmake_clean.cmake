@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cellpool.dir/ablation_cellpool.cpp.o"
+  "CMakeFiles/ablation_cellpool.dir/ablation_cellpool.cpp.o.d"
+  "ablation_cellpool"
+  "ablation_cellpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cellpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

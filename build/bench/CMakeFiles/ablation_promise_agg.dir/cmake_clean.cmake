@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_promise_agg.dir/ablation_promise_agg.cpp.o"
+  "CMakeFiles/ablation_promise_agg.dir/ablation_promise_agg.cpp.o.d"
+  "ablation_promise_agg"
+  "ablation_promise_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_promise_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_promise_agg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_whenall.dir/ablation_whenall.cpp.o"
+  "CMakeFiles/ablation_whenall.dir/ablation_whenall.cpp.o.d"
+  "ablation_whenall"
+  "ablation_whenall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_whenall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_7_gups.dir/fig5_7_gups.cpp.o"
+  "CMakeFiles/fig5_7_gups.dir/fig5_7_gups.cpp.o.d"
+  "fig5_7_gups"
+  "fig5_7_gups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_7_gups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

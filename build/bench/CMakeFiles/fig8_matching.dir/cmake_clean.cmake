@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_matching.dir/fig8_matching.cpp.o"
+  "CMakeFiles/fig8_matching.dir/fig8_matching.cpp.o.d"
+  "fig8_matching"
+  "fig8_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

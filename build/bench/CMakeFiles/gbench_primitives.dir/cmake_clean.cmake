@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbench_primitives.dir/gbench_primitives.cpp.o"
+  "CMakeFiles/gbench_primitives.dir/gbench_primitives.cpp.o.d"
+  "gbench_primitives"
+  "gbench_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

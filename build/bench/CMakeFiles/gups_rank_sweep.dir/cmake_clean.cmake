@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gups_rank_sweep.dir/gups_rank_sweep.cpp.o"
+  "CMakeFiles/gups_rank_sweep.dir/gups_rank_sweep.cpp.o.d"
+  "gups_rank_sweep"
+  "gups_rank_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gups_rank_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

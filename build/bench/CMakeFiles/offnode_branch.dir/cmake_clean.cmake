@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offnode_branch.dir/offnode_branch.cpp.o"
+  "CMakeFiles/offnode_branch.dir/offnode_branch.cpp.o.d"
+  "offnode_branch"
+  "offnode_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offnode_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matching_demo.dir/matching_demo.cpp.o"
+  "CMakeFiles/example_matching_demo.dir/matching_demo.cpp.o.d"
+  "example_matching_demo"
+  "example_matching_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matching_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

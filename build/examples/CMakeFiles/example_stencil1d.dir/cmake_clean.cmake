@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stencil1d.dir/stencil1d.cpp.o"
+  "CMakeFiles/example_stencil1d.dir/stencil1d.cpp.o.d"
+  "example_stencil1d"
+  "example_stencil1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stencil1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

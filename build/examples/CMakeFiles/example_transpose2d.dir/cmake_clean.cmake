@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_transpose2d.dir/transpose2d.cpp.o"
+  "CMakeFiles/example_transpose2d.dir/transpose2d.cpp.o.d"
+  "example_transpose2d"
+  "example_transpose2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_transpose2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/example_quickstart" "3")
+set_tests_properties(example_quickstart PROPERTIES  FAIL_REGULAR_EXPRESSION "FAILED|VERIFICATION FAILED" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stencil1d "/root/repo/build/examples/example_stencil1d" "3" "128" "50")
+set_tests_properties(example_stencil1d PROPERTIES  FAIL_REGULAR_EXPRESSION "FAILED|VERIFICATION FAILED" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_histogram "/root/repo/build/examples/example_histogram" "2" "20000" "64")
+set_tests_properties(example_histogram PROPERTIES  FAIL_REGULAR_EXPRESSION "FAILED|VERIFICATION FAILED" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_matching_demo "/root/repo/build/examples/example_matching_demo" "4" "youtube" "0.25")
+set_tests_properties(example_matching_demo PROPERTIES  FAIL_REGULAR_EXPRESSION "FAILED|VERIFICATION FAILED" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_transpose2d "/root/repo/build/examples/example_transpose2d" "4" "96")
+set_tests_properties(example_transpose2d PROPERTIES  FAIL_REGULAR_EXPRESSION "FAILED|VERIFICATION FAILED" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/gups/gups.cpp" "src/CMakeFiles/aspen_apps.dir/apps/gups/gups.cpp.o" "gcc" "src/CMakeFiles/aspen_apps.dir/apps/gups/gups.cpp.o.d"
+  "/root/repo/src/apps/matching/generators.cpp" "src/CMakeFiles/aspen_apps.dir/apps/matching/generators.cpp.o" "gcc" "src/CMakeFiles/aspen_apps.dir/apps/matching/generators.cpp.o.d"
+  "/root/repo/src/apps/matching/graph.cpp" "src/CMakeFiles/aspen_apps.dir/apps/matching/graph.cpp.o" "gcc" "src/CMakeFiles/aspen_apps.dir/apps/matching/graph.cpp.o.d"
+  "/root/repo/src/apps/matching/graph_io.cpp" "src/CMakeFiles/aspen_apps.dir/apps/matching/graph_io.cpp.o" "gcc" "src/CMakeFiles/aspen_apps.dir/apps/matching/graph_io.cpp.o.d"
+  "/root/repo/src/apps/matching/matcher.cpp" "src/CMakeFiles/aspen_apps.dir/apps/matching/matcher.cpp.o" "gcc" "src/CMakeFiles/aspen_apps.dir/apps/matching/matcher.cpp.o.d"
+  "/root/repo/src/apps/matching/verify.cpp" "src/CMakeFiles/aspen_apps.dir/apps/matching/verify.cpp.o" "gcc" "src/CMakeFiles/aspen_apps.dir/apps/matching/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aspen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aspen_gex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

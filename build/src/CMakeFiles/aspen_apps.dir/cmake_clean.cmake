@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspen_apps.dir/apps/gups/gups.cpp.o"
+  "CMakeFiles/aspen_apps.dir/apps/gups/gups.cpp.o.d"
+  "CMakeFiles/aspen_apps.dir/apps/matching/generators.cpp.o"
+  "CMakeFiles/aspen_apps.dir/apps/matching/generators.cpp.o.d"
+  "CMakeFiles/aspen_apps.dir/apps/matching/graph.cpp.o"
+  "CMakeFiles/aspen_apps.dir/apps/matching/graph.cpp.o.d"
+  "CMakeFiles/aspen_apps.dir/apps/matching/graph_io.cpp.o"
+  "CMakeFiles/aspen_apps.dir/apps/matching/graph_io.cpp.o.d"
+  "CMakeFiles/aspen_apps.dir/apps/matching/matcher.cpp.o"
+  "CMakeFiles/aspen_apps.dir/apps/matching/matcher.cpp.o.d"
+  "CMakeFiles/aspen_apps.dir/apps/matching/verify.cpp.o"
+  "CMakeFiles/aspen_apps.dir/apps/matching/verify.cpp.o.d"
+  "libaspen_apps.a"
+  "libaspen_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspen_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

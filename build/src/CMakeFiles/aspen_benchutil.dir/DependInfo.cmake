@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchutil/options.cpp" "src/CMakeFiles/aspen_benchutil.dir/benchutil/options.cpp.o" "gcc" "src/CMakeFiles/aspen_benchutil.dir/benchutil/options.cpp.o.d"
+  "/root/repo/src/benchutil/stats.cpp" "src/CMakeFiles/aspen_benchutil.dir/benchutil/stats.cpp.o" "gcc" "src/CMakeFiles/aspen_benchutil.dir/benchutil/stats.cpp.o.d"
+  "/root/repo/src/benchutil/table.cpp" "src/CMakeFiles/aspen_benchutil.dir/benchutil/table.cpp.o" "gcc" "src/CMakeFiles/aspen_benchutil.dir/benchutil/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aspen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aspen_gex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

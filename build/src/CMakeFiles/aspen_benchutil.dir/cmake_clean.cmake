@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspen_benchutil.dir/benchutil/options.cpp.o"
+  "CMakeFiles/aspen_benchutil.dir/benchutil/options.cpp.o.d"
+  "CMakeFiles/aspen_benchutil.dir/benchutil/stats.cpp.o"
+  "CMakeFiles/aspen_benchutil.dir/benchutil/stats.cpp.o.d"
+  "CMakeFiles/aspen_benchutil.dir/benchutil/table.cpp.o"
+  "CMakeFiles/aspen_benchutil.dir/benchutil/table.cpp.o.d"
+  "libaspen_benchutil.a"
+  "libaspen_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspen_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

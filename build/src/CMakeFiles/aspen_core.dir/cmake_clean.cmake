@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspen_core.dir/core/collectives.cpp.o"
+  "CMakeFiles/aspen_core.dir/core/collectives.cpp.o.d"
+  "CMakeFiles/aspen_core.dir/core/runtime.cpp.o"
+  "CMakeFiles/aspen_core.dir/core/runtime.cpp.o.d"
+  "CMakeFiles/aspen_core.dir/core/team.cpp.o"
+  "CMakeFiles/aspen_core.dir/core/team.cpp.o.d"
+  "CMakeFiles/aspen_core.dir/core/version.cpp.o"
+  "CMakeFiles/aspen_core.dir/core/version.cpp.o.d"
+  "libaspen_core.a"
+  "libaspen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspen_gex.dir/gex/segment.cpp.o"
+  "CMakeFiles/aspen_gex.dir/gex/segment.cpp.o.d"
+  "libaspen_gex.a"
+  "libaspen_gex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspen_gex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for aspen_gex.
+# This may be replaced when dependencies are built.

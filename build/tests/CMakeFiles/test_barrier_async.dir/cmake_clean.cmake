@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_barrier_async.dir/test_barrier_async.cpp.o"
+  "CMakeFiles/test_barrier_async.dir/test_barrier_async.cpp.o.d"
+  "test_barrier_async"
+  "test_barrier_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_barrier_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

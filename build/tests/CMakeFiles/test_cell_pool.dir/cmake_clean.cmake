@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_pool.dir/test_cell_pool.cpp.o"
+  "CMakeFiles/test_cell_pool.dir/test_cell_pool.cpp.o.d"
+  "test_cell_pool"
+  "test_cell_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

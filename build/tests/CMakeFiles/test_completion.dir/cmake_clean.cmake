@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_completion.dir/test_completion.cpp.o"
+  "CMakeFiles/test_completion.dir/test_completion.cpp.o.d"
+  "test_completion"
+  "test_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

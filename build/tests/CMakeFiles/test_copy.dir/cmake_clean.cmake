@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_copy.dir/test_copy.cpp.o"
+  "CMakeFiles/test_copy.dir/test_copy.cpp.o.d"
+  "test_copy"
+  "test_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_object.dir/test_dist_object.cpp.o"
+  "CMakeFiles/test_dist_object.dir/test_dist_object.cpp.o.d"
+  "test_dist_object"
+  "test_dist_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

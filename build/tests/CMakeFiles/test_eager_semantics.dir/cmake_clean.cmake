@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eager_semantics.dir/test_eager_semantics.cpp.o"
+  "CMakeFiles/test_eager_semantics.dir/test_eager_semantics.cpp.o.d"
+  "test_eager_semantics"
+  "test_eager_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eager_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_future_dag.dir/test_future_dag.cpp.o"
+  "CMakeFiles/test_future_dag.dir/test_future_dag.cpp.o.d"
+  "test_future_dag"
+  "test_future_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_future_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

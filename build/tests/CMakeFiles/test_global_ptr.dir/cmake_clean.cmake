@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_global_ptr.dir/test_global_ptr.cpp.o"
+  "CMakeFiles/test_global_ptr.dir/test_global_ptr.cpp.o.d"
+  "test_global_ptr"
+  "test_global_ptr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_global_ptr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

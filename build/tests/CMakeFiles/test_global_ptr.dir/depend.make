@@ -1,0 +1,2 @@
+# Empty dependencies file for test_global_ptr.
+# This may be replaced when dependencies are built.

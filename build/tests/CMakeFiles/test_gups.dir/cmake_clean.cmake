@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gups.dir/test_gups.cpp.o"
+  "CMakeFiles/test_gups.dir/test_gups.cpp.o.d"
+  "test_gups"
+  "test_gups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gups_properties.dir/test_gups_properties.cpp.o"
+  "CMakeFiles/test_gups_properties.dir/test_gups_properties.cpp.o.d"
+  "test_gups_properties"
+  "test_gups_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gups_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inplace_function.dir/test_inplace_function.cpp.o"
+  "CMakeFiles/test_inplace_function.dir/test_inplace_function.cpp.o.d"
+  "test_inplace_function"
+  "test_inplace_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inplace_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

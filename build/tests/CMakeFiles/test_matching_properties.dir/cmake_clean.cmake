@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matching_properties.dir/test_matching_properties.cpp.o"
+  "CMakeFiles/test_matching_properties.dir/test_matching_properties.cpp.o.d"
+  "test_matching_properties"
+  "test_matching_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matching_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

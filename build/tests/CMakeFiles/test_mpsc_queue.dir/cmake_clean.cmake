@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpsc_queue.dir/test_mpsc_queue.cpp.o"
+  "CMakeFiles/test_mpsc_queue.dir/test_mpsc_queue.cpp.o.d"
+  "test_mpsc_queue"
+  "test_mpsc_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpsc_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

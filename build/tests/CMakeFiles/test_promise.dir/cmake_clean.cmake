@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_promise.dir/test_promise.cpp.o"
+  "CMakeFiles/test_promise.dir/test_promise.cpp.o.d"
+  "test_promise"
+  "test_promise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_promise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rma_irregular.dir/test_rma_irregular.cpp.o"
+  "CMakeFiles/test_rma_irregular.dir/test_rma_irregular.cpp.o.d"
+  "test_rma_irregular"
+  "test_rma_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rma_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

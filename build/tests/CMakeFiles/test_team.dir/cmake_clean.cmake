@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_team.dir/test_team.cpp.o"
+  "CMakeFiles/test_team.dir/test_team.cpp.o.d"
+  "test_team"
+  "test_team.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_team.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

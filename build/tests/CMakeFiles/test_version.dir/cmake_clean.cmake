@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_version.dir/test_version.cpp.o"
+  "CMakeFiles/test_version.dir/test_version.cpp.o.d"
+  "test_version"
+  "test_version.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_version.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
