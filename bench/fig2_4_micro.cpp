@@ -21,6 +21,7 @@
 #include "benchutil/options.hpp"
 #include "benchutil/stats.hpp"
 #include "benchutil/table.hpp"
+#include "benchutil/telemetry_report.hpp"
 #include "benchutil/timer.hpp"
 #include "core/aspen.hpp"
 
@@ -104,6 +105,7 @@ int main() {
   // results[op][version] = ns/op mean; -1 = not available.
   double results[std::size(kOps)][std::size(kVersions)];
 
+  const auto tele_before = aspen::telemetry::aggregate();
   aspen::spmd(2, [&] {
     atomic_domain<std::uint64_t> ad(
         {gex::amo_op::fadd, gex::amo_op::load, gex::amo_op::add});
@@ -162,5 +164,40 @@ int main() {
                "15-52% on value fetch-add;\n"
                "non-value fetch-add faster than value under eager "
                "(66-90%).\n";
+
+  // Telemetry sidecar: counters for the whole measured run.
+  const auto tele = aspen::telemetry::aggregate() - tele_before;
+  aspen::bench::print_telemetry_summary(std::cout, tele);
+  if (aspen::telemetry::compiled_in() &&
+      aspen::bench::write_telemetry_sidecar("fig2_4_micro.telemetry.json",
+                                            "fig2_4_micro", tele))
+    std::cout << "telemetry sidecar: fig2_4_micro.telemetry.json\n";
+
+  // Trace phase: a short instrumented re-run per operation so the Trace
+  // Event file stays small enough to open in chrome://tracing / Perfetto.
+  if (aspen::telemetry::compiled_in()) {
+    aspen::telemetry::clear_trace();
+    aspen::telemetry::enable_tracing(true);
+    aspen::spmd(2, [] {
+      atomic_domain<std::uint64_t> ad(
+          {gex::amo_op::fadd, gex::amo_op::load, gex::amo_op::add});
+      global_ptr<std::uint64_t> gp;
+      if (rank_me() == 1) gp = new_<std::uint64_t>(0);
+      gp = broadcast(gp, 1);
+      set_version_config(
+          version_config::make(emulated_version::v2021_3_6_eager));
+      barrier();
+      if (rank_me() == 0) {
+        for (std::size_t oi = 0; oi < std::size(kOps); ++oi)
+          kOps[oi].run(gp, ad, 200);
+      }
+      barrier();
+      if (rank_me() == 1) delete_(gp);
+    });
+    aspen::telemetry::enable_tracing(false);
+    if (aspen::telemetry::write_trace_file("fig2_4_micro.trace.json"))
+      std::cout << "trace (" << aspen::telemetry::trace_event_count()
+                << " events): fig2_4_micro.trace.json\n";
+  }
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "benchutil/options.hpp"
 #include "benchutil/stats.hpp"
 #include "benchutil/table.hpp"
+#include "benchutil/telemetry_report.hpp"
 
 namespace {
 
@@ -64,6 +65,7 @@ int main() {
   std::vector<std::vector<double>> mups(
       variants.size(), std::vector<double>(std::size(kVersions), 0.0));
 
+  const auto tele_before = aspen::telemetry::aggregate();
   aspen::spmd(opt.ranks, [&] {
     g::table t(p);
     for (std::size_t vi = 0; vi < std::size(kVersions); ++vi) {
@@ -104,5 +106,12 @@ int main() {
   t.print(std::cout);
   std::cout << "(MUPS = millions of updates per second; higher is better; "
                "(+) = extension beyond the paper's figure)\n";
+
+  const auto tele = aspen::telemetry::aggregate() - tele_before;
+  aspen::bench::print_telemetry_summary(std::cout, tele);
+  if (aspen::telemetry::compiled_in() &&
+      aspen::bench::write_telemetry_sidecar("fig5_7_gups.telemetry.json",
+                                            "fig5_7_gups", tele))
+    std::cout << "telemetry sidecar: fig5_7_gups.telemetry.json\n";
   return 0;
 }

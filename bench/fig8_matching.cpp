@@ -20,6 +20,7 @@
 #include "benchutil/options.hpp"
 #include "benchutil/stats.hpp"
 #include "benchutil/table.hpp"
+#include "benchutil/telemetry_report.hpp"
 
 namespace {
 
@@ -51,6 +52,7 @@ int main() {
   };
   std::vector<row> rows;
 
+  const auto tele_before = aspen::telemetry::aggregate();
   for (const auto& input : inputs) {
     row r;
     r.name = input.name;
@@ -100,5 +102,12 @@ int main() {
   t.print(std::cout);
   std::cout << "(solve step only; 'verified' = distributed matching equals "
                "the sequential greedy reference)\n";
+
+  const auto tele = aspen::telemetry::aggregate() - tele_before;
+  aspen::bench::print_telemetry_summary(std::cout, tele);
+  if (aspen::telemetry::compiled_in() &&
+      aspen::bench::write_telemetry_sidecar("fig8_matching.telemetry.json",
+                                            "fig8_matching", tele))
+    std::cout << "telemetry sidecar: fig8_matching.telemetry.json\n";
   return 0;
 }

@@ -10,10 +10,27 @@ namespace {
 
 using namespace aspen;
 
-/// Run a benchmark body inside a single-rank SPMD context.
+/// Run a benchmark body inside a single-rank SPMD context. When telemetry
+/// is compiled in, each benchmark also reports its completion-disposition
+/// counters and the eager-bypass ratio (eager / total completions).
 template <typename Body>
 void in_spmd(benchmark::State& state, Body body) {
-  aspen::spmd(1, [&] { body(state); });
+  aspen::spmd(1, [&] {
+    const auto before = telemetry::local_snapshot();
+    body(state);
+    if (telemetry::compiled_in()) {
+      const auto d = telemetry::local_snapshot() - before;
+      const auto eager = d.get(telemetry::counter::cx_eager_taken);
+      const auto total = d.completions_issued();
+      state.counters["eager_completions"] =
+          benchmark::Counter(static_cast<double>(eager));
+      state.counters["total_completions"] =
+          benchmark::Counter(static_cast<double>(total));
+      state.counters["eager_bypass_ratio"] = benchmark::Counter(
+          total == 0 ? 0.0
+                     : static_cast<double>(eager) / static_cast<double>(total));
+    }
+  });
 }
 
 void BM_MakeReadyFuturePooled(benchmark::State& state) {

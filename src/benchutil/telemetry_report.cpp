@@ -1,0 +1,50 @@
+#include "benchutil/telemetry_report.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "benchutil/table.hpp"
+
+namespace aspen::bench {
+
+void print_telemetry_summary(std::ostream& os,
+                             const telemetry::snapshot& snap) {
+  if (!telemetry::compiled_in()) {
+    os << "[telemetry] compiled out (configure with -DASPEN_TELEMETRY=ON)\n";
+    return;
+  }
+
+  os << "telemetry counters:\n";
+  table t({"counter", "count"});
+  for (std::size_t i = 0; i < telemetry::kCounterCount; ++i) {
+    const auto c = static_cast<telemetry::counter>(i);
+    if (snap.get(c) != 0)
+      t.add_row({telemetry::to_string(c), std::to_string(snap.get(c))});
+  }
+  t.print(os);
+
+  const std::uint64_t total = snap.completions_issued();
+  std::ostringstream ratio;
+  ratio.precision(3);
+  ratio << std::fixed << snap.eager_bypass_ratio();
+  table d({"completion disposition", "value"});
+  d.add_row({"issued", std::to_string(total)});
+  d.add_row({"eager_bypass_ratio", ratio.str()});
+  d.add_row({"pq_high_water", std::to_string(snap.pq_high_water)});
+  d.add_row({"pq_reserve_growths", std::to_string(snap.pq_reserve_growths)});
+  d.add_row({"pq_total_fired", std::to_string(snap.pq_total_fired)});
+  d.print(os);
+}
+
+bool write_telemetry_sidecar(const std::string& path,
+                             const std::string& bench_name,
+                             const telemetry::snapshot& snap) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "{\n  \"bench\": \"" << bench_name << "\",\n  \"telemetry\": "
+    << snap.to_json() << "\n}\n";
+  return static_cast<bool>(f);
+}
+
+}  // namespace aspen::bench

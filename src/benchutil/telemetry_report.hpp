@@ -1,0 +1,25 @@
+// Benchmark-side helpers for aspen::telemetry: a human-readable counter
+// table and the JSON sidecar files the figure drivers emit next to their
+// console output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/telemetry.hpp"
+
+namespace aspen::bench {
+
+/// Print the non-zero counters, the completion-disposition breakdown and
+/// the progress-queue stats as an aligned table. Prints a one-line notice
+/// instead when the build has ASPEN_TELEMETRY off.
+void print_telemetry_summary(std::ostream& os,
+                             const telemetry::snapshot& snap);
+
+/// Write `{"bench": <name>, "telemetry": <snapshot JSON>}` to `path`.
+/// Returns false (without throwing) if the file cannot be opened.
+bool write_telemetry_sidecar(const std::string& path,
+                             const std::string& bench_name,
+                             const telemetry::snapshot& snap);
+
+}  // namespace aspen::bench

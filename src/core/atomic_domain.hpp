@@ -287,6 +287,8 @@ class atomic_domain {
   auto fetch_op(gex::amo_op op, global_ptr<T> gp, T op1, T op2,
                 Cxs cxs) const -> detail::cx_return_t<Cxs, T> {
     check_registered(op);
+    telemetry::span sp("amo_fetch", "amo");
+    telemetry::count(telemetry::counter::amo_fetching);
     detail::rank_context& c = detail::ctx();
     detail::no_remote_cx rs;
     if (detail::rma_target_local(c, gp.where())) {
@@ -306,6 +308,8 @@ class atomic_domain {
   auto void_op(gex::amo_op op, global_ptr<T> gp, T op1, T op2,
                Cxs cxs) const -> detail::cx_return_t<Cxs> {
     check_registered(op);
+    telemetry::span sp("amo_void", "amo");
+    telemetry::count(telemetry::counter::amo_sideeffect);
     detail::rank_context& c = detail::ctx();
     detail::no_remote_cx rs;
     if (detail::rma_target_local(c, gp.where())) {
@@ -325,6 +329,8 @@ class atomic_domain {
   auto into_op(gex::amo_op op, global_ptr<T> gp, T op1, T op2, T* dst,
                Cxs cxs) const -> detail::cx_return_t<Cxs> {
     check_registered(op);
+    telemetry::span sp("amo_into", "amo");
+    telemetry::count(telemetry::counter::amo_nonfetching);
     detail::rank_context& c = detail::ctx();
     if (!c.ver.nonfetching_atomics)
       throw std::logic_error(

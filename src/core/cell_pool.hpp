@@ -20,6 +20,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "core/telemetry.hpp"
+
 namespace aspen::detail {
 
 class recycling_pool {
@@ -52,6 +54,7 @@ class recycling_pool {
       free_[cls] = b->next;
       --count_[cls];
       ++recycled_;
+      telemetry::count(telemetry::counter::cellpool_recycled);
       return payload_of(b);
     }
     const std::size_t payload =
@@ -60,6 +63,7 @@ class recycling_pool {
     if (b == nullptr) throw std::bad_alloc();
     b->cls = recycle && cls < kClasses ? static_cast<std::int64_t>(cls) : -1;
     ++fresh_;
+    telemetry::count(telemetry::counter::cellpool_fresh);
     return payload_of(b);
   }
 

@@ -1,5 +1,7 @@
 #include "core/collectives.hpp"
 
+#include "core/telemetry.hpp"
+
 namespace aspen {
 
 namespace detail {
@@ -38,9 +40,13 @@ void arm_async_barrier_poll(cell<>* c, coll_state* cs, std::uint64_t epoch) {
 
 }  // namespace detail
 
-void barrier() { detail::coll_rendezvous(); }
+void barrier() {
+  telemetry::span sp("barrier", "coll");
+  detail::coll_rendezvous();
+}
 
 future<> barrier_async() {
+  telemetry::span sp("barrier_async", "coll");
   detail::rank_context& c = detail::ctx();
   detail::coll_state& cs = c.w->coll();
   const int n = c.rt->nranks();

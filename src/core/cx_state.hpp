@@ -26,6 +26,7 @@
 #include "core/completion.hpp"
 #include "core/future.hpp"
 #include "core/inplace_function.hpp"
+#include "core/telemetry.hpp"
 #include "core/when_all.hpp"
 
 namespace aspen::detail {
@@ -105,6 +106,7 @@ decltype(auto) collapse_futs(FutsTuple&& t) {
 /// one heap allocation plus a queue round trip.
 template <typename... V>
 [[nodiscard]] future<V...> deferred_future(V... vals) {
+  telemetry::count(telemetry::counter::cx_deferred_queued);
   auto* c = new cell<V...>();
   c->deps = 1;
   c->set_value(vals...);
@@ -119,6 +121,7 @@ template <typename... V>
 /// Enqueue fulfillment of one (already-required) promise dependency.
 template <typename... T, typename... V>
 void deferred_promise_fulfill(promise<T...>& p, V... vals) {
+  telemetry::count(telemetry::counter::cx_deferred_queued);
   cell<T...>* c = p.raw_cell();
   c->add_ref();
   ctx().pq.push([c, vals...] {
@@ -137,6 +140,7 @@ template <typename... V, typename RemoteSend>
 std::tuple<future<V...>> handle_sync(future_cx<event_operation_t>& it,
                                      RemoteSend&, V... vals) {
   if (resolve_eager(it.e)) {
+    telemetry::count(telemetry::counter::cx_eager_taken);
     if constexpr (sizeof...(V) == 0) {
       return {make_future()};
     } else {
@@ -150,7 +154,10 @@ std::tuple<future<V...>> handle_sync(future_cx<event_operation_t>& it,
 template <typename... V, typename RemoteSend>
 std::tuple<future<>> handle_sync(future_cx<event_source_t>& it, RemoteSend&,
                                  V...) {
-  if (resolve_eager(it.e)) return {make_future()};
+  if (resolve_eager(it.e)) {
+    telemetry::count(telemetry::counter::cx_eager_taken);
+    return {make_future()};
+  }
   return {deferred_future<>()};
 }
 
@@ -162,12 +169,16 @@ std::tuple<> handle_sync(promise_cx<event_operation_t, T...>& it, RemoteSend&,
                 "operation_cx::as_promise: promise type must match the "
                 "operation's produced values");
   if constexpr (sizeof...(V) == 0) {
-    if (resolve_eager(it.e)) return {};  // full elision (paper §III-A)
+    if (resolve_eager(it.e)) {
+      telemetry::count(telemetry::counter::cx_eager_taken);
+      return {};  // full elision (paper §III-A)
+    }
     it.pro.require_anonymous(1);
     deferred_promise_fulfill(it.pro);
   } else {
     it.pro.require_anonymous(1);
     if (resolve_eager(it.e)) {
+      telemetry::count(telemetry::counter::cx_eager_taken);
       it.pro.fulfill_result(vals...);
       it.pro.fulfill_anonymous(1);
     } else {
@@ -180,7 +191,10 @@ std::tuple<> handle_sync(promise_cx<event_operation_t, T...>& it, RemoteSend&,
 // promise_cx, source event: value-less.
 template <typename... V, typename RemoteSend>
 std::tuple<> handle_sync(promise_cx<event_source_t>& it, RemoteSend&, V...) {
-  if (resolve_eager(it.e)) return {};
+  if (resolve_eager(it.e)) {
+    telemetry::count(telemetry::counter::cx_eager_taken);
+    return {};
+  }
   it.pro.require_anonymous(1);
   deferred_promise_fulfill(it.pro);
   return {};
@@ -191,8 +205,10 @@ template <typename... V, typename Fn, typename RemoteSend>
 std::tuple<> handle_sync(lpc_cx<event_operation_t, Fn>& it, RemoteSend&,
                          V... vals) {
   if (resolve_eager(it.e)) {
+    telemetry::count(telemetry::counter::cx_eager_taken);
     it.fn(vals...);
   } else {
+    telemetry::count(telemetry::counter::cx_deferred_queued);
     ctx().pq.push([fn = std::move(it.fn), vals...]() mutable { fn(vals...); });
   }
   return {};
@@ -202,8 +218,10 @@ std::tuple<> handle_sync(lpc_cx<event_operation_t, Fn>& it, RemoteSend&,
 template <typename... V, typename Fn, typename RemoteSend>
 std::tuple<> handle_sync(lpc_cx<event_source_t, Fn>& it, RemoteSend&, V...) {
   if (resolve_eager(it.e)) {
+    telemetry::count(telemetry::counter::cx_eager_taken);
     it.fn();
   } else {
+    telemetry::count(telemetry::counter::cx_deferred_queued);
     ctx().pq.push([fn = std::move(it.fn)]() mutable { fn(); });
   }
   return {};
@@ -270,6 +288,7 @@ struct op_record {
 template <typename... V, typename RemoteSend>
 std::tuple<future<V...>> handle_async(future_cx<event_operation_t>&,
                                       op_record<V...>& rec, RemoteSend&) {
+  telemetry::count(telemetry::counter::cx_remote_async);
   auto* c = new cell<V...>();
   c->deps = 1;
   c->add_ref();  // the record's reference
@@ -286,7 +305,10 @@ std::tuple<future<V...>> handle_async(future_cx<event_operation_t>&,
 template <typename... V, typename RemoteSend>
 std::tuple<future<>> handle_async(future_cx<event_source_t>& it,
                                   op_record<V...>&, RemoteSend&) {
-  if (resolve_eager(it.e)) return {make_future()};
+  if (resolve_eager(it.e)) {
+    telemetry::count(telemetry::counter::cx_eager_taken);
+    return {make_future()};
+  }
   return {deferred_future<>()};
 }
 
@@ -296,6 +318,7 @@ std::tuple<> handle_async(promise_cx<event_operation_t, T...>& it,
   static_assert(std::is_same_v<std::tuple<T...>, std::tuple<V...>>,
                 "operation_cx::as_promise: promise type must match the "
                 "operation's produced values");
+  telemetry::count(telemetry::counter::cx_remote_async);
   it.pro.require_anonymous(1);
   rec.add_sink([p = it.pro](V... vs) mutable {
     if constexpr (sizeof...(V) > 0) p.fulfill_result(vs...);
@@ -307,7 +330,10 @@ std::tuple<> handle_async(promise_cx<event_operation_t, T...>& it,
 template <typename... V, typename RemoteSend>
 std::tuple<> handle_async(promise_cx<event_source_t>& it, op_record<V...>&,
                           RemoteSend&) {
-  if (resolve_eager(it.e)) return {};
+  if (resolve_eager(it.e)) {
+    telemetry::count(telemetry::counter::cx_eager_taken);
+    return {};
+  }
   it.pro.require_anonymous(1);
   deferred_promise_fulfill(it.pro);
   return {};
@@ -316,6 +342,7 @@ std::tuple<> handle_async(promise_cx<event_source_t>& it, op_record<V...>&,
 template <typename... V, typename Fn, typename RemoteSend>
 std::tuple<> handle_async(lpc_cx<event_operation_t, Fn>& it,
                           op_record<V...>& rec, RemoteSend&) {
+  telemetry::count(telemetry::counter::cx_remote_async);
   rec.add_sink([fn = std::move(it.fn)](V... vs) mutable { fn(vs...); });
   return {};
 }
@@ -324,8 +351,10 @@ template <typename... V, typename Fn, typename RemoteSend>
 std::tuple<> handle_async(lpc_cx<event_source_t, Fn>& it, op_record<V...>&,
                           RemoteSend&) {
   if (resolve_eager(it.e)) {
+    telemetry::count(telemetry::counter::cx_eager_taken);
     it.fn();
   } else {
+    telemetry::count(telemetry::counter::cx_deferred_queued);
     ctx().pq.push([fn = std::move(it.fn)]() mutable { fn(); });
   }
   return {};

@@ -14,6 +14,7 @@
 
 #include "core/future_cell.hpp"
 #include "core/runtime.hpp"
+#include "core/telemetry.hpp"
 
 namespace aspen {
 
@@ -276,7 +277,11 @@ RFut invoke_to_future(Fn&& fn, Tup& args) {
     return std::apply(std::forward<Fn>(fn), args);
   } else if constexpr (std::is_void_v<R>) {
     std::apply(std::forward<Fn>(fn), args);
-    if (use_ready_pool()) return RFut(pooled_ready_cell(), false);
+    if (use_ready_pool()) {
+      telemetry::count(telemetry::counter::ready_pool_hit);
+      return RFut(pooled_ready_cell(), false);
+    }
+    telemetry::count(telemetry::counter::ready_cell_alloc);
     auto* c = new cell<>();
     c->deps = 0;
     return RFut(c, false);
@@ -318,8 +323,11 @@ void then_cont<Fn, cell<S...>, future<U...>>::fire(cell_base* src) {
 /// A ready value-less future. Costs no allocation when the ready-future
 /// pool is enabled (2021.3.6 behavior).
 [[nodiscard]] inline future<> make_future() {
-  if (detail::use_ready_pool())
+  if (detail::use_ready_pool()) {
+    telemetry::count(telemetry::counter::ready_pool_hit);
     return future<>(detail::pooled_ready_cell(), false);
+  }
+  telemetry::count(telemetry::counter::ready_cell_alloc);
   auto* c = new detail::cell<>();
   c->deps = 0;
   return future<>(c, false);

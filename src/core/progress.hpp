@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/inplace_function.hpp"
+#include "core/telemetry.hpp"
 
 namespace aspen::detail {
 
@@ -31,7 +32,18 @@ class progress_queue {
   }
 
   /// Enqueue a notification to fire at the next progress call.
-  void push(pq_task t) { pending_.push_back(std::move(t)); }
+  void push(pq_task t) {
+    const std::size_t cap = pending_.capacity();
+    pending_.push_back(std::move(t));
+    if (pending_.capacity() != cap) {
+      ++reserve_growths_;
+      telemetry::note_pq_reserve_growth();
+    }
+    if (pending_.size() > high_water_) {
+      high_water_ = pending_.size();
+      telemetry::note_pq_depth(high_water_);
+    }
+  }
 
   [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
@@ -47,6 +59,7 @@ class progress_queue {
     for (auto& t : firing_) t();
     firing_.clear();
     total_fired_ += n;
+    telemetry::note_pq_fire(n);
     return n;
   }
 
@@ -56,10 +69,23 @@ class progress_queue {
     return total_fired_;
   }
 
+  /// Highest pending-queue depth ever reached (monotone).
+  [[nodiscard]] std::size_t high_water() const noexcept {
+    return high_water_;
+  }
+
+  /// Number of times pending_ outgrew its reservation and reallocated —
+  /// previously silent latency spikes inside an enqueue.
+  [[nodiscard]] std::uint64_t reserve_growths() const noexcept {
+    return reserve_growths_;
+  }
+
  private:
   std::vector<pq_task> pending_;
   std::vector<pq_task> firing_;
   std::uint64_t total_fired_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t reserve_growths_ = 0;
 };
 
 }  // namespace aspen::detail

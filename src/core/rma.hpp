@@ -183,14 +183,17 @@ struct immediate_remote_sender {
 template <typename Cxs>
 auto rma_put_bytes(int target, void* dest_raw, const void* src,
                    std::size_t nbytes, Cxs&& cxs) -> cx_return_t<Cxs> {
+  telemetry::span sp("rput", "rma");
   rank_context& c = ctx();
   if (rma_target_local(c, target)) {
+    telemetry::count(telemetry::counter::rma_put_local);
     legacy_extra_alloc_if_configured(c);
     std::memcpy(dest_raw, src, nbytes);
     std::atomic_thread_fence(std::memory_order_release);
     immediate_remote_sender rs{target};
     return collapse_futs(process_sync_tuple<>(std::forward<Cxs>(cxs), rs));
   }
+  telemetry::count(telemetry::counter::rma_put_remote);
   buffered_remote_sender rs{target, {}};
   op_record<>* rec = nullptr;
   auto futs = process_async_tuple<>(std::forward<Cxs>(cxs), rs, rec);
@@ -235,9 +238,11 @@ template <rma_type T,
               detail::future_cx<detail::event_operation_t>>>
 auto rget(global_ptr<T> src, Cxs cxs = operation_cx::as_future())
     -> detail::cx_return_t<Cxs, T> {
+  telemetry::span sp("rget", "rma");
   detail::rank_context& c = detail::ctx();
   detail::no_remote_cx rs;
   if (detail::rma_target_local(c, src.where())) {
+    telemetry::count(telemetry::counter::rma_get_local);
     detail::legacy_extra_alloc_if_configured(c);
     std::atomic_thread_fence(std::memory_order_acquire);
     T value;
@@ -245,6 +250,7 @@ auto rget(global_ptr<T> src, Cxs cxs = operation_cx::as_future())
     return detail::collapse_futs(
         detail::process_sync_tuple<T>(std::move(cxs), rs, value));
   }
+  telemetry::count(telemetry::counter::rma_get_remote);
   detail::op_record<T>* rec = nullptr;
   auto futs = detail::process_async_tuple<T>(std::move(cxs), rs, rec);
   ser_writer w(5 * sizeof(std::uint64_t));
@@ -267,15 +273,18 @@ template <rma_type T,
               detail::future_cx<detail::event_operation_t>>>
 auto rget(global_ptr<T> src, T* dest, std::size_t n,
           Cxs cxs = operation_cx::as_future()) -> detail::cx_return_t<Cxs> {
+  telemetry::span sp("rget_bulk", "rma");
   detail::rank_context& c = detail::ctx();
   detail::no_remote_cx rs;
   if (detail::rma_target_local(c, src.where())) {
+    telemetry::count(telemetry::counter::rma_get_local);
     detail::legacy_extra_alloc_if_configured(c);
     std::atomic_thread_fence(std::memory_order_acquire);
     std::memcpy(dest, src.raw(), n * sizeof(T));
     return detail::collapse_futs(
         detail::process_sync_tuple<>(std::move(cxs), rs));
   }
+  telemetry::count(telemetry::counter::rma_get_remote);
   detail::op_record<>* rec = nullptr;
   auto futs = detail::process_async_tuple<>(std::move(cxs), rs, rec);
   ser_writer w(5 * sizeof(std::uint64_t));

@@ -1,5 +1,7 @@
 #include "core/runtime.hpp"
 
+#include "core/telemetry.hpp"
+
 #include <barrier>
 #include <exception>
 #include <memory>
@@ -23,6 +25,7 @@ void wait_yield() noexcept { std::this_thread::yield(); }
 
 std::size_t progress() {
   detail::rank_context& c = detail::ctx();
+  telemetry::count(telemetry::counter::progress_calls);
   std::size_t n = c.rt->poll(c.rank);
   c.in_progress = true;
   n += c.pq.fire();
@@ -48,6 +51,7 @@ void spmd(int nranks, gex::config gcfg, version_config ver,
     rc.rank = rank;
     rc.ver = ver;
     detail::tls_context() = &rc;
+    telemetry::set_thread_rank(rank);
     sync.arrive_and_wait();  // all contexts live before user code runs
     try {
       fn();

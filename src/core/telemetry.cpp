@@ -1,0 +1,330 @@
+#include "core/telemetry.hpp"
+
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace aspen::telemetry {
+
+namespace {
+
+constexpr const char* kCounterNames[] = {
+    "cx_eager_taken",
+    "cx_deferred_queued",
+    "cx_remote_async",
+    "ready_pool_hit",
+    "ready_cell_alloc",
+    "cellpool_recycled",
+    "cellpool_fresh",
+    "whenall_all_ready",
+    "whenall_one_pending",
+    "whenall_one_valued",
+    "whenall_general",
+    "rma_put_local",
+    "rma_put_remote",
+    "rma_get_local",
+    "rma_get_remote",
+    "rpc_roundtrip",
+    "rpc_ff_sent",
+    "amo_fetching",
+    "amo_sideeffect",
+    "amo_nonfetching",
+    "am_sent",
+    "am_executed",
+    "progress_calls",
+};
+static_assert(std::size(kCounterNames) == kCounterCount,
+              "counter name table out of sync with the enum");
+
+}  // namespace
+
+const char* to_string(counter c) noexcept {
+  return kCounterNames[static_cast<std::size_t>(c)];
+}
+
+std::string snapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << kCounterNames[i]
+       << "\": " << counters[i];
+  }
+  os << "\n  },\n  \"progress_queue\": {\n"
+     << "    \"high_water\": " << pq_high_water << ",\n"
+     << "    \"reserve_growths\": " << pq_reserve_growths << ",\n"
+     << "    \"total_fired\": " << pq_total_fired << ",\n"
+     << "    \"fire_batch_hist_pow2\": [";
+  for (std::size_t i = 0; i < kPqBatchBuckets; ++i)
+    os << (i == 0 ? "" : ", ") << pq_fire_hist[i];
+  os << "]\n  },\n  \"derived\": {\n"
+     << "    \"completions_eager\": " << get(counter::cx_eager_taken) << ",\n"
+     << "    \"completions_deferred\": " << get(counter::cx_deferred_queued)
+     << ",\n"
+     << "    \"completions_remote\": " << get(counter::cx_remote_async)
+     << ",\n"
+     << "    \"completions_total\": " << completions_issued() << ",\n"
+     << "    \"eager_bypass_ratio\": " << eager_bypass_ratio() << "\n"
+     << "  },\n  \"enabled\": " << (compiled_in() ? "true" : "false")
+     << "\n}";
+  return os.str();
+}
+
+#if ASPEN_TELEMETRY_ENABLED
+
+// ---------------------------------------------------------------------------
+// Counter registry: live per-thread records + a retired aggregate
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct registry {
+  std::mutex mu;
+  std::vector<const detail::record*> live;
+  snapshot retired;  // merged totals of exited threads
+};
+
+/// Leaked on purpose: thread_local records (including the main thread's)
+/// retire during static destruction, after function-local statics may
+/// already be gone.
+registry& reg() noexcept {
+  static registry* r = new registry;
+  return *r;
+}
+
+/// Merge one record's current values into `into` (sums add, high-water
+/// maxes). Relaxed reads: counters are monotone and exactness across a
+/// racing writer is not required mid-run; at retirement the writer is done.
+void merge_record(snapshot& into, const detail::record& r) noexcept {
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    into.counters[i] += r.sums[i].v.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kPqBatchBuckets; ++i)
+    into.pq_fire_hist[i] += r.pq_hist[i].v.load(std::memory_order_relaxed);
+  const std::uint64_t hw = r.pq_high_water.v.load(std::memory_order_relaxed);
+  if (hw > into.pq_high_water) into.pq_high_water = hw;
+  into.pq_reserve_growths +=
+      r.pq_reserve_growths.v.load(std::memory_order_relaxed);
+  into.pq_total_fired += r.pq_total_fired.v.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace detail {
+
+record::record() {
+  registry& g = reg();
+  std::lock_guard<std::mutex> lk(g.mu);
+  g.live.push_back(this);
+}
+
+record::~record() {
+  registry& g = reg();
+  std::lock_guard<std::mutex> lk(g.mu);
+  merge_record(g.retired, *this);
+  std::erase(g.live, this);
+}
+
+}  // namespace detail
+
+snapshot local_snapshot() noexcept {
+  snapshot s;
+  merge_record(s, detail::tls_record());
+  return s;
+}
+
+snapshot aggregate() noexcept {
+  registry& g = reg();
+  std::lock_guard<std::mutex> lk(g.mu);
+  snapshot s = g.retired;
+  for (const detail::record* r : g.live) merge_record(s, *r);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Trace buffers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-thread event cap; beyond it events are counted as dropped rather
+/// than growing without bound (a GUPS run can issue tens of millions of
+/// operations).
+constexpr std::size_t kTraceCapPerThread = std::size_t{1} << 20;
+
+struct trace_buffer;
+
+struct trace_registry {
+  std::mutex mu;
+  std::vector<trace_buffer*> live;
+  std::vector<detail::trace_event> retired;
+  std::uint64_t dropped = 0;
+};
+
+trace_registry& treg() noexcept {
+  static trace_registry* r = new trace_registry;
+  return *r;
+}
+
+struct trace_buffer {
+  std::vector<detail::trace_event> events;
+  std::uint64_t dropped = 0;
+  std::uint32_t tid = 0;
+
+  trace_buffer() {
+    trace_registry& g = treg();
+    std::lock_guard<std::mutex> lk(g.mu);
+    g.live.push_back(this);
+  }
+  ~trace_buffer() {
+    trace_registry& g = treg();
+    std::lock_guard<std::mutex> lk(g.mu);
+    g.retired.insert(g.retired.end(), events.begin(), events.end());
+    g.dropped += dropped;
+    std::erase(g.live, this);
+  }
+};
+
+trace_buffer& tls_trace() noexcept {
+  static thread_local trace_buffer b;
+  return b;
+}
+
+std::atomic<bool> g_tracing{false};
+
+std::uint64_t process_epoch_ns() noexcept {
+  static const std::uint64_t t0 = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return t0;
+}
+
+void escape_json_string(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+
+void write_event(std::ostream& os, const detail::trace_event& e) {
+  os << "{\"name\":\"";
+  escape_json_string(os, e.name);
+  os << "\",\"cat\":\"";
+  escape_json_string(os, e.cat);
+  os << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.tid
+     << ",\"ts\":" << static_cast<double>(e.ts_ns) / 1000.0
+     << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0 << "}";
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t trace_now_ns() noexcept {
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return now - process_epoch_ns();
+}
+
+void trace_emit(const char* name, const char* cat, std::uint64_t ts_ns,
+                std::uint64_t dur_ns) noexcept {
+  trace_buffer& b = tls_trace();
+  if (b.events.size() >= kTraceCapPerThread) {
+    ++b.dropped;
+    return;
+  }
+  b.events.push_back({name, cat, b.tid, ts_ns, dur_ns});
+}
+
+}  // namespace detail
+
+void enable_tracing(bool on) noexcept {
+  if (on) process_epoch_ns();  // pin t=0 before the first span
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() noexcept {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void set_thread_rank(int rank) noexcept {
+  tls_trace().tid = rank < 0 ? 0 : static_cast<std::uint32_t>(rank);
+}
+
+void clear_trace() noexcept {
+  trace_registry& g = treg();
+  std::lock_guard<std::mutex> lk(g.mu);
+  g.retired.clear();
+  g.dropped = 0;
+  for (trace_buffer* b : g.live) {
+    b->events.clear();
+    b->dropped = 0;
+  }
+}
+
+std::size_t trace_event_count() noexcept {
+  trace_registry& g = treg();
+  std::lock_guard<std::mutex> lk(g.mu);
+  std::size_t n = g.retired.size();
+  for (const trace_buffer* b : g.live) n += b->events.size();
+  return n;
+}
+
+void write_trace(std::ostream& os) {
+  trace_registry& g = treg();
+  std::lock_guard<std::mutex> lk(g.mu);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t dropped = g.dropped;
+  for (const detail::trace_event& e : g.retired) {
+    if (!first) os << ",\n";
+    first = false;
+    write_event(os, e);
+  }
+  for (const trace_buffer* b : g.live) {
+    dropped += b->dropped;
+    for (const detail::trace_event& e : b->events) {
+      if (!first) os << ",\n";
+      first = false;
+      write_event(os, e);
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped_events\":"
+     << dropped << "}}";
+}
+
+#else  // !ASPEN_TELEMETRY_ENABLED
+
+snapshot local_snapshot() noexcept { return {}; }
+snapshot aggregate() noexcept { return {}; }
+
+void enable_tracing(bool) noexcept {}
+bool tracing_enabled() noexcept { return false; }
+void set_thread_rank(int) noexcept {}
+void clear_trace() noexcept {}
+std::size_t trace_event_count() noexcept { return 0; }
+
+void write_trace(std::ostream& os) {
+  os << "{\"traceEvents\":[],\"displayTimeUnit\":\"ns\",\"otherData\":"
+        "{\"dropped_events\":0}}";
+}
+
+#endif  // ASPEN_TELEMETRY_ENABLED
+
+bool write_trace_file(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_trace(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace aspen::telemetry

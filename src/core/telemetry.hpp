@@ -1,0 +1,371 @@
+// aspen::telemetry — runtime counters, progress-queue depth tracking, and
+// Chrome Trace Event export for the completion subsystem.
+//
+// The paper's claim rests on *where* a completion notification fires —
+// eagerly at the initiation site versus deferred through the progress
+// engine — so this subsystem gives every notification path a first-class
+// counter: eager completions taken vs. deferred, future-cell pool
+// hits/misses, ready-future pool reuses, when_all collapse hits by case,
+// local-bypass vs. remote-AM puts/gets, RPC round trips, and atomic-domain
+// fetching vs. non-fetching traffic. A second group tracks the progress
+// engine itself: per-fire() batch-size histogram (power-of-two buckets),
+// queue high-water mark, and reserve-growth events.
+//
+// Architecture:
+//   - counters live in a per-thread `record` of cache-line-padded relaxed
+//     atomics (one rank == one thread in this runtime, so writes are
+//     uncontended; padding keeps cross-thread snapshot reads from
+//     false-sharing the writer);
+//   - records register themselves in a process-global registry on first
+//     use and merge into a retired aggregate at thread exit, so
+//     telemetry::aggregate() works both during and after an spmd() run;
+//   - telemetry::snapshot is a plain value type with operator- for
+//     interval deltas, and to_json() for the benchmark sidecar files;
+//   - telemetry::span is a scoped RAII Trace Event emitter; events collect
+//     in per-thread buffers and telemetry::write_trace() emits
+//     chrome://tracing / Perfetto-loadable JSON.
+//
+// The whole subsystem sits behind the ASPEN_TELEMETRY CMake option. When
+// the option is OFF every count()/note_*() call and span constructor
+// compiles to nothing, `record` is an empty type (verified by a
+// static_assert below), and snapshots read as all-zero.
+//
+// This header is deliberately dependency-free (no core/runtime includes)
+// so every layer — gex substrate, progress engine, completion engine,
+// apps — can include it without cycles.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+
+#if defined(ASPEN_TELEMETRY) && ASPEN_TELEMETRY
+#define ASPEN_TELEMETRY_ENABLED 1
+#else
+#define ASPEN_TELEMETRY_ENABLED 0
+#endif
+
+namespace aspen::telemetry {
+
+// ---------------------------------------------------------------------------
+// Counter taxonomy
+// ---------------------------------------------------------------------------
+
+/// Every runtime counter. Completion items of kind future/promise/lpc are
+/// counted exactly once among {cx_eager_taken, cx_deferred_queued,
+/// cx_remote_async}; rpc_cx items surface as rpc_ff_sent instead (they are
+/// dispatched to the target, never notified locally).
+enum class counter : std::size_t {
+  // Completion-path disposition (the paper's core distinction).
+  cx_eager_taken,      ///< notification delivered eagerly at the initiation site
+  cx_deferred_queued,  ///< notification enqueued on the progress queue
+  cx_remote_async,     ///< notification wired to an in-flight remote op record
+
+  // Future machinery.
+  ready_pool_hit,    ///< ready future<> served from the pooled immortal cell
+  ready_cell_alloc,  ///< ready future<> that had to allocate a cell (no pool)
+  cellpool_recycled, ///< internal cell allocation served from the freelist
+  cellpool_fresh,    ///< internal cell allocation that went to malloc
+
+  // when_all collapse (paper §III-C) by case.
+  whenall_all_ready,    ///< all inputs value-less and ready -> reuse input
+  whenall_one_pending,  ///< all value-less, one pending -> return it
+  whenall_one_valued,   ///< single valued input, rest ready -> return it
+  whenall_general,      ///< general dependency-graph node built
+
+  // RMA path selection.
+  rma_put_local,   ///< put took the shared-memory bypass
+  rma_put_remote,  ///< put took the active-message round trip
+  rma_get_local,   ///< get took the shared-memory bypass
+  rma_get_remote,  ///< get took the active-message round trip
+
+  // RPC.
+  rpc_roundtrip,  ///< rpc() request/reply pairs initiated
+  rpc_ff_sent,    ///< rpc_ff / remote_cx::as_rpc dispatches
+
+  // Atomic domain.
+  amo_fetching,     ///< value-producing atomic (fetch_add, exchange, ...)
+  amo_sideeffect,   ///< side-effect-only atomic (add, store, ...)
+  amo_nonfetching,  ///< non-fetching *_into variant (paper §III-B)
+
+  // Substrate.
+  am_sent,      ///< active messages initiated by this rank
+  am_executed,  ///< active messages executed by this rank's poll()
+
+  // Progress engine.
+  progress_calls,  ///< entries into aspen::progress()
+
+  kCount,
+};
+
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(counter::kCount);
+
+/// Stable snake_case name of a counter (used as the JSON key).
+[[nodiscard]] const char* to_string(counter c) noexcept;
+
+/// Power-of-two buckets for the progress-queue fire() batch-size histogram:
+/// bucket i counts fires of batch size in [2^i, 2^(i+1)).
+inline constexpr std::size_t kPqBatchBuckets = 16;
+
+[[nodiscard]] constexpr std::size_t pq_batch_bucket(std::size_t n) noexcept {
+  const std::size_t b =
+      n == 0 ? 0 : static_cast<std::size_t>(std::bit_width(n) - 1);
+  return b < kPqBatchBuckets ? b : kPqBatchBuckets - 1;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot — plain values, always available (all-zero when compiled out)
+// ---------------------------------------------------------------------------
+
+struct snapshot {
+  std::array<std::uint64_t, kCounterCount> counters{};
+  std::array<std::uint64_t, kPqBatchBuckets> pq_fire_hist{};
+  std::uint64_t pq_high_water = 0;  ///< max pending depth seen (monotone)
+  std::uint64_t pq_reserve_growths = 0;
+  std::uint64_t pq_total_fired = 0;
+
+  [[nodiscard]] std::uint64_t get(counter c) const noexcept {
+    return counters[static_cast<std::size_t>(c)];
+  }
+
+  /// Completion items issued = eager + deferred + remote-async. The
+  /// invariant the benchmark sidecars assert: every item lands in exactly
+  /// one disposition bucket.
+  [[nodiscard]] std::uint64_t completions_issued() const noexcept {
+    return get(counter::cx_eager_taken) + get(counter::cx_deferred_queued) +
+           get(counter::cx_remote_async);
+  }
+
+  /// Fraction of completion items that bypassed the progress queue.
+  [[nodiscard]] double eager_bypass_ratio() const noexcept {
+    const std::uint64_t total = completions_issued();
+    return total == 0
+               ? 0.0
+               : static_cast<double>(get(counter::cx_eager_taken)) /
+                     static_cast<double>(total);
+  }
+
+  /// Interval delta. Monotone sums subtract; pq_high_water is a running
+  /// maximum for which a difference is meaningless, so the minuend's value
+  /// is kept as-is.
+  [[nodiscard]] snapshot operator-(const snapshot& rhs) const noexcept {
+    snapshot d = *this;
+    for (std::size_t i = 0; i < kCounterCount; ++i)
+      d.counters[i] -= rhs.counters[i];
+    for (std::size_t i = 0; i < kPqBatchBuckets; ++i)
+      d.pq_fire_hist[i] -= rhs.pq_fire_hist[i];
+    d.pq_reserve_growths -= rhs.pq_reserve_growths;
+    d.pq_total_fired -= rhs.pq_total_fired;
+    return d;
+  }
+
+  /// Serialize as a JSON object (counters + progress-queue stats + derived
+  /// consistency fields). Implemented in telemetry.cpp.
+  [[nodiscard]] std::string to_json() const;
+};
+
+// ---------------------------------------------------------------------------
+// The per-thread record
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+#if ASPEN_TELEMETRY_ENABLED
+
+/// One cache line per counter: the writer (the owning rank thread) never
+/// false-shares with concurrent aggregate() readers.
+struct alignas(64) padded_u64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+struct record {
+  std::array<padded_u64, kCounterCount> sums{};
+  std::array<padded_u64, kPqBatchBuckets> pq_hist{};
+  padded_u64 pq_high_water{};
+  padded_u64 pq_reserve_growths{};
+  padded_u64 pq_total_fired{};
+
+  record();   // registers with the process-global registry
+  ~record();  // merges into the retired aggregate and deregisters
+
+  void add(counter c, std::uint64_t n) noexcept {
+    sums[static_cast<std::size_t>(c)].v.fetch_add(n,
+                                                  std::memory_order_relaxed);
+  }
+  /// Single-writer monotone max (only the owning thread stores).
+  void raise_high_water(std::uint64_t depth) noexcept {
+    if (depth > pq_high_water.v.load(std::memory_order_relaxed))
+      pq_high_water.v.store(depth, std::memory_order_relaxed);
+  }
+};
+
+[[nodiscard]] inline record& tls_record() noexcept {
+  static thread_local record r;
+  return r;
+}
+
+#else  // !ASPEN_TELEMETRY_ENABLED
+
+/// Compiled-out configuration: the record carries no state at all. The
+/// static_assert below is the "size check" proving instrumentation really
+/// vanished from every translation unit.
+struct record {};
+
+#endif
+
+static_assert(ASPEN_TELEMETRY_ENABLED || std::is_empty_v<record>,
+              "with ASPEN_TELEMETRY off the counter record must be stateless");
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Counting API (no-ops when compiled out)
+// ---------------------------------------------------------------------------
+
+inline void count(counter c, std::uint64_t n = 1) noexcept {
+#if ASPEN_TELEMETRY_ENABLED
+  detail::tls_record().add(c, n);
+#else
+  (void)c;
+  (void)n;
+#endif
+}
+
+/// Record a progress-queue fire() of `batch` notifications.
+inline void note_pq_fire(std::size_t batch) noexcept {
+#if ASPEN_TELEMETRY_ENABLED
+  detail::record& r = detail::tls_record();
+  r.pq_hist[pq_batch_bucket(batch)].v.fetch_add(1, std::memory_order_relaxed);
+  r.pq_total_fired.v.fetch_add(batch, std::memory_order_relaxed);
+#else
+  (void)batch;
+#endif
+}
+
+/// Record the pending depth after a push (tracks the high-water mark).
+inline void note_pq_depth(std::size_t depth) noexcept {
+#if ASPEN_TELEMETRY_ENABLED
+  detail::tls_record().raise_high_water(depth);
+#else
+  (void)depth;
+#endif
+}
+
+/// Record one capacity growth of a progress-queue vector.
+inline void note_pq_reserve_growth() noexcept {
+#if ASPEN_TELEMETRY_ENABLED
+  detail::tls_record().pq_reserve_growths.v.fetch_add(
+      1, std::memory_order_relaxed);
+#endif
+}
+
+/// Snapshot of the calling thread's record only.
+[[nodiscard]] snapshot local_snapshot() noexcept;
+
+/// Process-wide snapshot: retired (exited) threads' totals plus every live
+/// thread's current values. Sums add across threads; pq_high_water is the
+/// max. Safe to call after spmd() returns.
+[[nodiscard]] snapshot aggregate() noexcept;
+
+// ---------------------------------------------------------------------------
+// Trace Event export (chrome://tracing / Perfetto)
+// ---------------------------------------------------------------------------
+
+/// Runtime switch for span collection. Off by default; flipping it on/off
+/// brackets the region of interest so hot loops pay only a relaxed load
+/// when idle.
+void enable_tracing(bool on) noexcept;
+[[nodiscard]] bool tracing_enabled() noexcept;
+
+/// Tag the calling thread with its rank; emitted as the Trace Event `tid`
+/// so Perfetto groups spans per rank. Called by the spmd launcher.
+void set_thread_rank(int rank) noexcept;
+
+/// Discard all collected events (retired and live buffers).
+void clear_trace() noexcept;
+
+/// Number of events currently held (retired + live).
+[[nodiscard]] std::size_t trace_event_count() noexcept;
+
+/// Emit the collected events as a Trace Event JSON document
+/// ({"traceEvents": [...]}, "X" complete events, microsecond timestamps).
+void write_trace(std::ostream& os);
+
+/// write_trace to a file; returns false if the file cannot be opened.
+bool write_trace_file(const std::string& path);
+
+namespace detail {
+
+struct trace_event {
+  const char* name;  // string literal owned by the caller
+  const char* cat;
+  std::uint32_t tid;
+  std::uint64_t ts_ns;   // steady-clock, process-relative
+  std::uint64_t dur_ns;
+};
+
+#if ASPEN_TELEMETRY_ENABLED
+[[nodiscard]] std::uint64_t trace_now_ns() noexcept;
+void trace_emit(const char* name, const char* cat, std::uint64_t ts_ns,
+                std::uint64_t dur_ns) noexcept;
+#endif
+
+}  // namespace detail
+
+#if ASPEN_TELEMETRY_ENABLED
+
+/// Scoped Trace Event span: records a complete ("ph":"X") event covering
+/// the constructor-to-destructor interval, iff tracing was enabled at
+/// construction. `name`/`cat` must be string literals (or otherwise outlive
+/// the trace buffers).
+class span {
+ public:
+  explicit span(const char* name, const char* cat = "aspen") noexcept {
+    if (tracing_enabled()) {
+      name_ = name;
+      cat_ = cat;
+      start_ns_ = detail::trace_now_ns();
+    }
+  }
+  ~span() {
+    if (name_ != nullptr)
+      detail::trace_emit(name_, cat_, start_ns_,
+                         detail::trace_now_ns() - start_ns_);
+  }
+  span(const span&) = delete;
+  span& operator=(const span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+#else
+
+/// Compiled-out span: an empty object the optimizer deletes entirely.
+class span {
+ public:
+  explicit span(const char*, const char* = "aspen") noexcept {}
+  span(const span&) = delete;
+  span& operator=(const span&) = delete;
+};
+
+static_assert(sizeof(span) == 1,
+              "with ASPEN_TELEMETRY off spans must carry no state");
+
+#endif
+
+/// Is the subsystem compiled in? (Runtime-queryable mirror of the macro.)
+[[nodiscard]] constexpr bool compiled_in() noexcept {
+  return ASPEN_TELEMETRY_ENABLED != 0;
+}
+
+}  // namespace aspen::telemetry

@@ -127,8 +127,14 @@ auto when_all(Args&&... args) {
               ((f.ready() ? void(0) : (pending = &f, ++npend, void(0))), ...);
             },
             inputs);
-        if (npend == 0) return RFut(std::get<0>(inputs));
-        if (npend == 1) return RFut(*pending);
+        if (npend == 0) {
+          telemetry::count(telemetry::counter::whenall_all_ready);
+          return RFut(std::get<0>(inputs));
+        }
+        if (npend == 1) {
+          telemetry::count(telemetry::counter::whenall_one_pending);
+          return RFut(*pending);
+        }
       } else if constexpr (valued_count == 1) {
         // If every value-less input is already ready, the result is
         // semantically the single valued input.
@@ -141,6 +147,7 @@ auto when_all(Args&&... args) {
             },
             inputs);
         if (others_ready) {
+          telemetry::count(telemetry::counter::whenall_one_valued);
           constexpr std::size_t vi = detail::first_true(valued);
           return RFut(std::get<vi>(inputs));
         }
@@ -148,6 +155,7 @@ auto when_all(Args&&... args) {
     }
 
     // General path: build the dependency-graph node.
+    telemetry::count(telemetry::counter::whenall_general);
     auto* rc = detail::make_pending_cell<RFut>();  // deps = 1 (the gather)
     std::size_t npend = 0;
     std::apply([&](const auto&... f) { ((npend += f.ready() ? 0 : 1), ...); },

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/telemetry.hpp"
 #include "gex/am.hpp"
 #include "gex/config.hpp"
 #include "gex/mpsc_queue.hpp"
@@ -20,7 +21,11 @@ struct rank_state {
   /// Scratch buffer reused by poll() to drain the inbox.
   std::vector<am_message> drain_buf;
   /// Monotonic counters, readable cross-thread for diagnostics/tests.
+  /// ams_sent counts messages *initiated by* this rank; ams_received counts
+  /// messages *enqueued for* this rank; ams_executed counts messages this
+  /// rank's poll() has run. received >= executed at all times.
   std::atomic<std::uint64_t> ams_sent{0};
+  std::atomic<std::uint64_t> ams_received{0};
   std::atomic<std::uint64_t> ams_executed{0};
 };
 
@@ -52,9 +57,16 @@ class runtime {
   }
 
   /// Enqueue an active message for `target`. Callable from any rank thread.
+  /// The send is attributed to the *initiating* rank (msg.source()); the
+  /// target only sees its ams_received tick. (ams_sent used to be bumped on
+  /// the target's state, which double-charged receivers and left senders
+  /// with a zero count.)
   void send_am(int target, am_message msg) {
+    const int src = msg.source();
     state(target).inbox.push(std::move(msg));
-    state(target).ams_sent.fetch_add(1, std::memory_order_relaxed);
+    state(src).ams_sent.fetch_add(1, std::memory_order_relaxed);
+    state(target).ams_received.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count(telemetry::counter::am_sent);
   }
 
   /// Drain and execute all pending AMs for rank `me`. Returns the number of
@@ -68,6 +80,7 @@ class runtime {
     for (auto& msg : st.drain_buf) msg.execute(*this, me);
     st.drain_buf.clear();
     st.ams_executed.fetch_add(n, std::memory_order_relaxed);
+    telemetry::count(telemetry::counter::am_executed, n);
     return n;
   }
 

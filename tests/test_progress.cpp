@@ -106,17 +106,43 @@ TEST(AmSubstrate, CountersTrackTraffic) {
     if (rank_me() == 1) gp = new_<int>(0);
     gp = broadcast(gp, 1);
     // Snapshot before the barrier: rank 0's puts all happen after it.
-    const auto sent_before =
-        detail::ctx().rt->state(1).ams_sent.load();
+    const auto sent0_before = detail::ctx().rt->state(0).ams_sent.load();
+    const auto recv1_before = detail::ctx().rt->state(1).ams_received.load();
+    const auto exec1_before = detail::ctx().rt->state(1).ams_executed.load();
     barrier();
     if (rank_me() == 0) {
       for (int i = 0; i < 10; ++i) rput(i, gp).wait();
     }
     barrier();
-    const auto sent_after = detail::ctx().rt->state(1).ams_sent.load();
-    // 10 put requests landed in rank 1's inbox (plus possibly collective
-    // noise — none on this substrate; replies went to rank 0).
-    EXPECT_GE(sent_after - sent_before, 10u);
+    // Sends are attributed to the initiator: rank 0 issued 10 put requests.
+    // Rank 1 received and executed them (replies went back to rank 0 and
+    // are charged to rank 1's ams_sent, not its ams_received).
+    EXPECT_GE(detail::ctx().rt->state(0).ams_sent.load() - sent0_before, 10u);
+    EXPECT_GE(detail::ctx().rt->state(1).ams_received.load() - recv1_before,
+              10u);
+    EXPECT_GE(detail::ctx().rt->state(1).ams_executed.load() - exec1_before,
+              10u);
+    barrier();
+    if (rank_me() == 1) delete_(gp);
+  });
+}
+
+TEST(AmSubstrate, ReceivedNeverTrailsExecuted) {
+  gex::config g;
+  g.transport = gex::conduit::loopback;
+  g.locality.node_size = 1;
+  aspen::spmd(2, g, [] {
+    global_ptr<int> gp;
+    if (rank_me() == 1) gp = new_<int>(0);
+    gp = broadcast(gp, 1);
+    barrier();
+    if (rank_me() == 0)
+      for (int i = 0; i < 10; ++i) rput(i, gp).wait();
+    barrier();
+    for (int r = 0; r < 2; ++r) {
+      const auto& st = detail::ctx().rt->state(r);
+      EXPECT_GE(st.ams_received.load(), st.ams_executed.load());
+    }
     barrier();
     if (rank_me() == 1) delete_(gp);
   });
@@ -128,15 +154,36 @@ TEST(AmSubstrate, SmpConduitUsesNoAmsForRma) {
     if (rank_me() == 1) gp = new_<int>(0);
     gp = broadcast(gp, 1);
     barrier();
-    const auto before = detail::ctx().rt->state(1).ams_sent.load();
+    const auto sent0 = detail::ctx().rt->state(0).ams_sent.load();
+    const auto sent1 = detail::ctx().rt->state(1).ams_sent.load();
+    const auto recv1 = detail::ctx().rt->state(1).ams_received.load();
     if (rank_me() == 0)
       for (int i = 0; i < 10; ++i) rput(i, gp).wait();
     barrier();
-    // Shared-memory bypass: zero active messages.
-    EXPECT_EQ(detail::ctx().rt->state(1).ams_sent.load(), before);
+    // Shared-memory bypass: zero active messages from either side.
+    EXPECT_EQ(detail::ctx().rt->state(0).ams_sent.load(), sent0);
+    EXPECT_EQ(detail::ctx().rt->state(1).ams_sent.load(), sent1);
+    EXPECT_EQ(detail::ctx().rt->state(1).ams_received.load(), recv1);
     barrier();
     if (rank_me() == 1) delete_(gp);
   });
+}
+
+TEST(ProgressQueue, HighWaterAndReserveGrowth) {
+  detail::progress_queue pq;
+  EXPECT_EQ(pq.high_water(), 0u);
+  // The queue pre-reserves 1024 slots; 3000 pushes must outgrow it.
+  for (int i = 0; i < 3000; ++i) pq.push([] {});
+  EXPECT_EQ(pq.high_water(), 3000u);
+  EXPECT_GE(pq.reserve_growths(), 1u);
+  const auto growths = pq.reserve_growths();
+  pq.fire();
+  // High water is monotone; firing does not reset it.
+  EXPECT_EQ(pq.high_water(), 3000u);
+  for (int i = 0; i < 10; ++i) pq.push([] {});
+  pq.fire();
+  EXPECT_EQ(pq.high_water(), 3000u);
+  EXPECT_EQ(pq.reserve_growths(), growths);  // capacity was retained
 }
 
 TEST(Spmd, ExceptionInRankPropagates) {
