@@ -10,6 +10,24 @@
 //   ASPEN_BENCH_KEEP    samples kept (best)       (paper: 10; default: 3)
 //   ASPEN_BENCH_SCALE   workload scale multiplier for GUPS/matching
 //                       (default 1; paper-comparable ~8-16)
+//   ASPEN_BENCH_PERTURB non-zero adds a perturbed-conduit pass to the
+//                       off-node benchmark (default 0)
+//
+// Perturbed-conduit runs additionally honor the ASPEN_PERTURB_* family
+// (read by gex::perturb::apply_env unless a program opts out via
+// perturb_config::honor_env = false; see docs/PERTURB.md):
+//   ASPEN_PERTURB_MODE             forced-sync | forced-async | delay-reorder
+//                                  (preset applied first; knobs below win)
+//   ASPEN_PERTURB_SEED             base seed, decimal or 0x-hex (replayable)
+//   ASPEN_PERTURB_DELAY_PCT        % of messages assigned a delivery hold
+//   ASPEN_PERTURB_MAX_HOLD         max polls a held message waits (>= 1)
+//   ASPEN_PERTURB_REORDER          non-zero randomizes cross-source delivery
+//   ASPEN_PERTURB_FORCED_ASYNC_PCT % of shareable-target RMA/atomics diverted
+//                                  down the AM path
+//   ASPEN_PERTURB_BACKPRESSURE     non-zero bounds inboxes at
+//                                  config::am_inbox_capacity
+//   ASPEN_PERTURB_SWEEP_SEEDS      seeds per mode in test_perturb_sweep
+//                                  (test harness only; default 4)
 #pragma once
 
 #include <cstddef>

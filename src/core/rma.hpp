@@ -58,14 +58,19 @@ inline void legacy_extra_alloc_if_configured(const rank_context& c) {
 
 /// The locality branch inside every RMA call (redundant with user-level
 /// is_local checks — paper §II-C). On the SMP conduit with 2021.3.6
-/// semantics the check is resolved statically.
+/// semantics the check is resolved statically. The perturbed conduit may
+/// divert a shareable target down the AM path anyway (forced-async mode):
+/// eager completion must degrade to the deferred remote machinery with no
+/// observable difference, which is exactly what the seed-sweep harness
+/// asserts.
 [[nodiscard]] inline bool rma_target_local(const rank_context& c,
                                            int target) noexcept {
   if (!c.ver.dynamic_is_local &&
       c.rt->cfg().transport == gex::conduit::smp) {
     return true;
   }
-  return c.rt->shares_memory(c.rank, target);
+  if (!c.rt->shares_memory(c.rank, target)) return false;
+  return !c.rt->perturb_force_async(c.rank);
 }
 
 // --------------------------------------------------------------------------

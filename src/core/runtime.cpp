@@ -66,8 +66,11 @@ void spmd(int nranks, gex::config gcfg, version_config ver,
       if (w.rt().poll(rank) + rc.pq.fire() == 0) std::this_thread::yield();
     }
     sync.arrive_and_wait();
-    w.rt().poll(rank);  // final drain
-    rc.pq.fire();
+    // Final drain. On the perturbed conduit a message may still be held for
+    // several future polls, so keep polling until nothing is pending; a
+    // single poll would silently drop held messages at shutdown.
+    while (w.rt().poll(rank) + rc.pq.fire() != 0 || w.rt().has_pending(rank)) {
+    }
     detail::tls_context() = nullptr;
   };
 

@@ -34,6 +34,10 @@ constexpr const char* kCounterNames[] = {
     "am_sent",
     "am_executed",
     "progress_calls",
+    "perturb_delayed",
+    "perturb_reordered",
+    "perturb_forced_async",
+    "perturb_backpressure",
 };
 static_assert(std::size(kCounterNames) == kCounterCount,
               "counter name table out of sync with the enum");

@@ -101,6 +101,12 @@ enum class counter : std::size_t {
   // Progress engine.
   progress_calls,  ///< entries into aspen::progress()
 
+  // Perturbation conduit (gex/perturb.hpp) injected events.
+  perturb_delayed,       ///< messages assigned a nonzero delivery hold
+  perturb_reordered,     ///< deliveries emitted out of arrival order
+  perturb_forced_async,  ///< RMA/atomics diverted to the AM path
+  perturb_backpressure,  ///< sends that waited on a full inbox
+
   kCount,
 };
 

@@ -11,6 +11,7 @@
 #include "gex/am.hpp"
 #include "gex/config.hpp"
 #include "gex/mpsc_queue.hpp"
+#include "gex/perturb.hpp"
 #include "gex/segment.hpp"
 
 namespace aspen::gex {
@@ -20,6 +21,10 @@ struct rank_state {
   mpsc_queue<am_message> inbox;
   /// Scratch buffer reused by poll() to drain the inbox.
   std::vector<am_message> drain_buf;
+  /// True while poll() is iterating drain_buf. An AM handler that reenters
+  /// the progress engine (and thus poll()) on the same rank must not reuse
+  /// the in-flight scratch buffer.
+  bool draining = false;
   /// Monotonic counters, readable cross-thread for diagnostics/tests.
   /// ams_sent counts messages *initiated by* this rank; ams_received counts
   /// messages *enqueued for* this rank; ams_executed counts messages this
@@ -36,6 +41,11 @@ class runtime {
         arena_(nranks, cfg.segment_bytes),
         states_(static_cast<std::size_t>(nranks)) {
     for (auto& s : states_) s = std::make_unique<rank_state>();
+    if (cfg_.transport == conduit::perturbed) {
+      if (cfg_.perturb.honor_env)
+        cfg_.perturb = perturb::apply_env(cfg_.perturb);
+      perturb_ = std::make_unique<perturb::engine>(cfg_.perturb, nranks);
+    }
   }
 
   runtime(const runtime&) = delete;
@@ -63,31 +73,81 @@ class runtime {
   /// with a zero count.)
   void send_am(int target, am_message msg) {
     const int src = msg.source();
-    state(target).inbox.push(std::move(msg));
     state(src).ams_sent.fetch_add(1, std::memory_order_relaxed);
     state(target).ams_received.fetch_add(1, std::memory_order_relaxed);
     telemetry::count(telemetry::counter::am_sent);
+    if (perturb_) {
+      perturb_->send(*this, target, std::move(msg));
+      return;
+    }
+    state(target).inbox.push(std::move(msg));
   }
 
   /// Drain and execute all pending AMs for rank `me`. Returns the number of
-  /// messages executed. Must be called only by rank `me`'s thread.
+  /// messages executed. Must be called only by rank `me`'s thread (nested
+  /// calls from AM handlers running on that thread are allowed).
   std::size_t poll(int me) {
     rank_state& st = state(me);
-    if (!st.inbox.maybe_nonempty()) return 0;
-    st.drain_buf.clear();
-    st.inbox.drain_into(st.drain_buf);
-    const std::size_t n = st.drain_buf.size();
-    for (auto& msg : st.drain_buf) msg.execute(*this, me);
-    st.drain_buf.clear();
-    st.ams_executed.fetch_add(n, std::memory_order_relaxed);
-    telemetry::count(telemetry::counter::am_executed, n);
+    std::size_t n;
+    if (perturb_) {
+      n = perturb_->poll(*this, me);
+    } else if (!st.inbox.maybe_nonempty()) {
+      return 0;
+    } else if (!st.draining) {
+      // Fast path: reuse the scratch buffer, guarded against reentry. A
+      // handler that triggers nested progress on this rank used to clobber
+      // drain_buf mid-iteration (clear + push invalidating the live loop).
+      st.draining = true;
+      st.drain_buf.clear();
+      st.inbox.drain_into(st.drain_buf);
+      n = st.drain_buf.size();
+      for (auto& msg : st.drain_buf) msg.execute(*this, me);
+      st.drain_buf.clear();
+      st.draining = false;
+    } else {
+      // Nested poll: drain into a private buffer, leaving the outer
+      // iteration's storage untouched.
+      std::vector<am_message> nested;
+      st.inbox.drain_into(nested);
+      n = nested.size();
+      for (auto& msg : nested) msg.execute(*this, me);
+    }
+    if (n != 0) {
+      st.ams_executed.fetch_add(n, std::memory_order_relaxed);
+      telemetry::count(telemetry::counter::am_executed, n);
+    }
     return n;
   }
 
+  /// True while rank `me` still has undelivered messages. On the perturbed
+  /// conduit a message may be held across several polls, so shutdown drains
+  /// must keep polling while this is set rather than polling once.
+  [[nodiscard]] bool has_pending(int me) const noexcept {
+    if (perturb_) return perturb_->has_pending(me);
+    return state_const(me).inbox.maybe_nonempty();
+  }
+
+  /// Draw one forced-async decision for an operation initiated by `rank`
+  /// whose target shares memory. Always false outside the perturbed
+  /// conduit; see detail::rma_target_local for the consultation site.
+  [[nodiscard]] bool perturb_force_async(int rank) noexcept {
+    return perturb_ && perturb_->force_async(rank);
+  }
+
+  /// The perturbation engine, or nullptr outside conduit::perturbed.
+  [[nodiscard]] perturb::engine* perturb_engine() noexcept {
+    return perturb_.get();
+  }
+
  private:
+  [[nodiscard]] const rank_state& state_const(int rank) const noexcept {
+    return *states_[static_cast<std::size_t>(rank)];
+  }
+
   config cfg_;
   segment_arena arena_;
   std::vector<std::unique_ptr<rank_state>> states_;
+  std::unique_ptr<perturb::engine> perturb_;
 };
 
 }  // namespace aspen::gex

@@ -23,9 +23,17 @@ namespace aspen::gex {
 ///              RMA/atomics take the active-message path even though the
 ///              memory is physically shared. Used by tests and the off-node
 ///              ablation benchmark.
+///  - perturbed: loopback plus a deterministic, seeded perturbation engine
+///              (gex/perturb.hpp) that delays, reorders (per-source FIFO
+///              preserving), and backpressures AM delivery, and can divert
+///              shareable-memory RMA/atomics down the AM path (forced-async
+///              mode). Used by the seed-sweep correctness harness to stress
+///              the eager/defer equivalence claim under adversarial
+///              schedules.
 enum class conduit : std::uint8_t {
   smp,
   loopback,
+  perturbed,
 };
 
 /// Locality model: which rank pairs are treated as sharing a node.
@@ -44,14 +52,51 @@ struct locality_model {
   }
 };
 
+/// Tunables of the `conduit::perturbed` fault-injection engine. All
+/// randomness derives from `seed` through per-rank splitmix64/xoshiro256**
+/// streams, so every injected schedule is replayable from its seed.
+struct perturb_config {
+  /// Root seed for every per-rank PRNG stream. Overridable at run time via
+  /// ASPEN_PERTURB_SEED (see honor_env).
+  std::uint64_t seed = 0xA5BE5EEDCAFEF00Dull;
+  /// Percent chance (0..100) that a message is assigned a delivery hold.
+  std::uint32_t delay_percent = 0;
+  /// A held message is skipped by this many target polls (hold drawn
+  /// uniformly in [1, max_hold_polls]).
+  std::uint32_t max_hold_polls = 8;
+  /// Randomize the interleaving of deliveries from *different* sources.
+  /// Per-source FIFO order is always preserved (the RMA remote-completion
+  /// protocol depends on it, as GASNet-EX request ordering does).
+  bool reorder = false;
+  /// Percent chance (0..100) that an RMA/atomic targeting shareable memory
+  /// is diverted down the AM path anyway. 100 = forced-async mode: no
+  /// operation may complete synchronously, so eager completion factories
+  /// must degrade to the deferred remote machinery.
+  std::uint32_t forced_async_percent = 0;
+  /// Honor config::am_inbox_capacity: senders spin (with yield) while the
+  /// target inbox is full, then force-deliver after backpressure_spins to
+  /// guarantee progress.
+  bool backpressure = true;
+  std::uint32_t backpressure_spins = 1u << 16;
+  /// Apply ASPEN_PERTURB_* environment overrides when the runtime starts
+  /// (the seed-replay workflow). The seed-sweep harness sets this false so
+  /// its programmatically derived seeds are authoritative.
+  bool honor_env = true;
+};
+
 /// Substrate-wide tunables, fixed for the duration of one SPMD run.
 struct config {
   conduit transport = conduit::smp;
   locality_model locality{};
   /// Bytes of shared segment reserved per rank.
   std::size_t segment_bytes = std::size_t{64} << 20;
-  /// Capacity (messages) of each rank's active-message inbox ring.
+  /// Capacity (messages) of each rank's active-message inbox ring. Enforced
+  /// by the perturbed conduit's backpressure path (perturb_config); the smp
+  /// and loopback conduits treat the inbox as unbounded.
   std::size_t am_inbox_capacity = 1 << 14;
+  /// Perturbation engine settings; consulted only when transport is
+  /// conduit::perturbed.
+  perturb_config perturb{};
 };
 
 }  // namespace aspen::gex

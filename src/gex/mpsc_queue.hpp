@@ -38,6 +38,13 @@ class mpsc_queue {
     return approx_size_.load(std::memory_order_acquire) != 0;
   }
 
+  /// Undrained item count as of the last push/drain. Exact the instant it
+  /// is read under the lock, approximate otherwise; used by the perturbed
+  /// conduit's bounded-inbox backpressure check.
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    return approx_size_.load(std::memory_order_acquire);
+  }
+
   /// Move the entire backlog into `out` (appended). Returns number drained.
   /// Consumer-thread only.
   std::size_t drain_into(std::vector<T>& out) {

@@ -1,0 +1,192 @@
+// aspen::gex::perturb — deterministic fault injection for the AM substrate.
+//
+// The paper's central claim is that eager completion is a *safe* semantic
+// relaxation: a program must observe identical results whether a transfer
+// completes synchronously (eager bypass) or falls back to the deferred
+// progress-queue path. The smp/loopback conduits deliver AMs instantly and
+// in order, so that equivalence is never stressed. This engine backs the
+// third conduit (conduit::perturbed) and injects, deterministically from a
+// seed:
+//
+//   - per-message delivery delay: a message is skipped by the target's next
+//     k polls (k drawn on the *sender's* stream, so the decision depends
+//     only on the sender's program order, not thread scheduling);
+//   - bounded reordering: the interleaving of ready messages from different
+//     sources is randomized. Per-source FIFO order is always preserved —
+//     the RMA remote-completion protocol (buffered_remote_sender) relies on
+//     it, exactly as UPC++ relies on GASNet-EX request ordering;
+//   - forced-async diversion: RMA/atomics whose target shares memory are
+//     probabilistically (or always) routed down the AM path regardless, so
+//     eager completion factories must degrade to the deferred remote
+//     machinery (rma_target_local consults force_async());
+//   - bounded-inbox backpressure: honors config::am_inbox_capacity with
+//     sender-side yield/retry and a forced-delivery fallback.
+//
+// Every stream is a xoshiro256** seeded via splitmix64 from
+// (seed, rank, stream id); any failing schedule is replayable by rerunning
+// with the same seed (ASPEN_PERTURB_SEED). Injected events are counted in
+// aspen::telemetry and in engine-local stats (available even when telemetry
+// is compiled out).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "gex/am.hpp"
+#include "gex/config.hpp"
+#include "gex/mpsc_queue.hpp"
+
+namespace aspen::gex {
+
+class runtime;
+
+namespace perturb {
+
+// ---------------------------------------------------------------------------
+// PRNG: splitmix64 (seeding / seed derivation) + xoshiro256** (streams)
+// ---------------------------------------------------------------------------
+
+/// One step of the splitmix64 sequence; advances `state` and returns the
+/// next output. Also used by the sweep harness to derive independent seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256**: fast, high-quality, and trivially reproducible. One
+/// instance per (rank, decision kind) so decision streams never interleave.
+class xoshiro256ss {
+ public:
+  explicit constexpr xoshiro256ss(std::uint64_t seed) noexcept {
+    for (auto& w : s_) w = splitmix64(seed);
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform draw in [0, n). n == 0 returns 0 (and still advances).
+  constexpr std::uint32_t below(std::uint32_t n) noexcept {
+    const std::uint64_t r = next();
+    return n == 0 ? 0u : static_cast<std::uint32_t>(r % n);
+  }
+
+  /// True with probability pct/100. Always advances the stream (so replay
+  /// is insensitive to the configured percentage of *other* knobs).
+  constexpr bool percent(std::uint32_t pct) noexcept {
+    return below(100) < pct;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+/// Harness presets: the three legs of the seed sweep.
+enum class mode : std::uint8_t {
+  forced_sync,   ///< delivery through the engine, no injection: control leg
+  forced_async,  ///< every shareable-memory RMA/atomic diverted to the AM path
+  delay_reorder, ///< delivery delays + cross-source reordering + 50% diversion
+};
+
+[[nodiscard]] const char* to_string(mode m) noexcept;
+
+/// Build a perturb_config for one (mode, seed) leg of the sweep.
+[[nodiscard]] perturb_config preset(mode m, std::uint64_t seed) noexcept;
+
+/// Apply ASPEN_PERTURB_* environment overrides (SEED, MODE, DELAY_PCT,
+/// MAX_HOLD, REORDER, FORCED_ASYNC_PCT, BACKPRESSURE) on top of `base`.
+/// MODE is applied first, so an explicit ASPEN_PERTURB_DELAY_PCT etc. wins
+/// over the preset. Unset variables leave `base` untouched.
+[[nodiscard]] perturb_config apply_env(perturb_config base);
+
+/// Aggregate injected-event counts, summed over all ranks. Monotone;
+/// readable any time (relaxed atomics). Mirrors the telemetry counters but
+/// is available even when ASPEN_TELEMETRY is compiled out, and is the
+/// object the determinism tests compare across same-seed runs.
+struct stats {
+  std::uint64_t sent = 0;            ///< messages routed through the engine
+  std::uint64_t delayed = 0;         ///< messages assigned a nonzero hold
+  std::uint64_t hold_polls = 0;      ///< total polls' worth of hold assigned
+  std::uint64_t reordered = 0;       ///< deliveries emitted out of arrival order
+  std::uint64_t forced_async = 0;    ///< operations diverted to the AM path
+  std::uint64_t backpressure_waits = 0;   ///< sends that waited on a full inbox
+  std::uint64_t backpressure_forced = 0;  ///< waits abandoned via force-delivery
+
+  friend bool operator==(const stats&, const stats&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// One engine per perturbed runtime. send()/poll()/force_async() are called
+/// by rank threads under the same threading contract as the substrate:
+/// send(target, msg) from any rank thread (msg.source() == calling rank),
+/// poll(me)/force_async(me) only from rank `me`'s thread. All PRNG streams
+/// are therefore single-writer.
+class engine {
+ public:
+  engine(const perturb_config& cfg, int nranks);
+  engine(const engine&) = delete;
+  engine& operator=(const engine&) = delete;
+  ~engine();
+
+  [[nodiscard]] const perturb_config& cfg() const noexcept { return cfg_; }
+
+  /// Deliver `msg` to `target`, applying backpressure and drawing the
+  /// delivery hold on the sender's stream.
+  void send(runtime& rt, int target, am_message msg);
+
+  /// Drain/age/execute rank `me`'s messages. Returns messages executed.
+  /// Reentrant: an AM handler may trigger a nested poll on the same rank.
+  std::size_t poll(runtime& rt, int me);
+
+  /// Draw one forced-async decision on rank `rank`'s operation stream.
+  [[nodiscard]] bool force_async(int rank) noexcept;
+
+  /// True while rank `me` has undelivered messages (inbox or held). Used by
+  /// the final-drain loop so held messages are not lost at shutdown.
+  [[nodiscard]] bool has_pending(int me) const noexcept;
+
+  [[nodiscard]] stats totals() const noexcept;
+
+ private:
+  /// A message in flight through the engine, with its remaining hold and
+  /// the target-side arrival order (assigned at drain).
+  struct envelope {
+    am_message msg;
+    std::uint32_t hold_polls = 0;
+    std::uint64_t arrival_seq = 0;
+  };
+
+  struct rank_state;  // defined in perturb.cpp (cache-line aligned there)
+
+  [[nodiscard]] rank_state& st(int rank) noexcept {
+    return *ranks_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] const rank_state& st(int rank) const noexcept {
+    return *ranks_[static_cast<std::size_t>(rank)];
+  }
+
+  perturb_config cfg_;
+  std::vector<std::unique_ptr<rank_state>> ranks_;
+};
+
+}  // namespace perturb
+}  // namespace aspen::gex

@@ -1,0 +1,314 @@
+// The seed-sweep correctness harness: the paper's equivalence claim —
+// eager notification is a semantic relaxation with identical observable
+// results — exercised under adversarial delivery schedules.
+//
+// Four application workloads (eager/defer RMA+AMO mix, when_all
+// conjoining, promise batch tracking, GUPS atomic updates) run once on the
+// unperturbed smp conduit to produce reference outputs, then again on the
+// perturbed conduit across N seeds x 3 modes:
+//
+//   forced-sync    control leg: engine in the path, no injection;
+//   forced-async   every shareable-memory RMA/atomic diverted down the AM
+//                  path, so eager factories degrade to the deferred remote
+//                  machinery (cx_eager_taken must stay 0);
+//   delay-reorder  randomized per-message delivery holds + cross-source
+//                  reordering + 50% diversion.
+//
+// Every run must be bit-identical to the baseline. Replay: any failing
+// (mode, seed) pair reproduces exactly by re-running with
+// ASPEN_PERTURB_MODE=<mode> ASPEN_PERTURB_SEED=<base> and
+// ASPEN_PERTURB_SWEEP_SEEDS=<n> set, since seeds are derived
+// deterministically from the base seed. See docs/PERTURB.md.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/gups/gups.hpp"
+#include "core/aspen.hpp"
+#include "core/telemetry.hpp"
+#include "gex/perturb.hpp"
+
+using namespace aspen;
+namespace gp = aspen::gex::perturb;
+namespace gups = aspen::apps::gups;
+
+namespace {
+
+constexpr std::uint64_t kDefaultBaseSeed = 0xA5BE5EEDCAFEF00Dull;
+
+std::uint64_t base_seed() {
+  if (const char* v = std::getenv("ASPEN_PERTURB_SEED"); v != nullptr && *v)
+    return std::strtoull(v, nullptr, 0);
+  return kDefaultBaseSeed;
+}
+
+int sweep_seed_count() {
+  if (const char* v = std::getenv("ASPEN_PERTURB_SWEEP_SEEDS");
+      v != nullptr && *v) {
+    const long n = std::strtol(v, nullptr, 0);
+    if (n > 0) return static_cast<int>(n);
+  }
+  return 4;
+}
+
+/// Seed i of the sweep: the i-th output of a splitmix64 sequence rooted at
+/// the base seed, so one (base, i) pair pins the whole run.
+std::uint64_t derived_seed(int i) {
+  std::uint64_t s = base_seed();
+  std::uint64_t out = 0;
+  for (int k = 0; k <= i; ++k) out = gp::splitmix64(s);
+  return out;
+}
+
+/// Workload output sink. Written only by rank 0's thread inside each
+/// workload, read only after spmd() returns.
+std::vector<std::uint64_t> g_sink;
+
+// ---------------------------------------------------------------------------
+// Workload 1: RMA + atomics mix through all three completion styles.
+// Each rank writes an exclusive slot range on its peer (deterministic
+// final state); the atomic counter accumulates a commutative sum.
+// ---------------------------------------------------------------------------
+
+void wl_rma_amo(const gex::config& g, version_config ver) {
+  g_sink.clear();
+  aspen::spmd(2, g, ver, [] {
+    constexpr std::uint64_t kN = 24;
+    const int me = rank_me();
+    auto mine = new_array<std::uint64_t>(2 * kN);
+    for (std::uint64_t i = 0; i < 2 * kN; ++i) *(mine + i).local() = 0;
+    global_ptr<std::uint64_t> cnt;
+    if (me == 0) cnt = new_<std::uint64_t>(0);
+    barrier();
+    const global_ptr<std::uint64_t> dir[2] = {broadcast(mine, 0),
+                                              broadcast(mine, 1)};
+    const auto gcnt = broadcast(cnt, 0);
+    const auto peer = dir[1 - me];
+    const std::uint64_t base = static_cast<std::uint64_t>(me) * kN;
+    promise<> pr;
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      const auto slot = peer + static_cast<std::ptrdiff_t>(base + i);
+      const std::uint64_t val =
+          (static_cast<std::uint64_t>(me + 1) << 32) | (i * 0x9E37u + 1);
+      switch (i % 3) {
+        case 0:
+          rput(val, slot, operation_cx::as_eager_future()).wait();
+          break;
+        case 1:
+          rput(val, slot, operation_cx::as_defer_future()).wait();
+          break;
+        default:
+          rput(val, slot, operation_cx::as_promise(pr));
+          break;
+      }
+    }
+    pr.finalize().wait();
+    atomic_domain<std::uint64_t> ad({gex::amo_op::fadd, gex::amo_op::load});
+    for (std::uint64_t i = 0; i < 16; ++i)
+      (void)ad.fetch_add(gcnt, static_cast<std::uint64_t>(me + 1) * (i + 1))
+          .wait();
+    barrier();
+    if (me == 0) {
+      for (const auto& d : dir)
+        for (std::uint64_t i = 0; i < 2 * kN; ++i)
+          g_sink.push_back(
+              rget(d + static_cast<std::ptrdiff_t>(i)).wait());
+      g_sink.push_back(ad.load(gcnt).wait());
+    }
+    barrier();
+    delete_array(mine);
+    if (me == 0) delete_(cnt);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Workload 2: when_all conjoining over batches of peer gets.
+// ---------------------------------------------------------------------------
+
+void wl_when_all(const gex::config& g) {
+  g_sink.clear();
+  aspen::spmd(2, g, [] {
+    constexpr std::ptrdiff_t kN = 16;
+    auto mine = new_array<std::uint64_t>(kN);
+    for (std::ptrdiff_t i = 0; i < kN; ++i)
+      *(mine + i).local() =
+          static_cast<std::uint64_t>(rank_me() * 1000 + i) * 0x2545F491u;
+    barrier();
+    const global_ptr<std::uint64_t> dir[2] = {broadcast(mine, 0),
+                                              broadcast(mine, 1)};
+    const auto peer = dir[1 - rank_me()];
+    std::uint64_t acc = 0;
+    for (std::ptrdiff_t i = 0; i + 4 <= kN; i += 4) {
+      auto f = when_all(rget(peer + i), rget(peer + i + 1),
+                        rget(peer + i + 2), rget(peer + i + 3));
+      const auto [a, b, c, d] = f.wait();
+      acc += a + 2 * b + 3 * c + 4 * d;
+    }
+    // Mixed ready/pending inputs exercise the §III-C collapse cases.
+    auto f2 = when_all(make_future(std::uint64_t{7}), rget(peer));
+    const auto [k, v0] = f2.wait();
+    acc ^= k * v0;
+    barrier();
+    if (rank_me() == 0) {
+      g_sink.push_back(acc);
+      for (const auto& d : dir)
+        for (std::ptrdiff_t i = 0; i < kN; ++i)
+          g_sink.push_back(rget(d + i).wait());
+    }
+    barrier();
+    delete_array(mine);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Workload 3: the promise batch-tracking idiom (one promise over many
+// in-flight puts, the GUPS look-ahead structure).
+// ---------------------------------------------------------------------------
+
+void wl_promise(const gex::config& g) {
+  g_sink.clear();
+  aspen::spmd(2, g, [] {
+    constexpr std::uint64_t kN = 32;
+    const int me = rank_me();
+    auto mine = new_array<std::uint64_t>(kN);
+    for (std::uint64_t i = 0; i < kN; ++i) *(mine + i).local() = 0;
+    barrier();
+    const global_ptr<std::uint64_t> dir[2] = {broadcast(mine, 0),
+                                              broadcast(mine, 1)};
+    const auto peer = dir[1 - me];
+    // Two batches; each peer slot is written exactly once.
+    for (int batch = 0; batch < 2; ++batch) {
+      promise<> pr;
+      for (std::uint64_t i = static_cast<std::uint64_t>(batch) * (kN / 2);
+           i < static_cast<std::uint64_t>(batch + 1) * (kN / 2); ++i)
+        rput(static_cast<std::uint64_t>(
+                 (static_cast<std::uint64_t>(me + 1) * 0x100000001ull) ^
+                 (i << 8)),
+             peer + static_cast<std::ptrdiff_t>(i),
+             operation_cx::as_promise(pr));
+      pr.finalize().wait();
+    }
+    barrier();
+    if (me == 0) {
+      for (const auto& d : dir)
+        for (std::uint64_t i = 0; i < kN; ++i)
+          g_sink.push_back(rget(d + static_cast<std::ptrdiff_t>(i)).wait());
+    }
+    barrier();
+    delete_array(mine);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Workload 4: GUPS atomic updates (exact, commutative), full-table snapshot.
+// ---------------------------------------------------------------------------
+
+void wl_gups(const gex::config& g) {
+  g_sink.clear();
+  aspen::spmd(4, g, [] {
+    gups::params p;
+    p.table_bits = 12;
+    p.updates_per_rank = 1 << 9;
+    p.batch = 32;
+    gups::table t(p);
+    (void)gups::run_variant(gups::variant::amo_promises, t, p);
+    barrier();
+    if (rank_me() == 0)
+      for (std::uint64_t idx = 0; idx < t.size(); ++idx)
+        g_sink.push_back(*t.locate(idx).local());
+    barrier();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Baseline + sweep driver
+// ---------------------------------------------------------------------------
+
+version_config eager_ver() {
+  return version_config::make(emulated_version::v2021_3_6_eager);
+}
+version_config defer_ver() {
+  return version_config::make(emulated_version::v2021_3_6_defer);
+}
+
+struct baseline_t {
+  std::vector<std::uint64_t> rma_eager, rma_defer, whenall, prom, gups_table;
+};
+
+const baseline_t& baseline() {
+  static const baseline_t b = [] {
+    baseline_t x;
+    const gex::config g;  // default smp conduit, unperturbed
+    wl_rma_amo(g, eager_ver());
+    x.rma_eager = g_sink;
+    wl_rma_amo(g, defer_ver());
+    x.rma_defer = g_sink;
+    wl_when_all(g);
+    x.whenall = g_sink;
+    wl_promise(g);
+    x.prom = g_sink;
+    wl_gups(g);
+    x.gups_table = g_sink;
+    return x;
+  }();
+  return b;
+}
+
+void run_sweep(gp::mode m) {
+  if (const char* env = std::getenv("ASPEN_PERTURB_MODE");
+      env != nullptr && *env && std::strcmp(env, gp::to_string(m)) != 0)
+    GTEST_SKIP() << "ASPEN_PERTURB_MODE=" << env << " restricts the sweep";
+
+  const baseline_t& ref = baseline();
+  // Eager/defer equivalence holds already on the unperturbed conduit.
+  ASSERT_EQ(ref.rma_eager, ref.rma_defer);
+
+  const int nseeds = sweep_seed_count();
+  for (int i = 0; i < nseeds; ++i) {
+    const std::uint64_t seed = derived_seed(i);
+    SCOPED_TRACE(std::string("mode=") + gp::to_string(m) +
+                 " seed=" + std::to_string(seed) + " (base " +
+                 std::to_string(base_seed()) + ", index " + std::to_string(i) +
+                 ")");
+    gex::config g;
+    g.transport = gex::conduit::perturbed;
+    g.perturb = gp::preset(m, seed);
+    g.perturb.honor_env = false;  // the derived seed is authoritative here
+
+    const auto t0 = telemetry::aggregate();
+    wl_rma_amo(g, eager_ver());
+    EXPECT_EQ(g_sink, ref.rma_eager);
+    wl_rma_amo(g, defer_ver());
+    EXPECT_EQ(g_sink, ref.rma_defer);
+    wl_when_all(g);
+    EXPECT_EQ(g_sink, ref.whenall);
+    wl_promise(g);
+    EXPECT_EQ(g_sink, ref.prom);
+    wl_gups(g);
+    EXPECT_EQ(g_sink, ref.gups_table);
+
+    if (m == gp::mode::forced_async && telemetry::compiled_in()) {
+      // The acceptance gate: with every shareable target diverted, not one
+      // completion may take the eager path and not one RMA the bypass —
+      // yet every output above still matched bit-for-bit.
+      const auto d = telemetry::aggregate() - t0;
+      EXPECT_EQ(d.get(telemetry::counter::cx_eager_taken), 0u);
+      EXPECT_EQ(d.get(telemetry::counter::rma_put_local), 0u);
+      EXPECT_EQ(d.get(telemetry::counter::rma_get_local), 0u);
+      EXPECT_GT(d.get(telemetry::counter::perturb_forced_async), 0u);
+    }
+    if (m == gp::mode::delay_reorder && telemetry::compiled_in()) {
+      const auto d = telemetry::aggregate() - t0;
+      EXPECT_GT(d.get(telemetry::counter::perturb_delayed), 0u);
+    }
+  }
+}
+
+TEST(PerturbSweep, ForcedSyncLeg) { run_sweep(gp::mode::forced_sync); }
+TEST(PerturbSweep, ForcedAsyncLeg) { run_sweep(gp::mode::forced_async); }
+TEST(PerturbSweep, DelayReorderLeg) { run_sweep(gp::mode::delay_reorder); }
+
+}  // namespace
