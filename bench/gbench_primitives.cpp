@@ -1,8 +1,13 @@
 // google-benchmark suite over the core primitives whose costs the paper
 // reasons about: ready-future construction (pooled vs allocated), promise
 // counter traffic, when_all shapes, and local RMA injection on each
-// notification path.
+// notification path — plus multithreaded-injector variants (run_workers)
+// whose thread count comes from the benchmark Arg (1/2/4) or
+// ASPEN_BENCH_THREADS.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
 
 #include "core/aspen.hpp"
 
@@ -168,6 +173,101 @@ void BM_ThenOnReadyFuture(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_ThenOnReadyFuture);
+
+// --- multithreaded injectors -------------------------------------------------
+// Each iteration runs one batch of kMtBatch operations per injector thread
+// (worker spawn cost is amortized over the batch). With shareable targets the
+// eager-bypass ratio reported must match the single-thread baseline: eager
+// completion is decided by locality, not by which thread injects.
+
+constexpr std::size_t kMtBatch = 4096;
+
+/// in_spmd, but reporting the *aggregate* telemetry delta (workers carry
+/// their own thread-local records) and items/sec over threads * kMtBatch.
+template <typename Body>
+void in_spmd_mt(benchmark::State& state, Body body) {
+  aspen::spmd(1, [&] {
+    const auto before = telemetry::aggregate();
+    body(state);
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * static_cast<std::size_t>(state.range(0)) *
+        kMtBatch));
+    if (telemetry::compiled_in()) {
+      const auto d = telemetry::aggregate() - before;
+      state.counters["eager_bypass_ratio"] =
+          benchmark::Counter(d.eager_bypass_ratio());
+      state.counters["lpc_cross_thread"] = benchmark::Counter(
+          static_cast<double>(d.get(telemetry::counter::lpc_cross_thread)));
+    }
+  });
+}
+
+void BM_MtRputEagerFuture(benchmark::State& state) {
+  in_spmd_mt(state, [](benchmark::State& s) {
+    set_version_config(version_config::make(emulated_version::v2021_3_6_eager));
+    const int threads = static_cast<int>(s.range(0));
+    auto slots = new_array<std::uint64_t>(threads);
+    for (auto _ : s) {
+      run_workers(threads, [&slots](int wid) {
+        for (std::size_t i = 0; i < kMtBatch; ++i)
+          rput(std::uint64_t{1}, slots + wid, operation_cx::as_future())
+              .wait();
+      });
+    }
+    delete_array(slots);
+  });
+}
+BENCHMARK(BM_MtRputEagerFuture)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_MtRputDeferFuture(benchmark::State& state) {
+  in_spmd_mt(state, [](benchmark::State& s) {
+    set_version_config(version_config::make(emulated_version::v2021_3_6_defer));
+    const int threads = static_cast<int>(s.range(0));
+    auto slots = new_array<std::uint64_t>(threads);
+    for (auto _ : s) {
+      run_workers(threads, [&slots](int wid) {
+        for (std::size_t i = 0; i < kMtBatch; ++i)
+          rput(std::uint64_t{1}, slots + wid, operation_cx::as_future())
+              .wait();
+      });
+    }
+    delete_array(slots);
+  });
+}
+BENCHMARK(BM_MtRputDeferFuture)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_MtLpcFfIntoMaster(benchmark::State& state) {
+  // Cross-thread mailbox throughput: workers fire LPCs at the master
+  // persona while its holder (the rank thread) drains via progress.
+  in_spmd_mt(state, [](benchmark::State& s) {
+    const int threads = static_cast<int>(s.range(0));
+    persona& m = master_persona();
+    for (auto _ : s) {
+      std::atomic<std::uint64_t> executed{0};
+      run_workers(threads, [&](int wid) {
+        if (wid == 0) {
+          // Holder: drain until every producer's batch has run. With
+          // threads == 1 the enqueues are its own (same-thread baseline).
+          const auto target = static_cast<std::uint64_t>(
+              (threads > 1 ? threads - 1 : 1) * kMtBatch);
+          if (threads == 1)
+            for (std::size_t i = 0; i < kMtBatch; ++i)
+              m.lpc_ff([&executed] {
+                executed.fetch_add(1, std::memory_order_relaxed);
+              });
+          while (executed.load(std::memory_order_relaxed) < target)
+            aspen::progress();
+        } else {
+          for (std::size_t i = 0; i < kMtBatch; ++i)
+            m.lpc_ff([&executed] {
+              executed.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+      });
+    }
+  });
+}
+BENCHMARK(BM_MtLpcFfIntoMaster)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_RpcSelfRoundTrip(benchmark::State& state) {
   in_spmd(state, [](benchmark::State& s) {

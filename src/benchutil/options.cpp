@@ -37,6 +37,9 @@ options options::from_env() {
   o.samples = env_size_t("ASPEN_BENCH_SAMPLES", o.samples);
   o.keep = std::min(env_size_t("ASPEN_BENCH_KEEP", o.keep), o.samples);
   o.scale = env_double("ASPEN_BENCH_SCALE", o.scale);
+  o.threads = std::max(
+      1, static_cast<int>(env_size_t("ASPEN_BENCH_THREADS",
+                                     static_cast<std::size_t>(o.threads))));
   return o;
 }
 
@@ -44,6 +47,7 @@ std::string options::describe() const {
   std::ostringstream os;
   os << "config: ranks=" << ranks << " micro_ops=" << micro_ops
      << " samples=" << samples << " keep=" << keep << " scale=" << scale
+     << " threads=" << threads
      << "  (paper protocol: ranks=16 micro_ops=1e7 samples=20 keep=10; set "
         "ASPEN_BENCH_* to match)";
   return os.str();

@@ -12,6 +12,10 @@
 //                       (default 1; paper-comparable ~8-16)
 //   ASPEN_BENCH_PERTURB non-zero adds a perturbed-conduit pass to the
 //                       off-node benchmark (default 0)
+//   ASPEN_BENCH_THREADS injector threads per rank for the multithreaded
+//                       phases (run_workers; default 1 = classic
+//                       single-threaded injection). Benchmarks that take a
+//                       --threads N argument let it override this.
 //
 // Perturbed-conduit runs additionally honor the ASPEN_PERTURB_* family
 // (read by gex::perturb::apply_env unless a program opts out via
@@ -42,6 +46,9 @@ struct options {
   std::size_t samples = 5;
   std::size_t keep = 3;
   double scale = 1.0;
+  /// Injector threads per rank (>= 1). Multithreaded phases spawn
+  /// `threads - 1` workers via aspen::run_workers per rank.
+  int threads = 1;
 
   /// Read the ASPEN_BENCH_* environment, clamping ranks to hardware.
   [[nodiscard]] static options from_env();

@@ -30,6 +30,7 @@
 #include "core/dist_object.hpp"
 #include "core/future.hpp"
 #include "core/global_ptr.hpp"
+#include "core/persona.hpp"
 #include "core/promise.hpp"
 #include "core/rma.hpp"
 #include "core/rma_irregular.hpp"

@@ -26,9 +26,11 @@ void coll_rendezvous() {
   }
 }
 
-/// Re-armed once per progress entry until the epoch completes.
+/// Re-armed once per progress entry until the epoch completes. Bound to
+/// the initiating persona: the barrier future becomes ready only on a
+/// thread holding it.
 void arm_async_barrier_poll(cell<>* c, coll_state* cs, std::uint64_t epoch) {
-  ctx().pq.push([c, cs, epoch] {
+  current_persona().enqueue_deferred([c, cs, epoch] {
     if (cs->async_done_epoch.load(std::memory_order_acquire) > epoch) {
       c->satisfy(1);
       c->drop_ref();

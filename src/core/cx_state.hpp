@@ -26,6 +26,7 @@
 #include "core/completion.hpp"
 #include "core/future.hpp"
 #include "core/inplace_function.hpp"
+#include "core/persona.hpp"
 #include "core/telemetry.hpp"
 #include "core/when_all.hpp"
 
@@ -101,9 +102,12 @@ decltype(auto) collapse_futs(FutsTuple&& t) {
 // Deferred-notification helpers (the machinery eager completion bypasses)
 // ---------------------------------------------------------------------------
 
-/// Allocate a cell holding `vals`, enqueue its readying on the progress
-/// queue, and return a future for it. This is the legacy per-operation cost:
-/// one heap allocation plus a queue round trip.
+/// Allocate a cell holding `vals`, enqueue its readying on the *initiating
+/// persona's* deferred queue, and return a future for it. This is the
+/// legacy per-operation cost: one heap allocation plus a queue round trip.
+/// The notification executes only when a thread holding that persona next
+/// enters the progress engine — under multithreaded injection, that is the
+/// injecting worker's own thread, never a sibling's.
 template <typename... V>
 [[nodiscard]] future<V...> deferred_future(V... vals) {
   telemetry::count(telemetry::counter::cx_deferred_queued);
@@ -111,20 +115,21 @@ template <typename... V>
   c->deps = 1;
   c->set_value(vals...);
   c->add_ref();  // the queue's reference
-  ctx().pq.push([c] {
+  current_persona().enqueue_deferred([c] {
     c->satisfy(1);
     c->drop_ref();
   });
   return future<V...>(c, /*add_ref=*/false);
 }
 
-/// Enqueue fulfillment of one (already-required) promise dependency.
+/// Enqueue fulfillment of one (already-required) promise dependency on the
+/// initiating persona.
 template <typename... T, typename... V>
 void deferred_promise_fulfill(promise<T...>& p, V... vals) {
   telemetry::count(telemetry::counter::cx_deferred_queued);
   cell<T...>* c = p.raw_cell();
   c->add_ref();
-  ctx().pq.push([c, vals...] {
+  current_persona().enqueue_deferred([c, vals...] {
     if constexpr (sizeof...(V) > 0) c->set_value(vals...);
     c->satisfy(1);
     c->drop_ref();
@@ -209,7 +214,8 @@ std::tuple<> handle_sync(lpc_cx<event_operation_t, Fn>& it, RemoteSend&,
     it.fn(vals...);
   } else {
     telemetry::count(telemetry::counter::cx_deferred_queued);
-    ctx().pq.push([fn = std::move(it.fn), vals...]() mutable { fn(vals...); });
+    current_persona().enqueue_deferred(
+        [fn = std::move(it.fn), vals...]() mutable { fn(vals...); });
   }
   return {};
 }
@@ -222,7 +228,7 @@ std::tuple<> handle_sync(lpc_cx<event_source_t, Fn>& it, RemoteSend&, V...) {
     it.fn();
   } else {
     telemetry::count(telemetry::counter::cx_deferred_queued);
-    ctx().pq.push([fn = std::move(it.fn)]() mutable { fn(); });
+    current_persona().enqueue_deferred([fn = std::move(it.fn)]() mutable { fn(); });
   }
   return {};
 }
@@ -261,10 +267,16 @@ auto process_sync(Cxs&& cxs, RemoteSend&& rsend, V... vals)
 
 /// Heap record tracking one in-flight remote operation's operation-event
 /// sinks. Fulfilled (with the produced values) by the reply handler, which
-/// runs on the initiator's thread inside its progress engine.
+/// runs on whichever thread holds the rank's master persona. The record is
+/// bound to the *initiating* persona at creation: if the fulfilling thread
+/// holds it (the single-threaded case), the sinks run inline during its
+/// progress entry; otherwise they are routed to the initiator's mailbox as
+/// a cross-thread LPC, so the cells and promises they touch are only ever
+/// mutated by the thread holding the initiating persona.
 template <typename... V>
 struct op_record {
   inplace_function<void(V...), 64> complete;
+  persona* initiator = nullptr;
 
   void add_sink(inplace_function<void(V...), 64> sink) {
     if (!complete) {
@@ -279,8 +291,15 @@ struct op_record {
   }
 
   void fulfill(V... vs) {
-    if (complete) complete(vs...);
-    delete this;
+    if (initiator == nullptr || initiator->active_with_caller()) {
+      if (complete) complete(vs...);
+      delete this;
+      return;
+    }
+    initiator->lpc_ff([this, vs...] {
+      if (complete) complete(vs...);
+      delete this;
+    });
   }
 };
 
@@ -355,7 +374,7 @@ std::tuple<> handle_async(lpc_cx<event_source_t, Fn>& it, op_record<V...>&,
     it.fn();
   } else {
     telemetry::count(telemetry::counter::cx_deferred_queued);
-    ctx().pq.push([fn = std::move(it.fn)]() mutable { fn(); });
+    current_persona().enqueue_deferred([fn = std::move(it.fn)]() mutable { fn(); });
   }
   return {};
 }
@@ -375,6 +394,7 @@ template <typename... V, typename Cxs, typename RemoteSend>
 auto process_async_tuple(Cxs&& cxs, RemoteSend&& rsend,
                          op_record<V...>*& rec_out) {
   auto* rec = new op_record<V...>();
+  rec->initiator = &current_persona();
   rec_out = rec;
   return std::apply(
       [&](auto&... item) {

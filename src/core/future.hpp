@@ -8,11 +8,14 @@
 // engine until ready.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <tuple>
 #include <type_traits>
 #include <utility>
 
 #include "core/future_cell.hpp"
+#include "core/persona.hpp"
 #include "core/runtime.hpp"
 #include "core/telemetry.hpp"
 
@@ -177,6 +180,21 @@ class future {
   /// result: void for future<>, T for future<T>, std::tuple for more.
   decltype(auto) wait() const {
     assert(valid() && "wait() on an invalid future");
+    if (!c_->ready() && detail::have_ctx() && detail::ctx().in_progress) {
+      // The progress engine is not reentrant for notification delivery: a
+      // wait() inside a progress callback can only re-enter progress, and
+      // the nested entry will never fire the batch the caller is part of —
+      // this spin can never complete. Abort loudly instead of hanging.
+      std::fprintf(
+          stderr,
+          "aspen: fatal: future::wait() called from inside progress-engine "
+          "callback execution (a deferred completion, LPC, or barrier poll "
+          "task) on rank %d. This deadlocks: the nested progress entry can "
+          "never complete the enclosing batch. Restructure the callback to "
+          "chain with .then() instead of blocking.\n",
+          detail::ctx().rank);
+      std::abort();
+    }
     // Spin on progress; back off to the OS scheduler when idle so
     // oversubscribed rank threads (more ranks than cores) do not starve
     // the rank that must produce our completion.
@@ -351,6 +369,61 @@ template <typename X>
   } else {
     return make_future(std::forward<X>(x));
   }
+}
+
+// ---------------------------------------------------------------------------
+// persona::lpc — declared in persona.hpp, defined here where future/cell are
+// complete. Two-leg protocol (the UPC++ idiom): the callable runs on the
+// target persona's holder; the result then rides a return-leg LPC back to
+// the *initiating* persona, whose holder is the only thread entitled to
+// touch the future's cell. When the executing thread happens to hold the
+// initiating persona too (same-thread lpc, or a self-lpc), the return leg
+// collapses to an inline fulfillment.
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+auto persona::lpc(Fn fn) -> detail::lpc_future_t<Fn> {
+  using R = std::invoke_result_t<std::decay_t<Fn>&>;
+  static_assert(!detail::is_future_v<R>,
+                "persona::lpc: future-returning callables are not supported; "
+                "chain on the returned future with .then() instead");
+  using RFut = detail::lpc_future_t<Fn>;
+  using cell_t = typename detail::rfut_traits<RFut>::cell_t;
+  auto* c = new cell_t();  // allocated and owned on the initiating side
+  c->deps = 1;
+  c->add_ref();  // the reference carried through the LPC legs
+  persona* initiator = &current_persona();
+  lpc_ff([fn = std::move(fn), c, initiator]() mutable {
+    auto deliver = [c](auto&&... result) {
+      if constexpr (sizeof...(result) > 0) c->set_value(
+          std::forward<decltype(result)>(result)...);
+      c->satisfy(1);
+      c->drop_ref();
+    };
+    if constexpr (std::is_void_v<R>) {
+      fn();
+      if (initiator->active_with_caller()) {
+        deliver();
+      } else {
+        initiator->lpc_ff([c] {
+          c->satisfy(1);
+          c->drop_ref();
+        });
+      }
+    } else {
+      R v = fn();
+      if (initiator->active_with_caller()) {
+        deliver(std::move(v));
+      } else {
+        initiator->lpc_ff([c, v = std::move(v)]() mutable {
+          c->set_value(std::move(v));
+          c->satisfy(1);
+          c->drop_ref();
+        });
+      }
+    }
+  });
+  return RFut(c, /*add_ref=*/false);
 }
 
 }  // namespace aspen

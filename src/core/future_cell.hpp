@@ -8,11 +8,12 @@
 // on `cell_allocation_count()` to prove the optimizations really elide
 // allocations.
 //
-// Threading: cells never migrate across rank threads. Completions always
-// fire on the initiating rank's thread (remote completions arrive as reply
-// active messages executed by the initiator's own progress engine), so
+// Threading: cells never migrate across threads on their own — a cell is
+// only ever touched by the thread holding the persona that initiated the
+// operation (remote completions arriving on another thread are routed to
+// the initiating persona's mailbox; see cx_state.hpp::op_record), so
 // reference counts and dependency counters are plain integers, matching the
-// persona rules of UPC++.
+// persona rules of UPC++ (core/persona.hpp, docs/PERSONA.md).
 #pragma once
 
 #include <cassert>
@@ -159,17 +160,22 @@ struct cell final : cell_base {
   }
 };
 
-/// The pooled, immortal, always-ready value-less cell (one per rank thread).
-/// Constructing a ready future<> from it costs no allocation — the §III-B
-/// optimization. The pool cell itself is counted once at thread birth.
+/// The pooled, immortal, always-ready value-less cell (one per *persona*,
+/// created on first use and owned by it). Constructing a ready future<>
+/// from it costs no allocation — the §III-B optimization. Per-persona
+/// rather than per-thread so a ready future produced under one persona and
+/// consumed after a persona switch still follows the single-holder rule:
+/// the immortal cell's lifetime is the persona's, which outlives every
+/// future handed out under it.
 [[nodiscard]] inline cell<>* pooled_ready_cell() noexcept {
-  static thread_local std::unique_ptr<cell<>> c = [] {
-    auto p = std::make_unique<cell<>>();
-    p->immortal = true;
-    p->deps = 0;
-    return p;
-  }();
-  return c.get();
+  persona& p = current_persona();
+  if (p.ready_cell_slot() == nullptr) {
+    auto* c = new cell<>();
+    c->immortal = true;
+    c->deps = 0;
+    p.set_ready_cell(c, [](void* q) noexcept { delete static_cast<cell<>*>(q); });
+  }
+  return static_cast<cell<>*>(p.ready_cell_slot());
 }
 
 /// Continuation that simply satisfies one dependency of a target cell

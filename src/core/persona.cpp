@@ -1,0 +1,157 @@
+#include "core/persona.hpp"
+
+#include "core/cell_pool.hpp"
+
+namespace aspen {
+
+namespace detail {
+
+persona_tls::persona_tls() {
+  // Construction-order pin: the cell pool (and through it the telemetry
+  // record) must complete construction before this object does, so both
+  // outlive it at thread exit — the default persona's pooled ready cell is
+  // returned to tls_cell_pool() from ~persona.
+  (void)tls_cell_pool();
+  telemetry::count(telemetry::counter::persona_switches, 0);
+  default_persona.set_owner(std::this_thread::get_id(),
+                            std::memory_order_relaxed);
+  stack.reserve(8);
+  stack.push_back(&default_persona);
+}
+
+persona_tls& tls_personas() noexcept {
+  static thread_local persona_tls t;
+  return t;
+}
+
+std::size_t drain_active_personas() {
+  persona_tls& t = tls_personas();
+  std::size_t n = 0;
+  // Top of the stack (the current persona) first. Index-based and bounds-
+  // rechecked: an LPC body may push/pop scopes, growing or shrinking the
+  // stack mid-iteration.
+  for (std::size_t i = t.stack.size(); i-- > 0;) {
+    if (i >= t.stack.size()) continue;
+    persona* p = t.stack[i];
+    // A persona pushed twice drains once per occurrence; the second drain
+    // is a cheap no-op (empty mailbox pre-check, empty queue).
+    n += p->drain();
+  }
+  return n;
+}
+
+}  // namespace detail
+
+persona::~persona() {
+  assert(owner_.load(std::memory_order_relaxed) == std::thread::id{} ||
+         active_with_caller());
+  if (ready_cell_ != nullptr) ready_cell_deleter_(ready_cell_);
+}
+
+std::size_t persona::drain() {
+  assert(active_with_caller() && "persona::drain by a non-holding thread");
+  std::size_t n = 0;
+  if (mailbox_.maybe_nonempty()) {
+    if (!draining_) {
+      draining_ = true;
+      drain_buf_.clear();
+      mailbox_.drain_into(drain_buf_);
+      n += drain_buf_.size();
+      for (auto& env : drain_buf_) {
+        telemetry::count(telemetry::counter::lpc_executed);
+        if (env.cross_thread)
+          telemetry::count(telemetry::counter::lpc_cross_thread);
+        env.fn();
+      }
+      drain_buf_.clear();
+      draining_ = false;
+    } else {
+      // Nested drain (an LPC re-entered progress): use a private buffer so
+      // the outer iteration's storage stays intact.
+      std::vector<detail::lpc_envelope> nested;
+      mailbox_.drain_into(nested);
+      n += nested.size();
+      for (auto& env : nested) {
+        telemetry::count(telemetry::counter::lpc_executed);
+        if (env.cross_thread)
+          telemetry::count(telemetry::counter::lpc_cross_thread);
+        env.fn();
+      }
+    }
+  }
+  n += deferred_.fire();
+  return n;
+}
+
+void persona::acquire_for_caller() noexcept {
+  const std::thread::id me = std::this_thread::get_id();
+  std::thread::id expected{};
+  // Spin until the current holder releases; acquire pairs with the
+  // release in release_from_caller() so the persona's non-atomic state
+  // (deferred queue, ready cell, drain scratch) is visible to us.
+  while (!owner_.compare_exchange_weak(expected, me,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+    if (expected == me) break;  // already ours (defensive; scopes nest)
+    expected = std::thread::id{};
+    std::this_thread::yield();
+  }
+  if (holder_mirror_ != nullptr)
+    holder_mirror_->store(me, std::memory_order_relaxed);
+  detail::tls_personas().stack.push_back(this);
+  telemetry::count(telemetry::counter::persona_switches);
+}
+
+void persona::release_from_caller() noexcept {
+  assert(active_with_caller() && "releasing a persona the caller must hold");
+  auto& stack = detail::tls_personas().stack;
+  // Remove the last occurrence (scopes unwind LIFO, but liberate_master_
+  // persona removes from under an enclosing scope).
+  for (std::size_t i = stack.size(); i-- > 0;) {
+    if (stack[i] == this) {
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  if (holder_mirror_ != nullptr)
+    holder_mirror_->store(std::thread::id{}, std::memory_order_relaxed);
+  owner_.store(std::thread::id{}, std::memory_order_release);
+}
+
+persona_scope::persona_scope(persona& p)
+    : p_(&p), held_before_(p.active_with_caller()) {
+  if (held_before_) {
+    // Nested activation on the same thread: only the stack position
+    // changes; ownership is untouched.
+    detail::tls_personas().stack.push_back(p_);
+    telemetry::count(telemetry::counter::persona_switches);
+  } else {
+    p_->acquire_for_caller();
+  }
+}
+
+persona_scope::~persona_scope() {
+  if (held_before_) {
+    auto& stack = detail::tls_personas().stack;
+    for (std::size_t i = stack.size(); i-- > 0;) {
+      if (stack[i] == p_) {
+        stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  } else {
+    p_->release_from_caller();
+  }
+}
+
+persona& default_persona() noexcept {
+  return detail::tls_personas().default_persona;
+}
+
+persona& current_persona() noexcept {
+  auto& stack = detail::tls_personas().stack;
+  assert(!stack.empty());
+  return *stack.back();
+}
+
+}  // namespace aspen

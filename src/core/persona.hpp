@@ -1,0 +1,246 @@
+// aspen::persona — thread personas, cross-thread LPC mailboxes, and the
+// per-thread active-persona stack.
+//
+// The paper's eager-vs-deferred distinction is fundamentally a statement
+// about *which thread observes a completion and when*: eager notification
+// fires inside the injecting call on the injecting thread, while deferred
+// notification is routed through the initiator's progress engine. With one
+// thread per rank that routing is invisible; personas (the UPC++ model)
+// make it real. A persona is a completion target:
+//
+//   - every thread owns a *default persona*, created on first use and held
+//     for the thread's lifetime;
+//   - every rank owns a *master persona*; only the thread currently holding
+//     it may poll the substrate (gex::runtime::poll) for that rank. The
+//     spmd launcher acquires it on the rank thread; it can be handed to a
+//     worker via liberate_master_persona() + persona_scope;
+//   - a thread may hold additional personas via persona_scope (a strict
+//     LIFO stack). current_persona() is the top of the stack and is the
+//     persona that *initiates* operations: deferred completions
+//     (as_defer_future/promise/lpc) bind to it and execute only when a
+//     thread holding it enters the progress engine;
+//   - persona::lpc_ff(fn) / persona::lpc(fn) enqueue a callable onto the
+//     persona's MPSC mailbox from any thread; it executes on whichever
+//     thread holds the persona at its next progress entry. lpc() returns a
+//     future (readied on the *initiating* persona) for fn's result.
+//
+// Thread-safety contract: a persona's mailbox accepts pushes from any
+// thread; everything else about a persona (its deferred-completion queue,
+// its pooled ready cell, drain()) is touched only by the thread currently
+// holding it. Holding is handed over with acquire/release semantics on the
+// owner atomic, so non-atomic persona state is safely visible across a
+// migration.
+//
+// Layering: this header sits below future.hpp (persona::lpc's definition
+// lives there) and below runtime.hpp (the rank context holds a master
+// persona pointer); it must not include either.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/inplace_function.hpp"
+#include "core/progress.hpp"
+#include "core/telemetry.hpp"
+#include "gex/mpsc_queue.hpp"
+
+namespace aspen {
+
+template <typename... T>
+class future;
+class persona;
+class persona_scope;
+
+namespace detail {
+
+/// One mailbox entry. 88 bytes of inline capture holds the lpc() wrapper
+/// (callable + result cell + initiating persona); larger captures spill to
+/// the heap inside inplace_function.
+using lpc_task = inplace_function<void(), 88>;
+
+struct lpc_envelope {
+  lpc_task fn;
+  /// Enqueued by a thread that did not hold the persona at the time
+  /// (feeds the lpc_cross_thread telemetry counter at execution).
+  bool cross_thread = false;
+};
+
+struct persona_tls;
+[[nodiscard]] persona_tls& tls_personas() noexcept;
+
+/// Drain every persona currently held by the calling thread (top of the
+/// active stack first). Returns LPCs executed + deferred notifications
+/// fired. The progress engine's post-poll phase.
+std::size_t drain_active_personas();
+
+/// future type produced by persona::lpc for a callable returning R.
+template <typename R>
+struct lpc_result {
+  using type = future<std::decay_t<R>>;
+};
+template <>
+struct lpc_result<void> {
+  using type = future<>;
+};
+template <typename Fn>
+using lpc_future_t =
+    typename lpc_result<std::invoke_result_t<std::decay_t<Fn>&>>::type;
+
+}  // namespace detail
+
+/// A completion target. See the header comment for the model; see
+/// docs/PERSONA.md for the user-facing rules.
+class persona {
+ public:
+  persona() = default;
+  persona(const persona&) = delete;
+  persona& operator=(const persona&) = delete;
+  ~persona();
+
+  /// True iff the calling thread currently holds this persona (it is on
+  /// the caller's active stack).
+  [[nodiscard]] bool active_with_caller() const noexcept {
+    return owner_.load(std::memory_order_relaxed) ==
+           std::this_thread::get_id();
+  }
+
+  /// Fire-and-forget LPC: enqueue `fn` onto this persona's mailbox; it runs
+  /// on whichever thread holds the persona at its next progress entry.
+  /// Callable from any thread.
+  template <typename Fn>
+  void lpc_ff(Fn&& fn) {
+    enqueue_lpc(detail::lpc_task(std::forward<Fn>(fn)));
+  }
+
+  /// As lpc_ff, but returns a future for fn's result. The future is
+  /// *initiator-bound*: it becomes ready on the calling thread's current
+  /// persona, via a return-leg LPC if the target executes on another
+  /// thread. fn must not return a future. Defined in future.hpp.
+  template <typename Fn>
+  auto lpc(Fn fn) -> detail::lpc_future_t<Fn>;
+
+  /// This persona's deferred-completion queue (the progress queue the
+  /// paper's legacy semantics route every notification through). Only the
+  /// holding thread may touch it.
+  [[nodiscard]] detail::progress_queue& deferred_queue() noexcept {
+    return deferred_;
+  }
+
+  /// Enqueue a deferred completion notification. Injection-time only: the
+  /// caller must hold this persona (deferred completions bind to the
+  /// *initiating* persona, and initiation happens under it).
+  void enqueue_deferred(detail::pq_task t) {
+    assert(active_with_caller() &&
+           "deferred completions must be enqueued by the persona holder");
+    deferred_.push(std::move(t));
+  }
+
+  /// Execute pending mailbox LPCs, then fire the deferred-completion
+  /// queue. Caller must hold this persona. Reentrant (an LPC body may
+  /// re-enter progress).
+  std::size_t drain();
+
+  // --- internal wiring -----------------------------------------------------
+
+  /// Take/release the persona for the calling thread. acquire blocks
+  /// (spinning) until the current holder releases. persona_scope is the
+  /// public face; spmd uses these directly so a liberated master persona
+  /// can be reclaimed at shutdown.
+  void acquire_for_caller() noexcept;
+  void release_from_caller() noexcept;
+
+  /// Mirror holder changes into an external atomic (gex::rank_state::
+  /// master_holder, consulted by the substrate's poll assertion).
+  void set_holder_mirror(std::atomic<std::thread::id>* m) noexcept {
+    holder_mirror_ = m;
+  }
+
+  /// Slot for this persona's pooled immortal ready cell<> (see
+  /// future_cell.hpp::pooled_ready_cell). Type-erased to keep this header
+  /// below future_cell in the include order.
+  [[nodiscard]] void* ready_cell_slot() const noexcept { return ready_cell_; }
+  void set_ready_cell(void* c, void (*deleter)(void*) noexcept) noexcept {
+    assert(ready_cell_ == nullptr);
+    ready_cell_ = c;
+    ready_cell_deleter_ = deleter;
+  }
+
+ private:
+  friend class persona_scope;
+  friend struct detail::persona_tls;
+
+  void enqueue_lpc(detail::lpc_task t) {
+    detail::lpc_envelope env;
+    env.cross_thread = !active_with_caller();
+    env.fn = std::move(t);
+    telemetry::count(telemetry::counter::lpc_enqueued);
+    mailbox_.push(std::move(env));
+    telemetry::note_lpc_mailbox_depth(mailbox_.approx_size());
+  }
+
+  void set_owner(std::thread::id id, std::memory_order mo) noexcept {
+    owner_.store(id, mo);
+    if (holder_mirror_ != nullptr) holder_mirror_->store(id, mo);
+  }
+
+  gex::mpsc_queue<detail::lpc_envelope> mailbox_;
+  detail::progress_queue deferred_;
+  /// The holding thread, or a default-constructed id when unheld.
+  /// Release-store on release / acquire-CAS on acquire carries the
+  /// happens-before edge that makes the non-atomic state above safe to
+  /// hand across threads.
+  std::atomic<std::thread::id> owner_{};
+  std::atomic<std::thread::id>* holder_mirror_ = nullptr;
+  void* ready_cell_ = nullptr;
+  void (*ready_cell_deleter_)(void*) noexcept = nullptr;
+  /// Scratch for drain(), with a reentrancy guard (an LPC that re-enters
+  /// progress must not clobber the in-flight buffer).
+  std::vector<detail::lpc_envelope> drain_buf_;
+  bool draining_ = false;
+};
+
+/// RAII activation: pushes `p` onto the calling thread's active stack for
+/// the scope's lifetime, making it current_persona(). Blocks until any
+/// other holding thread releases. Nestable: re-pushing a persona the
+/// caller already holds is allowed (the persona stays held until the
+/// outermost scope exits).
+class persona_scope {
+ public:
+  explicit persona_scope(persona& p);
+  ~persona_scope();
+  persona_scope(const persona_scope&) = delete;
+  persona_scope& operator=(const persona_scope&) = delete;
+
+ private:
+  persona* p_;
+  bool held_before_;  // nested activation: do not release on exit
+};
+
+/// The calling thread's default persona (created on first use, held for
+/// the thread's lifetime; always at the bottom of the active stack).
+[[nodiscard]] persona& default_persona() noexcept;
+
+/// The persona that operations initiated by the calling thread bind to:
+/// the top of the active-persona stack (the default persona if no scope is
+/// active).
+[[nodiscard]] persona& current_persona() noexcept;
+
+namespace detail {
+
+/// Per-thread persona state: the default persona and the active stack.
+struct persona_tls {
+  persona default_persona;
+  /// Active stack, bottom (default) to top (current). Raw pointers: the
+  /// stack never owns; scopes guarantee LIFO removal.
+  std::vector<persona*> stack;
+
+  persona_tls();
+};
+
+}  // namespace detail
+}  // namespace aspen

@@ -51,13 +51,18 @@ class progress_queue {
   /// Fire everything currently enqueued. Notifications enqueued *while
   /// firing* (e.g. by a continuation that initiates another deferred
   /// operation) are left for the next call, preserving the "next entry into
-  /// the progress engine" semantics.
+  /// the progress engine" semantics. A nested fire() (a notification body
+  /// re-entering the progress engine) is a no-op: the outer call's swap
+  /// buffer is in use, and the nested entry is by definition not a "next"
+  /// entry for anything enqueued during the current batch.
   std::size_t fire() {
-    if (pending_.empty()) return 0;
+    if (firing_active_ || pending_.empty()) return 0;
+    firing_active_ = true;
     firing_.swap(pending_);
     const std::size_t n = firing_.size();
     for (auto& t : firing_) t();
     firing_.clear();
+    firing_active_ = false;
     total_fired_ += n;
     telemetry::note_pq_fire(n);
     return n;
@@ -83,6 +88,7 @@ class progress_queue {
  private:
   std::vector<pq_task> pending_;
   std::vector<pq_task> firing_;
+  bool firing_active_ = false;
   std::uint64_t total_fired_ = 0;
   std::size_t high_water_ = 0;
   std::uint64_t reserve_growths_ = 0;

@@ -1,5 +1,6 @@
 #include "core/runtime.hpp"
 
+#include "core/future_cell.hpp"
 #include "core/telemetry.hpp"
 
 #include <barrier>
@@ -26,11 +27,69 @@ void wait_yield() noexcept { std::this_thread::yield(); }
 std::size_t progress() {
   detail::rank_context& c = detail::ctx();
   telemetry::count(telemetry::counter::progress_calls);
-  std::size_t n = c.rt->poll(c.rank);
+  std::size_t n = 0;
+  // Only the master-persona holder may poll the substrate. Worker threads
+  // (run_workers) still make progress here: they drain their own personas'
+  // mailboxes and deferred queues below, while the master holder executes
+  // AM reply handlers and routes completions back to them via LPC.
+  if (c.master == nullptr || c.master->active_with_caller())
+    n += c.rt->poll(c.rank);
+  const bool prev = c.in_progress;
   c.in_progress = true;
-  n += c.pq.fire();
-  c.in_progress = false;
+  n += detail::drain_active_personas();
+  c.in_progress = prev;
   return n;
+}
+
+void liberate_master_persona() {
+  persona* m = detail::ctx().master;
+  assert(m != nullptr && "liberate_master_persona outside aspen::spmd");
+  m->release_from_caller();
+}
+
+void run_workers(int nthreads, const std::function<void(int)>& fn) {
+  if (nthreads <= 1) {
+    if (nthreads == 1) fn(0);
+    return;
+  }
+  detail::rank_context& parent = detail::ctx();
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nthreads));
+  std::atomic<int> done{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nthreads) - 1);
+  for (int wid = 1; wid < nthreads; ++wid) {
+    threads.emplace_back([&, wid] {
+      detail::rank_context wc;
+      wc.rt = parent.rt;
+      wc.w = parent.w;
+      wc.rank = parent.rank;
+      wc.ver = parent.ver;
+      wc.master = parent.master;
+      detail::tls_context() = &wc;
+      telemetry::set_thread_rank(parent.rank);
+      try {
+        fn(wid);
+      } catch (...) {
+        errors[static_cast<std::size_t>(wid)] = std::current_exception();
+      }
+      done.fetch_add(1, std::memory_order_release);
+      detail::tls_context() = nullptr;
+    });
+  }
+  try {
+    fn(0);
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  // Keep the progress engine turning while workers run: only this thread
+  // (the master-persona holder) can poll, and workers blocked in wait() on
+  // AM-path operations depend on the reply handlers running here.
+  while (done.load(std::memory_order_acquire) < nthreads - 1) {
+    if (progress() == 0) detail::wait_yield();
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
 }
 
 void spmd(int nranks, gex::config gcfg, version_config ver,
@@ -50,27 +109,43 @@ void spmd(int nranks, gex::config gcfg, version_config ver,
     rc.w = &w;
     rc.rank = rank;
     rc.ver = ver;
+    rc.master = &w.master(rank);
     detail::tls_context() = &rc;
     telemetry::set_thread_rank(rank);
+    // The rank thread starts out holding its master persona (stacked above
+    // its default persona), making it both this rank's poller and the
+    // initiating persona for completions fn() defers.
+    rc.master->acquire_for_caller();
+    // Pre-warm the master persona's pooled ready cell so the one-time
+    // allocation happens at rank birth, not inside user code's first
+    // make_future() (tests and benchmarks measure allocation elision).
+    (void)detail::pooled_ready_cell();
     sync.arrive_and_wait();  // all contexts live before user code runs
     try {
       fn();
     } catch (...) {
       errors[static_cast<std::size_t>(rank)] = std::current_exception();
     }
+    // If fn() liberated the master persona to a worker thread and has not
+    // reacquired it, reclaim it now (blocks until the borrower's scope
+    // exits) — the shutdown drains below must be entitled to poll.
+    if (!rc.master->active_with_caller()) rc.master->acquire_for_caller();
     // Keep servicing AMs until every rank is done with user code, so a rank
     // still blocked in an RPC round trip or collective can be answered even
     // by ranks that returned early.
     done.fetch_add(1, std::memory_order_acq_rel);
     while (done.load(std::memory_order_acquire) < nranks) {
-      if (w.rt().poll(rank) + rc.pq.fire() == 0) std::this_thread::yield();
+      if (w.rt().poll(rank) + detail::drain_active_personas() == 0)
+        std::this_thread::yield();
     }
     sync.arrive_and_wait();
     // Final drain. On the perturbed conduit a message may still be held for
     // several future polls, so keep polling until nothing is pending; a
     // single poll would silently drop held messages at shutdown.
-    while (w.rt().poll(rank) + rc.pq.fire() != 0 || w.rt().has_pending(rank)) {
+    while (w.rt().poll(rank) + detail::drain_active_personas() != 0 ||
+           w.rt().has_pending(rank)) {
     }
+    rc.master->release_from_caller();
     detail::tls_context() = nullptr;
   };
 

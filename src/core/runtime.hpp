@@ -13,8 +13,10 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "core/persona.hpp"
 #include "core/progress.hpp"
 #include "core/version.hpp"
 #include "gex/backend.hpp"
@@ -51,13 +53,18 @@ struct coll_state {
       : contrib(static_cast<std::size_t>(nranks)) {}
 };
 
-/// Thread-local context of the calling rank.
+/// Thread-local context of the calling rank. Worker threads spawned by
+/// run_workers() carry their own copy (same rank, same world) so the SPMD
+/// API works from them; their deferred completions bind to their own
+/// personas (see core/persona.hpp).
 struct rank_context {
   gex::runtime* rt = nullptr;
   world* w = nullptr;
   int rank = -1;
   version_config ver{};
-  progress_queue pq;
+  /// The rank's master persona (owned by the world). Held by the rank
+  /// thread unless liberated; only its holder may poll the substrate.
+  persona* master = nullptr;
   /// Monotonic id source for collectively-constructed objects
   /// (dist_object, atomic_domain).
   std::uint64_t next_collective_id = 0;
@@ -81,23 +88,49 @@ struct rank_context {
 
 }  // namespace detail
 
-/// The per-run global object: substrate runtime + collective scratch state.
+/// The per-run global object: substrate runtime + collective scratch state
+/// + the per-rank master personas.
 class world {
  public:
   world(int nranks, gex::config gcfg, version_config ver)
-      : rt_(nranks, gcfg), coll_(nranks), initial_ver_(ver) {}
+      : rt_(nranks, gcfg), coll_(nranks), initial_ver_(ver) {
+    masters_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      auto p = std::make_unique<persona>();
+      // Keep the substrate's poll assertion in sync with the holder.
+      p->set_holder_mirror(&rt_.state(r).master_holder);
+      masters_.push_back(std::move(p));
+    }
+  }
 
   [[nodiscard]] gex::runtime& rt() noexcept { return rt_; }
   [[nodiscard]] detail::coll_state& coll() noexcept { return coll_; }
   [[nodiscard]] version_config initial_version() const noexcept {
     return initial_ver_;
   }
+  [[nodiscard]] persona& master(int rank) noexcept {
+    return *masters_[static_cast<std::size_t>(rank)];
+  }
 
  private:
   gex::runtime rt_;
   detail::coll_state coll_;
   version_config initial_ver_;
+  std::vector<std::unique_ptr<persona>> masters_;
 };
+
+/// The calling rank's master persona. Only its holder may poll the
+/// substrate for this rank; the spmd launcher hands it to the rank thread.
+[[nodiscard]] inline persona& master_persona() noexcept {
+  assert(detail::ctx().master != nullptr);
+  return *detail::ctx().master;
+}
+
+/// Release the calling rank's master persona (the caller must hold it) so
+/// another thread can acquire it with persona_scope{master_persona()}. The
+/// rank thread blocks at the end of spmd until it can reclaim the master,
+/// so every scope that borrowed it must have exited by then.
+void liberate_master_persona();
 
 /// Rank of the calling thread within the current SPMD run.
 [[nodiscard]] inline int rank_me() noexcept { return detail::ctx().rank; }
@@ -137,5 +170,16 @@ void spmd(int nranks, const std::function<void()>& fn);
 void spmd(int nranks, gex::config gcfg, const std::function<void()>& fn);
 void spmd(int nranks, gex::config gcfg, version_config ver,
           const std::function<void()>& fn);
+
+/// Run `fn(worker_id)` on `nthreads` injector threads of the calling rank
+/// (worker 0 is the calling thread itself; nthreads-1 threads are
+/// spawned). Each worker gets its own rank context — same rank and world —
+/// and its own default persona, so completions it defers execute on *its*
+/// thread. The calling thread keeps the master persona and services the
+/// progress engine until every worker returns, so workers may block in
+/// wait() on remote (AM-path) operations. Workers must not call
+/// collectives or construct collective objects. The first worker exception
+/// (by id) is rethrown after all join.
+void run_workers(int nthreads, const std::function<void(int)>& fn);
 
 }  // namespace aspen

@@ -34,6 +34,10 @@ constexpr const char* kCounterNames[] = {
     "am_sent",
     "am_executed",
     "progress_calls",
+    "lpc_enqueued",
+    "lpc_executed",
+    "lpc_cross_thread",
+    "persona_switches",
     "perturb_delayed",
     "perturb_reordered",
     "perturb_forced_async",
@@ -59,6 +63,7 @@ std::string snapshot::to_json() const {
      << "    \"high_water\": " << pq_high_water << ",\n"
      << "    \"reserve_growths\": " << pq_reserve_growths << ",\n"
      << "    \"total_fired\": " << pq_total_fired << ",\n"
+     << "    \"lpc_mailbox_high_water\": " << lpc_mailbox_high_water << ",\n"
      << "    \"fire_batch_hist_pow2\": [";
   for (std::size_t i = 0; i < kPqBatchBuckets; ++i)
     os << (i == 0 ? "" : ", ") << pq_fire_hist[i];
@@ -110,6 +115,9 @@ void merge_record(snapshot& into, const detail::record& r) noexcept {
   into.pq_reserve_growths +=
       r.pq_reserve_growths.v.load(std::memory_order_relaxed);
   into.pq_total_fired += r.pq_total_fired.v.load(std::memory_order_relaxed);
+  const std::uint64_t mhw =
+      r.lpc_mailbox_high_water.v.load(std::memory_order_relaxed);
+  if (mhw > into.lpc_mailbox_high_water) into.lpc_mailbox_high_water = mhw;
 }
 
 }  // namespace

@@ -101,6 +101,12 @@ enum class counter : std::size_t {
   // Progress engine.
   progress_calls,  ///< entries into aspen::progress()
 
+  // Persona / cross-thread LPC subsystem (core/persona.hpp).
+  lpc_enqueued,      ///< LPCs enqueued onto a persona mailbox
+  lpc_executed,      ///< LPCs executed by a persona drain
+  lpc_cross_thread,  ///< executed LPCs enqueued by a non-holding thread
+  persona_switches,  ///< persona activations (scope pushes / acquisitions)
+
   // Perturbation conduit (gex/perturb.hpp) injected events.
   perturb_delayed,       ///< messages assigned a nonzero delivery hold
   perturb_reordered,     ///< deliveries emitted out of arrival order
@@ -136,6 +142,9 @@ struct snapshot {
   std::uint64_t pq_high_water = 0;  ///< max pending depth seen (monotone)
   std::uint64_t pq_reserve_growths = 0;
   std::uint64_t pq_total_fired = 0;
+  /// Max persona-mailbox depth observed at any enqueue (monotone max,
+  /// like pq_high_water).
+  std::uint64_t lpc_mailbox_high_water = 0;
 
   [[nodiscard]] std::uint64_t get(counter c) const noexcept {
     return counters[static_cast<std::size_t>(c)];
@@ -197,6 +206,7 @@ struct record {
   padded_u64 pq_high_water{};
   padded_u64 pq_reserve_growths{};
   padded_u64 pq_total_fired{};
+  padded_u64 lpc_mailbox_high_water{};
 
   record();   // registers with the process-global registry
   ~record();  // merges into the retired aggregate and deregisters
@@ -209,6 +219,17 @@ struct record {
   void raise_high_water(std::uint64_t depth) noexcept {
     if (depth > pq_high_water.v.load(std::memory_order_relaxed))
       pq_high_water.v.store(depth, std::memory_order_relaxed);
+  }
+  /// Mailbox depths are observed by producers on many threads, so unlike
+  /// the progress-queue max this one needs a CAS-free racy max: a stale
+  /// overwrite can only lose to a concurrent *larger* depth, which the
+  /// next enqueue at that depth restores.
+  void raise_lpc_mailbox_high_water(std::uint64_t depth) noexcept {
+    std::uint64_t cur = lpc_mailbox_high_water.v.load(std::memory_order_relaxed);
+    while (depth > cur &&
+           !lpc_mailbox_high_water.v.compare_exchange_weak(
+               cur, depth, std::memory_order_relaxed)) {
+    }
   }
 };
 
@@ -259,6 +280,16 @@ inline void note_pq_fire(std::size_t batch) noexcept {
 inline void note_pq_depth(std::size_t depth) noexcept {
 #if ASPEN_TELEMETRY_ENABLED
   detail::tls_record().raise_high_water(depth);
+#else
+  (void)depth;
+#endif
+}
+
+/// Record the depth of a persona LPC mailbox after an enqueue (tracks the
+/// high-water mark; callable from any producer thread).
+inline void note_lpc_mailbox_depth(std::size_t depth) noexcept {
+#if ASPEN_TELEMETRY_ENABLED
+  detail::tls_record().raise_lpc_mailbox_high_water(depth);
 #else
   (void)depth;
 #endif

@@ -4,7 +4,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/telemetry.hpp"
@@ -32,6 +35,11 @@ struct rank_state {
   std::atomic<std::uint64_t> ams_sent{0};
   std::atomic<std::uint64_t> ams_received{0};
   std::atomic<std::uint64_t> ams_executed{0};
+  /// The thread currently holding this rank's master persona (mirrored by
+  /// aspen::persona; default-constructed id when unheld or when no persona
+  /// runtime is wired, e.g. raw-substrate unit tests). Enforces the poll()
+  /// contract below in debug builds.
+  std::atomic<std::thread::id> master_holder{};
 };
 
 class runtime {
@@ -84,10 +92,27 @@ class runtime {
   }
 
   /// Drain and execute all pending AMs for rank `me`. Returns the number of
-  /// messages executed. Must be called only by rank `me`'s thread (nested
-  /// calls from AM handlers running on that thread are allowed).
+  /// messages executed. Must be called only by the thread currently holding
+  /// rank `me`'s master persona (nested calls from AM handlers running on
+  /// that thread are allowed). Debug builds abort on violation; release
+  /// builds leave it as UB, exactly like UPC++'s internal-progress rules.
   std::size_t poll(int me) {
     rank_state& st = state(me);
+#ifndef NDEBUG
+    if (const std::thread::id holder =
+            st.master_holder.load(std::memory_order_relaxed);
+        holder != std::thread::id{} &&
+        holder != std::this_thread::get_id()) {
+      std::fprintf(
+          stderr,
+          "aspen/gex: fatal: poll(%d) called from a thread that does not "
+          "hold rank %d's master persona. Only the master-persona holder "
+          "may poll the substrate; acquire it with persona_scope after "
+          "liberate_master_persona(), or leave polling to the rank thread.\n",
+          me, me);
+      std::abort();
+    }
+#endif
     std::size_t n;
     if (perturb_) {
       n = perturb_->poll(*this, me);

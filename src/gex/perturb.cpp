@@ -109,6 +109,25 @@ perturb_config apply_env(perturb_config base) {
 // Per-rank engine state
 // ---------------------------------------------------------------------------
 
+/// Guards a rank's initiator-side PRNG streams. With persona-based
+/// multithreaded injection (aspen::run_workers) several threads of one rank
+/// draw on the same send/op streams concurrently; the lock keeps each draw
+/// atomic so every stream output is consumed exactly once. Note that the
+/// *interleaving* of draws across injector threads is scheduling-dependent,
+/// so bit-exact seed replay is only guaranteed under single-threaded
+/// injection (the chaos-matrix configuration).
+struct stream_lock {
+  std::atomic_flag flag = ATOMIC_FLAG_INIT;
+  void lock() noexcept {
+    while (flag.test_and_set(std::memory_order_acquire)) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+  void unlock() noexcept { flag.clear(std::memory_order_release); }
+};
+
 struct alignas(64) engine::rank_state {
   /// Producer side: any rank thread pushes; the owner drains.
   mpsc_queue<envelope> inbox;
@@ -119,8 +138,10 @@ struct alignas(64) engine::rank_state {
   std::size_t held_count = 0;
   std::uint64_t next_arrival_seq = 0;
 
-  /// Decision streams. `op` and `send` are drawn by the owning rank thread
-  /// acting as initiator; `recv` by the owning thread acting as consumer.
+  /// Decision streams. `op` and `send` are drawn by initiator threads of
+  /// this rank (under stream_mu — there may be several with run_workers);
+  /// `recv` only by the consumer (the master-persona holder), unlocked.
+  stream_lock stream_mu;
   xoshiro256ss op_stream;
   xoshiro256ss send_stream;
   xoshiro256ss recv_stream;
@@ -170,12 +191,20 @@ void engine::send(runtime& rt, int target, am_message msg) {
 
   envelope env;
   env.msg = std::move(msg);
-  if (cfg_.delay_percent != 0 && snd.send_stream.percent(cfg_.delay_percent)) {
-    env.hold_polls = 1 + snd.send_stream.below(cfg_.max_hold_polls);
-    snd.delayed.fetch_add(1, std::memory_order_relaxed);
-    snd.hold_polls_assigned.fetch_add(env.hold_polls,
-                                      std::memory_order_relaxed);
-    telemetry::count(telemetry::counter::perturb_delayed);
+  if (cfg_.delay_percent != 0) {
+    bool delayed = false;
+    snd.stream_mu.lock();
+    if (snd.send_stream.percent(cfg_.delay_percent)) {
+      env.hold_polls = 1 + snd.send_stream.below(cfg_.max_hold_polls);
+      delayed = true;
+    }
+    snd.stream_mu.unlock();
+    if (delayed) {
+      snd.delayed.fetch_add(1, std::memory_order_relaxed);
+      snd.hold_polls_assigned.fetch_add(env.hold_polls,
+                                        std::memory_order_relaxed);
+      telemetry::count(telemetry::counter::perturb_delayed);
+    }
   }
 
   rank_state& tgt = st(target);
@@ -290,7 +319,10 @@ std::size_t engine::poll(runtime& rt, int me) {
 bool engine::force_async(int rank) noexcept {
   if (cfg_.forced_async_percent == 0) return false;
   rank_state& mine = st(rank);
-  if (!mine.op_stream.percent(cfg_.forced_async_percent)) return false;
+  mine.stream_mu.lock();
+  const bool forced = mine.op_stream.percent(cfg_.forced_async_percent);
+  mine.stream_mu.unlock();
+  if (!forced) return false;
   mine.forced_async.fetch_add(1, std::memory_order_relaxed);
   telemetry::count(telemetry::counter::perturb_forced_async);
   return true;

@@ -137,9 +137,14 @@ struct stats {
 
 /// One engine per perturbed runtime. send()/poll()/force_async() are called
 /// by rank threads under the same threading contract as the substrate:
-/// send(target, msg) from any rank thread (msg.source() == calling rank),
-/// poll(me)/force_async(me) only from rank `me`'s thread. All PRNG streams
-/// are therefore single-writer.
+/// send(target, msg) and force_async(rank) from any thread acting for the
+/// initiating rank (with run_workers there may be several concurrently —
+/// the initiator-side streams are drawn under a per-rank lock), poll(me)
+/// only from the thread holding rank `me`'s master persona (its recv
+/// stream stays single-writer). Bit-exact seed replay holds under
+/// single-threaded injection; concurrent injectors keep every draw valid
+/// and consumed exactly once, but the cross-thread interleaving is
+/// scheduling-dependent.
 class engine {
  public:
   engine(const perturb_config& cfg, int nranks);

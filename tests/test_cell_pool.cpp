@@ -1,7 +1,23 @@
 // Cell-recycling pool tests (ASPEN extension).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "core/aspen.hpp"
+#include "gex/mpsc_queue.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define ASPEN_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ASPEN_TEST_TSAN 1
+#endif
+#endif
+#ifndef ASPEN_TEST_TSAN
+#define ASPEN_TEST_TSAN 0
+#endif
 
 using namespace aspen;
 
@@ -81,6 +97,78 @@ TEST(RecyclingPool, ManyBlocksChurn) {
   EXPECT_GT(pool.recycled_count(), 500u);
 }
 
+TEST(RecyclingPool, CrossThreadHandoffContention) {
+  // Blocks allocated from one thread's pool are handed to another thread
+  // (via an MPSC queue, as the persona LPC return leg does with completion
+  // state) and deallocated into *that* thread's pool. Origin headers must
+  // keep every free safe, and the telemetry invariant must hold: each
+  // allocate is counted exactly once, as fresh or recycled.
+  constexpr int kProducers = 6;
+  constexpr int kPerProducer = 3'000;
+  const auto before = telemetry::aggregate();
+
+  aspen::gex::mpsc_queue<void*> handoff;
+  std::atomic<int> produced{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      detail::recycling_pool pool;
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Vary the size class; every other block churns locally first so
+        // the producer's own freelist also sees contention-era reuse.
+        const std::size_t bytes = 32 + static_cast<std::size_t>((t + i) % 7) * 64;
+        void* p = pool.allocate(bytes, /*recycle=*/true);
+        if ((i & 1) != 0) {
+          pool.deallocate(p);
+          p = pool.allocate(bytes, true);
+        }
+        handoff.push(p);
+      }
+      produced.fetch_add(kPerProducer, std::memory_order_release);
+      // The pool dies here; blocks in flight are owned by the consumer now.
+    });
+  }
+
+  detail::recycling_pool consumer_pool;
+  std::size_t freed = 0;
+  std::vector<void*> batch;
+  const std::size_t expect =
+      static_cast<std::size_t>(kProducers) * kPerProducer;
+  while (freed < expect) {
+    batch.clear();
+    if (handoff.drain_into(batch) == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (void* p : batch) {
+      consumer_pool.deallocate(p);  // cross-thread free, origin-tagged
+      ++freed;
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(freed, expect);
+  EXPECT_GT(consumer_pool.cached_blocks(), 0u);
+
+  // Handed-off blocks are live inventory for the consumer.
+  void* reused = consumer_pool.allocate(32, true);
+  ASSERT_NE(reused, nullptr);
+  EXPECT_EQ(consumer_pool.recycled_count(), 1u);
+  consumer_pool.deallocate(reused);
+
+  if (telemetry::compiled_in()) {
+    const auto d = telemetry::aggregate() - before;
+    // Each of the expect + kProducers*kPerProducer/2 churn allocs (+1 reuse
+    // above) is fresh or recycled, never both, never dropped.
+    const std::uint64_t total_allocs =
+        expect + expect / 2 + 1;
+    EXPECT_EQ(d.get(telemetry::counter::cellpool_fresh) +
+                  d.get(telemetry::counter::cellpool_recycled),
+              total_allocs);
+    EXPECT_GE(d.get(telemetry::counter::cellpool_recycled), expect / 2);
+  }
+}
+
 // --- end-to-end behavior under the runtime flag -------------------------------
 
 TEST(CellRecycling, DeferredOpsReuseCells) {
@@ -101,6 +189,11 @@ TEST(CellRecycling, DeferredOpsReuseCells) {
 }
 
 TEST(CellRecycling, ResultsUnaffected) {
+#if ASPEN_TEST_TSAN
+  // The blind rputs below race across ranks by design (HPCC-style lost
+  // updates are permitted); TSan rightly flags the conflicting memcpys.
+  GTEST_SKIP() << "intentionally racy unsynchronized-RMA test";
+#endif
   aspen::spmd(2, [] {
     version_config v = version_config::make(emulated_version::v2021_3_6_eager);
     v.cell_recycling = true;

@@ -120,12 +120,12 @@ TEST(EagerCost, EagerValuelessOpMakesNoCellAndSkipsQueue) {
     auto gp = new_<std::uint64_t>(0);
     (void)rput(std::uint64_t{1}, gp).ready();  // warm the pooled cell
     const auto allocs = detail::cell_allocation_count();
-    const auto fired = detail::ctx().pq.total_fired();
+    const auto fired = current_persona().deferred_queue().total_fired();
     for (int i = 0; i < 1000; ++i)
       rput(std::uint64_t{1}, gp, operation_cx::as_future()).wait();
     EXPECT_EQ(detail::cell_allocation_count(), allocs);  // zero allocations
     progress();
-    EXPECT_EQ(detail::ctx().pq.total_fired(), fired);  // queue untouched
+    EXPECT_EQ(current_persona().deferred_queue().total_fired(), fired);  // queue untouched
     delete_(gp);
   });
 }
@@ -135,11 +135,11 @@ TEST(EagerCost, DeferredOpAllocatesAndRoundTripsQueue) {
     set_version_config(version_config::make(emulated_version::v2021_3_6_defer));
     auto gp = new_<std::uint64_t>(0);
     const auto allocs = detail::cell_allocation_count();
-    const auto fired = detail::ctx().pq.total_fired();
+    const auto fired = current_persona().deferred_queue().total_fired();
     for (int i = 0; i < 100; ++i)
       rput(std::uint64_t{1}, gp, operation_cx::as_future()).wait();
     EXPECT_EQ(detail::cell_allocation_count(), allocs + 100);
-    EXPECT_EQ(detail::ctx().pq.total_fired(), fired + 100);
+    EXPECT_EQ(current_persona().deferred_queue().total_fired(), fired + 100);
     delete_(gp);
   });
 }
@@ -149,13 +149,13 @@ TEST(EagerCost, EagerValuedOpStillAllocatesButSkipsQueue) {
     set_version_config(version_config::make(emulated_version::v2021_3_6_eager));
     auto gp = new_<std::uint64_t>(5);
     const auto allocs = detail::cell_allocation_count();
-    const auto fired = detail::ctx().pq.total_fired();
+    const auto fired = current_persona().deferred_queue().total_fired();
     for (int i = 0; i < 100; ++i)
       (void)rget(gp, operation_cx::as_future()).wait();
     // Paper §III-B: the fetched value must live somewhere.
     EXPECT_EQ(detail::cell_allocation_count(), allocs + 100);
     progress();
-    EXPECT_EQ(detail::ctx().pq.total_fired(), fired);
+    EXPECT_EQ(current_persona().deferred_queue().total_fired(), fired);
     delete_(gp);
   });
 }

@@ -1,0 +1,123 @@
+// LPC completion thread-placement contract (eager vs. defer), verified by
+// thread-id capture — including across the perturbed conduit in forced-async
+// mode, where every shareable-target operation is diverted down the AM path
+// and the reply handler runs on the master-persona holder, not the injector.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <thread>
+
+#include "core/aspen.hpp"
+
+using namespace aspen;
+
+namespace {
+
+gex::config forced_async_config(std::uint64_t seed) {
+  gex::config g;
+  g.transport = gex::conduit::perturbed;
+  g.perturb = gex::perturb::preset(gex::perturb::mode::forced_async, seed);
+  g.perturb.honor_env = false;  // this test controls the knobs explicitly
+  return g;
+}
+
+// On the synchronous (smp) conduit, an eager LPC fires inside the injection
+// call itself; a deferred LPC holds until the injector's next progress.
+TEST(LpcPlacement, EagerFiresInsideInjectionDeferAtProgress) {
+  aspen::spmd(1, [] {
+    auto gp = new_<std::uint64_t>(0);
+
+    std::thread::id eager_tid{};
+    rput(std::uint64_t{1}, gp, operation_cx::as_eager_lpc([&eager_tid] {
+           eager_tid = std::this_thread::get_id();
+         }));
+    EXPECT_EQ(eager_tid, std::this_thread::get_id());  // already ran, inline
+
+    std::thread::id defer_tid{};
+    rput(std::uint64_t{2}, gp, operation_cx::as_defer_lpc([&defer_tid] {
+           defer_tid = std::this_thread::get_id();
+         }));
+    EXPECT_EQ(defer_tid, std::thread::id{});  // not yet: held for progress
+    while (defer_tid == std::thread::id{}) aspen::progress();
+    EXPECT_EQ(defer_tid, std::this_thread::get_id());
+    delete_(gp);
+  });
+}
+
+// Forced-async: the AM reply handler executes on the rank (master-persona)
+// thread, but both LPC flavors must still land on the worker thread whose
+// persona initiated the operation — eager degrades to the deferred remote
+// machinery rather than running on the wrong thread.
+TEST(LpcPlacement, ForcedAsyncDeliversOnInitiatingWorkerThread) {
+  const telemetry::snapshot before = telemetry::aggregate();
+  aspen::spmd(1, forced_async_config(11), [] {
+    constexpr int kWorkers = 4;
+    const std::thread::id rank_tid = std::this_thread::get_id();
+    auto slots = new_array<std::uint64_t>(kWorkers);
+    std::array<std::thread::id, kWorkers> eager_tid{};
+    std::array<std::thread::id, kWorkers> defer_tid{};
+    std::array<std::thread::id, kWorkers> inject_tid{};
+
+    run_workers(kWorkers, [&](int wid) {
+      const auto w = static_cast<std::size_t>(wid);
+      inject_tid[w] = std::this_thread::get_id();
+      rput(std::uint64_t{3}, slots + wid, operation_cx::as_eager_lpc([&, w] {
+             eager_tid[w] = std::this_thread::get_id();
+           }));
+      rput(std::uint64_t{4}, slots + wid, operation_cx::as_defer_lpc([&, w] {
+             defer_tid[w] = std::this_thread::get_id();
+           }));
+      while (eager_tid[w] == std::thread::id{} ||
+             defer_tid[w] == std::thread::id{})
+        aspen::progress();
+    });
+
+    for (int wid = 0; wid < kWorkers; ++wid) {
+      const auto w = static_cast<std::size_t>(wid);
+      EXPECT_EQ(eager_tid[w], inject_tid[w])
+          << "eager LPC of worker " << wid << " ran on the wrong thread";
+      EXPECT_EQ(defer_tid[w], inject_tid[w])
+          << "deferred LPC of worker " << wid << " ran on the wrong thread";
+      if (wid != 0) {
+        // Non-rank workers: the reply was serviced by the rank thread, so a
+        // correct delivery *must* have crossed threads.
+        EXPECT_NE(defer_tid[w], rank_tid);
+      }
+    }
+    barrier();
+    delete_array(slots);
+  });
+
+  if (telemetry::compiled_in()) {
+    const telemetry::snapshot d = telemetry::aggregate() - before;
+    // Forced-async: nothing completed eagerly at the completion layer.
+    EXPECT_EQ(d.get(telemetry::counter::cx_eager_taken), 0u);
+    EXPECT_GE(d.get(telemetry::counter::cx_remote_async), 8u);
+    // Three non-rank workers × two LPCs each had to be routed cross-thread.
+    EXPECT_GE(d.get(telemetry::counter::lpc_cross_thread), 6u);
+  }
+}
+
+// Same contract for deferred futures: a worker's future readies only via the
+// worker's own persona, so wait() in the worker must complete even though
+// only the rank thread polls.
+TEST(LpcPlacement, ForcedAsyncFutureWaitCompletesOnWorker) {
+  aspen::spmd(1, forced_async_config(12), [] {
+    constexpr int kWorkers = 3;
+    constexpr int kOps = 64;
+    auto slots = new_array<std::uint64_t>(kWorkers);
+    run_workers(kWorkers, [&](int wid) {
+      for (int i = 0; i < kOps; ++i) {
+        rput(static_cast<std::uint64_t>(i), slots + wid,
+             operation_cx::as_defer_future())
+            .wait();
+      }
+      EXPECT_EQ(rget(slots + wid).wait(), static_cast<std::uint64_t>(kOps - 1));
+    });
+    barrier();
+    delete_array(slots);
+  });
+}
+
+}  // namespace

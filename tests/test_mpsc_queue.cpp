@@ -2,6 +2,8 @@
 // multi-threaded stress test.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -86,6 +88,78 @@ TEST(MpscQueue, MultiProducerStress) {
     ++next_seq[static_cast<std::size_t>(p)];
   }
   for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next_seq[p], kPerProducer);
+}
+
+TEST(MpscQueue, MultiProducerMoveOnlyConcurrentDrain) {
+  // Move-only payloads under full contention, with the consumer draining
+  // concurrently with the pushes (not just after a join). Exercises the
+  // push/drain handoff the persona LPC mailbox depends on.
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 4'000;
+  mpsc_queue<std::unique_ptr<int>> q;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.push(std::make_unique<int>(p * kPerProducer + i));
+        if ((i & 0x3FF) == 0) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::unique_ptr<int>> got;
+  got.reserve(kProducers * kPerProducer);
+  std::vector<std::unique_ptr<int>> batch;
+  while (got.size() < kProducers * kPerProducer) {
+    batch.clear();
+    if (q.drain_into(batch) == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (auto& e : batch) got.push_back(std::move(e));
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_FALSE(q.maybe_nonempty());
+
+  // Exactly-once delivery and FIFO per producer.
+  std::vector<int> next_seq(kProducers, 0);
+  for (const auto& e : got) {
+    ASSERT_NE(e, nullptr);
+    const int p = *e / kPerProducer;
+    const int seq = *e % kPerProducer;
+    ASSERT_EQ(seq, next_seq[static_cast<std::size_t>(p)]);
+    ++next_seq[static_cast<std::size_t>(p)];
+  }
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next_seq[p], kPerProducer);
+}
+
+TEST(MpscQueue, ApproxSizeIsSaneUnderContention) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2'000;
+  mpsc_queue<int> q;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kPerProducer; ++i) q.push(i);
+    });
+  }
+  go.store(true, std::memory_order_release);
+
+  std::size_t drained = 0;
+  std::vector<int> out;
+  while (drained < kProducers * kPerProducer) {
+    const std::size_t approx = q.approx_size();
+    EXPECT_LE(approx, kProducers * kPerProducer - drained);
+    out.clear();
+    drained += q.drain_into(out);
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(drained, static_cast<std::size_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(q.approx_size(), 0u);
 }
 
 }  // namespace
