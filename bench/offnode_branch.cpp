@@ -10,15 +10,27 @@
 // path — defer and eager must be statistically indistinguishable (the
 // operations never complete synchronously, so eager mode only adds the
 // branch).
+// A third leg runs the same study over *real* processes: the binary
+// re-launches itself under `aspen-run -n 2` on the conduit::tcp socket
+// transport, the child job writes its rows and per-rank telemetry sidecars
+// to files, and the parent folds them into the same table format. Disable
+// with ASPEN_BENCH_TCP=0.
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "benchutil/options.hpp"
 #include "benchutil/stats.hpp"
 #include "benchutil/table.hpp"
+#include "benchutil/telemetry_report.hpp"
 #include "benchutil/timer.hpp"
 #include "core/aspen.hpp"
 #include "gex/perturb.hpp"
+#include "net/endpoint.hpp"
 
 namespace {
 
@@ -105,9 +117,113 @@ void print_pass(const char* label, const pass_result& res) {
   t.print(std::cout);
 }
 
+// ---------------------------------------------------------------------------
+// The conduit::tcp leg (real processes).
+// ---------------------------------------------------------------------------
+
+constexpr const char* kTcpResultEnv = "ASPEN_OFFNODE_TCP_RESULT";
+
+/// Child mode: this process is one rank of the `aspen-run -n 2` job the
+/// parent spawned. Runs the pass on the socket conduit, then rank 0 writes
+/// the result rows and every rank writes its telemetry sidecar.
+int run_tcp_child(const char* result_path) {
+  auto opt = aspen::bench::options::from_env();
+  // Every op is a real TCP round trip; far fewer iterations are enough.
+  const std::size_t ops = std::max<std::size_t>(500, opt.micro_ops / 1000);
+  gex::config gcfg;
+  gcfg.transport = gex::conduit::tcp;
+
+  const auto before = telemetry::local_snapshot();
+  const pass_result res = run_pass(gcfg, opt, ops);
+  const auto used = telemetry::local_snapshot() - before;
+
+  const int rank = net::endpoint::instance()->self_rank();
+  (void)aspen::bench::write_telemetry_sidecar(
+      aspen::bench::rank_sidecar_path(result_path, rank), "offnode_tcp",
+      used);
+  if (rank == 0) {
+    std::ofstream f(result_path);
+    if (!f) return 1;
+    for (std::size_t vi = 0; vi < std::size(kVersions); ++vi)
+      f << res.rput_ns[vi] << ' ' << res.rget_ns[vi] << ' ' << res.amo_ns[vi]
+        << '\n';
+    if (!f) return 1;
+  }
+  return 0;
+}
+
+/// Parent mode: spawn `aspen-run -n 2 <self>` and read the rows back.
+void run_tcp_leg(const char* self_hint) {
+  if (aspen::bench::env_size_t("ASPEN_BENCH_TCP", 1) == 0) return;
+
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof self - 1);
+  if (n <= 0) {
+    std::snprintf(self, sizeof self, "%s", self_hint);
+  } else {
+    self[n] = '\0';
+  }
+  std::string launcher;
+  if (const char* env = std::getenv("ASPEN_RUN")) {
+    launcher = env;
+  } else {
+    // Default build layout: bench/offnode_branch next to src/aspen-run.
+    const std::string dir(self, std::string(self).find_last_of('/'));
+    launcher = dir + "/../src/aspen-run";
+  }
+  if (::access(launcher.c_str(), X_OK) != 0) {
+    std::cout << "\nconduit::tcp leg skipped: launcher not found at "
+              << launcher << " (set ASPEN_RUN to override).\n";
+    return;
+  }
+
+  const std::string result = "offnode_branch.tcp.rows";
+  ::setenv(kTcpResultEnv, result.c_str(), 1);
+  const std::string cmd = launcher + " -n 2 " + self;
+  std::cout << "\nconduit::tcp (2 OS processes via aspen-run):\n";
+  const int rc = std::system(cmd.c_str());
+  ::unsetenv(kTcpResultEnv);
+  if (rc != 0) {
+    std::cout << "conduit::tcp leg failed (exit " << rc << "), skipping.\n";
+    return;
+  }
+
+  pass_result res;
+  std::ifstream f(result);
+  for (std::size_t vi = 0; vi < std::size(kVersions); ++vi)
+    f >> res.rput_ns[vi] >> res.rget_ns[vi] >> res.amo_ns[vi];
+  if (!f) {
+    std::cout << "conduit::tcp leg produced no result rows, skipping.\n";
+    return;
+  }
+  print_pass("off-node, tcp processes", res);
+  std::cout << "expectation: higher absolute latency (real sockets), eager "
+               "vs defer still ~1.00x — no cross-process op can complete "
+               "synchronously.\n";
+
+  telemetry::snapshot merged{};
+  const int got = aspen::bench::merge_rank_sidecars(result, 2, &merged);
+  if (got == 2 && telemetry::compiled_in()) {
+    std::cout << "merged per-rank telemetry (" << got << " sidecars): "
+              << "net_msgs_sent=" << merged.get(telemetry::counter::net_msgs_sent)
+              << " net_bytes_sent="
+              << merged.get(telemetry::counter::net_bytes_sent)
+              << " cx_eager_taken="
+              << merged.get(telemetry::counter::cx_eager_taken)
+              << " cx_remote_async="
+              << merged.get(telemetry::counter::cx_remote_async) << "\n";
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int, char** argv) {
+  // Relaunched under aspen-run? Then this process is a rank of the tcp
+  // child job, not the driver.
+  if (const char* result = std::getenv(kTcpResultEnv);
+      result != nullptr && aspen::net::endpoint::launched())
+    return run_tcp_child(result);
+
   auto opt = aspen::bench::options::from_env();
   // Off-node latency is dominated by the AM round trip; fewer iterations
   // suffice for stable means.
@@ -146,5 +262,7 @@ int main() {
     std::cout << "expectation: higher absolute latency, eager vs defer still "
                  "~1.00x under injected delay.\n";
   }
+
+  run_tcp_leg(argv[0]);
   return 0;
 }

@@ -32,6 +32,25 @@
 //                                  config::am_inbox_capacity
 //   ASPEN_PERTURB_SWEEP_SEEDS      seeds per mode in test_perturb_sweep
 //                                  (test harness only; default 4)
+//
+// conduit::tcp (real-process) runs honor the ASPEN_NET_* family, read by
+// net::apply_env unless net_config::honor_env is cleared (see docs/NET.md).
+// ASPEN_NET_RANK / ASPEN_NET_NRANKS / ASPEN_NET_RDZV_PORT are reserved:
+// they are the bootstrap contract set by `aspen-run` for its children and
+// must never be set by hand.
+//   ASPEN_NET_EAGER_MAX    largest AM payload sent inline in one eager
+//                          frame; larger payloads use the RTS/CTS/DATA
+//                          rendezvous (default 8 KiB; decimal or 0x-hex)
+//   ASPEN_NET_MAX_FRAME    hard per-frame payload ceiling; a peer
+//                          announcing more is a protocol violation
+//                          (default 64 MiB)
+//   ASPEN_NET_SEGMENT_BASE fixed virtual address where every rank process
+//                          maps the segment arena (default 0x2a5e00000000)
+//   ASPEN_BENCH_TCP        offnode_branch only: zero skips the aspen-run
+//                          real-process leg (default 1)
+//   ASPEN_RUN              offnode_branch only: path to the aspen-run
+//                          launcher (default: ../src/aspen-run relative to
+//                          the benchmark binary)
 #pragma once
 
 #include <cstddef>

@@ -5,6 +5,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/telemetry.hpp"
 
@@ -21,5 +22,37 @@ void print_telemetry_summary(std::ostream& os,
 bool write_telemetry_sidecar(const std::string& path,
                              const std::string& bench_name,
                              const telemetry::snapshot& snap);
+
+// ---------------------------------------------------------------------------
+// Cross-process aggregation (conduit::tcp jobs).
+//
+// Under `aspen-run` every rank is its own process, so there is no shared
+// telemetry registry to aggregate() over: each rank writes its own sidecar
+// (`rank_sidecar_path`) and the driver — the launcher's parent or rank 0 —
+// reads them back and merges. Counters and monotone sums add across ranks;
+// high-water marks take the max (a queue depth in one process says nothing
+// about another's).
+// ---------------------------------------------------------------------------
+
+/// "<base>.rank<r>.telemetry.json" — the per-rank sidecar naming scheme.
+[[nodiscard]] std::string rank_sidecar_path(const std::string& base, int rank);
+
+/// Parse a sidecar written by write_telemetry_sidecar back into a snapshot.
+/// Tolerant of unknown counter names (skipped) so sidecars from slightly
+/// older builds still merge. Either out-param may be null. Returns false on
+/// open failure or if the file does not look like a telemetry sidecar.
+bool read_telemetry_sidecar(const std::string& path, std::string* bench_name,
+                            telemetry::snapshot* out);
+
+/// Merge per-rank snapshots of one job: counters, the progress-queue sums
+/// and the fire histogram add; high-water marks take the elementwise max.
+[[nodiscard]] telemetry::snapshot merge_snapshots(
+    const std::vector<telemetry::snapshot>& parts);
+
+/// Read and merge `rank_sidecar_path(base, r)` for r in [0, nranks) into
+/// `*out`. Returns the number of sidecars successfully read; missing or
+/// malformed files are skipped (a crashed rank should not hide the rest).
+int merge_rank_sidecars(const std::string& base, int nranks,
+                        telemetry::snapshot* out);
 
 }  // namespace aspen::bench

@@ -7,6 +7,8 @@
 // drain.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <functional>
 #include <type_traits>
@@ -40,6 +42,29 @@ namespace detail {
 /// ranks arrive, servicing progress while spinning.
 void coll_rendezvous();
 
+// ---- socket-conduit dispatch (conduit::tcp; implemented over
+// net::endpoint in collectives.cpp) --------------------------------------
+
+/// True when the calling rank's run uses conduit::tcp, in which case every
+/// collective must go over the wire (ranks are separate processes and the
+/// shared coll_state slots only exist per process).
+[[nodiscard]] bool coll_wire_active() noexcept;
+
+/// All-to-all byte-blob exchange among `members` (world ranks, identical
+/// list in every member; members.front() coordinates). (key, seq) must
+/// identify this collective identically in every member. Blocks, servicing
+/// full progress. Returns member-ordered contributions.
+[[nodiscard]] std::vector<std::vector<std::byte>> coll_wire_exchange(
+    std::uint64_t key, std::uint64_t seq, const std::vector<int>& members,
+    const std::vector<std::byte>& mine);
+
+/// World-team convenience: members = 0..rank_n-1.
+[[nodiscard]] std::vector<std::vector<std::byte>> coll_wire_exchange(
+    std::uint64_t key, std::uint64_t seq, const std::vector<std::byte>& mine);
+
+/// Collective key of the world coll_state's wire stream.
+inline constexpr std::uint64_t kWorldCollWireKey = 0xA5C0000000000001ull;
+
 }  // namespace detail
 
 /// Broadcast a trivially copyable value (<= coll_state::kSlotBytes) from
@@ -51,6 +76,15 @@ template <typename T>
                 "broadcast value too large for a slot; use broadcast_vector");
   detail::rank_context& c = detail::ctx();
   detail::coll_state& cs = c.w->coll();
+  if (detail::coll_wire_active()) {
+    std::vector<std::byte> mine(sizeof(T));
+    if (c.rank == root) std::memcpy(mine.data(), &value, sizeof(T));
+    auto all = detail::coll_wire_exchange(detail::kWorldCollWireKey,
+                                          cs.wire_seq++, mine);
+    T out;
+    std::memcpy(&out, all[static_cast<std::size_t>(root)].data(), sizeof(T));
+    return out;
+  }
   if (c.rank == root)
     std::memcpy(cs.contrib[static_cast<std::size_t>(root)].data, &value,
                 sizeof(T));
@@ -69,6 +103,19 @@ template <typename T>
   static_assert(std::is_trivially_copyable_v<T>);
   detail::rank_context& c = detail::ctx();
   detail::coll_state& cs = c.w->coll();
+  if (detail::coll_wire_active()) {
+    std::vector<std::byte> mine;
+    if (c.rank == root) {
+      mine.resize(v.size() * sizeof(T));
+      std::memcpy(mine.data(), v.data(), mine.size());
+    }
+    auto all = detail::coll_wire_exchange(detail::kWorldCollWireKey,
+                                          cs.wire_seq++, mine);
+    const auto& blob = all[static_cast<std::size_t>(root)];
+    std::vector<T> out(blob.size() / sizeof(T));
+    std::memcpy(out.data(), blob.data(), blob.size());
+    return out;
+  }
   if (c.rank == root) {
     cs.bulk_buf.resize(v.size() * sizeof(T));
     std::memcpy(cs.bulk_buf.data(), v.data(), cs.bulk_buf.size());
@@ -88,6 +135,20 @@ template <typename T, typename Op>
   static_assert(sizeof(T) <= detail::coll_state::kSlotBytes);
   detail::rank_context& c = detail::ctx();
   detail::coll_state& cs = c.w->coll();
+  if (detail::coll_wire_active()) {
+    std::vector<std::byte> mine(sizeof(T));
+    std::memcpy(mine.data(), &value, sizeof(T));
+    auto all = detail::coll_wire_exchange(detail::kWorldCollWireKey,
+                                          cs.wire_seq++, mine);
+    T acc;
+    std::memcpy(&acc, all[0].data(), sizeof(T));
+    for (std::size_t r = 1; r < all.size(); ++r) {
+      T x;
+      std::memcpy(&x, all[r].data(), sizeof(T));
+      acc = op(acc, x);
+    }
+    return acc;
+  }
   std::memcpy(cs.contrib[static_cast<std::size_t>(c.rank)].data, &value,
               sizeof(T));
   detail::coll_rendezvous();

@@ -2,8 +2,11 @@
 
 #include "core/future_cell.hpp"
 #include "core/telemetry.hpp"
+#include "net/endpoint.hpp"
+#include "net/wire.hpp"
 
 #include <barrier>
+#include <cstdio>
 #include <exception>
 #include <memory>
 #include <stdexcept>
@@ -21,7 +24,20 @@ rank_context*& tls_context() noexcept {
 }  // namespace detail
 
 namespace detail {
-void wait_yield() noexcept { std::this_thread::yield(); }
+void wait_yield() noexcept {
+  // Under a wired (socket) conduit, idle waits park on the transport so the
+  // peer process this rank is waiting on gets the CPU immediately — a plain
+  // yield between two spinning *processes* on a shared core degenerates
+  // into one full scheduler timeslice per message. The in-process conduits
+  // (and the smp legs run inside a tcp process) take the plain yield.
+  if (have_ctx() && ctx().rt != nullptr) {
+    if (gex::wire_transport* w = ctx().rt->wire()) {
+      w->idle_wait();
+      return;
+    }
+  }
+  std::this_thread::yield();
+}
 }  // namespace detail
 
 std::size_t progress() {
@@ -92,11 +108,87 @@ void run_workers(int nthreads, const std::function<void(int)>& fn) {
     if (e) std::rethrow_exception(e);
 }
 
+namespace {
+
+/// conduit::tcp SPMD: this process IS one rank of an `aspen-run` job. The
+/// runtime still carries nranks rank-state slots (segment addressing and
+/// counters are rank-indexed), but only the env-assigned rank runs user
+/// code here; everything cross-rank rides the socket endpoint, which
+/// persists across successive spmd regions.
+void spmd_net(int nranks, gex::config gcfg, version_config ver,
+              const std::function<void()>& fn) {
+  if (!net::endpoint::launched()) {
+    std::fprintf(stderr,
+                 "aspen: fatal: spmd with conduit::tcp outside an "
+                 "aspen-run job. Launch this program as `aspen-run -n %d "
+                 "<prog>`.\n",
+                 nranks);
+    std::abort();
+  }
+  gcfg.net = net::apply_env(gcfg.net);
+  net::endpoint& ep = net::endpoint::ensure(gcfg.net, gcfg.segment_bytes);
+  if (ep.nranks() != nranks)
+    throw std::invalid_argument(
+        "spmd: nranks must equal the aspen-run job size (-n) under "
+        "conduit::tcp");
+  const int rank = ep.self_rank();
+
+  world w(nranks, gcfg, ver);
+  w.rt().attach_wire(&ep);
+
+  detail::rank_context rc;
+  rc.rt = &w.rt();
+  rc.w = &w;
+  rc.rank = rank;
+  rc.ver = ver;
+  rc.master = &w.master(rank);
+  detail::tls_context() = &rc;
+  telemetry::set_thread_rank(rank);
+  rc.master->acquire_for_caller();
+  (void)detail::pooled_ready_cell();
+
+  const net::progress_fn progress_all = [] { return aspen::progress(); };
+  // All processes have a live runtime for this region before any user
+  // frame flows (and frames of the previous region are fully settled).
+  ep.begin_region(progress_all);
+
+  std::exception_ptr err;
+  try {
+    fn();
+  } catch (...) {
+    err = std::current_exception();
+  }
+  if (!rc.master->active_with_caller()) rc.master->acquire_for_caller();
+
+  if (err == nullptr) {
+    // Quiesce: no frame of this region may still be in flight anywhere.
+    ep.end_region(progress_all);
+    while (w.rt().poll(rank) + detail::drain_active_personas() != 0 ||
+           w.rt().has_pending(rank)) {
+    }
+  }
+  // On error there is no collective teardown to run — siblings may be
+  // wedged mid-collective. Rethrow; the uncaught exception (or nonzero
+  // exit) brings the launcher's supervision down on the whole job.
+
+  rc.master->release_from_caller();
+  detail::tls_context() = nullptr;
+  w.rt().attach_wire(nullptr);
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace
+
 void spmd(int nranks, gex::config gcfg, version_config ver,
           const std::function<void()>& fn) {
   if (nranks < 1) throw std::invalid_argument("spmd: nranks must be >= 1");
   if (detail::have_ctx())
     throw std::logic_error("spmd: nested SPMD runs are not supported");
+
+  if (gcfg.transport == gex::conduit::tcp) {
+    spmd_net(nranks, gcfg, ver, fn);
+    return;
+  }
 
   world w(nranks, gcfg, ver);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));

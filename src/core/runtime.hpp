@@ -49,6 +49,10 @@ struct coll_state {
   std::array<std::atomic<int>, kAsyncEpochRing> async_arrived{};
   std::atomic<std::uint64_t> async_done_epoch{0};
 
+  /// Monotonic sequence of world collectives on the socket conduit (each
+  /// wire collective consumes one; only the rank thread touches it).
+  std::uint64_t wire_seq = 0;
+
   explicit coll_state(int nranks)
       : contrib(static_cast<std::size_t>(nranks)) {}
 };

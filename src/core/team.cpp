@@ -60,7 +60,27 @@ std::shared_ptr<team_shared> team_registry_get_or_create(
   return get_or_create_keyed({ctx().w, 0, id, 0}, members);
 }
 
+namespace {
+
+/// FNV-1a over a stream of u64 words; derives child-team wire keys that
+/// every member computes identically without any central allocation.
+std::uint64_t mix_u64(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kWorldTeamWireKey = 0xA5C0000000000002ull;
+
+}  // namespace
+
 void team_rendezvous(team_shared& ts) {
+  if (coll_wire_active()) {
+    (void)coll_wire_exchange(ts.wire_key, ts.wire_seq++, ts.members, {});
+    return;
+  }
   const int n = static_cast<int>(ts.members.size());
   const std::uint64_t my_phase = ts.phase.load(std::memory_order_relaxed);
   if (ts.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
@@ -87,6 +107,7 @@ team team::world() {
     members[static_cast<std::size_t>(r)] = r;
   auto shared = detail::get_or_create_keyed(
       {c.w, 0, detail::kWorldTeamId, 0}, members);
+  shared->wire_key = detail::kWorldTeamWireKey;
   return team(std::move(shared), c.rank);
 }
 
@@ -103,18 +124,29 @@ team team::split(int color, int key) const {
   };
   static_assert(sizeof(entry) <= detail::coll_state::kSlotBytes);
   entry mine{color, key};
-  std::memcpy(shared_->contrib[static_cast<std::size_t>(my_rank_)].data,
-              &mine, sizeof(entry));
-  detail::team_rendezvous(*shared_);
-
   std::vector<std::pair<entry, int>> all;  // (entry, world rank)
   all.reserve(shared_->members.size());
-  for (std::size_t r = 0; r < shared_->members.size(); ++r) {
-    entry e{};
-    std::memcpy(&e, shared_->contrib[r].data, sizeof(entry));
-    all.emplace_back(e, shared_->members[r]);
+  if (detail::coll_wire_active()) {
+    std::vector<std::byte> blob(sizeof(entry));
+    std::memcpy(blob.data(), &mine, sizeof(entry));
+    auto blobs = detail::coll_wire_exchange(
+        shared_->wire_key, shared_->wire_seq++, shared_->members, blob);
+    for (std::size_t r = 0; r < shared_->members.size(); ++r) {
+      entry e{};
+      std::memcpy(&e, blobs[r].data(), sizeof(entry));
+      all.emplace_back(e, shared_->members[r]);
+    }
+  } else {
+    std::memcpy(shared_->contrib[static_cast<std::size_t>(my_rank_)].data,
+                &mine, sizeof(entry));
+    detail::team_rendezvous(*shared_);
+    for (std::size_t r = 0; r < shared_->members.size(); ++r) {
+      entry e{};
+      std::memcpy(&e, shared_->contrib[r].data, sizeof(entry));
+      all.emplace_back(e, shared_->members[r]);
+    }
+    detail::team_rendezvous(*shared_);
   }
-  detail::team_rendezvous(*shared_);
 
   std::vector<int> members;
   for (const auto& [e, wr] : all)
@@ -130,6 +162,13 @@ team team::split(int color, int key) const {
 
   auto shared =
       detail::get_or_create_keyed({c.w, shared_->uid, id, color}, members);
+  // Wire identity: every member derives the same key from collectively-
+  // known inputs (the per-process registry uid cannot serve — it is not
+  // synchronized across processes).
+  std::uint64_t wk = detail::mix_u64(shared_->wire_key, id);
+  wk = detail::mix_u64(wk, static_cast<std::uint64_t>(color));
+  for (int m : members) wk = detail::mix_u64(wk, static_cast<std::uint64_t>(m));
+  shared->wire_key = wk;
   int my_new_rank = -1;
   for (std::size_t i = 0; i < members.size(); ++i)
     if (members[i] == c.rank) my_new_rank = static_cast<int>(i);
@@ -147,9 +186,14 @@ team local_team() {
   // Color = pseudo-node index under the active locality model.
   const auto& cfg = c.rt->cfg();
   int color = 0;
-  if (cfg.transport != gex::conduit::smp && cfg.locality.node_size != 0)
+  if (cfg.transport == gex::conduit::tcp) {
+    // Every rank is its own process: nobody shares memory with anybody.
+    color = c.rank;
+  } else if (cfg.transport != gex::conduit::smp &&
+             cfg.locality.node_size != 0) {
     color = static_cast<int>(static_cast<std::size_t>(c.rank) /
                              cfg.locality.node_size);
+  }
   return team::world().split(color, c.rank);
 }
 

@@ -34,6 +34,12 @@ struct team_shared {
   std::vector<coll_state::slot> contrib;
   std::vector<std::byte> bulk_buf;
   std::vector<int> members;  // world ranks in team-rank order
+  /// Socket-conduit identity: a collectively-derived key every member
+  /// computes identically (world constant for the world team, a hash of
+  /// (parent key, collective id, color, members) for splits), plus this
+  /// team's own wire-collective sequence.
+  std::uint64_t wire_key = 0;
+  std::uint64_t wire_seq = 0;
 
   explicit team_shared(std::vector<int> m)
       : contrib(m.size()), members(std::move(m)) {}
@@ -83,6 +89,16 @@ class team {
   [[nodiscard]] T broadcast(T value, int root) const {
     static_assert(std::is_trivially_copyable_v<T>);
     static_assert(sizeof(T) <= detail::coll_state::kSlotBytes);
+    if (detail::coll_wire_active()) {
+      std::vector<std::byte> mine(sizeof(T));
+      if (my_rank_ == root) std::memcpy(mine.data(), &value, sizeof(T));
+      auto all = detail::coll_wire_exchange(
+          shared_->wire_key, shared_->wire_seq++, shared_->members, mine);
+      T out;
+      std::memcpy(&out, all[static_cast<std::size_t>(root)].data(),
+                  sizeof(T));
+      return out;
+    }
     if (my_rank_ == root)
       std::memcpy(shared_->contrib[static_cast<std::size_t>(root)].data,
                   &value, sizeof(T));
@@ -99,6 +115,20 @@ class team {
   [[nodiscard]] T allreduce(T value, Op op) const {
     static_assert(std::is_trivially_copyable_v<T>);
     static_assert(sizeof(T) <= detail::coll_state::kSlotBytes);
+    if (detail::coll_wire_active()) {
+      std::vector<std::byte> mine(sizeof(T));
+      std::memcpy(mine.data(), &value, sizeof(T));
+      auto all = detail::coll_wire_exchange(
+          shared_->wire_key, shared_->wire_seq++, shared_->members, mine);
+      T acc;
+      std::memcpy(&acc, all[0].data(), sizeof(T));
+      for (std::size_t r = 1; r < all.size(); ++r) {
+        T x;
+        std::memcpy(&x, all[r].data(), sizeof(T));
+        acc = op(acc, x);
+      }
+      return acc;
+    }
     std::memcpy(shared_->contrib[static_cast<std::size_t>(my_rank_)].data,
                 &value, sizeof(T));
     detail::team_rendezvous(*shared_);

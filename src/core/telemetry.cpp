@@ -42,6 +42,14 @@ constexpr const char* kCounterNames[] = {
     "perturb_reordered",
     "perturb_forced_async",
     "perturb_backpressure",
+    "net_msgs_sent",
+    "net_msgs_received",
+    "net_eager_sent",
+    "net_rdzv_sent",
+    "net_bytes_sent",
+    "net_bytes_received",
+    "net_partial_writes",
+    "net_short_reads",
 };
 static_assert(std::size(kCounterNames) == kCounterCount,
               "counter name table out of sync with the enum");

@@ -113,6 +113,16 @@ enum class counter : std::size_t {
   perturb_forced_async,  ///< RMA/atomics diverted to the AM path
   perturb_backpressure,  ///< sends that waited on a full inbox
 
+  // Socket conduit (src/net/), conduit::tcp.
+  net_msgs_sent,       ///< AMs shipped to a remote process
+  net_msgs_received,   ///< AMs delivered from a remote process
+  net_eager_sent,      ///< AMs sent in one eager frame (<= eager_max)
+  net_rdzv_sent,       ///< AMs negotiated through rendezvous (RTS/CTS)
+  net_bytes_sent,      ///< wire bytes written to sockets
+  net_bytes_received,  ///< wire bytes read from sockets
+  net_partial_writes,  ///< sends cut short by a full socket buffer
+  net_short_reads,     ///< reads returning less than the requested length
+
   kCount,
 };
 

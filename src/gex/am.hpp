@@ -71,6 +71,9 @@ class am_message {
   }
   [[nodiscard]] std::size_t size() const noexcept { return len_; }
   [[nodiscard]] int source() const noexcept { return src_; }
+  /// The target-side handler; exposed so the socket conduit (src/net/) can
+  /// encode it on the wire as an offset from the process text anchor.
+  [[nodiscard]] am_handler handler() const noexcept { return handler_; }
 
   void execute(runtime& rt, int me) {
     handler_(rt, me, src_, payload(), len_);

@@ -19,6 +19,36 @@
 
 namespace aspen::gex {
 
+class runtime;
+
+/// Abstract socket transport plugged into the runtime by conduit::tcp
+/// (implemented by net::endpoint; the substrate stays free of any socket
+/// dependency). A wire transport represents exactly one rank of the job —
+/// the calling process — and moves AMs to/from every other rank's process.
+class wire_transport {
+ public:
+  virtual ~wire_transport() = default;
+  /// The rank this process plays in the wired job.
+  [[nodiscard]] virtual int self_rank() const noexcept = 0;
+  /// Ship an AM to `target`'s process. Thread-safe (worker threads inject).
+  virtual void send_am(runtime& rt, int target, am_message msg) = 0;
+  /// Advance the socket state machine: flush queued writes, read frames,
+  /// and enqueue arrived AMs into `rt`'s inbox for rank self_rank().
+  /// Returns the number of inbound frames fully processed. Must be called
+  /// only from the master-persona holder (poll()'s contract).
+  virtual std::size_t pump(runtime& rt) = 0;
+  /// True while frames are queued outbound, partially received, or parked
+  /// awaiting rendezvous — shutdown drains must keep pumping.
+  [[nodiscard]] virtual bool has_pending() const noexcept = 0;
+  /// Called by the progress engine's wait loops after a sustained run of
+  /// zero-work iterations. A transport may park the caller briefly (e.g. in
+  /// poll(2) on its sockets) so a co-scheduled sibling process gets the CPU
+  /// — on shared cores a spin-wait otherwise costs the sender its whole
+  /// timeslice per message. Must return promptly once progress is possible;
+  /// may be called from any thread.
+  virtual void idle_wait() noexcept { std::this_thread::yield(); }
+};
+
 /// Per-rank substrate state.
 struct rank_state {
   mpsc_queue<am_message> inbox;
@@ -46,7 +76,8 @@ class runtime {
  public:
   runtime(int nranks, config cfg)
       : cfg_(cfg),
-        arena_(nranks, cfg.segment_bytes),
+        arena_(nranks, cfg.segment_bytes,
+               cfg.transport == conduit::tcp ? cfg.net.segment_base : 0),
         states_(static_cast<std::size_t>(nranks)) {
     for (auto& s : states_) s = std::make_unique<rank_state>();
     if (cfg_.transport == conduit::perturbed) {
@@ -68,9 +99,12 @@ class runtime {
 
   /// Do ranks `a` and `b` share direct load/store access? On the smp
   /// conduit this is unconditionally true; on loopback it consults the
-  /// locality model.
+  /// locality model; on tcp only a rank and itself share memory (each rank
+  /// is a separate process), so rma_target_local is false for every remote
+  /// target and all cross-rank traffic rides the deferred AM path.
   [[nodiscard]] bool shares_memory(int a, int b) const noexcept {
     if (cfg_.transport == conduit::smp) return true;
+    if (cfg_.transport == conduit::tcp) return a == b;
     return cfg_.locality.same_node(a, b);
   }
 
@@ -82,14 +116,33 @@ class runtime {
   void send_am(int target, am_message msg) {
     const int src = msg.source();
     state(src).ams_sent.fetch_add(1, std::memory_order_relaxed);
-    state(target).ams_received.fetch_add(1, std::memory_order_relaxed);
     telemetry::count(telemetry::counter::am_sent);
+    if (wire_ && target != wire_->self_rank()) {
+      // Remote process: serialize onto the socket. The receiving process
+      // ticks its own ams_received when the frame is delivered.
+      wire_->send_am(*this, target, std::move(msg));
+      return;
+    }
+    state(target).ams_received.fetch_add(1, std::memory_order_relaxed);
     if (perturb_) {
       perturb_->send(*this, target, std::move(msg));
       return;
     }
     state(target).inbox.push(std::move(msg));
   }
+
+  /// Deliver an AM that arrived over the wire into rank `me`'s inbox (the
+  /// same queue in-process sends use, so poll() semantics are identical).
+  /// Called by the wire transport's pump from the master-holder thread.
+  void deliver_from_wire(int me, am_message msg) {
+    state(me).ams_received.fetch_add(1, std::memory_order_relaxed);
+    state(me).inbox.push(std::move(msg));
+  }
+
+  /// Plug in (or detach, with nullptr) the socket transport. The pointer is
+  /// not owned; net::endpoint outlives the runtime it is attached to.
+  void attach_wire(wire_transport* w) noexcept { wire_ = w; }
+  [[nodiscard]] wire_transport* wire() const noexcept { return wire_; }
 
   /// Drain and execute all pending AMs for rank `me`. Returns the number of
   /// messages executed. Must be called only by the thread currently holding
@@ -113,11 +166,19 @@ class runtime {
       std::abort();
     }
 #endif
+    // Advance the socket state machine first so frames that just arrived
+    // are already in the inbox when the drain below runs (one poll() turns
+    // a received request into an executed handler, matching the in-process
+    // conduits' single-call latency). Pumped frames count toward the
+    // returned work total but not toward ams_executed (only handler runs
+    // do).
+    std::size_t pumped = 0;
+    if (wire_ && me == wire_->self_rank()) pumped = wire_->pump(*this);
     std::size_t n;
     if (perturb_) {
       n = perturb_->poll(*this, me);
     } else if (!st.inbox.maybe_nonempty()) {
-      return 0;
+      return pumped;
     } else if (!st.draining) {
       // Fast path: reuse the scratch buffer, guarded against reentry. A
       // handler that triggers nested progress on this rank used to clobber
@@ -141,13 +202,15 @@ class runtime {
       st.ams_executed.fetch_add(n, std::memory_order_relaxed);
       telemetry::count(telemetry::counter::am_executed, n);
     }
-    return n;
+    return pumped + n;
   }
 
   /// True while rank `me` still has undelivered messages. On the perturbed
   /// conduit a message may be held across several polls, so shutdown drains
   /// must keep polling while this is set rather than polling once.
   [[nodiscard]] bool has_pending(int me) const noexcept {
+    if (wire_ && me == wire_->self_rank() && wire_->has_pending())
+      return true;
     if (perturb_) return perturb_->has_pending(me);
     return state_const(me).inbox.maybe_nonempty();
   }
@@ -173,6 +236,7 @@ class runtime {
   segment_arena arena_;
   std::vector<std::unique_ptr<rank_state>> states_;
   std::unique_ptr<perturb::engine> perturb_;
+  wire_transport* wire_ = nullptr;
 };
 
 }  // namespace aspen::gex

@@ -30,10 +30,18 @@ namespace aspen::gex {
 ///              mode). Used by the seed-sweep correctness harness to stress
 ///              the eager/defer equivalence claim under adversarial
 ///              schedules.
+///  - tcp:      the one conduit that is NOT an emulation: every rank is a
+///              separate OS process and AMs travel over non-blocking TCP
+///              sockets in a full mesh (src/net/). Processes are launched
+///              and wired together by the `aspen-run` SPMD launcher.
+///              `shares_memory` is true only for a rank and itself, so
+///              every cross-rank RMA/atomic takes the deferred AM path —
+///              the authentic off-node regime of the paper's Figs. 5-7.
 enum class conduit : std::uint8_t {
   smp,
   loopback,
   perturbed,
+  tcp,
 };
 
 /// Locality model: which rank pairs are treated as sharing a node.
@@ -84,6 +92,27 @@ struct perturb_config {
   bool honor_env = true;
 };
 
+/// Tunables of the `conduit::tcp` socket transport (src/net/). Each knob is
+/// overridable at run time through the ASPEN_NET_* environment family (see
+/// docs/NET.md) unless honor_env is cleared.
+struct net_config {
+  /// Largest AM payload sent inline in a single eager frame. Larger
+  /// payloads negotiate a rendezvous (RTS/CTS/DATA) transfer instead.
+  /// Env: ASPEN_NET_EAGER_MAX.
+  std::size_t eager_max = std::size_t{8} << 10;
+  /// Hard ceiling on any single frame's payload length; a peer announcing
+  /// more is treated as a protocol violation and the frame is rejected.
+  /// Env: ASPEN_NET_MAX_FRAME.
+  std::size_t max_frame = std::size_t{64} << 20;
+  /// Virtual address where every process maps the whole segment arena
+  /// (MAP_FIXED_NOREPLACE). Identical placement in all ranks keeps raw
+  /// global_ptr addresses meaningful across the wire. Env:
+  /// ASPEN_NET_SEGMENT_BASE (decimal or 0x-hex).
+  std::uintptr_t segment_base = 0x2a5e00000000ull;
+  /// Apply ASPEN_NET_* environment overrides when the endpoint starts.
+  bool honor_env = true;
+};
+
 /// Substrate-wide tunables, fixed for the duration of one SPMD run.
 struct config {
   conduit transport = conduit::smp;
@@ -97,6 +126,9 @@ struct config {
   /// Perturbation engine settings; consulted only when transport is
   /// conduit::perturbed.
   perturb_config perturb{};
+  /// Socket transport settings; consulted only when transport is
+  /// conduit::tcp.
+  net_config net{};
 };
 
 }  // namespace aspen::gex

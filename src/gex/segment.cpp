@@ -1,6 +1,11 @@
 #include "gex/segment.hpp"
 
+#include <sys/mman.h>
+
 #include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <new>
 
@@ -196,18 +201,48 @@ bool segment_allocator::check_integrity() const noexcept {
 // segment_arena
 // ---------------------------------------------------------------------------
 
-segment_arena::segment_arena(int nranks, std::size_t bytes_per_rank) {
+segment_arena::segment_arena(int nranks, std::size_t bytes_per_rank,
+                             std::uintptr_t fixed_base) {
   bytes_per_rank_ = round_up(bytes_per_rank, 64);
   const std::size_t total = bytes_per_rank_ * static_cast<std::size_t>(nranks);
-  storage_ = std::make_unique<std::byte[]>(total + 64);
-  auto addr = reinterpret_cast<std::uintptr_t>(storage_.get());
-  aligned_base_ = storage_.get() + (round_up(addr, 64) - addr);
+  if (fixed_base != 0) {
+    // conduit::tcp: identical placement in every rank's process. NOREPLACE
+    // (not plain MAP_FIXED) so an address-space collision is a hard,
+    // diagnosable error instead of silently clobbering a live mapping;
+    // NORESERVE so reserving all ranks' segments costs no commit charge.
+    const std::size_t page = 4096;
+    mapped_bytes_ = round_up(total, page);
+    void* p = mmap(reinterpret_cast<void*>(fixed_base), mapped_bytes_,
+                   PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED_NOREPLACE |
+                       MAP_NORESERVE,
+                   -1, 0);
+    if (p == MAP_FAILED || p != reinterpret_cast<void*>(fixed_base)) {
+      if (p != MAP_FAILED) munmap(p, mapped_bytes_);
+      std::fprintf(stderr,
+                   "aspen/gex: fatal: cannot map the segment arena at fixed "
+                   "base 0x%llx (%zu bytes): %s. Another mapping occupies "
+                   "the range; pick a different ASPEN_NET_SEGMENT_BASE.\n",
+                   static_cast<unsigned long long>(fixed_base), mapped_bytes_,
+                   std::strerror(errno));
+      std::abort();
+    }
+    aligned_base_ = static_cast<std::byte*>(p);
+  } else {
+    storage_ = std::make_unique<std::byte[]>(total + 64);
+    auto addr = reinterpret_cast<std::uintptr_t>(storage_.get());
+    aligned_base_ = storage_.get() + (round_up(addr, 64) - addr);
+  }
   segments_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     segments_.push_back(std::make_unique<segment>(
         r, aligned_base_ + bytes_per_rank_ * static_cast<std::size_t>(r),
         bytes_per_rank_));
   }
+}
+
+segment_arena::~segment_arena() {
+  if (mapped_bytes_ != 0) munmap(aligned_base_, mapped_bytes_);
 }
 
 int segment_arena::owner_of(const void* p) const noexcept {

@@ -87,9 +87,21 @@ class segment {
 
 /// The process-wide arena: one big allocation divided into per-rank
 /// segments, plus pointer -> owning-rank resolution.
+///
+/// With `fixed_base == 0` the arena lives in ordinary heap storage (the
+/// in-process conduits). A non-zero `fixed_base` mmaps the whole arena at
+/// exactly that virtual address (MAP_FIXED_NOREPLACE | MAP_NORESERVE):
+/// conduit::tcp maps the same layout at the same address in every rank's
+/// process, so a raw segment address minted by one rank dereferences to the
+/// corresponding location in any process — the property global_ptr and the
+/// RMA wire protocol rely on. Pages are reserved for all ranks' segments
+/// but only the owning rank's pages are ever touched locally (NORESERVE
+/// keeps the untouched remainder free).
 class segment_arena {
  public:
-  segment_arena(int nranks, std::size_t bytes_per_rank);
+  explicit segment_arena(int nranks, std::size_t bytes_per_rank,
+                         std::uintptr_t fixed_base = 0);
+  ~segment_arena();
 
   [[nodiscard]] segment& of(int rank) noexcept { return *segments_[rank]; }
   [[nodiscard]] const segment& of(int rank) const noexcept {
@@ -106,6 +118,8 @@ class segment_arena {
   std::unique_ptr<std::byte[]> storage_;
   std::byte* aligned_base_ = nullptr;
   std::size_t bytes_per_rank_ = 0;
+  /// Non-zero size of the fixed mmap when fixed_base was used.
+  std::size_t mapped_bytes_ = 0;
   std::vector<std::unique_ptr<segment>> segments_;
 };
 

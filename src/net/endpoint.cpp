@@ -1,0 +1,704 @@
+#include "net/endpoint.hpp"
+
+#include <poll.h>
+#include <sys/personality.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "core/telemetry.hpp"
+
+namespace aspen::net {
+
+namespace {
+
+// Collective keys reserved for endpoint-internal control traffic. User-
+// facing collective keys (world coll_state, team hashes) never use the top
+// byte 0xEC.
+constexpr std::uint64_t kRegionKey = 0xEC00000000000001ull;
+constexpr std::uint64_t kQuiesceKey = 0xEC00000000000002ull;
+
+/// idle_wait() watches at most this many peer sockets; larger jobs still
+/// wake within the 1 ms poll bound for the unwatched remainder.
+constexpr nfds_t kMaxPollFds = 64;
+
+std::unique_ptr<endpoint>& instance_slot() {
+  static std::unique_ptr<endpoint> ep;
+  return ep;
+}
+
+long env_long(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return -1;
+  char* end = nullptr;
+  long r = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') return -1;
+  return r;
+}
+
+[[noreturn]] void die_errno(const char* what) {
+  std::fprintf(stderr, "aspen/net: fatal: %s: %s\n", what,
+               std::strerror(errno));
+  std::abort();
+}
+
+void append_u64(std::vector<std::byte>& v, std::uint64_t x) {
+  const std::size_t off = v.size();
+  v.resize(off + sizeof x);
+  std::memcpy(v.data() + off, &x, sizeof x);
+}
+
+std::uint64_t read_u64(const std::byte* p) {
+  std::uint64_t x;
+  std::memcpy(&x, p, sizeof x);
+  return x;
+}
+
+}  // namespace
+
+bool endpoint::launched() { return std::getenv(kEnvRank) != nullptr; }
+
+endpoint* endpoint::instance() noexcept { return instance_slot().get(); }
+
+endpoint& endpoint::ensure(const gex::net_config& cfg,
+                           std::size_t segment_bytes) {
+  auto& slot = instance_slot();
+  if (!slot) {
+    const long rank = env_long(kEnvRank);
+    const long nranks = env_long(kEnvNranks);
+    const long port = env_long(kEnvRdzvPort);
+    if (rank < 0 || nranks < 1 || rank >= nranks || port <= 0 ||
+        port > 65535) {
+      std::fprintf(
+          stderr,
+          "aspen/net: fatal: conduit::tcp requires the aspen-run launcher. "
+          "Run this program as `aspen-run -n N <prog>`, or fix the "
+          "%s/%s/%s environment (got rank=%ld nranks=%ld port=%ld).\n",
+          kEnvRank, kEnvNranks, kEnvRdzvPort, rank, nranks, port);
+      std::abort();
+    }
+    slot.reset(new endpoint(static_cast<int>(rank), static_cast<int>(nranks),
+                            cfg, segment_bytes));
+  }
+  return *slot;
+}
+
+endpoint::endpoint(int rank, int nranks, gex::net_config cfg,
+                   std::size_t segment_bytes)
+    : rank_(rank),
+      nranks_(nranks),
+      cfg_(cfg),
+      peers_(static_cast<std::size_t>(nranks)),
+      sent_to_(static_cast<std::size_t>(nranks)),
+      delivered_from_(static_cast<std::size_t>(nranks)) {
+  for (int r = 0; r < nranks_; ++r) {
+    peers_[static_cast<std::size_t>(r)] = std::make_unique<peer>();
+    peers_[static_cast<std::size_t>(r)]->dec =
+        std::make_unique<decoder>(cfg_.max_frame);
+  }
+  bootstrap(segment_bytes);
+}
+
+endpoint::~endpoint() {
+  // Best-effort clean-shutdown marker so peers can distinguish our EOF
+  // from a crash. The quiescence protocol has already drained real
+  // traffic; 24 header bytes fit any live socket buffer.
+  frame_header bye{};
+  bye.kind = static_cast<std::uint16_t>(frame_kind::bye);
+  bye.src = rank_;
+  for (int r = 0; r < nranks_; ++r) {
+    peer& p = peer_of(r);
+    if (r == rank_ || !p.sock.valid() || p.departed) continue;
+    std::vector<std::byte> buf;
+    encode_frame(buf, bye, nullptr, 0);
+    std::size_t off = 0;
+    for (int spin = 0; off < buf.size() && spin < 1000; ++spin) {
+      ssize_t n = ::send(p.sock.get(), buf.data() + off, buf.size() - off,
+                         MSG_NOSIGNAL);
+      if (n > 0) off += static_cast<std::size_t>(n);
+      else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+               errno != EINTR)
+        break;
+    }
+  }
+}
+
+void endpoint::bootstrap(std::uint64_t segment_bytes) {
+  // Own mesh listener first: every rank is listening before any port is
+  // published, so the later full-mesh connects land in live backlogs.
+  std::uint16_t my_port = 0;
+  fd_handle lsock = listen_loopback(my_port);
+
+  const long rdzv_port = env_long(kEnvRdzvPort);
+  fd_handle rdzv = connect_loopback(static_cast<std::uint16_t>(rdzv_port));
+
+  hello_body hb;
+  hb.rank = rank_;
+  hb.nranks = nranks_;
+  hb.listen_port = my_port;
+  hb.anchor = static_cast<std::uint64_t>(text_anchor());
+  hb.segment_base = static_cast<std::uint64_t>(cfg_.segment_base);
+  hb.segment_bytes = segment_bytes;
+  hb.pid = static_cast<std::int32_t>(::getpid());
+  frame_header hh{};
+  hh.kind = static_cast<std::uint16_t>(frame_kind::hello);
+  hh.src = rank_;
+  write_frame_blocking(rdzv.get(), hh, &hb, sizeof hb);
+
+  frame table = read_frame_blocking(rdzv.get(), 1u << 20);
+  if (table.kind() != frame_kind::table ||
+      table.payload.size() < sizeof(std::uint32_t)) {
+    std::fprintf(stderr, "aspen/net: fatal: malformed bootstrap table\n");
+    std::abort();
+  }
+  std::uint32_t n = 0;
+  std::memcpy(&n, table.payload.data(), sizeof n);
+  if (n != static_cast<std::uint32_t>(nranks_) ||
+      table.payload.size() != sizeof n + n * sizeof(std::uint16_t)) {
+    std::fprintf(stderr,
+                 "aspen/net: fatal: bootstrap table disagrees on the rank "
+                 "count (launcher says %u, environment says %d)\n",
+                 n, nranks_);
+    std::abort();
+  }
+  std::vector<std::uint16_t> ports(n);
+  std::memcpy(ports.data(), table.payload.data() + sizeof n,
+              n * sizeof(std::uint16_t));
+  rdzv.reset();  // launcher tracks liveness via waitpid from here on
+
+  // Full mesh: connect to every lower rank, accept every higher one.
+  frame_header ih{};
+  ih.kind = static_cast<std::uint16_t>(frame_kind::ident);
+  ih.src = rank_;
+  for (int j = 0; j < rank_; ++j) {
+    fd_handle s = connect_loopback(ports[static_cast<std::size_t>(j)]);
+    write_frame_blocking(s.get(), ih, nullptr, 0);
+    peer_of(j).sock = std::move(s);
+  }
+  for (int k = rank_ + 1; k < nranks_; ++k) {
+    fd_handle s = accept_one(lsock.get());
+    frame id = read_frame_blocking(s.get(), 4096);
+    if (id.kind() != frame_kind::ident || id.hdr.src <= rank_ ||
+        id.hdr.src >= nranks_) {
+      std::fprintf(stderr,
+                   "aspen/net: fatal: bad mesh identification (kind %s, "
+                   "src %d)\n",
+                   kind_name(id.kind()), id.hdr.src);
+      std::abort();
+    }
+    peer_of(id.hdr.src).sock = std::move(s);
+  }
+  for (int r = 0; r < nranks_; ++r)
+    if (r != rank_) make_wire_ready(peer_of(r).sock.get());
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+void endpoint::flush_locked(peer& p, int target) {
+  (void)target;
+  while (p.out_off < p.out.size()) {
+    const std::size_t want = p.out.size() - p.out_off;
+    ssize_t n =
+        ::send(p.sock.get(), p.out.data() + p.out_off, want, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        telemetry::count(telemetry::counter::net_partial_writes);
+        break;
+      }
+      die_errno("send");
+    }
+    telemetry::count(telemetry::counter::net_bytes_sent,
+                     static_cast<std::uint64_t>(n));
+    p.out_off += static_cast<std::size_t>(n);
+    if (static_cast<std::size_t>(n) < want)
+      telemetry::count(telemetry::counter::net_partial_writes);
+  }
+  if (p.out_off == p.out.size()) {
+    p.out.clear();
+    p.out_off = 0;
+  } else if (p.out_off >= (std::size_t{1} << 20)) {
+    // Keep the resident queue proportional to the unsent tail.
+    p.out.erase(p.out.begin(),
+                p.out.begin() + static_cast<std::ptrdiff_t>(p.out_off));
+    p.out_off = 0;
+  }
+  const std::size_t depth = p.out.size() - p.out_off;
+  std::size_t hw = sendq_high_water_.load(std::memory_order_relaxed);
+  while (depth > hw && !sendq_high_water_.compare_exchange_weak(
+                           hw, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void endpoint::enqueue_frame(peer& p, int target, const frame_header& hdr,
+                             const void* payload, std::size_t len,
+                             bool counted) {
+  if (counted)
+    sent_to_[static_cast<std::size_t>(target)].fetch_add(
+        1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(p.mu);
+  encode_frame(p.out, hdr, payload, len);
+  flush_locked(p, target);
+}
+
+void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
+  (void)rt;
+  peer& p = peer_of(target);
+  if (!p.sock.valid() || p.departed) {
+    std::fprintf(stderr,
+                 "aspen/net: fatal: rank %d sent an AM to rank %d, which "
+                 "has already shut down\n",
+                 rank_, target);
+    std::abort();
+  }
+  const std::size_t len = msg.size();
+  const std::uint64_t delta =
+      encode_handler(msg.handler(), text_anchor());
+  telemetry::count(telemetry::counter::net_msgs_sent);
+  sent_to_[static_cast<std::size_t>(target)].fetch_add(
+      1, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lk(p.mu);
+  const std::uint64_t seq = p.next_send_seq++;
+  if (len <= cfg_.eager_max) {
+    telemetry::count(telemetry::counter::net_eager_sent);
+    frame_header h{};
+    h.kind = static_cast<std::uint16_t>(frame_kind::am_eager);
+    h.src = rank_;
+    h.seq = seq;
+    std::vector<std::byte> body(sizeof delta + len);
+    std::memcpy(body.data(), &delta, sizeof delta);
+    if (len != 0) std::memcpy(body.data() + sizeof delta, msg.payload(), len);
+    encode_frame(p.out, h, body.data(), body.size());
+  } else {
+    // Rendezvous: park the payload until the receiver grants a CTS, so a
+    // large transfer never floods a peer that is not ready for it.
+    telemetry::count(telemetry::counter::net_rdzv_sent);
+    const std::uint32_t token = p.next_token++;
+    pending_rdzv pr;
+    pr.seq = seq;
+    pr.bytes.assign(msg.payload(), msg.payload() + len);
+    p.rdzv_out.emplace(token, std::move(pr));
+    rdzv_body rb;
+    rb.token = token;
+    rb.handler_delta = delta;
+    rb.total_len = len;
+    frame_header h{};
+    h.kind = static_cast<std::uint16_t>(frame_kind::am_rts);
+    h.src = rank_;
+    h.aux = token;
+    h.seq = seq;
+    encode_frame(p.out, h, &rb, sizeof rb);
+  }
+  flush_locked(p, target);
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+std::size_t endpoint::pump(gex::runtime& rt) {
+  if (pumping_) return 0;
+  pumping_ = true;
+  std::size_t work = 0;
+  for (int r = 0; r < nranks_; ++r) {
+    if (r == rank_) continue;
+    peer& p = peer_of(r);
+    if (!p.sock.valid()) continue;
+    {
+      std::lock_guard<std::mutex> lk(p.mu);
+      if (p.out_off < p.out.size()) flush_locked(p, r);
+    }
+    work += pump_peer(rt, r);
+  }
+  pumping_ = false;
+  return work;
+}
+
+void endpoint::idle_wait() noexcept {
+  // A wait loop has gone a sustained stretch with zero progress: this rank
+  // is blocked on a sibling *process*. Park in poll(2) on the mesh sockets
+  // (bounded at 1 ms) instead of spinning — the scheduler hands the CPU to
+  // the sender at once, and the first byte of its reply wakes us. POLLIN
+  // only: a send stalled on a full socket buffer resolves when the peer
+  // drains it, and the 1 ms bound caps that (rare) case's latency.
+  pollfd fds[kMaxPollFds];
+  nfds_t n = 0;
+  for (int r = 0; r < nranks_ && n < kMaxPollFds; ++r) {
+    if (r == rank_) continue;
+    const peer& p = peer_of(r);
+    if (!p.sock.valid()) continue;
+    fds[n].fd = p.sock.get();
+    fds[n].events = POLLIN;
+    fds[n].revents = 0;
+    ++n;
+  }
+  if (n == 0) {
+    std::this_thread::yield();
+    return;
+  }
+  (void)::poll(fds, n, 1);
+}
+
+std::size_t endpoint::pump_peer(gex::runtime& rt, int rank) {
+  peer& p = peer_of(rank);
+  if (p.departed) return 0;
+  std::byte buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(p.sock.get(), buf, sizeof buf, 0);
+    if (n > 0) {
+      telemetry::count(telemetry::counter::net_bytes_received,
+                       static_cast<std::uint64_t>(n));
+      p.dec->feed(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof buf) {
+        // Short read: the kernel buffer is drained for now.
+        telemetry::count(telemetry::counter::net_short_reads);
+        break;
+      }
+      continue;
+    }
+    if (n == 0) {
+      if (!p.bye_seen) {
+        std::fprintf(stderr,
+                     "aspen/net: fatal: rank %d closed its connection "
+                     "without a clean shutdown (crashed?); aborting rank "
+                     "%d\n",
+                     rank, rank_);
+        std::abort();
+      }
+      p.departed = true;
+      p.sock.reset();
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    die_errno("recv");
+  }
+  std::size_t work = 0;
+  frame f;
+  while (p.dec && p.dec->try_next(f)) {
+    process_frame(rt, rank, std::move(f));
+    ++work;
+  }
+  if (p.dec && p.dec->in_error()) {
+    std::fprintf(stderr,
+                 "aspen/net: fatal: protocol error on the rank %d -> %d "
+                 "stream: %s\n",
+                 rank, rank_, p.dec->error().c_str());
+    std::abort();
+  }
+  work += release_staged(rt, rank);
+  return work;
+}
+
+void endpoint::process_frame(gex::runtime& rt, int rank, frame&& f) {
+  peer& p = peer_of(rank);
+  switch (f.kind()) {
+    case frame_kind::am_eager: {
+      const std::uint64_t delta = read_u64(f.payload.data());
+      const std::size_t len = f.payload.size() - sizeof delta;
+      gex::am_message msg(decode_handler(delta, text_anchor()), rank,
+                          f.payload.data() + sizeof delta, len);
+      p.staged.emplace(f.hdr.seq, std::move(msg));
+      break;
+    }
+    case frame_kind::am_rts: {
+      rdzv_body rb;
+      std::memcpy(&rb, f.payload.data(), sizeof rb);
+      inbound_rdzv in;
+      in.seq = f.hdr.seq;
+      in.handler_delta = rb.handler_delta;
+      in.total_len = rb.total_len;
+      p.rdzv_in.emplace(rb.token, in);
+      frame_header cts{};
+      cts.kind = static_cast<std::uint16_t>(frame_kind::am_cts);
+      cts.src = rank_;
+      cts.aux = rb.token;
+      enqueue_frame(p, rank, cts, nullptr, 0, /*counted=*/false);
+      break;
+    }
+    case frame_kind::am_cts: {
+      std::lock_guard<std::mutex> lk(p.mu);
+      auto it = p.rdzv_out.find(f.hdr.aux);
+      if (it == p.rdzv_out.end()) break;  // duplicate CTS: ignore
+      frame_header dh{};
+      dh.kind = static_cast<std::uint16_t>(frame_kind::am_data);
+      dh.src = rank_;
+      dh.aux = f.hdr.aux;
+      dh.seq = it->second.seq;
+      encode_frame(p.out, dh, it->second.bytes.data(),
+                   it->second.bytes.size());
+      p.rdzv_out.erase(it);
+      flush_locked(p, rank);
+      break;
+    }
+    case frame_kind::am_data: {
+      auto it = p.rdzv_in.find(f.hdr.aux);
+      if (it == p.rdzv_in.end() ||
+          it->second.total_len != f.payload.size()) {
+        std::fprintf(stderr,
+                     "aspen/net: fatal: rendezvous data from rank %d does "
+                     "not match its RTS (token %u)\n",
+                     rank, f.hdr.aux);
+        std::abort();
+      }
+      gex::am_message msg(
+          decode_handler(it->second.handler_delta, text_anchor()), rank,
+          f.payload.data(), f.payload.size());
+      p.staged.emplace(it->second.seq, std::move(msg));
+      p.rdzv_in.erase(it);
+      break;
+    }
+    case frame_kind::coll_contrib: {
+      const std::uint64_t key = read_u64(f.payload.data());
+      const std::uint64_t seq = read_u64(f.payload.data() + 8);
+      coll_contribs_[{key, seq}][rank].assign(f.payload.begin() + 16,
+                                              f.payload.end());
+      break;
+    }
+    case frame_kind::coll_result: {
+      const std::uint64_t key = read_u64(f.payload.data());
+      const std::uint64_t seq = read_u64(f.payload.data() + 8);
+      coll_results_[{key, seq}].assign(f.payload.begin() + 16,
+                                       f.payload.end());
+      break;
+    }
+    case frame_kind::async_arrive: {
+      delivered_from_[static_cast<std::size_t>(rank)].fetch_add(
+          1, std::memory_order_relaxed);
+      note_async_arrival(f.hdr.seq);
+      break;
+    }
+    case frame_kind::async_release: {
+      delivered_from_[static_cast<std::size_t>(rank)].fetch_add(
+          1, std::memory_order_relaxed);
+      async_done_epoch_.store(f.hdr.seq + 1, std::memory_order_release);
+      break;
+    }
+    case frame_kind::bye:
+      p.bye_seen = true;
+      break;
+    case frame_kind::hello:
+    case frame_kind::table:
+    case frame_kind::ident:
+      std::fprintf(stderr,
+                   "aspen/net: fatal: unexpected bootstrap frame (%s) on "
+                   "the established rank %d -> %d stream\n",
+                   kind_name(f.kind()), rank, rank_);
+      std::abort();
+  }
+}
+
+std::size_t endpoint::release_staged(gex::runtime& rt, int rank) {
+  peer& p = peer_of(rank);
+  std::size_t released = 0;
+  auto it = p.staged.begin();
+  while (it != p.staged.end() && it->first == p.next_deliver_seq) {
+    rt.deliver_from_wire(rank_, std::move(it->second));
+    delivered_from_[static_cast<std::size_t>(rank)].fetch_add(
+        1, std::memory_order_relaxed);
+    telemetry::count(telemetry::counter::net_msgs_received);
+    it = p.staged.erase(it);
+    ++p.next_deliver_seq;
+    ++released;
+  }
+  return released;
+}
+
+bool endpoint::has_pending() const noexcept { return locally_unsettled(); }
+
+bool endpoint::locally_unsettled() const noexcept {
+  for (int r = 0; r < nranks_; ++r) {
+    if (r == rank_) continue;
+    const peer& p = *peers_[static_cast<std::size_t>(r)];
+    std::lock_guard<std::mutex> lk(p.mu);
+    if (p.out_off < p.out.size()) return true;
+    if (!p.rdzv_out.empty()) return true;
+    if (!p.staged.empty() || !p.rdzv_in.empty()) return true;
+    if (p.dec && p.dec->buffered() != 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Collective exchange / async barrier
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<std::byte>> endpoint::exchange(
+    std::uint64_t key, std::uint64_t seq, const std::vector<int>& members,
+    const std::vector<std::byte>& mine, const progress_fn& progress) {
+  const int coord = members.front();
+  const coll_key ck{key, seq};
+  const std::size_t m = members.size();
+  std::vector<std::vector<std::byte>> out(m);
+
+  if (rank_ == coord) {
+    coll_contribs_[ck][rank_] = mine;
+    for (;;) {
+      auto it = coll_contribs_.find(ck);
+      if (it != coll_contribs_.end() && it->second.size() == m) break;
+      progress();
+    }
+    auto contribs = std::move(coll_contribs_[ck]);
+    coll_contribs_.erase(ck);
+    // Result payload: key, seq, then member-ordered (u32 len, bytes).
+    std::vector<std::byte> res;
+    append_u64(res, key);
+    append_u64(res, seq);
+    for (std::size_t i = 0; i < m; ++i) {
+      auto& blob = contribs[members[i]];
+      const auto len32 = static_cast<std::uint32_t>(blob.size());
+      const std::size_t off = res.size();
+      res.resize(off + sizeof len32);
+      std::memcpy(res.data() + off, &len32, sizeof len32);
+      res.insert(res.end(), blob.begin(), blob.end());
+      out[i] = std::move(blob);
+    }
+    frame_header h{};
+    h.kind = static_cast<std::uint16_t>(frame_kind::coll_result);
+    h.src = rank_;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (members[i] == rank_) continue;
+      enqueue_frame(peer_of(members[i]), members[i], h, res.data(),
+                    res.size(), /*counted=*/false);
+    }
+    return out;
+  }
+
+  std::vector<std::byte> body;
+  append_u64(body, key);
+  append_u64(body, seq);
+  body.insert(body.end(), mine.begin(), mine.end());
+  frame_header h{};
+  h.kind = static_cast<std::uint16_t>(frame_kind::coll_contrib);
+  h.src = rank_;
+  enqueue_frame(peer_of(coord), coord, h, body.data(), body.size(),
+                /*counted=*/false);
+  for (;;) {
+    auto it = coll_results_.find(ck);
+    if (it != coll_results_.end()) break;
+    progress();
+  }
+  std::vector<std::byte> res = std::move(coll_results_[ck]);
+  coll_results_.erase(ck);
+  const std::byte* q = res.data();
+  const std::byte* end = res.data() + res.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    std::uint32_t len32 = 0;
+    if (q + sizeof len32 > end) break;
+    std::memcpy(&len32, q, sizeof len32);
+    q += sizeof len32;
+    if (q + len32 > end) break;
+    out[i].assign(q, q + len32);
+    q += len32;
+  }
+  return out;
+}
+
+void endpoint::barrier(std::uint64_t key, std::uint64_t seq,
+                       const std::vector<int>& members,
+                       const progress_fn& progress) {
+  (void)exchange(key, seq, members, {}, progress);
+}
+
+void endpoint::note_async_arrival(std::uint64_t epoch) {
+  // Rank 0 is the async-barrier coordinator. Epochs complete strictly in
+  // order (each rank enters epochs in program order and the per-stream
+  // frames preserve it), so a watermark suffices.
+  int& count = async_arrivals_[epoch];
+  if (++count < nranks_) return;
+  async_arrivals_.erase(epoch);
+  async_done_epoch_.store(epoch + 1, std::memory_order_release);
+  frame_header h{};
+  h.kind = static_cast<std::uint16_t>(frame_kind::async_release);
+  h.src = rank_;
+  h.seq = epoch;
+  for (int r = 0; r < nranks_; ++r) {
+    if (r == rank_) continue;
+    enqueue_frame(peer_of(r), r, h, nullptr, 0, /*counted=*/true);
+  }
+}
+
+void endpoint::async_arrive(std::uint64_t epoch) {
+  if (rank_ == 0) {
+    note_async_arrival(epoch);
+    return;
+  }
+  frame_header h{};
+  h.kind = static_cast<std::uint16_t>(frame_kind::async_arrive);
+  h.src = rank_;
+  h.seq = epoch;
+  enqueue_frame(peer_of(0), 0, h, nullptr, 0, /*counted=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Region lifecycle
+// ---------------------------------------------------------------------------
+
+namespace {
+std::vector<int> world_members(int nranks) {
+  std::vector<int> m(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) m[static_cast<std::size_t>(r)] = r;
+  return m;
+}
+}  // namespace
+
+void endpoint::begin_region(const progress_fn& progress) {
+  barrier(kRegionKey, region_seq_++, world_members(nranks_), progress);
+}
+
+void endpoint::end_region(const progress_fn& progress) {
+  // Counting quiescence: loop until every rank's sent-to row matches every
+  // counterpart's delivered-from column AND the global matrix is identical
+  // to the previous round (an AM handler executed between two rounds may
+  // have sent fresh replies; stability proves the traffic has died out).
+  const std::vector<int> members = world_members(nranks_);
+  std::vector<std::uint64_t> prev;
+  for (;;) {
+    while (progress() != 0 || locally_unsettled()) {
+      progress();
+    }
+    std::vector<std::byte> mine;
+    for (int r = 0; r < nranks_; ++r)
+      append_u64(mine,
+                 sent_to_[static_cast<std::size_t>(r)].load(
+                     std::memory_order_relaxed));
+    for (int r = 0; r < nranks_; ++r)
+      append_u64(mine,
+                 delivered_from_[static_cast<std::size_t>(r)].load(
+                     std::memory_order_relaxed));
+    auto all = exchange(kQuiesceKey, quiesce_seq_++, members, mine, progress);
+    // flat[i][j] / flat[i][nranks_+j]: rank i's sent_to[j], delivered_from[j]
+    std::vector<std::uint64_t> flat;
+    flat.reserve(static_cast<std::size_t>(nranks_) * 2u *
+                 static_cast<std::size_t>(nranks_));
+    for (const auto& blob : all)
+      for (std::size_t off = 0; off + 8 <= blob.size(); off += 8)
+        flat.push_back(read_u64(blob.data() + off));
+    bool matched = true;
+    const auto row = static_cast<std::size_t>(2 * nranks_);
+    for (int i = 0; i < nranks_ && matched; ++i)
+      for (int j = 0; j < nranks_ && matched; ++j) {
+        const std::uint64_t sent =
+            flat[static_cast<std::size_t>(i) * row +
+                 static_cast<std::size_t>(j)];
+        const std::uint64_t delivered =
+            flat[static_cast<std::size_t>(j) * row +
+                 static_cast<std::size_t>(nranks_ + i)];
+        if (sent != delivered) matched = false;
+      }
+    if (matched && flat == prev) return;
+    prev = std::move(flat);
+  }
+}
+
+}  // namespace aspen::net

@@ -1,0 +1,192 @@
+// net::endpoint — one rank's socket endpoint in an `aspen-run` job.
+//
+// The endpoint is this process's seat at the full-mesh table: one
+// non-blocking TCP connection per sibling rank, per-peer send queues with
+// partial-write resumption, an incremental frame decoder per peer, and the
+// eager/rendezvous AM machinery. It implements gex::wire_transport so the
+// substrate's poll() drains sockets exactly like the in-process inbox.
+//
+// Exactly one endpoint exists per process (processes ARE ranks on this
+// conduit) and it persists across successive aspen::spmd regions: sockets
+// are wired once at first use, regions are delimited by wire barriers, and
+// a counting quiescence protocol at region end guarantees no frame crosses
+// a region boundary.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "gex/am.hpp"
+#include "gex/backend.hpp"
+#include "gex/config.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace aspen::net {
+
+/// Names of the bootstrap environment, set by `aspen-run` for each child.
+inline constexpr const char* kEnvRank = "ASPEN_NET_RANK";
+inline constexpr const char* kEnvNranks = "ASPEN_NET_NRANKS";
+inline constexpr const char* kEnvRdzvPort = "ASPEN_NET_RDZV_PORT";
+
+/// Progress callback supplied by the caller of blocking endpoint
+/// operations (collective exchange, quiescence). Must advance the full
+/// progress engine — substrate poll *and* persona drains — and return the
+/// amount of work done, like aspen::progress().
+using progress_fn = std::function<std::size_t()>;
+
+class endpoint final : public gex::wire_transport {
+ public:
+  /// True when this process was launched by `aspen-run` (bootstrap env
+  /// present).
+  [[nodiscard]] static bool launched();
+
+  /// The process-wide endpoint, wiring the mesh on first call. `cfg` must
+  /// already have environment overrides applied; `segment_bytes` is
+  /// reported to the launcher for cross-rank consistency checking. Aborts
+  /// with a diagnostic if the bootstrap env is missing or the handshake
+  /// fails.
+  static endpoint& ensure(const gex::net_config& cfg,
+                          std::size_t segment_bytes);
+
+  /// The already-bootstrapped instance, or nullptr before first ensure().
+  [[nodiscard]] static endpoint* instance() noexcept;
+
+  ~endpoint() override;
+
+  [[nodiscard]] int self_rank() const noexcept override { return rank_; }
+  [[nodiscard]] int nranks() const noexcept { return nranks_; }
+  [[nodiscard]] const gex::net_config& cfg() const noexcept { return cfg_; }
+
+  void send_am(gex::runtime& rt, int target, gex::am_message msg) override;
+  std::size_t pump(gex::runtime& rt) override;
+  [[nodiscard]] bool has_pending() const noexcept override;
+  void idle_wait() noexcept override;
+
+  /// Largest per-peer send-queue depth (bytes) observed so far.
+  [[nodiscard]] std::size_t sendq_high_water() const noexcept {
+    return sendq_high_water_.load(std::memory_order_relaxed);
+  }
+
+  // -- collective support (called from the rank thread only) ---------------
+
+  /// All-to-all exchange of opaque byte strings among `members` (a sorted
+  /// rank list containing self_rank()). Star-shaped: members[0]
+  /// coordinates. (key, seq) must identify this collective identically in
+  /// every member; `progress` is pumped while blocked. Returns the
+  /// contributions member-ordered (index i belongs to members[i]).
+  std::vector<std::vector<std::byte>> exchange(
+      std::uint64_t key, std::uint64_t seq, const std::vector<int>& members,
+      const std::vector<std::byte>& mine, const progress_fn& progress);
+
+  /// Barrier over `members` (an exchange of empty contributions).
+  void barrier(std::uint64_t key, std::uint64_t seq,
+               const std::vector<int>& members, const progress_fn& progress);
+
+  /// Asynchronous world barrier: signal this rank's arrival at `epoch`.
+  /// Epochs complete in order; poll completion with async_done_epoch().
+  void async_arrive(std::uint64_t epoch);
+
+  /// Rank 0 only: account one arrival (local or remote) at `epoch`,
+  /// releasing the epoch once all ranks have arrived.
+  void note_async_arrival(std::uint64_t epoch);
+
+  /// Highest world async-barrier epoch known complete.
+  [[nodiscard]] std::uint64_t async_done_epoch() const noexcept {
+    return async_done_epoch_.load(std::memory_order_acquire);
+  }
+
+  // -- region lifecycle (called by aspen::spmd's tcp path) -----------------
+
+  /// Entry barrier: every process has constructed its substrate runtime
+  /// for this region before any user-code frame flows.
+  void begin_region(const progress_fn& progress);
+
+  /// Exit quiescence: drains until the global sent/delivered matrices
+  /// match and stay stable for two consecutive rounds, so no frame of this
+  /// region can leak into the next (or be lost at teardown).
+  void end_region(const progress_fn& progress);
+
+ private:
+  endpoint(int rank, int nranks, gex::net_config cfg,
+           std::size_t segment_bytes);
+
+  struct pending_rdzv {
+    std::uint64_t seq = 0;
+    std::vector<std::byte> bytes;  ///< the AM payload (DATA frame body)
+  };
+  struct inbound_rdzv {
+    std::uint64_t seq = 0;
+    std::uint64_t handler_delta = 0;
+    std::uint64_t total_len = 0;
+  };
+
+  struct peer {
+    fd_handle sock;
+    bool bye_seen = false;  ///< clean-shutdown marker received
+    bool departed = false;  ///< clean bye + EOF seen
+    // ---- send side (any thread; guarded by mu) ----
+    mutable std::mutex mu;
+    std::vector<std::byte> out;  ///< queued wire bytes
+    std::size_t out_off = 0;     ///< consumed prefix of `out`
+    std::uint64_t next_send_seq = 0;
+    std::uint32_t next_token = 1;
+    std::unordered_map<std::uint32_t, pending_rdzv> rdzv_out;
+    // ---- receive side (pump/master thread only) ----
+    std::unique_ptr<decoder> dec;
+    std::uint64_t next_deliver_seq = 0;
+    std::map<std::uint64_t, gex::am_message> staged;
+    std::unordered_map<std::uint32_t, inbound_rdzv> rdzv_in;
+  };
+
+  void bootstrap(std::uint64_t segment_bytes);
+  peer& peer_of(int rank) { return *peers_[static_cast<std::size_t>(rank)]; }
+
+  /// Append a frame to `p`'s queue and opportunistically flush. Counts
+  /// toward the quiescence matrix iff `counted`.
+  void enqueue_frame(peer& p, int target, const frame_header& hdr,
+                     const void* payload, std::size_t len, bool counted);
+  /// Flush as much of `p.out` as the socket accepts (mu held by caller).
+  void flush_locked(peer& p, int target);
+  /// Drain readable bytes and process complete frames for one peer.
+  std::size_t pump_peer(gex::runtime& rt, int rank);
+  void process_frame(gex::runtime& rt, int rank, frame&& f);
+  /// Release in-order staged AMs to the substrate inbox.
+  std::size_t release_staged(gex::runtime& rt, int rank);
+  /// True while any local queue/staging/rendezvous state is unsettled.
+  [[nodiscard]] bool locally_unsettled() const noexcept;
+
+  int rank_;
+  int nranks_;
+  gex::net_config cfg_;
+  std::vector<std::unique_ptr<peer>> peers_;  ///< [nranks_], self unused
+  bool pumping_ = false;  ///< pump() reentrancy guard (master thread)
+
+  // Quiescence matrices: counted frames sent to / delivered from each
+  // rank. Atomic because worker threads may inject sends.
+  std::vector<std::atomic<std::uint64_t>> sent_to_;
+  std::vector<std::atomic<std::uint64_t>> delivered_from_;
+
+  // Collective staging (rank thread + pump thread, same OS thread).
+  using coll_key = std::pair<std::uint64_t, std::uint64_t>;
+  std::map<coll_key, std::map<int, std::vector<std::byte>>> coll_contribs_;
+  std::map<coll_key, std::vector<std::byte>> coll_results_;
+
+  // Async world barrier.
+  std::map<std::uint64_t, int> async_arrivals_;  ///< rank 0 only
+  std::atomic<std::uint64_t> async_done_epoch_{0};
+
+  // Region bookkeeping.
+  std::uint64_t region_seq_ = 0;
+  std::uint64_t quiesce_seq_ = 0;
+
+  std::atomic<std::size_t> sendq_high_water_{0};
+};
+
+}  // namespace aspen::net

@@ -1,0 +1,267 @@
+// aspen-run — the SPMD launcher for conduit::tcp.
+//
+//   aspen-run -n N [--] <prog> [args...]
+//
+// Forks N copies of <prog>, each with ASPEN_NET_RANK/ASPEN_NET_NRANKS/
+// ASPEN_NET_RDZV_PORT in its environment, and plays the bootstrap
+// rendezvous: every child connects back, announces its mesh listen port
+// plus its text anchor (the ASLR witness), and receives the full port
+// table once all N have reported. Children then wire the mesh among
+// themselves; the launcher's remaining job is supervision — reap children,
+// kill the survivors when one dies abnormally, forward SIGINT/SIGTERM, and
+// propagate the first failing exit status.
+//
+// Address randomization is disabled in each child (personality
+// ADDR_NO_RANDOMIZE between fork and exec) so function pointers and
+// segment addresses agree across ranks; the hello anchors verify it took
+// effect, with a diagnostic pointing at `setarch -R` for environments
+// whose seccomp policy filters the personality syscall.
+
+#include <poll.h>
+#include <sys/personality.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/endpoint.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace {
+
+using namespace aspen::net;
+
+std::vector<pid_t> g_children;
+
+void kill_children(int sig) {
+  for (pid_t pid : g_children)
+    if (pid > 0) ::kill(pid, sig);
+}
+
+void forward_signal(int sig) {
+  kill_children(sig);
+  // Die by the same signal after the children are gone.
+  std::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+/// Accept one rendezvous connection, watching for children that die
+/// before saying hello (a bootstrap crash would otherwise hang the
+/// launcher in accept() forever).
+fd_handle accept_supervised(int listen_fd) {
+  for (;;) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 500);
+    if (pr > 0) return accept_one(listen_fd);
+    if (pr < 0 && errno != EINTR) {
+      std::perror("aspen-run: poll");
+      kill_children(SIGKILL);
+      std::exit(1);
+    }
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+    if (pid > 0) {
+      // Any exit before hello — even a clean one — means this rank will
+      // never join the mesh and the job cannot form.
+      std::fprintf(stderr,
+                   "aspen-run: a rank exited during bootstrap (before its "
+                   "hello); taking the job down\n");
+      kill_children(SIGKILL);
+      std::exit(1);
+    }
+  }
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s -n <nranks> [--] <prog> [args...]\n"
+               "Launches <prog> as an SPMD job of <nranks> processes wired "
+               "by the aspen::net tcp conduit.\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int nranks = 0;
+  int argi = 1;
+  while (argi < argc) {
+    if (std::strcmp(argv[argi], "-n") == 0 && argi + 1 < argc) {
+      nranks = std::atoi(argv[argi + 1]);
+      argi += 2;
+    } else if (std::strcmp(argv[argi], "--") == 0) {
+      ++argi;
+      break;
+    } else if (argv[argi][0] == '-') {
+      std::fprintf(stderr, "aspen-run: unknown option %s\n", argv[argi]);
+      usage(argv[0]);
+    } else {
+      break;
+    }
+  }
+  if (nranks < 1 || argi >= argc) usage(argv[0]);
+
+  std::uint16_t rdzv_port = 0;
+  fd_handle rdzv = listen_loopback(rdzv_port);
+
+  g_children.assign(static_cast<std::size_t>(nranks), -1);
+  for (int r = 0; r < nranks; ++r) {
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("aspen-run: fork");
+      kill_children(SIGKILL);
+      return 1;
+    }
+    if (pid == 0) {
+      // Child. Pin the address space layout before exec so every rank's
+      // text, heap, and mmap bases agree (required for cross-process
+      // function pointers and the fixed segment arena).
+      if (::personality(ADDR_NO_RANDOMIZE) == -1) {
+        std::fprintf(stderr,
+                     "aspen-run: warning: personality(ADDR_NO_RANDOMIZE) "
+                     "failed (%s); if the job aborts on an anchor "
+                     "mismatch, relaunch under `setarch -R`.\n",
+                     std::strerror(errno));
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%d", r);
+      ::setenv(kEnvRank, buf, 1);
+      std::snprintf(buf, sizeof buf, "%d", nranks);
+      ::setenv(kEnvNranks, buf, 1);
+      std::snprintf(buf, sizeof buf, "%u", rdzv_port);
+      ::setenv(kEnvRdzvPort, buf, 1);
+      ::execvp(argv[argi], argv + argi);
+      std::fprintf(stderr, "aspen-run: exec %s: %s\n", argv[argi],
+                   std::strerror(errno));
+      std::_Exit(127);
+    }
+    g_children[static_cast<std::size_t>(r)] = pid;
+  }
+
+  std::signal(SIGINT, forward_signal);
+  std::signal(SIGTERM, forward_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Rendezvous: collect one hello per rank.
+  std::vector<hello_body> hellos(static_cast<std::size_t>(nranks));
+  std::vector<fd_handle> conns(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    fd_handle c = accept_supervised(rdzv.get());
+    frame f = read_frame_blocking(c.get(), 1u << 20);
+    hello_body hb{};
+    if (f.kind() != frame_kind::hello || f.payload.size() != sizeof hb) {
+      std::fprintf(stderr, "aspen-run: malformed hello frame\n");
+      kill_children(SIGKILL);
+      return 1;
+    }
+    std::memcpy(&hb, f.payload.data(), sizeof hb);
+    if (hb.protocol != kProtocolVersion || hb.rank < 0 ||
+        hb.rank >= nranks || hb.nranks != nranks ||
+        conns[static_cast<std::size_t>(hb.rank)].valid()) {
+      std::fprintf(stderr,
+                   "aspen-run: bad hello (rank %d of %d, protocol %u)\n",
+                   hb.rank, hb.nranks, hb.protocol);
+      kill_children(SIGKILL);
+      return 1;
+    }
+    hellos[static_cast<std::size_t>(hb.rank)] = hb;
+    conns[static_cast<std::size_t>(hb.rank)] = std::move(c);
+  }
+
+  // Cross-rank consistency: identical text anchors (ASLR actually off,
+  // same binary) and identical segment geometry.
+  for (int r = 1; r < nranks; ++r) {
+    const auto& a = hellos[0];
+    const auto& b = hellos[static_cast<std::size_t>(r)];
+    if (a.anchor != b.anchor) {
+      std::fprintf(
+          stderr,
+          "aspen-run: fatal: rank 0 and rank %d loaded code at different "
+          "addresses (anchors 0x%llx vs 0x%llx). Cross-process AM handler "
+          "pointers require identical layout; address randomization is "
+          "still active (a seccomp policy may be filtering the personality "
+          "syscall). Relaunch as `setarch -R aspen-run ...`.\n",
+          r, static_cast<unsigned long long>(a.anchor),
+          static_cast<unsigned long long>(b.anchor));
+      kill_children(SIGKILL);
+      return 1;
+    }
+    if (a.segment_base != b.segment_base ||
+        a.segment_bytes != b.segment_bytes) {
+      std::fprintf(stderr,
+                   "aspen-run: fatal: rank 0 and rank %d disagree on the "
+                   "segment arena (base 0x%llx/%llu vs 0x%llx/%llu bytes); "
+                   "all ranks must run the same program and configuration.\n",
+                   r, static_cast<unsigned long long>(a.segment_base),
+                   static_cast<unsigned long long>(a.segment_bytes),
+                   static_cast<unsigned long long>(b.segment_base),
+                   static_cast<unsigned long long>(b.segment_bytes));
+      kill_children(SIGKILL);
+      return 1;
+    }
+  }
+
+  // Publish the port table.
+  std::vector<std::byte> table;
+  const auto n32 = static_cast<std::uint32_t>(nranks);
+  table.resize(sizeof n32 + n32 * sizeof(std::uint16_t));
+  std::memcpy(table.data(), &n32, sizeof n32);
+  for (int r = 0; r < nranks; ++r) {
+    const auto port =
+        static_cast<std::uint16_t>(hellos[static_cast<std::size_t>(r)]
+                                       .listen_port);
+    std::memcpy(table.data() + sizeof n32 +
+                    static_cast<std::size_t>(r) * sizeof port,
+                &port, sizeof port);
+  }
+  frame_header th{};
+  th.kind = static_cast<std::uint16_t>(frame_kind::table);
+  for (int r = 0; r < nranks; ++r)
+    write_frame_blocking(conns[static_cast<std::size_t>(r)].get(), th,
+                         table.data(), table.size());
+  for (auto& c : conns) c.reset();
+
+  // Supervise: first abnormal exit kills the job and is propagated.
+  int exit_code = 0;
+  int remaining = nranks;
+  while (remaining > 0) {
+    int status = 0;
+    pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    int rank = -1;
+    for (int r = 0; r < nranks; ++r)
+      if (g_children[static_cast<std::size_t>(r)] == pid) rank = r;
+    if (rank < 0) continue;
+    g_children[static_cast<std::size_t>(rank)] = -1;
+    --remaining;
+    int code = 0;
+    if (WIFEXITED(status)) {
+      code = WEXITSTATUS(status);
+      if (code != 0)
+        std::fprintf(stderr, "aspen-run: rank %d exited with code %d\n",
+                     rank, code);
+    } else if (WIFSIGNALED(status)) {
+      code = 128 + WTERMSIG(status);
+      std::fprintf(stderr, "aspen-run: rank %d killed by signal %d (%s)\n",
+                   rank, WTERMSIG(status), strsignal(WTERMSIG(status)));
+    }
+    if (code != 0 && exit_code == 0) {
+      exit_code = code;
+      // Siblings are now blocked on a dead peer; take the job down.
+      kill_children(SIGTERM);
+    }
+  }
+  return exit_code;
+}

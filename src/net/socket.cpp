@@ -1,0 +1,165 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+namespace aspen::net {
+
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "aspen/net: fatal: %s: %s\n", what,
+               std::strerror(errno));
+  std::abort();
+}
+
+void sleep_ms(long ms) {
+  timespec ts{};
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = (ms % 1000) * 1'000'000L;
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+fd_handle& fd_handle::operator=(fd_handle&& o) noexcept {
+  if (this != &o) {
+    reset(o.fd_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void fd_handle::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+fd_handle listen_loopback(std::uint16_t& port_out) {
+  fd_handle s(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!s.valid()) die("socket");
+  int one = 1;
+  (void)::setsockopt(s.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(s.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    die("bind(127.0.0.1:0)");
+  if (::listen(s.get(), SOMAXCONN) != 0) die("listen");
+  socklen_t alen = sizeof addr;
+  if (::getsockname(s.get(), reinterpret_cast<sockaddr*>(&addr), &alen) != 0)
+    die("getsockname");
+  port_out = ntohs(addr.sin_port);
+  return s;
+}
+
+fd_handle connect_loopback(std::uint16_t port) {
+  // The peer has already bound+listened before publishing its port, so a
+  // refusal can only be a transient kernel-side race; a short bounded retry
+  // makes bootstrap robust without hiding real failures.
+  for (int attempt = 0;; ++attempt) {
+    fd_handle s(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!s.valid()) die("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(s.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr) == 0)
+      return s;
+    if ((errno == ECONNREFUSED || errno == EINTR) && attempt < 200) {
+      sleep_ms(10);
+      continue;
+    }
+    die("connect(127.0.0.1)");
+  }
+}
+
+fd_handle accept_one(int listen_fd) {
+  for (;;) {
+    int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) return fd_handle(fd);
+    if (errno == EINTR) continue;
+    die("accept");
+  }
+}
+
+void make_wire_ready(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
+    die("fcntl(O_NONBLOCK)");
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void write_frame_blocking(int fd, const frame_header& hdr,
+                          const void* payload, std::size_t len) {
+  std::vector<std::byte> buf;
+  encode_frame(buf, hdr, payload, len);
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    ssize_t n = ::send(fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      die("send (bootstrap)");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+namespace {
+
+/// Read exactly `len` bytes. Bootstrap reads must never overshoot a frame
+/// boundary: on a freshly accepted mesh socket the peer's post-bootstrap
+/// traffic may already sit right behind its ident frame, and any surplus
+/// consumed here would be invisible to the per-peer streaming decoder that
+/// takes over afterwards.
+void read_exact(int fd, void* dst, std::size_t len) {
+  auto* p = static_cast<std::byte*>(dst);
+  std::size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::recv(fd, p + off, len - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      die("recv (bootstrap)");
+    }
+    if (n == 0) {
+      std::fprintf(stderr,
+                   "aspen/net: fatal: peer closed the connection during "
+                   "bootstrap (launcher or sibling rank died?)\n");
+      std::abort();
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+frame read_frame_blocking(int fd, std::size_t max_frame) {
+  frame f;
+  read_exact(fd, &f.hdr, sizeof f.hdr);
+  if (f.hdr.magic != kMagic || f.hdr.payload_len > max_frame) {
+    std::fprintf(stderr,
+                 "aspen/net: fatal: malformed bootstrap frame (magic 0x%x, "
+                 "kind %u, payload %u)\n",
+                 f.hdr.magic, f.hdr.kind, f.hdr.payload_len);
+    std::abort();
+  }
+  f.payload.resize(f.hdr.payload_len);
+  if (f.hdr.payload_len != 0)
+    read_exact(fd, f.payload.data(), f.payload.size());
+  return f;
+}
+
+}  // namespace aspen::net

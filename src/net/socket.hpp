@@ -1,0 +1,62 @@
+// Thin POSIX socket helpers for the tcp conduit: RAII fds, loopback
+// listen/connect/accept, non-blocking mode, and framed blocking I/O for the
+// bootstrap handshake (steady-state I/O is non-blocking and lives in
+// endpoint.cpp's pump).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/wire.hpp"
+
+namespace aspen::net {
+
+/// Owning file descriptor. Movable, closes on destruction.
+class fd_handle {
+ public:
+  fd_handle() = default;
+  explicit fd_handle(int fd) noexcept : fd_(fd) {}
+  fd_handle(fd_handle&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  fd_handle& operator=(fd_handle&& o) noexcept;
+  fd_handle(const fd_handle&) = delete;
+  fd_handle& operator=(const fd_handle&) = delete;
+  ~fd_handle() { reset(); }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    int f = fd_;
+    fd_ = -1;
+    return f;
+  }
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on 127.0.0.1 with an ephemeral port; returns the socket
+/// and stores the chosen port. Aborts on failure (bootstrap is all-or-
+/// nothing).
+[[nodiscard]] fd_handle listen_loopback(std::uint16_t& port_out);
+
+/// Blocking connect to 127.0.0.1:port. Retries briefly on ECONNREFUSED (the
+/// accepting process may not have reached listen() yet during bootstrap).
+/// Aborts on persistent failure.
+[[nodiscard]] fd_handle connect_loopback(std::uint16_t port);
+
+/// Blocking accept. Aborts on failure.
+[[nodiscard]] fd_handle accept_one(int listen_fd);
+
+/// Switch a connected socket to non-blocking and set TCP_NODELAY.
+void make_wire_ready(int fd);
+
+/// Blocking send of one whole frame (bootstrap only).
+void write_frame_blocking(int fd, const frame_header& hdr,
+                          const void* payload, std::size_t len);
+
+/// Blocking receive of one whole frame (bootstrap only). Aborts on EOF or
+/// malformed input.
+[[nodiscard]] frame read_frame_blocking(int fd, std::size_t max_frame);
+
+}  // namespace aspen::net

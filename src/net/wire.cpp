@@ -1,0 +1,137 @@
+#include "net/wire.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aspen::net {
+
+const char* kind_name(frame_kind k) noexcept {
+  switch (k) {
+    case frame_kind::hello: return "hello";
+    case frame_kind::table: return "table";
+    case frame_kind::ident: return "ident";
+    case frame_kind::am_eager: return "am_eager";
+    case frame_kind::am_rts: return "am_rts";
+    case frame_kind::am_cts: return "am_cts";
+    case frame_kind::am_data: return "am_data";
+    case frame_kind::coll_contrib: return "coll_contrib";
+    case frame_kind::coll_result: return "coll_result";
+    case frame_kind::async_arrive: return "async_arrive";
+    case frame_kind::async_release: return "async_release";
+    case frame_kind::bye: return "bye";
+  }
+  return "?";
+}
+
+void encode_frame(std::vector<std::byte>& out, const frame_header& hdr,
+                  const void* payload, std::size_t len) {
+  frame_header h = hdr;
+  h.magic = kMagic;
+  h.payload_len = static_cast<std::uint32_t>(len);
+  const std::size_t off = out.size();
+  out.resize(off + sizeof(frame_header) + len);
+  std::memcpy(out.data() + off, &h, sizeof(frame_header));
+  if (len != 0)
+    std::memcpy(out.data() + off + sizeof(frame_header), payload, len);
+}
+
+// The anchor must be a function whose address the linker fixes relative to
+// every other text symbol in the binary; any function in this translation
+// unit works. Taking &kind_name keeps it honest (a real exported symbol,
+// not something the optimizer can localize away).
+std::uintptr_t text_anchor() noexcept {
+  return reinterpret_cast<std::uintptr_t>(&kind_name);
+}
+
+namespace {
+constexpr bool valid_kind(std::uint16_t k) noexcept {
+  return k >= static_cast<std::uint16_t>(frame_kind::hello) &&
+         k <= static_cast<std::uint16_t>(frame_kind::bye);
+}
+}  // namespace
+
+void decoder::feed(const void* data, std::size_t len) {
+  if (len == 0 || !error_.empty()) return;
+  // Compact before growing once the consumed prefix dominates, keeping the
+  // buffer proportional to unconsumed bytes even on long streams.
+  if (consumed_ != 0 && consumed_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  const auto* p = static_cast<const std::byte*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+}
+
+bool decoder::try_next(frame& out) {
+  if (!error_.empty()) return false;
+  if (buffered() < sizeof(frame_header)) return false;
+  frame_header hdr;
+  std::memcpy(&hdr, buf_.data() + consumed_, sizeof(frame_header));
+  if (hdr.magic != kMagic) {
+    char msg[96];
+    std::snprintf(msg, sizeof msg,
+                  "bad frame magic 0x%04x (stream desynchronized?)",
+                  hdr.magic);
+    error_ = msg;
+    return false;
+  }
+  if (!valid_kind(hdr.kind)) {
+    char msg[64];
+    std::snprintf(msg, sizeof msg, "unknown frame kind %u", hdr.kind);
+    error_ = msg;
+    return false;
+  }
+  if (hdr.payload_len > max_frame_) {
+    char msg[112];
+    std::snprintf(msg, sizeof msg,
+                  "oversized %s frame: payload %u bytes exceeds the %zu-byte "
+                  "frame ceiling",
+                  kind_name(static_cast<frame_kind>(hdr.kind)),
+                  hdr.payload_len, max_frame_);
+    error_ = msg;
+    return false;
+  }
+  if (buffered() < sizeof(frame_header) + hdr.payload_len) return false;
+  out.hdr = hdr;
+  out.payload.assign(
+      buf_.data() + consumed_ + sizeof(frame_header),
+      buf_.data() + consumed_ + sizeof(frame_header) + hdr.payload_len);
+  consumed_ += sizeof(frame_header) + hdr.payload_len;
+  if (consumed_ == buf_.size()) {
+    buf_.clear();
+    consumed_ = 0;
+  }
+  return true;
+}
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 0);  // 0x ok
+  if (end == v || *end != '\0') {
+    std::fprintf(stderr, "aspen/net: ignoring unparsable %s=\"%s\"\n", name,
+                 v);
+    return dflt;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+gex::net_config apply_env(gex::net_config cfg) {
+  if (!cfg.honor_env) return cfg;
+  cfg.eager_max = static_cast<std::size_t>(
+      env_u64("ASPEN_NET_EAGER_MAX", cfg.eager_max));
+  cfg.max_frame = static_cast<std::size_t>(
+      env_u64("ASPEN_NET_MAX_FRAME", cfg.max_frame));
+  cfg.segment_base = static_cast<std::uintptr_t>(
+      env_u64("ASPEN_NET_SEGMENT_BASE", cfg.segment_base));
+  if (cfg.eager_max > cfg.max_frame) cfg.eager_max = cfg.max_frame;
+  return cfg;
+}
+
+}  // namespace aspen::net

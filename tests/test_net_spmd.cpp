@@ -1,0 +1,307 @@
+// conduit::tcp cross-process tests. This binary is meaningful only when
+// relaunched under the SPMD launcher (ctest entries net_spmd_n2 /
+// net_spmd_n4 run `aspen-run -n N test_net_spmd`); executed directly it
+// skips every test. Each test body runs identically in all N processes —
+// gtest's deterministic registration order keeps the ranks' spmd regions
+// aligned.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "apps/gups/gups.hpp"
+#include "core/aspen.hpp"
+#include "core/telemetry.hpp"
+#include "net/endpoint.hpp"
+
+namespace {
+
+int job_size() {
+  const char* s = std::getenv(aspen::net::kEnvNranks);
+  return s == nullptr ? 0 : std::atoi(s);
+}
+
+aspen::gex::config tcp_cfg() {
+  aspen::gex::config cfg;
+  cfg.transport = aspen::gex::conduit::tcp;
+  return cfg;
+}
+
+#define ASPEN_REQUIRE_LAUNCHED()                                       \
+  do {                                                                 \
+    if (!aspen::net::endpoint::launched())                             \
+      GTEST_SKIP() << "not under aspen-run (see ctest net_spmd_n*)";   \
+  } while (0)
+
+TEST(NetSpmd, RanksAreDistinctProcesses) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  aspen::spmd(n, tcp_cfg(), [n] {
+    EXPECT_EQ(aspen::rank_n(), n);
+    EXPECT_GE(aspen::rank_me(), 0);
+    EXPECT_LT(aspen::rank_me(), n);
+    // Every rank is its own OS process: pids must be pairwise distinct,
+    // which the sum of self-comparisons below witnesses via broadcast.
+    const int my_pid = static_cast<int>(::getpid());
+    for (int r = 0; r < n; ++r) {
+      const int pid_r = aspen::broadcast(my_pid, r);
+      if (r == aspen::rank_me()) {
+        EXPECT_EQ(pid_r, my_pid);
+      } else {
+        EXPECT_NE(pid_r, my_pid);
+      }
+    }
+    // Nobody shares memory with anybody: the local team is a singleton.
+    aspen::team lt = aspen::local_team();
+    EXPECT_EQ(lt.rank_n(), 1);
+    EXPECT_EQ(lt.rank_me(), 0);
+  });
+}
+
+TEST(NetSpmd, RputRgetAcrossProcesses) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  aspen::spmd(n, tcp_cfg(), [n] {
+    auto gp = aspen::new_<int>(100 + aspen::rank_me());
+    std::vector<aspen::global_ptr<int>> dir(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) dir[static_cast<std::size_t>(r)] =
+        aspen::broadcast(gp, r);
+    aspen::barrier();
+    // Ring: write my rank into my right neighbor, then read my left
+    // neighbor's slot out of its process.
+    const int right = (aspen::rank_me() + 1) % n;
+    const int left = (aspen::rank_me() + n - 1) % n;
+    aspen::rput(aspen::rank_me(), dir[static_cast<std::size_t>(right)])
+        .wait();
+    aspen::barrier();
+    EXPECT_EQ(*gp.local(), left);
+    EXPECT_EQ(aspen::rget(dir[static_cast<std::size_t>(left)]).wait(),
+              (left + n - 1) % n);
+    aspen::barrier();
+    aspen::delete_(gp);
+  });
+}
+
+TEST(NetSpmd, RpcAndRendezvousPayloads) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  aspen::spmd(n, tcp_cfg(), [n] {
+    const auto before = aspen::telemetry::local_snapshot();
+    const int target = (aspen::rank_me() + 1) % n;
+    // Small rpc: rides an eager frame.
+    const int got =
+        aspen::rpc(target, [](int x) { return x * 2 + aspen::rank_me(); },
+                   20)
+            .wait();
+    EXPECT_EQ(got, 40 + target);
+    // Large rpc argument: well above the 8 KiB eager_max, so the payload
+    // must negotiate a rendezvous (RTS/CTS/DATA) transfer.
+    std::vector<std::uint64_t> big(1 << 13);  // 64 KiB
+    std::iota(big.begin(), big.end(), 1000ull * aspen::rank_me());
+    const std::uint64_t sum = std::accumulate(big.begin(), big.end(), 0ull);
+    const std::uint64_t echoed =
+        aspen::rpc(target,
+                   [](const std::vector<std::uint64_t>& v) {
+                     return std::accumulate(v.begin(), v.end(), 0ull);
+                   },
+                   big)
+            .wait();
+    EXPECT_EQ(echoed, sum);
+    const auto d = aspen::telemetry::local_snapshot() - before;
+    if (n > 1 && aspen::telemetry::compiled_in()) {
+      using c = aspen::telemetry::counter;
+      EXPECT_GT(d.get(c::net_eager_sent), 0u);
+      EXPECT_GT(d.get(c::net_rdzv_sent), 0u);
+      EXPECT_GT(d.get(c::net_bytes_sent), big.size() * sizeof(big[0]));
+    }
+    aspen::barrier();
+  });
+}
+
+TEST(NetSpmd, CollectivesTeamsDistObjects) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  aspen::spmd(n, tcp_cfg(), [n] {
+    EXPECT_EQ(aspen::allreduce_sum(1), n);
+    EXPECT_EQ(aspen::allreduce_sum(aspen::rank_me()), n * (n - 1) / 2);
+    EXPECT_EQ(aspen::broadcast(7 * aspen::rank_me() + 1, n - 1),
+              7 * (n - 1) + 1);
+    const auto v = aspen::broadcast_vector(
+        std::vector<int>(static_cast<std::size_t>(aspen::rank_me() + 1),
+                         aspen::rank_me()),
+        0);
+    EXPECT_EQ(v, std::vector<int>{0});
+
+    // Even/odd split: team collectives ride the per-team wire streams.
+    aspen::team t = aspen::team::world().split(aspen::rank_me() % 2,
+                                               aspen::rank_me());
+    const int parity = aspen::rank_me() % 2;
+    int expect_n = 0;
+    for (int r = 0; r < n; ++r) expect_n += (r % 2 == parity);
+    EXPECT_EQ(t.rank_n(), expect_n);
+    int sum = t.allreduce_sum(aspen::rank_me());
+    int expect_sum = 0;
+    for (int r = 0; r < n; ++r)
+      if (r % 2 == parity) expect_sum += r;
+    EXPECT_EQ(sum, expect_sum);
+    EXPECT_EQ(t.broadcast(aspen::rank_me(), 0), parity);
+    t.barrier();
+
+    aspen::dist_object<int> d(1000 + aspen::rank_me());
+    aspen::barrier();
+    for (int r = 0; r < n; ++r) EXPECT_EQ(d.fetch(r).wait(), 1000 + r);
+    aspen::barrier();
+
+    // Asynchronous barrier over the wire (async_arrive/async_release).
+    aspen::future<> f = aspen::barrier_async();
+    f.wait();
+    aspen::barrier_async().wait();
+    aspen::barrier();
+  });
+}
+
+TEST(NetSpmd, AtomicsAcrossProcesses) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  aspen::spmd(n, tcp_cfg(), [n] {
+    aspen::global_ptr<std::uint64_t> counter;
+    if (aspen::rank_me() == 0) counter = aspen::new_<std::uint64_t>(0);
+    counter = aspen::broadcast(counter, 0);
+    aspen::atomic_domain<std::uint64_t> ad(
+        {aspen::gex::amo_op::fadd, aspen::gex::amo_op::load});
+    for (int i = 0; i < 50; ++i) ad.fetch_add(counter, 1).wait();
+    aspen::barrier();
+    EXPECT_EQ(ad.load(counter).wait(), static_cast<std::uint64_t>(50 * n));
+    aspen::barrier();
+    if (aspen::rank_me() == 0) aspen::delete_(counter);
+  });
+}
+
+// The acceptance telemetry claim: under conduit::tcp a cross-process
+// target can never complete eagerly (cx_eager_taken stays 0), while
+// self-targeted operations still take the eager path (> 0).
+TEST(NetSpmd, EagerDispositionCrossVsSelf) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  aspen::spmd(n, tcp_cfg(), [n] {
+    using c = aspen::telemetry::counter;
+    auto gp = aspen::new_<std::uint64_t>(0);
+    std::vector<aspen::global_ptr<std::uint64_t>> dir(
+        static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) dir[static_cast<std::size_t>(r)] =
+        aspen::broadcast(gp, r);
+    aspen::barrier();
+
+    const auto before_cross = aspen::telemetry::local_snapshot();
+    const int target = (aspen::rank_me() + 1) % n;
+    for (int i = 0; i < 8; ++i)
+      aspen::rput(std::uint64_t{1} + i,
+                  dir[static_cast<std::size_t>(target)])
+          .wait();
+    const auto d_cross = aspen::telemetry::local_snapshot() - before_cross;
+    if (n > 1 && aspen::telemetry::compiled_in()) {
+      EXPECT_EQ(d_cross.get(c::cx_eager_taken), 0u)
+          << "a cross-process rput completed eagerly";
+      EXPECT_GT(d_cross.get(c::cx_remote_async) +
+                    d_cross.get(c::cx_deferred_queued),
+                0u);
+    }
+    aspen::barrier();
+
+    const auto before_self = aspen::telemetry::local_snapshot();
+    for (int i = 0; i < 8; ++i)
+      aspen::rput(std::uint64_t{100} + i,
+                  dir[static_cast<std::size_t>(aspen::rank_me())])
+          .wait();
+    const auto d_self = aspen::telemetry::local_snapshot() - before_self;
+    if (aspen::telemetry::compiled_in())
+      EXPECT_GT(d_self.get(c::cx_eager_taken), 0u)
+          << "self-targeted rputs must keep the eager path";
+    aspen::barrier();
+    aspen::delete_(gp);
+  });
+}
+
+// GUPS equivalence: the same deterministic workload (atomic XOR updates
+// commute, so the final table is schedule-independent) must produce an
+// identical table whether the N ranks are threads (smp) or processes
+// (tcp). Each process runs the tcp leg collectively, then replays the smp
+// leg privately with N rank-threads and compares checksums.
+TEST(NetSpmd, GupsMatchesSmpAtSameRankCount) {
+  ASPEN_REQUIRE_LAUNCHED();
+  namespace g = aspen::apps::gups;
+  const int n = job_size();
+  g::params p;
+  p.table_bits = 12;
+  p.updates_per_rank = 1 << 10;
+  p.batch = 64;
+
+  auto local_checksum = [](g::table& t) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < t.per_rank(); ++i)
+      acc ^= t.local_slice()[i] * 0x9E3779B97F4A7C15ull + i;
+    return acc;
+  };
+
+  std::uint64_t tcp_sum = 0;
+  aspen::spmd(n, tcp_cfg(), [&] {
+    g::table t(p);
+    (void)g::run_variant(g::variant::amo_promises, t, p);
+    tcp_sum = aspen::allreduce_sum(local_checksum(t));
+    aspen::barrier();
+  });
+
+  std::uint64_t smp_sum = 0;
+  aspen::spmd(n, [&] {
+    g::table t(p);
+    (void)g::run_variant(g::variant::amo_promises, t, p);
+    const std::uint64_t sum = aspen::allreduce_sum(local_checksum(t));
+    if (aspen::rank_me() == 0) smp_sum = sum;
+  });
+
+  EXPECT_EQ(tcp_sum, smp_sum)
+      << "conduit::tcp GUPS diverged from smp at " << n << " ranks";
+}
+
+// The endpoint survives successive spmd regions: back-to-back regions with
+// traffic in each must quiesce cleanly at every boundary.
+TEST(NetSpmd, EndpointPersistsAcrossRegions) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  for (int round = 0; round < 3; ++round) {
+    aspen::spmd(n, tcp_cfg(), [n, round] {
+      const int target = (aspen::rank_me() + 1 + round) % n;
+      const int got =
+          aspen::rpc(target, [](int x) { return x + 1; }, round).wait();
+      EXPECT_EQ(got, round + 1);
+    });
+  }
+}
+
+TEST(NetSpmd, NetCountersTick) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  aspen::spmd(n, tcp_cfg(), [n] {
+    using c = aspen::telemetry::counter;
+    const auto before = aspen::telemetry::local_snapshot();
+    for (int i = 0; i < 16; ++i) {
+      const int target = (aspen::rank_me() + 1) % n;
+      (void)aspen::rpc(target, [](int x) { return x; }, i).wait();
+    }
+    const auto d = aspen::telemetry::local_snapshot() - before;
+    if (n > 1 && aspen::telemetry::compiled_in()) {
+      EXPECT_GT(d.get(c::net_msgs_sent), 0u);
+      EXPECT_GT(d.get(c::net_msgs_received), 0u);
+      EXPECT_GT(d.get(c::net_bytes_sent), 0u);
+      EXPECT_GT(d.get(c::net_bytes_received), 0u);
+      EXPECT_EQ(d.get(c::net_msgs_sent), d.get(c::net_eager_sent) +
+                                             d.get(c::net_rdzv_sent));
+    }
+    aspen::barrier();
+  });
+}
+
+}  // namespace

@@ -1,0 +1,224 @@
+// aspen::net wire-protocol tests: frame round-trips for every kind, torn
+// (byte-at-a-time) reads, malformed-header rejection, handler deltas, and
+// the ASPEN_NET_* environment overrides. Pure in-process: no sockets, no
+// aspen-run (see test_net_spmd.cpp and the net_spmd_n* ctest entries for
+// the cross-process legs).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace net = aspen::net;
+
+namespace {
+
+constexpr std::size_t kMaxFrame = 1 << 20;
+
+net::frame_header make_header(net::frame_kind k, std::uint32_t payload_len) {
+  net::frame_header h;
+  h.kind = static_cast<std::uint16_t>(k);
+  h.src = 3;
+  h.payload_len = payload_len;
+  h.aux = 0xABCD;
+  h.seq = 42;
+  return h;
+}
+
+std::vector<std::byte> bytes_of(const char* s) {
+  std::vector<std::byte> v(std::strlen(s));
+  std::memcpy(v.data(), s, v.size());
+  return v;
+}
+
+TEST(NetWire, HeaderLayoutIsFixed) {
+  EXPECT_EQ(sizeof(net::frame_header), 24u);
+  net::frame_header h;
+  EXPECT_EQ(h.magic, net::kMagic);
+}
+
+TEST(NetWire, EveryKindRoundTrips) {
+  const net::frame_kind kinds[] = {
+      net::frame_kind::hello,        net::frame_kind::table,
+      net::frame_kind::ident,        net::frame_kind::am_eager,
+      net::frame_kind::am_rts,       net::frame_kind::am_cts,
+      net::frame_kind::am_data,      net::frame_kind::coll_contrib,
+      net::frame_kind::coll_result,  net::frame_kind::async_arrive,
+      net::frame_kind::async_release, net::frame_kind::bye,
+  };
+  std::vector<std::byte> stream;
+  std::vector<std::vector<std::byte>> payloads;
+  std::uint64_t seq = 0;
+  for (net::frame_kind k : kinds) {
+    // Distinct payload per kind (including empty for the control kinds).
+    std::vector<std::byte> p;
+    if (k == net::frame_kind::am_eager || k == net::frame_kind::am_data ||
+        k == net::frame_kind::coll_contrib ||
+        k == net::frame_kind::coll_result) {
+      p.resize(16 + seq);
+      for (std::size_t i = 0; i < p.size(); ++i)
+        p[i] = static_cast<std::byte>((i * 7 + seq) & 0xFF);
+    } else if (k == net::frame_kind::am_rts) {
+      net::rdzv_body b;
+      b.token = 9;
+      b.handler_delta = 0x1234;
+      b.total_len = 1 << 16;
+      p.resize(sizeof(b));
+      std::memcpy(p.data(), &b, sizeof(b));
+    }
+    net::frame_header h = make_header(k, static_cast<std::uint32_t>(p.size()));
+    h.seq = seq++;
+    net::encode_frame(stream, h, p.data(), p.size());
+    payloads.push_back(std::move(p));
+  }
+
+  net::decoder dec(kMaxFrame);
+  dec.feed(stream.data(), stream.size());
+  std::size_t i = 0;
+  net::frame f;
+  while (dec.try_next(f)) {
+    ASSERT_LT(i, std::size(kinds));
+    EXPECT_EQ(f.kind(), kinds[i]);
+    EXPECT_EQ(f.hdr.src, 3);
+    EXPECT_EQ(f.hdr.aux, 0xABCDu);
+    EXPECT_EQ(f.hdr.seq, i);
+    EXPECT_EQ(f.payload, payloads[i]);
+    ++i;
+  }
+  EXPECT_FALSE(dec.in_error()) << dec.error();
+  EXPECT_EQ(i, std::size(kinds));
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+// The decoder must assemble frames fed one byte at a time — the shape of a
+// maximally torn TCP stream (short reads land mid-header and mid-payload).
+TEST(NetWire, TornOneByteFeedReassembles) {
+  std::vector<std::byte> stream;
+  const auto p1 = bytes_of("hello, torn world");
+  const auto p2 = bytes_of("x");
+  net::encode_frame(stream,
+                    make_header(net::frame_kind::am_eager,
+                                static_cast<std::uint32_t>(p1.size())),
+                    p1.data(), p1.size());
+  net::encode_frame(stream,
+                    make_header(net::frame_kind::am_data,
+                                static_cast<std::uint32_t>(p2.size())),
+                    p2.data(), p2.size());
+  net::encode_frame(stream, make_header(net::frame_kind::bye, 0), nullptr, 0);
+
+  net::decoder dec(kMaxFrame);
+  std::vector<net::frame> got;
+  net::frame f;
+  for (std::byte b : stream) {
+    dec.feed(&b, 1);
+    while (dec.try_next(f)) got.push_back(std::move(f));
+  }
+  ASSERT_FALSE(dec.in_error()) << dec.error();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].kind(), net::frame_kind::am_eager);
+  EXPECT_EQ(got[0].payload, p1);
+  EXPECT_EQ(got[1].kind(), net::frame_kind::am_data);
+  EXPECT_EQ(got[1].payload, p2);
+  EXPECT_EQ(got[2].kind(), net::frame_kind::bye);
+  EXPECT_TRUE(got[2].payload.empty());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(NetWire, OversizedPayloadIsRejected) {
+  net::frame_header h = make_header(net::frame_kind::am_eager,
+                                    static_cast<std::uint32_t>(kMaxFrame) + 1);
+  net::decoder dec(kMaxFrame);
+  dec.feed(&h, sizeof(h));
+  net::frame f;
+  EXPECT_FALSE(dec.try_next(f));
+  EXPECT_TRUE(dec.in_error());
+  EXPECT_NE(dec.error().find("oversized"), std::string::npos) << dec.error();
+  // Sticky: feeding more valid bytes cannot clear the error.
+  std::vector<std::byte> stream;
+  net::encode_frame(stream, make_header(net::frame_kind::bye, 0), nullptr, 0);
+  dec.feed(stream.data(), stream.size());
+  EXPECT_FALSE(dec.try_next(f));
+  EXPECT_TRUE(dec.in_error());
+}
+
+TEST(NetWire, BadMagicIsRejected) {
+  net::frame_header h = make_header(net::frame_kind::bye, 0);
+  h.magic = 0xDEAD;
+  net::decoder dec(kMaxFrame);
+  dec.feed(&h, sizeof(h));
+  net::frame f;
+  EXPECT_FALSE(dec.try_next(f));
+  EXPECT_TRUE(dec.in_error());
+}
+
+TEST(NetWire, UnknownKindIsRejected) {
+  net::frame_header h = make_header(net::frame_kind::bye, 0);
+  h.kind = 999;
+  net::decoder dec(kMaxFrame);
+  dec.feed(&h, sizeof(h));
+  net::frame f;
+  EXPECT_FALSE(dec.try_next(f));
+  EXPECT_TRUE(dec.in_error());
+}
+
+TEST(NetWire, PartialHeaderIsNotAFrame) {
+  net::frame_header h = make_header(net::frame_kind::ident, 0);
+  net::decoder dec(kMaxFrame);
+  dec.feed(&h, sizeof(h) - 1);
+  net::frame f;
+  EXPECT_FALSE(dec.try_next(f));
+  EXPECT_FALSE(dec.in_error());
+  EXPECT_EQ(dec.buffered(), sizeof(h) - 1);
+}
+
+TEST(NetWire, KindNamesAreDistinct) {
+  EXPECT_STREQ(net::kind_name(net::frame_kind::am_eager), "am_eager");
+  EXPECT_STREQ(net::kind_name(net::frame_kind::am_rts), "am_rts");
+  EXPECT_STRNE(net::kind_name(net::frame_kind::hello),
+               net::kind_name(net::frame_kind::bye));
+}
+
+void dummy_handler(aspen::gex::runtime&, int, int, std::byte*, std::size_t) {}
+
+TEST(NetWire, HandlerDeltaRoundTrips) {
+  const std::uintptr_t anchor = net::text_anchor();
+  EXPECT_NE(anchor, 0u);
+  EXPECT_EQ(net::text_anchor(), anchor);  // stable within a process
+  const std::uint64_t delta = net::encode_handler(&dummy_handler, anchor);
+  EXPECT_EQ(net::decode_handler(delta, anchor), &dummy_handler);
+}
+
+TEST(NetWire, ApplyEnvOverridesAndClamps) {
+  aspen::gex::net_config base;
+  setenv("ASPEN_NET_EAGER_MAX", "1024", 1);
+  setenv("ASPEN_NET_MAX_FRAME", "0x100000", 1);
+  setenv("ASPEN_NET_SEGMENT_BASE", "0x2b0000000000", 1);
+  aspen::gex::net_config got = net::apply_env(base);
+  EXPECT_EQ(got.eager_max, 1024u);
+  EXPECT_EQ(got.max_frame, std::size_t{1} << 20);
+  EXPECT_EQ(got.segment_base, 0x2b0000000000ull);
+
+  // eager_max can never exceed max_frame (an eager frame IS one frame).
+  setenv("ASPEN_NET_EAGER_MAX", "0x200000", 1);
+  got = net::apply_env(base);
+  EXPECT_LE(got.eager_max, got.max_frame);
+
+  unsetenv("ASPEN_NET_EAGER_MAX");
+  unsetenv("ASPEN_NET_MAX_FRAME");
+  unsetenv("ASPEN_NET_SEGMENT_BASE");
+  got = net::apply_env(base);
+  EXPECT_EQ(got.eager_max, base.eager_max);
+  EXPECT_EQ(got.max_frame, base.max_frame);
+  EXPECT_EQ(got.segment_base, base.segment_base);
+
+  aspen::gex::net_config deaf = base;
+  deaf.honor_env = false;
+  setenv("ASPEN_NET_EAGER_MAX", "1", 1);
+  got = net::apply_env(deaf);
+  EXPECT_EQ(got.eager_max, base.eager_max);
+  unsetenv("ASPEN_NET_EAGER_MAX");
+}
+
+}  // namespace
