@@ -29,6 +29,7 @@
 #include "benchutil/telemetry_report.hpp"
 #include "benchutil/timer.hpp"
 #include "core/aspen.hpp"
+#include "core/telemetry_live.hpp"
 #include "gex/perturb.hpp"
 #include "net/endpoint.hpp"
 
@@ -138,9 +139,29 @@ int run_tcp_child(const char* result_path) {
   const auto used = telemetry::local_snapshot() - before;
 
   const int rank = net::endpoint::instance()->self_rank();
-  (void)aspen::bench::write_telemetry_sidecar(
-      aspen::bench::rank_sidecar_path(result_path, rank), "offnode_tcp",
-      used);
+  const bool live = telemetry::live::enabled();
+  const bool force_sidecars =
+      aspen::bench::env_size_t("ASPEN_BENCH_SIDECARS", 0) != 0;
+  if (!live) {
+    (void)aspen::bench::write_telemetry_sidecar(
+        aspen::bench::rank_sidecar_path(result_path, rank), "offnode_tcp",
+        used);
+  } else if (force_sidecars) {
+    // CI cross-check mode: sidecars carry the frozen region-exit totals
+    // the live plane shipped, and rank 0 also dumps its in-memory job
+    // aggregate, so the parent can diff the two aggregation paths.
+    (void)aspen::bench::write_telemetry_sidecar(
+        aspen::bench::rank_sidecar_path(result_path, rank), "offnode_tcp",
+        telemetry::live::shipped_total());
+    if (rank == 0)
+      (void)aspen::bench::write_telemetry_sidecar(
+          std::string(result_path) + ".live.json", "offnode_tcp_live",
+          telemetry::live::job_snapshot());
+  } else if (rank == 0) {
+    // Pure live mode: the merged disposition report comes straight out of
+    // rank 0's collector — zero telemetry files touch the filesystem.
+    aspen::bench::print_live_telemetry_report(std::cout);
+  }
   if (rank == 0) {
     std::ofstream f(result_path);
     if (!f) return 1;
@@ -212,6 +233,20 @@ void run_tcp_leg(const char* self_hint) {
               << merged.get(telemetry::counter::cx_eager_taken)
               << " cx_remote_async="
               << merged.get(telemetry::counter::cx_remote_async) << "\n";
+    if (telemetry::live::enabled()) {
+      telemetry::snapshot live{};
+      if (aspen::bench::read_telemetry_sidecar(result + ".live.json", nullptr,
+                                               &live)) {
+        if (live.to_json() == merged.to_json())
+          std::cout << "live-aggregate matches sidecar-merged totals "
+                       "(bit-identical)\n";
+        else
+          std::cout << "WARNING: live aggregate disagrees with the sidecar "
+                       "merge\n  live:   "
+                    << live.to_json() << "\n  merged: " << merged.to_json()
+                    << "\n";
+      }
+    }
   }
 }
 

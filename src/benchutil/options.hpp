@@ -51,6 +51,21 @@
 //   ASPEN_RUN              offnode_branch only: path to the aspen-run
 //                          launcher (default: ../src/aspen-run relative to
 //                          the benchmark binary)
+//
+// Live cross-process telemetry (see docs/TELEMETRY.md):
+//   ASPEN_TELEMETRY_INTERVAL_MS  non-zero ranks push delta-encoded counter
+//                          updates to rank 0 every this-many ms, plus one
+//                          final flush at region exit; rank 0 then serves
+//                          the job-wide aggregate with no sidecar files
+//                          (unset/0 = off; clamped to 1 h)
+//   ASPEN_TELEMETRY_TRACE  base path: auto-enables tracing and writes
+//                          <base>.rank<r>.trace.json per rank at region
+//                          exit (merge with bench::merge_rank_traces)
+//   ASPEN_BENCH_SIDECARS   offnode_branch only: with live telemetry on,
+//                          non-zero also writes the per-rank sidecars plus
+//                          rank 0's <result>.live.json so the parent can
+//                          diff the live aggregate against the sidecar
+//                          merge (the CI cross-check; default 0)
 #pragma once
 
 #include <cstddef>

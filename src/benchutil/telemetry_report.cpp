@@ -1,11 +1,11 @@
 #include "benchutil/telemetry_report.hpp"
 
-#include <algorithm>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 
 #include "benchutil/table.hpp"
+#include "core/telemetry_live.hpp"
 
 namespace aspen::bench {
 
@@ -156,18 +156,11 @@ bool read_telemetry_sidecar(const std::string& path, std::string* bench_name,
 
 telemetry::snapshot merge_snapshots(
     const std::vector<telemetry::snapshot>& parts) {
+  // Delegate to the runtime's single merge definition: the live collector
+  // uses the same function per update frame, which is what makes rank 0's
+  // in-memory aggregate bit-identical to a post-hoc sidecar merge.
   telemetry::snapshot m{};
-  for (const telemetry::snapshot& p : parts) {
-    for (std::size_t i = 0; i < telemetry::kCounterCount; ++i)
-      m.counters[i] += p.counters[i];
-    for (std::size_t i = 0; i < telemetry::kPqBatchBuckets; ++i)
-      m.pq_fire_hist[i] += p.pq_fire_hist[i];
-    m.pq_reserve_growths += p.pq_reserve_growths;
-    m.pq_total_fired += p.pq_total_fired;
-    m.pq_high_water = std::max(m.pq_high_water, p.pq_high_water);
-    m.lpc_mailbox_high_water =
-        std::max(m.lpc_mailbox_high_water, p.lpc_mailbox_high_water);
-  }
+  for (const telemetry::snapshot& p : parts) telemetry::merge_into(m, p);
   return m;
 }
 
@@ -181,6 +174,73 @@ int merge_rank_sidecars(const std::string& base, int nranks,
   }
   if (out != nullptr) *out = merge_snapshots(parts);
   return static_cast<int>(parts.size());
+}
+
+void print_live_telemetry_report(std::ostream& os) {
+  if (!telemetry::live::enabled()) {
+    os << "[telemetry] live aggregation disabled "
+          "(set ASPEN_TELEMETRY_INTERVAL_MS)\n";
+    return;
+  }
+  const int nranks = telemetry::live::collector_ranks();
+  if (nranks == 0) {
+    os << "[telemetry] no live collector on this rank "
+          "(only rank 0 aggregates)\n";
+    return;
+  }
+  os << "live job-wide telemetry (" << nranks << " ranks, no sidecars):\n";
+  print_telemetry_summary(os, telemetry::live::job_snapshot());
+  table t({"rank", "updates", "sendq_bytes", "sendq_high_water",
+           "staged_msgs", "lpc_mailbox"});
+  for (int r = 0; r < nranks; ++r) {
+    const telemetry::live::gauges g = telemetry::live::rank_gauges(r);
+    t.add_row({std::to_string(r),
+               std::to_string(telemetry::live::rank_updates(r)),
+               std::to_string(g.sendq_bytes),
+               std::to_string(g.sendq_high_water),
+               std::to_string(g.staged_msgs),
+               std::to_string(g.lpc_mailbox_depth)});
+  }
+  t.print(os);
+}
+
+std::string rank_trace_path(const std::string& base, int rank) {
+  return base + ".rank" + std::to_string(rank) + ".trace.json";
+}
+
+int merge_rank_traces(const std::string& base, int nranks,
+                      const std::string& out_path) {
+  std::ofstream out(out_path);
+  if (!out) return -1;
+  out << "{\"traceEvents\":[";
+  int merged = 0;
+  bool first = true;
+  for (int r = 0; r < nranks; ++r) {
+    std::ifstream f(rank_trace_path(base, r));
+    if (!f) continue;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    const std::string s = ss.str();
+    // Slice the events array out of {"traceEvents":[...],"displayTimeUnit"
+    // ...}. Event names/categories are fixed identifiers, so the closing
+    // "]," before displayTimeUnit is unambiguous.
+    const std::size_t open = s.find("\"traceEvents\":[");
+    const std::size_t close = s.rfind("],\"displayTimeUnit\"");
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open)
+      continue;
+    const std::size_t begin = open + std::string("\"traceEvents\":[").size();
+    const std::string events = s.substr(begin, close - begin);
+    if (!events.empty()) {
+      if (!first) out << ",\n";
+      out << events;
+      first = false;
+    }
+    ++merged;
+  }
+  out << "],\"displayTimeUnit\":\"ns\",\"otherData\":{\"ranks_merged\":"
+      << merged << "}}";
+  return out ? merged : -1;
 }
 
 }  // namespace aspen::bench

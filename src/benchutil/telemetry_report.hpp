@@ -55,4 +55,32 @@ bool read_telemetry_sidecar(const std::string& path, std::string* bench_name,
 int merge_rank_sidecars(const std::string& base, int nranks,
                         telemetry::snapshot* out);
 
+// ---------------------------------------------------------------------------
+// Live aggregation (no sidecars) and multi-rank traces.
+//
+// With ASPEN_TELEMETRY_INTERVAL_MS set, every non-zero rank streams counter
+// deltas to rank 0 over the wire (frame_kind::telemetry) and rank 0 holds
+// the job-wide merge in memory — telemetry::live::job_snapshot(). These
+// helpers render that aggregate and stitch the per-rank Trace Event files
+// written when ASPEN_TELEMETRY_TRACE is set.
+// ---------------------------------------------------------------------------
+
+/// Print rank 0's live job-wide aggregate: the merged counter table plus a
+/// per-rank breakdown (update counts and transport gauges). Call on rank 0
+/// after a region ends; prints a notice when live telemetry is disabled.
+void print_live_telemetry_report(std::ostream& os);
+
+/// "<base>.rank<r>.trace.json" — the per-rank trace naming scheme used by
+/// the endpoint when ASPEN_TELEMETRY_TRACE is set.
+[[nodiscard]] std::string rank_trace_path(const std::string& base, int rank);
+
+/// Stitch the per-rank Trace Event files `rank_trace_path(base, r)` for r
+/// in [0, nranks) into one Perfetto-loadable JSON at `out_path`. Events
+/// keep their offset-corrected timestamps, so spans and flow arrows from
+/// different ranks land on one aligned time axis. Returns the number of
+/// rank traces merged (missing files are skipped), or -1 if `out_path`
+/// cannot be written.
+int merge_rank_traces(const std::string& base, int nranks,
+                      const std::string& out_path);
+
 }  // namespace aspen::bench

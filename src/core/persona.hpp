@@ -145,6 +145,12 @@ class persona {
   /// re-enter progress).
   std::size_t drain();
 
+  /// LPCs currently queued in this persona's mailbox (approximate;
+  /// producers race). Read by the live-telemetry gauges.
+  [[nodiscard]] std::size_t mailbox_depth() const noexcept {
+    return mailbox_.approx_size();
+  }
+
   // --- internal wiring -----------------------------------------------------
 
   /// Take/release the persona for the calling thread. acquire blocks

@@ -1,5 +1,6 @@
 #include "core/telemetry.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <mutex>
 #include <ostream>
@@ -50,14 +51,53 @@ constexpr const char* kCounterNames[] = {
     "net_bytes_received",
     "net_partial_writes",
     "net_short_reads",
+    "net_telemetry_sent",
+    "net_telemetry_received",
 };
 static_assert(std::size(kCounterNames) == kCounterCount,
               "counter name table out of sync with the enum");
+
+// Names are serialization keys (JSON sidecars, the sidecar reader's
+// name->index lookup, and the wire-frame field space): a duplicate or
+// malformed entry would silently alias two counters. Enforce uniqueness
+// and snake_case shape at compile time.
+constexpr bool counter_names_well_formed() {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const char* a = kCounterNames[i];
+    if (a == nullptr || a[0] == '\0') return false;
+    for (const char* p = a; *p != '\0'; ++p)
+      if (!((*p >= 'a' && *p <= 'z') || (*p >= '0' && *p <= '9') ||
+            *p == '_'))
+        return false;
+    for (std::size_t j = i + 1; j < kCounterCount; ++j) {
+      const char* b = kCounterNames[j];
+      std::size_t k = 0;
+      while (a[k] != '\0' && a[k] == b[k]) ++k;
+      if (a[k] == b[k]) return false;  // both '\0': identical strings
+    }
+  }
+  return true;
+}
+static_assert(counter_names_well_formed(),
+              "counter names must be unique, non-empty snake_case");
 
 }  // namespace
 
 const char* to_string(counter c) noexcept {
   return kCounterNames[static_cast<std::size_t>(c)];
+}
+
+void merge_into(snapshot& into, const snapshot& part) noexcept {
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    into.counters[i] += part.counters[i];
+  for (std::size_t i = 0; i < kPqBatchBuckets; ++i)
+    into.pq_fire_hist[i] += part.pq_fire_hist[i];
+  into.pq_reserve_growths += part.pq_reserve_growths;
+  into.pq_total_fired += part.pq_total_fired;
+  if (part.pq_high_water > into.pq_high_water)
+    into.pq_high_water = part.pq_high_water;
+  if (part.lpc_mailbox_high_water > into.lpc_mailbox_high_water)
+    into.lpc_mailbox_high_water = part.lpc_mailbox_high_water;
 }
 
 std::string snapshot::to_json() const {
@@ -212,6 +252,12 @@ trace_buffer& tls_trace() noexcept {
 
 std::atomic<bool> g_tracing{false};
 
+// Set once by the conduit::tcp bootstrap (rank 0 stores offset 0). While
+// unset, traces keep their original process-relative timestamps so
+// single-process consumers see no change.
+std::atomic<bool> g_clock_synced{false};
+std::atomic<std::int64_t> g_clock_offset_ns{0};
+
 std::uint64_t process_epoch_ns() noexcept {
   static const std::uint64_t t0 = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -233,14 +279,40 @@ void escape_json_string(std::ostream& os, const char* s) {
   }
 }
 
+/// Event timestamp in microseconds. With clock sync in effect the
+/// process-relative tick is rebased to the absolute steady clock and
+/// corrected by this rank's estimated offset from rank 0, so every rank of
+/// one job lands on the same timeline. Absolute steady-clock microseconds
+/// (~1e11) stay well inside double's 53-bit mantissa, preserving sub-us
+/// precision.
+double event_ts_us(std::uint64_t rel_ns) noexcept {
+  if (!g_clock_synced.load(std::memory_order_relaxed))
+    return static_cast<double>(rel_ns) / 1000.0;
+  const std::int64_t abs_ns =
+      static_cast<std::int64_t>(process_epoch_ns() + rel_ns) -
+      g_clock_offset_ns.load(std::memory_order_relaxed);
+  return static_cast<double>(abs_ns) / 1000.0;
+}
+
 void write_event(std::ostream& os, const detail::trace_event& e) {
   os << "{\"name\":\"";
   escape_json_string(os, e.name);
   os << "\",\"cat\":\"";
   escape_json_string(os, e.cat);
-  os << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.tid
-     << ",\"ts\":" << static_cast<double>(e.ts_ns) / 1000.0
-     << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0 << "}";
+  os << "\",\"ph\":\"" << e.ph << "\",\"pid\":0,\"tid\":" << e.tid
+     << ",\"ts\":" << event_ts_us(e.ts_ns);
+  if (e.ph == 'X') {
+    os << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
+  } else {
+    // Flow events bind on (name, cat, id); "bp":"e" lets the finish end
+    // attach to the enclosing slice rather than requiring an exact match.
+    char idbuf[24];
+    std::snprintf(idbuf, sizeof idbuf, "0x%llx",
+                  static_cast<unsigned long long>(e.id));
+    os << ",\"id\":\"" << idbuf << "\"";
+    if (e.ph == 'f') os << ",\"bp\":\"e\"";
+  }
+  os << "}";
 }
 
 }  // namespace
@@ -262,7 +334,18 @@ void trace_emit(const char* name, const char* cat, std::uint64_t ts_ns,
     ++b.dropped;
     return;
   }
-  b.events.push_back({name, cat, b.tid, ts_ns, dur_ns});
+  b.events.push_back({name, cat, b.tid, ts_ns, dur_ns, 'X', 0});
+}
+
+void trace_emit_flow(const char* name, const char* cat, bool begin,
+                     std::uint64_t id) noexcept {
+  trace_buffer& b = tls_trace();
+  if (b.events.size() >= kTraceCapPerThread) {
+    ++b.dropped;
+    return;
+  }
+  b.events.push_back(
+      {name, cat, b.tid, trace_now_ns(), 0, begin ? 's' : 'f', id});
 }
 
 }  // namespace detail
@@ -278,6 +361,20 @@ bool tracing_enabled() noexcept {
 
 void set_thread_rank(int rank) noexcept {
   tls_trace().tid = rank < 0 ? 0 : static_cast<std::uint32_t>(rank);
+}
+
+void set_clock_sync(std::int64_t offset_ns) noexcept {
+  process_epoch_ns();  // pin the rebase epoch before any correction
+  g_clock_offset_ns.store(offset_ns, std::memory_order_relaxed);
+  g_clock_synced.store(true, std::memory_order_relaxed);
+}
+
+bool clock_synced() noexcept {
+  return g_clock_synced.load(std::memory_order_relaxed);
+}
+
+std::int64_t clock_offset_ns() noexcept {
+  return g_clock_offset_ns.load(std::memory_order_relaxed);
 }
 
 void clear_trace() noexcept {
@@ -319,7 +416,9 @@ void write_trace(std::ostream& os) {
     }
   }
   os << "],\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped_events\":"
-     << dropped << "}}";
+     << dropped << ",\"clock_synced\":"
+     << (clock_synced() ? "true" : "false")
+     << ",\"clock_offset_ns\":" << clock_offset_ns() << "}}";
 }
 
 #else  // !ASPEN_TELEMETRY_ENABLED
@@ -330,12 +429,16 @@ snapshot aggregate() noexcept { return {}; }
 void enable_tracing(bool) noexcept {}
 bool tracing_enabled() noexcept { return false; }
 void set_thread_rank(int) noexcept {}
+void set_clock_sync(std::int64_t) noexcept {}
+bool clock_synced() noexcept { return false; }
+std::int64_t clock_offset_ns() noexcept { return 0; }
 void clear_trace() noexcept {}
 std::size_t trace_event_count() noexcept { return 0; }
 
 void write_trace(std::ostream& os) {
   os << "{\"traceEvents\":[],\"displayTimeUnit\":\"ns\",\"otherData\":"
-        "{\"dropped_events\":0}}";
+        "{\"dropped_events\":0,\"clock_synced\":false,"
+        "\"clock_offset_ns\":0}}";
 }
 
 #endif  // ASPEN_TELEMETRY_ENABLED

@@ -122,6 +122,8 @@ enum class counter : std::size_t {
   net_bytes_received,  ///< wire bytes read from sockets
   net_partial_writes,  ///< sends cut short by a full socket buffer
   net_short_reads,     ///< reads returning less than the requested length
+  net_telemetry_sent,      ///< live-telemetry update frames shipped to rank 0
+  net_telemetry_received,  ///< live-telemetry update frames rank 0 absorbed
 
   kCount,
 };
@@ -195,6 +197,14 @@ struct snapshot {
   /// consistency fields). Implemented in telemetry.cpp.
   [[nodiscard]] std::string to_json() const;
 };
+
+/// Merge `part` into `into` with cross-rank semantics: counters, the fire
+/// histogram and the monotone progress-queue sums add; high-water marks
+/// take the max (a depth in one process says nothing about another's).
+/// This single definition backs both the post-hoc sidecar merge
+/// (bench::merge_snapshots) and the live wire aggregation
+/// (telemetry::live), so the two paths agree bit-for-bit by construction.
+void merge_into(snapshot& into, const snapshot& part) noexcept;
 
 // ---------------------------------------------------------------------------
 // The per-thread record
@@ -335,6 +345,15 @@ void enable_tracing(bool on) noexcept;
 /// so Perfetto groups spans per rank. Called by the spmd launcher.
 void set_thread_rank(int rank) noexcept;
 
+/// Record this process's steady-clock offset relative to the job's rank 0
+/// (local_now_ns - rank0_now_ns, estimated by the conduit::tcp bootstrap's
+/// RTT-midpoint probes). Once set, write_trace emits *absolute*,
+/// offset-corrected timestamps instead of process-relative ones, so the
+/// per-rank trace files of one job merge onto a single shared timeline.
+void set_clock_sync(std::int64_t offset_ns) noexcept;
+[[nodiscard]] bool clock_synced() noexcept;
+[[nodiscard]] std::int64_t clock_offset_ns() noexcept;
+
 /// Discard all collected events (retired and live buffers).
 void clear_trace() noexcept;
 
@@ -356,15 +375,37 @@ struct trace_event {
   std::uint32_t tid;
   std::uint64_t ts_ns;   // steady-clock, process-relative
   std::uint64_t dur_ns;
+  char ph;            // 'X' complete span, 's'/'f' flow start/finish
+  std::uint64_t id;   // flow binding id (0 for spans)
 };
 
 #if ASPEN_TELEMETRY_ENABLED
 [[nodiscard]] std::uint64_t trace_now_ns() noexcept;
 void trace_emit(const char* name, const char* cat, std::uint64_t ts_ns,
                 std::uint64_t dur_ns) noexcept;
+void trace_emit_flow(const char* name, const char* cat, bool begin,
+                     std::uint64_t id) noexcept;
 #endif
 
 }  // namespace detail
+
+/// Emit a Perfetto flow event at the current time: `ph:"s"` (begin=true)
+/// starts a flow arrow, `ph:"f"` (begin=false) terminates it. The two ends
+/// bind on (name, cat, id) across ranks in a merged trace — the conduit
+/// uses this to draw each wire message from its send_am site to its staged
+/// delivery on the receiver. No-op unless tracing is enabled (and compiled
+/// in); name/cat must be string literals.
+inline void trace_flow(const char* name, const char* cat, bool begin,
+                       std::uint64_t id) noexcept {
+#if ASPEN_TELEMETRY_ENABLED
+  if (tracing_enabled()) detail::trace_emit_flow(name, cat, begin, id);
+#else
+  (void)name;
+  (void)cat;
+  (void)begin;
+  (void)id;
+#endif
+}
 
 #if ASPEN_TELEMETRY_ENABLED
 

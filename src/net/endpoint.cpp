@@ -7,13 +7,18 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <string>
 #include <thread>
 
+#include "core/persona.hpp"
 #include "core/telemetry.hpp"
+#include "core/telemetry_live.hpp"
 
 namespace aspen::net {
 
@@ -28,6 +33,26 @@ constexpr std::uint64_t kQuiesceKey = 0xEC00000000000002ull;
 /// idle_wait() watches at most this many peer sockets; larger jobs still
 /// wake within the 1 ms poll bound for the unwatched remainder.
 constexpr nfds_t kMaxPollFds = 64;
+
+/// Bootstrap clock-offset probes per rank; the lowest-RTT sample wins.
+constexpr int kClockProbes = 8;
+
+std::uint64_t mono_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Flow-event binding id for one wire message: seq is unique per
+/// (src, dst) stream, so packing the endpoints into the top bytes makes it
+/// job-unique (ranks are < 256 here; seq wraps only past 2^48 messages).
+constexpr std::uint64_t flow_id(int src, int dst,
+                                std::uint64_t seq) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint8_t>(src)) << 56) |
+         (static_cast<std::uint64_t>(static_cast<std::uint8_t>(dst)) << 48) |
+         (seq & 0xFFFFFFFFFFFFull);
+}
 
 std::unique_ptr<endpoint>& instance_slot() {
   static std::unique_ptr<endpoint> ep;
@@ -103,7 +128,12 @@ endpoint::endpoint(int rank, int nranks, gex::net_config cfg,
     peers_[static_cast<std::size_t>(r)]->dec =
         std::make_unique<decoder>(cfg_.max_frame);
   }
+  telemetry_interval_ms_ = telemetry::live::interval_ms();
+  last_push_ns_ = mono_ns();
+  if (rank_ == 0) telemetry::live::collector_reset(nranks_);
   bootstrap(segment_bytes);
+  if (telemetry::live::trace_base() != nullptr)
+    telemetry::enable_tracing(true);
 }
 
 endpoint::~endpoint() {
@@ -181,6 +211,11 @@ void endpoint::bootstrap(std::uint64_t segment_bytes) {
     fd_handle s = connect_loopback(ports[static_cast<std::size_t>(j)]);
     write_frame_blocking(s.get(), ih, nullptr, 0);
     peer_of(j).sock = std::move(s);
+    // The rank-0 link is still blocking and otherwise idle right now:
+    // measure our steady-clock offset against rank 0 before any traffic
+    // shares the socket. Every rank probes rank 0 first (j == 0 leads the
+    // loop), and rank 0 answers each accepted rank in arrival order.
+    if (j == 0) clock_sync_with_rank0();
   }
   for (int k = rank_ + 1; k < nranks_; ++k) {
     fd_handle s = accept_one(lsock.get());
@@ -193,10 +228,66 @@ void endpoint::bootstrap(std::uint64_t segment_bytes) {
                    kind_name(id.kind()), id.hdr.src);
       std::abort();
     }
+    if (rank_ == 0) serve_clock_probes(s.get());
     peer_of(id.hdr.src).sock = std::move(s);
   }
+  if (rank_ == 0) telemetry::set_clock_sync(0);
   for (int r = 0; r < nranks_; ++r)
     if (r != rank_) make_wire_ready(peer_of(r).sock.get());
+}
+
+void endpoint::clock_sync_with_rank0() {
+  const int fd = peer_of(0).sock.get();
+  std::int64_t best_rtt = std::numeric_limits<std::int64_t>::max();
+  std::int64_t best_theta = 0;
+  for (int i = 0; i < kClockProbes; ++i) {
+    frame_header ph{};
+    ph.kind = static_cast<std::uint16_t>(frame_kind::clock_probe);
+    ph.src = rank_;
+    ph.seq = static_cast<std::uint64_t>(i);
+    const auto t0 = static_cast<std::int64_t>(mono_ns());
+    write_frame_blocking(fd, ph, nullptr, 0);
+    frame r = read_frame_blocking(fd, 4096);
+    const auto t1 = static_cast<std::int64_t>(mono_ns());
+    if (r.kind() != frame_kind::clock_reply ||
+        r.payload.size() != sizeof(std::uint64_t)) {
+      std::fprintf(stderr,
+                   "aspen/net: fatal: bad clock-sync reply from rank 0 "
+                   "(kind %s, %zu payload bytes)\n",
+                   kind_name(r.kind()), r.payload.size());
+      std::abort();
+    }
+    const auto remote = static_cast<std::int64_t>(read_u64(r.payload.data()));
+    // RTT-midpoint estimate: rank 0 stamped `remote` roughly when our
+    // clock read t0 + rtt/2. The lowest-RTT probe bounds the asymmetry
+    // error tightest, so it wins outright (no averaging).
+    const std::int64_t rtt = t1 - t0;
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best_theta = (t0 + rtt / 2) - remote;
+    }
+  }
+  clock_offset_ns_ = best_theta;
+  telemetry::set_clock_sync(best_theta);
+}
+
+void endpoint::serve_clock_probes(int fd) {
+  for (int i = 0; i < kClockProbes; ++i) {
+    frame f = read_frame_blocking(fd, 4096);
+    if (f.kind() != frame_kind::clock_probe) {
+      std::fprintf(stderr,
+                   "aspen/net: fatal: expected a clock probe during "
+                   "bootstrap, got %s\n",
+                   kind_name(f.kind()));
+      std::abort();
+    }
+    frame_header rh{};
+    rh.kind = static_cast<std::uint16_t>(frame_kind::clock_reply);
+    rh.src = rank_;
+    rh.seq = f.hdr.seq;
+    const std::uint64_t now = mono_ns();
+    write_frame_blocking(fd, rh, &now, sizeof now);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -252,6 +343,7 @@ void endpoint::enqueue_frame(peer& p, int target, const frame_header& hdr,
 
 void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
   (void)rt;
+  telemetry::span sp("wire_send", "net");
   peer& p = peer_of(target);
   if (!p.sock.valid() || p.departed) {
     std::fprintf(stderr,
@@ -269,6 +361,8 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
 
   std::lock_guard<std::mutex> lk(p.mu);
   const std::uint64_t seq = p.next_send_seq++;
+  telemetry::trace_flow("wire_msg", "net", /*begin=*/true,
+                        flow_id(rank_, target, seq));
   if (len <= cfg_.eager_max) {
     telemetry::count(telemetry::counter::net_eager_sent);
     frame_header h{};
@@ -309,6 +403,7 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
 std::size_t endpoint::pump(gex::runtime& rt) {
   if (pumping_) return 0;
   pumping_ = true;
+  maybe_push_telemetry(/*final_flush=*/false);
   std::size_t work = 0;
   for (int r = 0; r < nranks_; ++r) {
     if (r == rank_) continue;
@@ -484,12 +579,37 @@ void endpoint::process_frame(gex::runtime& rt, int rank, frame&& f) {
       async_done_epoch_.store(f.hdr.seq + 1, std::memory_order_release);
       break;
     }
+    case frame_kind::telemetry: {
+      if (rank_ != 0) {
+        std::fprintf(stderr,
+                     "aspen/net: fatal: telemetry frame from rank %d "
+                     "arrived at rank %d (only rank 0 collects)\n",
+                     rank, rank_);
+        std::abort();
+      }
+      telemetry::count(telemetry::counter::net_telemetry_received);
+      telemetry::snapshot d{};
+      telemetry::live::gauges g;
+      if (!telemetry::live::decode_update(f.payload.data(), f.payload.size(),
+                                          &d, &g)) {
+        std::fprintf(stderr,
+                     "aspen/net: fatal: malformed telemetry update from "
+                     "rank %d (%zu payload bytes)\n",
+                     rank, f.payload.size());
+        std::abort();
+      }
+      telemetry::live::collector_accumulate(rank, d, g,
+                                            (f.hdr.aux & 1u) != 0);
+      break;
+    }
     case frame_kind::bye:
       p.bye_seen = true;
       break;
     case frame_kind::hello:
     case frame_kind::table:
     case frame_kind::ident:
+    case frame_kind::clock_probe:
+    case frame_kind::clock_reply:
       std::fprintf(stderr,
                    "aspen/net: fatal: unexpected bootstrap frame (%s) on "
                    "the established rank %d -> %d stream\n",
@@ -503,6 +623,9 @@ std::size_t endpoint::release_staged(gex::runtime& rt, int rank) {
   std::size_t released = 0;
   auto it = p.staged.begin();
   while (it != p.staged.end() && it->first == p.next_deliver_seq) {
+    telemetry::span sp("wire_deliver", "net");
+    telemetry::trace_flow("wire_msg", "net", /*begin=*/false,
+                          flow_id(rank, rank_, it->first));
     rt.deliver_from_wire(rank_, std::move(it->second));
     delivered_from_[static_cast<std::size_t>(rank)].fetch_add(
         1, std::memory_order_relaxed);
@@ -654,6 +777,11 @@ std::vector<int> world_members(int nranks) {
 
 void endpoint::begin_region(const progress_fn& progress) {
   barrier(kRegionKey, region_seq_++, world_members(nranks_), progress);
+  // Re-arm the periodic push only once every rank has entered the region:
+  // until the entry barrier releases, rank 0 may still be freezing the
+  // previous region's aggregate, and an early push would skew it.
+  telemetry_final_sent_ = false;
+  last_push_ns_ = mono_ns();
 }
 
 void endpoint::end_region(const progress_fn& progress) {
@@ -696,9 +824,92 @@ void endpoint::end_region(const progress_fn& progress) {
                  static_cast<std::size_t>(nranks_ + i)];
         if (sent != delivered) matched = false;
       }
-    if (matched && flat == prev) return;
+    if (matched && flat == prev) break;
     prev = std::move(flat);
   }
+  // Quiescent: no counted frame is in flight anywhere, so the telemetry
+  // final flush below is the only remaining wire traffic of this region.
+  finish_region_telemetry(progress);
+  if (const char* tb = telemetry::live::trace_base()) {
+    (void)telemetry::write_trace_file(std::string(tb) + ".rank" +
+                                      std::to_string(rank_) + ".trace.json");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Live telemetry plane
+// ---------------------------------------------------------------------------
+
+telemetry::live::gauges endpoint::live_gauges() const {
+  telemetry::live::gauges g;
+  for (int r = 0; r < nranks_; ++r) {
+    if (r == rank_) continue;
+    const peer& p = *peers_[static_cast<std::size_t>(r)];
+    std::lock_guard<std::mutex> lk(p.mu);
+    g.sendq_bytes += p.out.size() - p.out_off;
+    g.staged_msgs += p.staged.size();
+  }
+  g.sendq_high_water = sendq_high_water_.load(std::memory_order_relaxed);
+  g.lpc_mailbox_depth = current_persona().mailbox_depth();
+  return g;
+}
+
+void endpoint::maybe_push_telemetry(bool final_flush) {
+  if (telemetry_interval_ms_ == 0 || rank_ == 0) return;
+  if (telemetry_final_sent_ && !final_flush) return;
+  const std::uint64_t now = mono_ns();
+  if (!final_flush &&
+      now - last_push_ns_ <
+          std::uint64_t{telemetry_interval_ms_} * 1'000'000u)
+    return;
+  peer& p0 = peer_of(0);
+  if (!p0.sock.valid() || p0.departed) return;
+  last_push_ns_ = now;
+  // Tick the frame's own counter *before* capturing the delta so the count
+  // rides the update it announces. Anything ticked after the capture (the
+  // flush's own byte counters, say) lands in the next delta — or, on the
+  // final flush, stays frozen out of both comparison paths identically.
+  telemetry::count(telemetry::counter::net_telemetry_sent);
+  const telemetry::live::gauges g = live_gauges();
+  const telemetry::snapshot d = telemetry::live::take_update_delta();
+  std::vector<std::byte> body;
+  telemetry::live::encode_update(d, g, body);
+  frame_header h{};
+  h.kind = static_cast<std::uint16_t>(frame_kind::telemetry);
+  h.src = rank_;
+  h.aux = final_flush ? 1u : 0u;
+  // Uncounted: telemetry frames ride below the quiescence matrices so
+  // periodic pushes can never perturb region-exit stability detection.
+  enqueue_frame(p0, 0, h, body.data(), body.size(), /*counted=*/false);
+}
+
+void endpoint::finish_region_telemetry(const progress_fn& progress) {
+  if (telemetry_interval_ms_ == 0) return;
+  if (rank_ != 0) {
+    maybe_push_telemetry(/*final_flush=*/true);
+    telemetry_final_sent_ = true;
+    // The final frame must be fully on the wire before this rank leaves
+    // the region: rank 0 blocks on it below, and teardown may follow.
+    for (;;) {
+      peer& p0 = peer_of(0);
+      {
+        std::lock_guard<std::mutex> lk(p0.mu);
+        if (p0.out_off >= p0.out.size()) return;
+        flush_locked(p0, 0);
+        if (p0.out_off >= p0.out.size()) return;
+      }
+      progress();
+    }
+  }
+  // Rank 0: pump until every sibling's final update arrived, then freeze
+  // the local contribution. The local capture happens *after* the remote
+  // finals so their net_telemetry_received ticks are inside it.
+  while (telemetry::live::collector_finals() < nranks_ - 1) {
+    if (progress() == 0) idle_wait();
+  }
+  telemetry::live::collector_begin_epoch();
+  telemetry::live::collector_note_local(telemetry::live::capture_total(),
+                                        live_gauges());
 }
 
 }  // namespace aspen::net

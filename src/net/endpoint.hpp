@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/telemetry_live.hpp"
 #include "gex/am.hpp"
 #include "gex/backend.hpp"
 #include "gex/config.hpp"
@@ -72,6 +73,16 @@ class endpoint final : public gex::wire_transport {
   /// Largest per-peer send-queue depth (bytes) observed so far.
   [[nodiscard]] std::size_t sendq_high_water() const noexcept {
     return sendq_high_water_.load(std::memory_order_relaxed);
+  }
+
+  /// Instantaneous transport gauges for the live-telemetry plane.
+  [[nodiscard]] telemetry::live::gauges live_gauges() const;
+
+  /// Estimated steady-clock offset of this rank versus rank 0
+  /// (local - rank0, nanoseconds), measured by the bootstrap's RTT-midpoint
+  /// probes. 0 on rank 0 and in single-rank jobs.
+  [[nodiscard]] std::int64_t clock_offset_ns() const noexcept {
+    return clock_offset_ns_;
   }
 
   // -- collective support (called from the rank thread only) ---------------
@@ -148,6 +159,19 @@ class endpoint final : public gex::wire_transport {
   void bootstrap(std::uint64_t segment_bytes);
   peer& peer_of(int rank) { return *peers_[static_cast<std::size_t>(rank)]; }
 
+  /// Rank > 0: estimate clock_offset_ns_ against rank 0 over the (still
+  /// blocking) mesh socket during bootstrap.
+  void clock_sync_with_rank0();
+  /// Rank 0: answer one higher rank's bootstrap clock probes.
+  void serve_clock_probes(int fd);
+  /// Non-zero ranks: ship a telemetry update frame to rank 0 if the push
+  /// interval elapsed (or unconditionally on the region-exit final flush).
+  void maybe_push_telemetry(bool final_flush);
+  /// Region-exit leg of the telemetry plane: senders flush their final
+  /// frame to the wire; rank 0 pumps until every final arrived, then
+  /// freezes its own contribution.
+  void finish_region_telemetry(const progress_fn& progress);
+
   /// Append a frame to `p`'s queue and opportunistically flush. Counts
   /// toward the quiescence matrix iff `counted`.
   void enqueue_frame(peer& p, int target, const frame_header& hdr,
@@ -187,6 +211,17 @@ class endpoint final : public gex::wire_transport {
   std::uint64_t quiesce_seq_ = 0;
 
   std::atomic<std::size_t> sendq_high_water_{0};
+
+  // Live-telemetry plane (0 == disabled) and bootstrap clock sync.
+  std::uint32_t telemetry_interval_ms_ = 0;
+  std::uint64_t last_push_ns_ = 0;
+  /// Set once the region's final flush is shipped: no periodic push may
+  /// follow it until the *next* region's entry barrier releases, because
+  /// until then rank 0 may still be freezing the previous region's
+  /// aggregate (a stray push would reach its collector but not the frozen
+  /// sender totals, or vice versa). Cleared after begin_region's barrier.
+  bool telemetry_final_sent_ = false;
+  std::int64_t clock_offset_ns_ = 0;
 };
 
 }  // namespace aspen::net

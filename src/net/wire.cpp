@@ -19,6 +19,9 @@ const char* kind_name(frame_kind k) noexcept {
     case frame_kind::async_arrive: return "async_arrive";
     case frame_kind::async_release: return "async_release";
     case frame_kind::bye: return "bye";
+    case frame_kind::telemetry: return "telemetry";
+    case frame_kind::clock_probe: return "clock_probe";
+    case frame_kind::clock_reply: return "clock_reply";
   }
   return "?";
 }
@@ -46,7 +49,7 @@ std::uintptr_t text_anchor() noexcept {
 namespace {
 constexpr bool valid_kind(std::uint16_t k) noexcept {
   return k >= static_cast<std::uint16_t>(frame_kind::hello) &&
-         k <= static_cast<std::uint16_t>(frame_kind::bye);
+         k <= static_cast<std::uint16_t>(frame_kind::clock_reply);
 }
 }  // namespace
 

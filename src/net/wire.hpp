@@ -34,6 +34,16 @@
 //   bye            clean-shutdown marker sent just before close. A peer
 //                  socket reaching EOF without a preceding bye is a crashed
 //                  process and aborts the job loudly.
+//   telemetry      rank -> rank 0 live-telemetry update: a sparse
+//                  varint-encoded counter delta plus transport gauges (see
+//                  core/telemetry_live.hpp for the payload codec). aux bit 0
+//                  marks the final region-exit flush. Never counted in the
+//                  quiescence matrices.
+//   clock_probe    rank -> rank 0 clock-offset probe during bootstrap
+//                  (blocking phase, before the sockets go non-blocking).
+//                  seq is the probe index. No payload.
+//   clock_reply    rank 0's reply to a clock_probe: u64 steady-clock
+//                  nanoseconds at rank 0. seq echoes the probe index.
 #pragma once
 
 #include <cstddef>
@@ -49,7 +59,7 @@
 namespace aspen::net {
 
 inline constexpr std::uint16_t kMagic = 0xA59E;
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 enum class frame_kind : std::uint16_t {
   hello = 1,
@@ -64,6 +74,9 @@ enum class frame_kind : std::uint16_t {
   async_arrive = 10,
   async_release = 11,
   bye = 12,
+  telemetry = 13,
+  clock_probe = 14,
+  clock_reply = 15,
 };
 
 [[nodiscard]] const char* kind_name(frame_kind k) noexcept;

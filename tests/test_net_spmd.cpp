@@ -8,13 +8,20 @@
 
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <numeric>
+#include <set>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "apps/gups/gups.hpp"
+#include "benchutil/telemetry_report.hpp"
 #include "core/aspen.hpp"
 #include "core/telemetry.hpp"
+#include "core/telemetry_live.hpp"
 #include "net/endpoint.hpp"
 
 namespace {
@@ -302,6 +309,181 @@ TEST(NetSpmd, NetCountersTick) {
     }
     aspen::barrier();
   });
+}
+
+bool snap_eq(const aspen::telemetry::snapshot& a,
+             const aspen::telemetry::snapshot& b) {
+  return a.counters == b.counters && a.pq_fire_hist == b.pq_fire_hist &&
+         a.pq_high_water == b.pq_high_water &&
+         a.pq_reserve_growths == b.pq_reserve_growths &&
+         a.pq_total_fired == b.pq_total_fired &&
+         a.lpc_mailbox_high_water == b.lpc_mailbox_high_water;
+}
+
+// The tentpole acceptance test: with ASPEN_TELEMETRY_INTERVAL_MS set (the
+// net_spmd_live_n* ctest entries), rank 0's in-memory job aggregate must be
+// bit-identical to what a post-hoc sidecar merge of every rank's frozen
+// region-exit totals produces. Without the interval, asserts the plane is
+// fully dormant (zero telemetry frames on the wire).
+TEST(NetSpmd, LiveAggregationMatchesSidecarMerge) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  namespace live = aspen::telemetry::live;
+  using c = aspen::telemetry::counter;
+
+  if (!live::enabled()) {
+    aspen::spmd(n, tcp_cfg(), [n] {
+      const int target = (aspen::rank_me() + 1) % n;
+      (void)aspen::rpc(target, [](int x) { return x; }, 1).wait();
+      aspen::barrier();
+    });
+    if (aspen::telemetry::compiled_in()) {
+      const auto t = aspen::telemetry::aggregate();
+      EXPECT_EQ(t.get(c::net_telemetry_sent), 0u)
+          << "telemetry frames shipped with the interval unset";
+      EXPECT_EQ(t.get(c::net_telemetry_received), 0u);
+    }
+    GTEST_SKIP() << "set ASPEN_TELEMETRY_INTERVAL_MS for the live leg "
+                    "(ctest net_spmd_live_n*)";
+  }
+
+  const std::string base =
+      "/tmp/aspen_live_cmp." + std::to_string(::getppid());
+  const aspen::telemetry::snapshot js_before = live::job_snapshot();
+
+  aspen::spmd(n, tcp_cfg(), [n] {
+    // Cross-process-only traffic: eager rputs around the ring plus one
+    // rendezvous-sized rpc, with enough rounds that several push
+    // intervals elapse mid-region.
+    auto gp = aspen::new_<std::uint64_t>(0);
+    std::vector<aspen::global_ptr<std::uint64_t>> dir(
+        static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r)
+      dir[static_cast<std::size_t>(r)] = aspen::broadcast(gp, r);
+    aspen::barrier();
+    const int target = (aspen::rank_me() + 1) % n;
+    for (int i = 0; i < 64; ++i)
+      aspen::rput(std::uint64_t{1} + i, dir[static_cast<std::size_t>(target)])
+          .wait();
+    std::vector<std::uint64_t> big(1 << 13);
+    std::iota(big.begin(), big.end(), 7ull);
+    const std::uint64_t echoed =
+        aspen::rpc(target,
+                   [](const std::vector<std::uint64_t>& v) {
+                     return std::accumulate(v.begin(), v.end(), 0ull);
+                   },
+                   big)
+            .wait();
+    EXPECT_EQ(echoed, std::accumulate(big.begin(), big.end(), 0ull));
+    aspen::barrier();
+    aspen::delete_(gp);
+  });
+
+  // The region exit froze every rank's shipped totals and rank 0's
+  // collector. Capture both sides of the comparison *now*: the barrier
+  // region below ships fresh finals of its own.
+  const int rank = aspen::net::endpoint::instance()->self_rank();
+  ASSERT_TRUE(aspen::bench::write_telemetry_sidecar(
+      aspen::bench::rank_sidecar_path(base, rank), "live_cmp",
+      live::shipped_total()));
+  const aspen::telemetry::snapshot js = live::job_snapshot();
+
+  aspen::spmd(n, tcp_cfg(), [] { aspen::barrier(); });  // sidecars on disk
+
+  if (rank == 0) {
+    aspen::telemetry::snapshot merged{};
+    EXPECT_EQ(aspen::bench::merge_rank_sidecars(base, n, &merged), n);
+    EXPECT_TRUE(snap_eq(js, merged))
+        << "live aggregate:\n  " << js.to_json() << "\nsidecar merge:\n  "
+        << merged.to_json();
+    if (aspen::telemetry::compiled_in()) {
+      EXPECT_GT(live::rank_updates(n - 1), 0u);
+      // The paper's invariant holds job-wide in the live aggregate: no
+      // cross-process operation of the workload completed eagerly.
+      const auto d = js - js_before;
+      EXPECT_EQ(d.get(c::cx_eager_taken), 0u)
+          << "a cross-process op completed eagerly somewhere in the job";
+      EXPECT_GT(d.get(c::net_msgs_sent), 0u);
+      EXPECT_GT(js.get(c::net_telemetry_received), 0u);
+      EXPECT_GT(js.get(c::net_telemetry_sent), 0u);
+    }
+  }
+
+  aspen::spmd(n, tcp_cfg(), [] { aspen::barrier(); });  // rank 0 done
+  (void)std::remove(aspen::bench::rank_sidecar_path(base, rank).c_str());
+}
+
+// Clock-aligned multi-rank tracing: each rank records wire spans and flow
+// events for one traffic region, writes its per-rank trace, and rank 0
+// stitches them. At least one message must appear as a bound flow — its
+// "s" (send) and "f" (staged delivery) share a binding id across two
+// different ranks' event streams.
+TEST(NetSpmd, MergedTraceCarriesFlowEvents) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  if (!aspen::telemetry::compiled_in())
+    GTEST_SKIP() << "telemetry compiled out";
+
+  const std::string base = "/tmp/aspen_trace." + std::to_string(::getppid());
+  aspen::telemetry::clear_trace();
+  aspen::telemetry::enable_tracing(true);
+  aspen::spmd(n, tcp_cfg(), [n] {
+    const int target = (aspen::rank_me() + 1) % n;
+    for (int i = 0; i < 4; ++i)
+      (void)aspen::rpc(target, [](int x) { return x + 1; }, i).wait();
+    aspen::barrier();
+  });
+  aspen::telemetry::enable_tracing(false);
+
+  const int rank = aspen::net::endpoint::instance()->self_rank();
+  ASSERT_TRUE(aspen::telemetry::write_trace_file(
+      aspen::bench::rank_trace_path(base, rank)));
+  aspen::spmd(n, tcp_cfg(), [] { aspen::barrier(); });  // traces on disk
+
+  if (rank == 0) {
+    // Rank clocks were probed at bootstrap: every per-rank trace carries
+    // its offset so the merged timeline is aligned to rank 0.
+    std::ifstream own(aspen::bench::rank_trace_path(base, rank));
+    std::ostringstream oss;
+    oss << own.rdbuf();
+    EXPECT_NE(oss.str().find("\"clock_synced\":true"), std::string::npos);
+    EXPECT_NE(oss.str().find("\"clock_offset_ns\":"), std::string::npos);
+
+    const std::string out = base + ".merged.trace.json";
+    EXPECT_EQ(aspen::bench::merge_rank_traces(base, n, out), n);
+    std::ifstream f(out);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    const std::string s = ss.str();
+    EXPECT_NE(s.find("\"wire_send\""), std::string::npos);
+    EXPECT_NE(s.find("\"wire_deliver\""), std::string::npos);
+    // Collect flow binding ids by phase and require a bound pair.
+    auto ids_of = [&s](const char* ph) {
+      std::set<std::string> ids;
+      const std::string needle = std::string("\"ph\":\"") + ph + "\"";
+      for (std::size_t pos = s.find(needle); pos != std::string::npos;
+           pos = s.find(needle, pos + 1)) {
+        const std::size_t id_key = s.find("\"id\":\"", pos);
+        if (id_key == std::string::npos) break;
+        const std::size_t open = id_key + 6;
+        const std::size_t close = s.find('"', open);
+        if (close == std::string::npos) break;
+        ids.insert(s.substr(open, close - open));
+      }
+      return ids;
+    };
+    const std::set<std::string> starts = ids_of("s");
+    const std::set<std::string> finishes = ids_of("f");
+    EXPECT_FALSE(starts.empty());
+    bool bound = false;
+    for (const std::string& id : starts)
+      if (finishes.count(id) != 0) bound = true;
+    EXPECT_TRUE(bound) << "no flow id appears as both send and delivery";
+    (void)std::remove(out.c_str());
+  }
+
+  aspen::spmd(n, tcp_cfg(), [] { aspen::barrier(); });  // rank 0 done
+  (void)std::remove(aspen::bench::rank_trace_path(base, rank).c_str());
 }
 
 }  // namespace

@@ -9,9 +9,13 @@
 #include <cstring>
 #include <vector>
 
+#include "core/telemetry.hpp"
+#include "core/telemetry_live.hpp"
 #include "net/wire.hpp"
 
 namespace net = aspen::net;
+namespace live = aspen::telemetry::live;
+using aspen::telemetry::snapshot;
 
 namespace {
 
@@ -47,6 +51,8 @@ TEST(NetWire, EveryKindRoundTrips) {
       net::frame_kind::am_data,      net::frame_kind::coll_contrib,
       net::frame_kind::coll_result,  net::frame_kind::async_arrive,
       net::frame_kind::async_release, net::frame_kind::bye,
+      net::frame_kind::telemetry,    net::frame_kind::clock_probe,
+      net::frame_kind::clock_reply,
   };
   std::vector<std::byte> stream;
   std::vector<std::vector<std::byte>> payloads;
@@ -219,6 +225,200 @@ TEST(NetWire, ApplyEnvOverridesAndClamps) {
   got = net::apply_env(deaf);
   EXPECT_EQ(got.eager_max, base.eager_max);
   unsetenv("ASPEN_NET_EAGER_MAX");
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry update frames (the live-aggregation payload codec).
+// ---------------------------------------------------------------------------
+
+/// A deterministic snapshot with values spread across the whole flat field
+/// space (counters, histogram, scalars) so codec bugs in any region show.
+snapshot make_snap(std::uint64_t seed) {
+  snapshot s{};
+  for (std::size_t i = seed % 3; i < aspen::telemetry::kCounterCount; i += 3)
+    s.counters[i] = seed * 1000 + i;
+  for (std::size_t i = 0; i < aspen::telemetry::kPqBatchBuckets; i += 2)
+    s.pq_fire_hist[i] = seed + i;
+  s.pq_high_water = seed * 7;
+  s.pq_reserve_growths = seed;
+  s.pq_total_fired = seed * 13 + 1;
+  s.lpc_mailbox_high_water = seed * 3;
+  return s;
+}
+
+bool snap_eq(const snapshot& a, const snapshot& b) {
+  return a.counters == b.counters && a.pq_fire_hist == b.pq_fire_hist &&
+         a.pq_high_water == b.pq_high_water &&
+         a.pq_reserve_growths == b.pq_reserve_growths &&
+         a.pq_total_fired == b.pq_total_fired &&
+         a.lpc_mailbox_high_water == b.lpc_mailbox_high_water;
+}
+
+void put_varint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+TEST(NetWire, TelemetryUpdateRoundTrips) {
+  const snapshot in = make_snap(5);
+  live::gauges gin;
+  gin.sendq_bytes = 12345;
+  gin.sendq_high_water = 999999;
+  gin.staged_msgs = 7;
+  gin.lpc_mailbox_depth = 3;
+  std::vector<std::byte> body;
+  live::encode_update(in, gin, body);
+
+  snapshot out{};
+  live::gauges gout;
+  ASSERT_TRUE(live::decode_update(body.data(), body.size(), &out, &gout));
+  EXPECT_TRUE(snap_eq(in, out));
+  EXPECT_EQ(gout.sendq_bytes, gin.sendq_bytes);
+  EXPECT_EQ(gout.sendq_high_water, gin.sendq_high_water);
+  EXPECT_EQ(gout.staged_msgs, gin.staged_msgs);
+  EXPECT_EQ(gout.lpc_mailbox_depth, gin.lpc_mailbox_depth);
+
+  // The all-zero update (an idle interval) is 5 bytes and round-trips too.
+  std::vector<std::byte> empty;
+  live::encode_update(snapshot{}, live::gauges{}, empty);
+  EXPECT_EQ(empty.size(), 5u);
+  ASSERT_TRUE(live::decode_update(empty.data(), empty.size(), &out, &gout));
+  EXPECT_TRUE(snap_eq(out, snapshot{}));
+}
+
+TEST(NetWire, TelemetryUpdateSurvivesTornFrameFeed) {
+  const snapshot in = make_snap(9);
+  live::gauges gin;
+  gin.sendq_bytes = 1;
+  std::vector<std::byte> body;
+  live::encode_update(in, gin, body);
+  std::vector<std::byte> stream;
+  net::encode_frame(stream,
+                    make_header(net::frame_kind::telemetry,
+                                static_cast<std::uint32_t>(body.size())),
+                    body.data(), body.size());
+
+  net::decoder dec(kMaxFrame);
+  std::vector<net::frame> got;
+  net::frame f;
+  for (std::byte b : stream) {
+    dec.feed(&b, 1);
+    while (dec.try_next(f)) got.push_back(std::move(f));
+  }
+  ASSERT_FALSE(dec.in_error()) << dec.error();
+  ASSERT_EQ(got.size(), 1u);
+  ASSERT_EQ(got[0].kind(), net::frame_kind::telemetry);
+  snapshot out{};
+  live::gauges gout;
+  ASSERT_TRUE(live::decode_update(got[0].payload.data(),
+                                  got[0].payload.size(), &out, &gout));
+  EXPECT_TRUE(snap_eq(in, out));
+  EXPECT_EQ(gout.sendq_bytes, 1u);
+}
+
+TEST(NetWire, TelemetryUpdateRejectsMalformedInput) {
+  const snapshot in = make_snap(3);
+  std::vector<std::byte> body;
+  live::encode_update(in, live::gauges{}, body);
+
+  // Every strict prefix runs out of varints somewhere.
+  for (std::size_t len = 0; len < body.size(); ++len)
+    EXPECT_FALSE(live::decode_update(body.data(), len, nullptr, nullptr))
+        << "prefix of " << len << " bytes decoded";
+
+  // Trailing bytes after a complete update are garbage, not padding.
+  std::vector<std::byte> padded = body;
+  padded.push_back(std::byte{0});
+  EXPECT_FALSE(
+      live::decode_update(padded.data(), padded.size(), nullptr, nullptr));
+
+  auto with_pairs = [](std::initializer_list<std::pair<std::uint64_t,
+                                                       std::uint64_t>> ps) {
+    std::vector<std::byte> b;
+    put_varint(b, ps.size());
+    for (const auto& [idx, val] : ps) {
+      put_varint(b, idx);
+      put_varint(b, val);
+    }
+    for (int g = 0; g < 4; ++g) put_varint(b, 0);  // gauges
+    return b;
+  };
+  // Non-increasing field indices (canonical form is strictly ascending).
+  auto bad = with_pairs({{5, 1}, {3, 1}});
+  EXPECT_FALSE(live::decode_update(bad.data(), bad.size(), nullptr, nullptr));
+  bad = with_pairs({{5, 1}, {5, 1}});
+  EXPECT_FALSE(live::decode_update(bad.data(), bad.size(), nullptr, nullptr));
+  // Explicit zero values are never encoded.
+  bad = with_pairs({{2, 0}});
+  EXPECT_FALSE(live::decode_update(bad.data(), bad.size(), nullptr, nullptr));
+  // Field index out of range.
+  bad = with_pairs({{live::kFieldCount, 1}});
+  EXPECT_FALSE(live::decode_update(bad.data(), bad.size(), nullptr, nullptr));
+  // Pair count exceeding the field space.
+  bad.clear();
+  put_varint(bad, live::kFieldCount + 1);
+  EXPECT_FALSE(live::decode_update(bad.data(), bad.size(), nullptr, nullptr));
+}
+
+TEST(NetWire, OversizedTelemetryFrameIsRejected) {
+  net::frame_header h = make_header(
+      net::frame_kind::telemetry, static_cast<std::uint32_t>(kMaxFrame) + 1);
+  net::decoder dec(kMaxFrame);
+  dec.feed(&h, sizeof(h));
+  net::frame f;
+  EXPECT_FALSE(dec.try_next(f));
+  EXPECT_TRUE(dec.in_error());
+}
+
+TEST(NetWire, TelemetryDeltaMergeIsAssociativeAndCommutative) {
+  const snapshot a = make_snap(1), b = make_snap(2), c = make_snap(4);
+
+  snapshot ab{};
+  aspen::telemetry::merge_into(ab, a);
+  aspen::telemetry::merge_into(ab, b);
+  snapshot ba{};
+  aspen::telemetry::merge_into(ba, b);
+  aspen::telemetry::merge_into(ba, a);
+  EXPECT_TRUE(snap_eq(ab, ba));
+
+  snapshot ab_c = ab;
+  aspen::telemetry::merge_into(ab_c, c);
+  snapshot bc{};
+  aspen::telemetry::merge_into(bc, b);
+  aspen::telemetry::merge_into(bc, c);
+  snapshot a_bc = bc;
+  aspen::telemetry::merge_into(a_bc, a);
+  EXPECT_TRUE(snap_eq(ab_c, a_bc));
+}
+
+// The live plane's core invariant, in miniature: a rank that ships
+// interval deltas (cumulative-total differences, high-waters absolute)
+// reassembles to exactly the totals a post-hoc sidecar would have carried.
+TEST(NetWire, FinalFlushEqualsSidecarTotals) {
+  // Three monotone cumulative checkpoints of one rank's counters.
+  snapshot s1 = make_snap(2);
+  snapshot s2 = s1;
+  s2.counters[0] += 10;
+  s2.pq_high_water += 5;
+  s2.pq_total_fired += 3;
+  snapshot s3 = s2;
+  s3.counters[1] += 1;
+  s3.pq_fire_hist[0] += 2;
+  s3.lpc_mailbox_high_water += 8;
+
+  // What take_update_delta() ships at each checkpoint.
+  const snapshot d1 = s1 - snapshot{};
+  const snapshot d2 = s2 - s1;
+  const snapshot d3 = s3 - s2;
+
+  snapshot acc{};
+  aspen::telemetry::merge_into(acc, d1);
+  aspen::telemetry::merge_into(acc, d2);
+  aspen::telemetry::merge_into(acc, d3);
+  EXPECT_TRUE(snap_eq(acc, s3));
 }
 
 }  // namespace

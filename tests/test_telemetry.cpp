@@ -290,4 +290,25 @@ TEST(TelemetryOff, JsonReportsDisabled) {
 
 #endif
 
+// Counter-name hygiene holds in both build flavors: every enum value has a
+// distinct, non-empty snake_case name (the sidecar reader matches counters
+// by name, so a collision or rename silently drops data on merge). The
+// same predicate is enforced at compile time in telemetry.cpp; this keeps
+// the diagnostic readable when a new counter breaks it.
+TEST(Telemetry, CounterNamesAreUniqueNonEmptySnakeCase) {
+  for (std::size_t i = 0; i < telemetry::kCounterCount; ++i) {
+    const char* name = telemetry::to_string(static_cast<telemetry::counter>(i));
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(name[0], '\0') << "counter " << i << " has an empty name";
+    for (const char* p = name; *p != '\0'; ++p)
+      EXPECT_TRUE((*p >= 'a' && *p <= 'z') || (*p >= '0' && *p <= '9') ||
+                  *p == '_')
+          << "counter name \"" << name << "\" is not snake_case";
+    for (std::size_t j = i + 1; j < telemetry::kCounterCount; ++j)
+      EXPECT_STRNE(name,
+                   telemetry::to_string(static_cast<telemetry::counter>(j)))
+          << "duplicate counter name at indices " << i << " and " << j;
+  }
+}
+
 }  // namespace
