@@ -168,6 +168,9 @@ int main() {
   // Telemetry sidecar: counters for the whole measured run.
   const auto tele = aspen::telemetry::aggregate() - tele_before;
   aspen::bench::print_telemetry_summary(std::cout, tele);
+  if (aspen::telemetry::compiled_in())
+    std::cout << "issue->completion latency by disposition: "
+              << aspen::bench::disposition_latency_json(tele) << "\n";
   if (aspen::telemetry::compiled_in() &&
       aspen::bench::write_telemetry_sidecar("fig2_4_micro.telemetry.json",
                                             "fig2_4_micro", tele))

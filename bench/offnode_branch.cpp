@@ -233,6 +233,8 @@ void run_tcp_leg(const char* self_hint) {
               << merged.get(telemetry::counter::cx_eager_taken)
               << " cx_remote_async="
               << merged.get(telemetry::counter::cx_remote_async) << "\n";
+    std::cout << "issue->completion latency by disposition (merged): "
+              << aspen::bench::disposition_latency_json(merged) << "\n";
     if (telemetry::live::enabled()) {
       telemetry::snapshot live{};
       if (aspen::bench::read_telemetry_sidecar(result + ".live.json", nullptr,

@@ -66,6 +66,17 @@
 //                          rank 0's <result>.live.json so the parent can
 //                          diff the live aggregate against the sidecar
 //                          merge (the CI cross-check; default 0)
+//
+// Stall watchdog and the aspen-top monitor (see docs/TELEMETRY.md):
+//   ASPEN_WATCHDOG_MS      non-zero arms the stall watchdog: a rank whose
+//                          oldest pending remote op, progress gap (with
+//                          work pending), or send-queue drain exceeds this
+//                          many ms dumps <base>.rank<R>.health.json once
+//                          per stall episode; SIGUSR1 forces a dump
+//                          (unset/0 = off)
+//   ASPEN_WATCHDOG_REPORT  report base path <base> above (default "aspen")
+//   ASPEN_TOP_INTERVAL_MS  aspen-top refresh interval when --interval is
+//                          not given (default 500, clamped to 1 min)
 #pragma once
 
 #include <cstddef>

@@ -36,6 +36,61 @@ void print_telemetry_summary(std::ostream& os,
   d.add_row({"pq_reserve_growths", std::to_string(snap.pq_reserve_growths)});
   d.add_row({"pq_total_fired", std::to_string(snap.pq_total_fired)});
   d.print(os);
+
+  bool any_lat = false;
+  for (std::size_t i = 0; i < telemetry::kLatStreamCount; ++i)
+    any_lat = any_lat || snap.lat[i].total() != 0;
+  if (any_lat) {
+    os << "completion latency (ns):\n";
+    table l({"stream", "count", "p50", "p90", "p99", "max"});
+    for (std::size_t i = 0; i < telemetry::kLatStreamCount; ++i) {
+      const telemetry::lat_hist& h = snap.lat[i];
+      if (h.total() == 0) continue;
+      l.add_row({telemetry::to_string(static_cast<telemetry::lat_stream>(i)),
+                 std::to_string(h.total()),
+                 std::to_string(h.percentile_ns(50.0)),
+                 std::to_string(h.percentile_ns(90.0)),
+                 std::to_string(h.percentile_ns(99.0)),
+                 std::to_string(h.max_ns)});
+    }
+    l.print(os);
+  }
+}
+
+telemetry::snapshot stable_aggregate() {
+  // telemetry::aggregate() folds per-thread atomic cells one relaxed load
+  // at a time, so a snapshot taken while worker threads are injecting can
+  // mix "before" and "after" values of logically-coupled counters (a torn
+  // read: cx_eager_taken from one instant, completions from another).
+  // Reading until two consecutive aggregates agree yields a snapshot that
+  // was stable across a full fold — the same discipline the live plane's
+  // final flush gets from region quiescence. Bounded: under sustained
+  // mutation the last (possibly torn) read still returns rather than
+  // spinning forever.
+  telemetry::snapshot prev = telemetry::aggregate();
+  for (int spin = 0; spin < 1000; ++spin) {
+    telemetry::snapshot cur = telemetry::aggregate();
+    if (cur == prev) return cur;
+    prev = cur;
+  }
+  return prev;
+}
+
+std::string disposition_latency_json(const telemetry::snapshot& snap) {
+  std::ostringstream os;
+  os << '{';
+  const telemetry::disposition dispositions[] = {
+      telemetry::disposition::eager, telemetry::disposition::deferred};
+  for (const telemetry::disposition d : dispositions) {
+    const telemetry::lat_hist h = snap.lat_by_disposition(d);
+    os << (d == telemetry::disposition::eager ? "\"" : ", \"")
+       << telemetry::to_string(d) << "\": {\"count\": " << h.total()
+       << ", \"p50_ns\": " << h.percentile_ns(50.0)
+       << ", \"p99_ns\": " << h.percentile_ns(99.0)
+       << ", \"max_ns\": " << h.max_ns << "}";
+  }
+  os << '}';
+  return os.str();
 }
 
 bool write_telemetry_sidecar(const std::string& path,
@@ -44,7 +99,8 @@ bool write_telemetry_sidecar(const std::string& path,
   std::ofstream f(path);
   if (!f) return false;
   f << "{\n  \"bench\": \"" << bench_name << "\",\n  \"telemetry\": "
-    << snap.to_json() << "\n}\n";
+    << snap.to_json() << ",\n  \"latency_by_disposition\": "
+    << disposition_latency_json(snap) << "\n}\n";
   return static_cast<bool>(f);
 }
 
@@ -148,6 +204,35 @@ bool read_telemetry_sidecar(const std::string& path, std::string* bench_name,
           v = v * 10 + static_cast<std::uint64_t>(s[p] - '0');
         snap.pq_fire_hist[b] = v;
       }
+    }
+  }
+  // Latency histograms: per stream, the mergeable fields only (buckets and
+  // max_ns; count/percentiles in the sidecar are derived). Optional for
+  // back-compat with sidecars written before the latency plane existed.
+  const std::size_t latj = s.find("\"latency\"");
+  if (latj != std::string::npos) {
+    for (std::size_t st = 0; st < telemetry::kLatStreamCount; ++st) {
+      const std::string key =
+          std::string("\"") +
+          telemetry::to_string(static_cast<telemetry::lat_stream>(st)) + "\"";
+      const std::size_t k = s.find(key, latj);
+      if (k == std::string::npos) continue;
+      const std::size_t obj_end = s.find('}', k);
+      const std::size_t open = s.find('[', k);
+      if (open == std::string::npos || obj_end == std::string::npos ||
+          open > obj_end)
+        continue;
+      const std::size_t close = s.find(']', open);
+      std::size_t p = open + 1;
+      for (std::size_t b = 0;
+           b < telemetry::kLatBuckets && p < close; ++b) {
+        while (p < close && (s[p] == ' ' || s[p] == ',')) ++p;
+        std::uint64_t v = 0;
+        for (; p < close && s[p] >= '0' && s[p] <= '9'; ++p)
+          v = v * 10 + static_cast<std::uint64_t>(s[p] - '0');
+        snap.lat[st].buckets[b] = v;
+      }
+      (void)parse_u64_after(s, "\"max_ns\"", close, &snap.lat[st].max_ns);
     }
   }
   *out = snap;

@@ -23,6 +23,19 @@ bool write_telemetry_sidecar(const std::string& path,
                              const std::string& bench_name,
                              const telemetry::snapshot& snap);
 
+/// `{"eager": {"count": N, "p50_ns": N, "p99_ns": N, "max_ns": N},
+/// "deferred": {...}}` — the op-class latency grid folded per disposition
+/// (telemetry::snapshot::lat_by_disposition). Embedded in every sidecar and
+/// printed by the figure drivers: the paper's headline contrast as numbers.
+[[nodiscard]] std::string disposition_latency_json(
+    const telemetry::snapshot& snap);
+
+/// telemetry::aggregate(), re-read until two consecutive folds agree: a
+/// tear-free snapshot while other threads are still ticking counters.
+/// Single-threaded callers pay one extra fold; callers racing injector
+/// threads (the --threads benches) get logically-consistent totals.
+[[nodiscard]] telemetry::snapshot stable_aggregate();
+
 // ---------------------------------------------------------------------------
 // Cross-process aggregation (conduit::tcp jobs).
 //

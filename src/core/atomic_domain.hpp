@@ -288,6 +288,7 @@ class atomic_domain {
                 Cxs cxs) const -> detail::cx_return_t<Cxs, T> {
     check_registered(op);
     telemetry::span sp("amo_fetch", "amo");
+    telemetry::op_scope os(telemetry::op_class::amo);
     telemetry::count(telemetry::counter::amo_fetching);
     detail::rank_context& c = detail::ctx();
     detail::no_remote_cx rs;
@@ -309,6 +310,7 @@ class atomic_domain {
                Cxs cxs) const -> detail::cx_return_t<Cxs> {
     check_registered(op);
     telemetry::span sp("amo_void", "amo");
+    telemetry::op_scope os(telemetry::op_class::amo);
     telemetry::count(telemetry::counter::amo_sideeffect);
     detail::rank_context& c = detail::ctx();
     detail::no_remote_cx rs;
@@ -330,6 +332,7 @@ class atomic_domain {
                Cxs cxs) const -> detail::cx_return_t<Cxs> {
     check_registered(op);
     telemetry::span sp("amo_into", "amo");
+    telemetry::op_scope os(telemetry::op_class::amo);
     telemetry::count(telemetry::counter::amo_nonfetching);
     detail::rank_context& c = detail::ctx();
     if (!c.ver.nonfetching_atomics)

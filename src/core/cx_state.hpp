@@ -115,9 +115,10 @@ template <typename... V>
   c->deps = 1;
   c->set_value(vals...);
   c->add_ref();  // the queue's reference
-  current_persona().enqueue_deferred([c] {
+  current_persona().enqueue_deferred([c, oc = telemetry::op_capture{}] {
     c->satisfy(1);
     c->drop_ref();
+    oc.complete_deferred();
   });
   return future<V...>(c, /*add_ref=*/false);
 }
@@ -129,11 +130,13 @@ void deferred_promise_fulfill(promise<T...>& p, V... vals) {
   telemetry::count(telemetry::counter::cx_deferred_queued);
   cell<T...>* c = p.raw_cell();
   c->add_ref();
-  current_persona().enqueue_deferred([c, vals...] {
-    if constexpr (sizeof...(V) > 0) c->set_value(vals...);
-    c->satisfy(1);
-    c->drop_ref();
-  });
+  current_persona().enqueue_deferred(
+      [c, vals..., oc = telemetry::op_capture{}] {
+        if constexpr (sizeof...(V) > 0) c->set_value(vals...);
+        c->satisfy(1);
+        c->drop_ref();
+        oc.complete_deferred();
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -146,6 +149,7 @@ std::tuple<future<V...>> handle_sync(future_cx<event_operation_t>& it,
                                      RemoteSend&, V... vals) {
   if (resolve_eager(it.e)) {
     telemetry::count(telemetry::counter::cx_eager_taken);
+    telemetry::note_op_eager();
     if constexpr (sizeof...(V) == 0) {
       return {make_future()};
     } else {
@@ -161,6 +165,7 @@ std::tuple<future<>> handle_sync(future_cx<event_source_t>& it, RemoteSend&,
                                  V...) {
   if (resolve_eager(it.e)) {
     telemetry::count(telemetry::counter::cx_eager_taken);
+    telemetry::note_op_eager();
     return {make_future()};
   }
   return {deferred_future<>()};
@@ -176,6 +181,7 @@ std::tuple<> handle_sync(promise_cx<event_operation_t, T...>& it, RemoteSend&,
   if constexpr (sizeof...(V) == 0) {
     if (resolve_eager(it.e)) {
       telemetry::count(telemetry::counter::cx_eager_taken);
+      telemetry::note_op_eager();
       return {};  // full elision (paper §III-A)
     }
     it.pro.require_anonymous(1);
@@ -184,6 +190,7 @@ std::tuple<> handle_sync(promise_cx<event_operation_t, T...>& it, RemoteSend&,
     it.pro.require_anonymous(1);
     if (resolve_eager(it.e)) {
       telemetry::count(telemetry::counter::cx_eager_taken);
+      telemetry::note_op_eager();
       it.pro.fulfill_result(vals...);
       it.pro.fulfill_anonymous(1);
     } else {
@@ -198,6 +205,7 @@ template <typename... V, typename RemoteSend>
 std::tuple<> handle_sync(promise_cx<event_source_t>& it, RemoteSend&, V...) {
   if (resolve_eager(it.e)) {
     telemetry::count(telemetry::counter::cx_eager_taken);
+    telemetry::note_op_eager();
     return {};
   }
   it.pro.require_anonymous(1);
@@ -211,11 +219,16 @@ std::tuple<> handle_sync(lpc_cx<event_operation_t, Fn>& it, RemoteSend&,
                          V... vals) {
   if (resolve_eager(it.e)) {
     telemetry::count(telemetry::counter::cx_eager_taken);
+    telemetry::note_op_eager();
     it.fn(vals...);
   } else {
     telemetry::count(telemetry::counter::cx_deferred_queued);
     current_persona().enqueue_deferred(
-        [fn = std::move(it.fn), vals...]() mutable { fn(vals...); });
+        [fn = std::move(it.fn), vals...,
+         oc = telemetry::op_capture{}]() mutable {
+          fn(vals...);
+          oc.complete_deferred();
+        });
   }
   return {};
 }
@@ -225,10 +238,15 @@ template <typename... V, typename Fn, typename RemoteSend>
 std::tuple<> handle_sync(lpc_cx<event_source_t, Fn>& it, RemoteSend&, V...) {
   if (resolve_eager(it.e)) {
     telemetry::count(telemetry::counter::cx_eager_taken);
+    telemetry::note_op_eager();
     it.fn();
   } else {
     telemetry::count(telemetry::counter::cx_deferred_queued);
-    current_persona().enqueue_deferred([fn = std::move(it.fn)]() mutable { fn(); });
+    current_persona().enqueue_deferred(
+        [fn = std::move(it.fn), oc = telemetry::op_capture{}]() mutable {
+          fn();
+          oc.complete_deferred();
+        });
   }
   return {};
 }
@@ -277,6 +295,12 @@ template <typename... V>
 struct op_record {
   inplace_function<void(V...), 64> complete;
   persona* initiator = nullptr;
+  /// Issuing op's class + issue timestamp, captured at construction (the
+  /// record is created inside the initiating call's op_scope). A remote
+  /// op's notification is deferred by nature, so fulfill() records on the
+  /// deferred stream.
+  telemetry::op_capture issued;
+  std::uint64_t wd_id = 0;  ///< stall-watchdog handle (0 = untracked)
 
   void add_sink(inplace_function<void(V...), 64> sink) {
     if (!complete) {
@@ -291,13 +315,18 @@ struct op_record {
   }
 
   void fulfill(V... vs) {
+    // The op is no longer pending the moment the reply reaches us, even if
+    // the notification still routes to another thread's mailbox below.
+    telemetry::watchdog::complete_op(wd_id);
     if (initiator == nullptr || initiator->active_with_caller()) {
       if (complete) complete(vs...);
+      issued.complete_deferred();
       delete this;
       return;
     }
     initiator->lpc_ff([this, vs...] {
       if (complete) complete(vs...);
+      issued.complete_deferred();
       delete this;
     });
   }
@@ -326,6 +355,7 @@ std::tuple<future<>> handle_async(future_cx<event_source_t>& it,
                                   op_record<V...>&, RemoteSend&) {
   if (resolve_eager(it.e)) {
     telemetry::count(telemetry::counter::cx_eager_taken);
+    telemetry::note_op_eager();
     return {make_future()};
   }
   return {deferred_future<>()};
@@ -351,6 +381,7 @@ std::tuple<> handle_async(promise_cx<event_source_t>& it, op_record<V...>&,
                           RemoteSend&) {
   if (resolve_eager(it.e)) {
     telemetry::count(telemetry::counter::cx_eager_taken);
+    telemetry::note_op_eager();
     return {};
   }
   it.pro.require_anonymous(1);
@@ -371,10 +402,15 @@ std::tuple<> handle_async(lpc_cx<event_source_t, Fn>& it, op_record<V...>&,
                           RemoteSend&) {
   if (resolve_eager(it.e)) {
     telemetry::count(telemetry::counter::cx_eager_taken);
+    telemetry::note_op_eager();
     it.fn();
   } else {
     telemetry::count(telemetry::counter::cx_deferred_queued);
-    current_persona().enqueue_deferred([fn = std::move(it.fn)]() mutable { fn(); });
+    current_persona().enqueue_deferred(
+        [fn = std::move(it.fn), oc = telemetry::op_capture{}]() mutable {
+          fn();
+          oc.complete_deferred();
+        });
   }
   return {};
 }
@@ -395,6 +431,7 @@ auto process_async_tuple(Cxs&& cxs, RemoteSend&& rsend,
                          op_record<V...>*& rec_out) {
   auto* rec = new op_record<V...>();
   rec->initiator = &current_persona();
+  rec->wd_id = rec->issued.track();
   rec_out = rec;
   return std::apply(
       [&](auto&... item) {

@@ -57,19 +57,28 @@ void rpc_reply_handler(gex::runtime&, int /*me*/, int /*src*/,
                        std::byte* payload, std::size_t len) {
   ser_reader r(payload, len);
   auto* c = reinterpret_cast<cell<U...>*>(r.read<std::uint64_t>());
+  // Issue timestamp echoed by the target (initiator clock; 0 when the
+  // initiator was built without telemetry).
+  const auto issue_ns = r.read<std::uint64_t>();
   if constexpr (sizeof...(U) > 0) {
     c->set_value_tuple(r.read<std::tuple<U...>>());
   }
   c->satisfy(1);
   c->drop_ref();
+  if (issue_ns != 0)
+    telemetry::note_latency(telemetry::lat_stream::rpc_deferred,
+                            telemetry::lat_now_ns() - issue_ns);
 }
 
 /// Serialize and send the reply that fulfills `cell_bits` on `initiator`.
+/// `issue_ns` is the initiator-clock issue timestamp echoed back verbatim
+/// so the initiator can record round-trip latency without clock math.
 template <typename... U>
 void send_rpc_reply(int me, int initiator, std::uint64_t cell_bits,
-                    const std::tuple<U...>& vals) {
-  ser_writer w(sizeof(std::uint64_t) + 64);
+                    std::uint64_t issue_ns, const std::tuple<U...>& vals) {
+  ser_writer w(2 * sizeof(std::uint64_t) + 64);
   w.write(cell_bits);
+  w.write(issue_ns);
   if constexpr (sizeof...(U) > 0) w.write(vals);
   detail::ctx().rt->send_am(
       initiator,
@@ -90,24 +99,26 @@ void rpc_request_handler(gex::runtime&, int me, int src, std::byte* payload,
                          std::size_t len) {
   ser_reader r(payload, len);
   const auto cell_bits = r.read<std::uint64_t>();
+  const auto issue_ns = r.read<std::uint64_t>();
   aligned_fn<Fn> fn(r);
   ArgsTuple args = r.read<ArgsTuple>();
   using R = decltype(std::apply(fn.get(), std::move(args)));
   if constexpr (is_future_v<R>) {
     future<U...> res = std::apply(fn.get(), std::move(args));
     if (res.ready()) {
-      send_rpc_reply<U...>(me, src, cell_bits, res.result_tuple());
+      send_rpc_reply<U...>(me, src, cell_bits, issue_ns, res.result_tuple());
     } else {
-      res.then([me, src, cell_bits](U... vals) {
-        send_rpc_reply<U...>(me, src, cell_bits, std::tuple<U...>(vals...));
+      res.then([me, src, cell_bits, issue_ns](U... vals) {
+        send_rpc_reply<U...>(me, src, cell_bits, issue_ns,
+                             std::tuple<U...>(vals...));
       });
     }
   } else if constexpr (std::is_void_v<R>) {
     std::apply(fn.get(), std::move(args));
-    send_rpc_reply<>(me, src, cell_bits, std::tuple<>{});
+    send_rpc_reply<>(me, src, cell_bits, issue_ns, std::tuple<>{});
   } else {
     R v = std::apply(fn.get(), std::move(args));
-    send_rpc_reply<std::decay_t<R>>(me, src, cell_bits,
+    send_rpc_reply<std::decay_t<R>>(me, src, cell_bits, issue_ns,
                                     std::tuple<std::decay_t<R>>(std::move(v)));
   }
 }
@@ -171,8 +182,11 @@ auto rpc(int target, Fn fn, Args&&... args) {
   c->deps = 1;
   c->add_ref();  // the in-flight reply's reference
 
-  ser_writer w(sizeof(std::uint64_t) + sizeof(Fn) + 64);
+  ser_writer w(2 * sizeof(std::uint64_t) + sizeof(Fn) + 64);
   w.write(reinterpret_cast<std::uint64_t>(c));
+  // Issue timestamp, echoed back in the reply. Always written (0 when
+  // telemetry is compiled out) so the request layout is build-independent.
+  w.write(telemetry::lat_now_ns());
   detail::write_callable(w, fn);
   w.write(ArgsTuple(std::forward<Args>(args)...));
 

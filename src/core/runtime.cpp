@@ -43,6 +43,7 @@ void wait_yield() noexcept {
 std::size_t progress() {
   detail::rank_context& c = detail::ctx();
   telemetry::count(telemetry::counter::progress_calls);
+  telemetry::note_progress_tick();
   std::size_t n = 0;
   // Only the master-persona holder may poll the substrate. Worker threads
   // (run_workers) still make progress here: they drain their own personas'

@@ -98,6 +98,8 @@ void merge_into(snapshot& into, const snapshot& part) noexcept {
     into.pq_high_water = part.pq_high_water;
   if (part.lpc_mailbox_high_water > into.lpc_mailbox_high_water)
     into.lpc_mailbox_high_water = part.lpc_mailbox_high_water;
+  for (std::size_t i = 0; i < kLatStreamCount; ++i)
+    lat_merge(into.lat[i], part.lat[i]);
 }
 
 std::string snapshot::to_json() const {
@@ -115,7 +117,22 @@ std::string snapshot::to_json() const {
      << "    \"fire_batch_hist_pow2\": [";
   for (std::size_t i = 0; i < kPqBatchBuckets; ++i)
     os << (i == 0 ? "" : ", ") << pq_fire_hist[i];
-  os << "]\n  },\n  \"derived\": {\n"
+  os << "]\n  },\n  \"latency\": {";
+  for (std::size_t s = 0; s < kLatStreamCount; ++s) {
+    const lat_hist& h = lat[s];
+    os << (s == 0 ? "\n" : ",\n") << "    \""
+       << to_string(static_cast<lat_stream>(s))
+       << "\": {\"buckets\": [";
+    for (std::size_t i = 0; i < kLatBuckets; ++i)
+      os << (i == 0 ? "" : ", ") << h.buckets[i];
+    // buckets + max_ns are the mergeable (bit-identity) fields; count and
+    // the percentiles are derived conveniences for human readers.
+    os << "], \"max_ns\": " << h.max_ns << ", \"count\": " << h.total()
+       << ", \"p50_ns\": " << h.percentile_ns(50.0)
+       << ", \"p90_ns\": " << h.percentile_ns(90.0)
+       << ", \"p99_ns\": " << h.percentile_ns(99.0) << "}";
+  }
+  os << "\n  },\n  \"derived\": {\n"
      << "    \"completions_eager\": " << get(counter::cx_eager_taken) << ",\n"
      << "    \"completions_deferred\": " << get(counter::cx_deferred_queued)
      << ",\n"
@@ -166,6 +183,14 @@ void merge_record(snapshot& into, const detail::record& r) noexcept {
   const std::uint64_t mhw =
       r.lpc_mailbox_high_water.v.load(std::memory_order_relaxed);
   if (mhw > into.lpc_mailbox_high_water) into.lpc_mailbox_high_water = mhw;
+  for (std::size_t s = 0; s < kLatStreamCount; ++s) {
+    const detail::lat_cell& c = r.lat[s];
+    for (std::size_t i = 0; i < kLatBuckets; ++i)
+      into.lat[s].buckets[i] +=
+          c.buckets[i].load(std::memory_order_relaxed);
+    const std::uint64_t mx = c.max_ns.load(std::memory_order_relaxed);
+    if (mx > into.lat[s].max_ns) into.lat[s].max_ns = mx;
+  }
 }
 
 }  // namespace
@@ -320,11 +345,15 @@ void write_event(std::ostream& os, const detail::trace_event& e) {
 namespace detail {
 
 std::uint64_t trace_now_ns() noexcept {
+  // Pin the epoch before sampling: on the very first call the static t0 is
+  // captured inside process_epoch_ns(), i.e. *after* any already-sampled
+  // now, and the subtraction would wrap to ~2^64.
+  const std::uint64_t t0 = process_epoch_ns();
   const auto now = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
-  return now - process_epoch_ns();
+  return now - t0;
 }
 
 void trace_emit(const char* name, const char* cat, std::uint64_t ts_ns,
@@ -361,6 +390,7 @@ bool tracing_enabled() noexcept {
 
 void set_thread_rank(int rank) noexcept {
   tls_trace().tid = rank < 0 ? 0 : static_cast<std::uint32_t>(rank);
+  watchdog::set_thread_rank(rank);
 }
 
 void set_clock_sync(std::int64_t offset_ns) noexcept {

@@ -51,6 +51,8 @@
 #define ASPEN_TELEMETRY_ENABLED 0
 #endif
 
+#include "core/telemetry_lat.hpp"
+
 namespace aspen::telemetry {
 
 // ---------------------------------------------------------------------------
@@ -157,9 +159,27 @@ struct snapshot {
   /// Max persona-mailbox depth observed at any enqueue (monotone max,
   /// like pq_high_water).
   std::uint64_t lpc_mailbox_high_water = 0;
+  /// Latency histograms (telemetry_lat.hpp), one per stream. Buckets are
+  /// monotone sums; each max_ns is a high-water mark.
+  std::array<lat_hist, kLatStreamCount> lat{};
+
+  bool operator==(const snapshot&) const = default;
 
   [[nodiscard]] std::uint64_t get(counter c) const noexcept {
     return counters[static_cast<std::size_t>(c)];
+  }
+
+  [[nodiscard]] const lat_hist& lat_of(lat_stream s) const noexcept {
+    return lat[static_cast<std::size_t>(s)];
+  }
+
+  /// Disposition-wide issue->completion histogram: the op-class grid's
+  /// eager (or deferred) streams folded together.
+  [[nodiscard]] lat_hist lat_by_disposition(disposition d) const noexcept {
+    lat_hist h{};
+    for (std::size_t c = 0; c < kOpClassCount; ++c)
+      lat_merge(h, lat_of(stream_of(static_cast<op_class>(c), d)));
+    return h;
   }
 
   /// Completion items issued = eager + deferred + remote-async. The
@@ -179,9 +199,9 @@ struct snapshot {
                      static_cast<double>(total);
   }
 
-  /// Interval delta. Monotone sums subtract; pq_high_water is a running
-  /// maximum for which a difference is meaningless, so the minuend's value
-  /// is kept as-is.
+  /// Interval delta. Monotone sums subtract; pq_high_water (and every
+  /// latency max_ns) is a running maximum for which a difference is
+  /// meaningless, so the minuend's value is kept as-is.
   [[nodiscard]] snapshot operator-(const snapshot& rhs) const noexcept {
     snapshot d = *this;
     for (std::size_t i = 0; i < kCounterCount; ++i)
@@ -190,6 +210,8 @@ struct snapshot {
       d.pq_fire_hist[i] -= rhs.pq_fire_hist[i];
     d.pq_reserve_growths -= rhs.pq_reserve_growths;
     d.pq_total_fired -= rhs.pq_total_fired;
+    for (std::size_t i = 0; i < kLatStreamCount; ++i)
+      lat_subtract(d.lat[i], rhs.lat[i]);
     return d;
   }
 
@@ -220,6 +242,15 @@ struct alignas(64) padded_u64 {
   std::atomic<std::uint64_t> v{0};
 };
 
+/// Per-stream latency storage. Unpadded (13 streams x 65 words would be
+/// 54 KiB/thread padded): buckets on one stream are written by the owning
+/// thread only, and a reader tearing across bucket lines still sees each
+/// monotone word exactly.
+struct lat_cell {
+  std::array<std::atomic<std::uint64_t>, kLatBuckets> buckets{};
+  std::atomic<std::uint64_t> max_ns{0};
+};
+
 struct record {
   std::array<padded_u64, kCounterCount> sums{};
   std::array<padded_u64, kPqBatchBuckets> pq_hist{};
@@ -227,6 +258,7 @@ struct record {
   padded_u64 pq_reserve_growths{};
   padded_u64 pq_total_fired{};
   padded_u64 lpc_mailbox_high_water{};
+  std::array<lat_cell, kLatStreamCount> lat{};
 
   record();   // registers with the process-global registry
   ~record();  // merges into the retired aggregate and deregisters
@@ -250,6 +282,14 @@ struct record {
            !lpc_mailbox_high_water.v.compare_exchange_weak(
                cur, depth, std::memory_order_relaxed)) {
     }
+  }
+  /// One latency sample. Single-writer (the owning thread), so the max is
+  /// a plain load/store like raise_high_water.
+  void note_lat(lat_stream s, std::uint64_t ns) noexcept {
+    lat_cell& c = lat[static_cast<std::size_t>(s)];
+    c.buckets[lat_bucket(ns)].fetch_add(1, std::memory_order_relaxed);
+    if (ns > c.max_ns.load(std::memory_order_relaxed))
+      c.max_ns.store(ns, std::memory_order_relaxed);
   }
 };
 
@@ -323,6 +363,16 @@ inline void note_pq_reserve_growth() noexcept {
 #endif
 }
 
+/// Record one latency sample (nanoseconds) on `s`.
+inline void note_latency(lat_stream s, std::uint64_t ns) noexcept {
+#if ASPEN_TELEMETRY_ENABLED
+  detail::tls_record().note_lat(s, ns);
+#else
+  (void)s;
+  (void)ns;
+#endif
+}
+
 /// Snapshot of the calling thread's record only.
 [[nodiscard]] snapshot local_snapshot() noexcept;
 
@@ -385,9 +435,138 @@ void trace_emit(const char* name, const char* cat, std::uint64_t ts_ns,
                 std::uint64_t dur_ns) noexcept;
 void trace_emit_flow(const char* name, const char* cat, bool begin,
                      std::uint64_t id) noexcept;
+
+/// The op currently being issued on this thread (op_scope below). The
+/// completion engine (cx_state.hpp) reads it at every disposition site to
+/// attribute the notification's issue->completion latency to the right
+/// lat_stream without threading a class/timestamp parameter through every
+/// handle_sync/handle_async overload.
+struct op_ctx {
+  std::uint64_t issue_ns = 0;
+  op_class cls = op_class::rma_put;
+  bool active = false;
+};
+
+[[nodiscard]] inline op_ctx& tls_op() noexcept {
+  static thread_local op_ctx o;
+  return o;
+}
 #endif
 
 }  // namespace detail
+
+/// The trace clock (process-relative steady ns), or 0 when telemetry is
+/// compiled out. Payload stamps (e.g. the rpc request's issue timestamp)
+/// use this so wire layouts stay identical across build configurations.
+[[nodiscard]] inline std::uint64_t lat_now_ns() noexcept {
+#if ASPEN_TELEMETRY_ENABLED
+  return detail::trace_now_ns();
+#else
+  return 0;
+#endif
+}
+
+#if ASPEN_TELEMETRY_ENABLED
+
+/// RAII op-issue marker: communication entry points (rput/rget/atomics)
+/// construct one, and every completion notification the op spawns records
+/// now - issue_ns on the stream for (cls, disposition). Nests (saves and
+/// restores the previous context) so an op issued from inside another op's
+/// inline completion attributes correctly.
+class op_scope {
+ public:
+  explicit op_scope(op_class cls) noexcept : saved_(detail::tls_op()) {
+    detail::tls_op() = {detail::trace_now_ns(), cls, true};
+  }
+  ~op_scope() { detail::tls_op() = saved_; }
+  op_scope(const op_scope&) = delete;
+  op_scope& operator=(const op_scope&) = delete;
+
+ private:
+  detail::op_ctx saved_;
+};
+
+/// Snapshot of the issuing op's context, captured into deferred-completion
+/// closures and op_records at injection time and consumed when the
+/// notification finally fires (possibly on another thread — the record
+/// written is the firing thread's, which aggregate() sums anyway).
+struct op_capture {
+  std::uint64_t issue_ns = 0;
+  op_class cls = op_class::rma_put;
+  bool active = false;
+
+  op_capture() noexcept {
+    const detail::op_ctx& o = detail::tls_op();
+    issue_ns = o.issue_ns;
+    cls = o.cls;
+    active = o.active;
+  }
+
+  void complete_deferred() const noexcept {
+    if (active)
+      note_latency(stream_of(cls, disposition::deferred),
+                   detail::trace_now_ns() - issue_ns);
+  }
+
+  /// Register the captured op with the stall watchdog (0 when untracked:
+  /// watchdog disabled, or no op_scope was active at capture).
+  [[nodiscard]] std::uint64_t track() const noexcept {
+    return active ? watchdog::track_op(cls) : 0;
+  }
+};
+
+/// Record an eager (inline) completion of the op being issued, if any.
+inline void note_op_eager() noexcept {
+  const detail::op_ctx& o = detail::tls_op();
+  if (o.active)
+    note_latency(stream_of(o.cls, disposition::eager),
+                 detail::trace_now_ns() - o.issue_ns);
+}
+
+/// Record a deferred completion of the op being issued, if any (the
+/// enqueue-time variant; closures that fire later use op_capture).
+inline void note_op_deferred_now() noexcept {
+  const detail::op_ctx& o = detail::tls_op();
+  if (o.active)
+    note_latency(stream_of(o.cls, disposition::deferred),
+                 detail::trace_now_ns() - o.issue_ns);
+}
+
+/// Progress-engine heartbeat: records the inter-arrival gap since this
+/// thread's previous progress() entry (the starvation signal) and feeds
+/// the stall watchdog.
+inline void note_progress_tick() noexcept {
+  const std::uint64_t now = detail::trace_now_ns();
+  static thread_local std::uint64_t last = 0;
+  if (last != 0 && now > last)
+    note_latency(lat_stream::progress_gap, now - last);
+  last = now;
+  watchdog::note_progress(now);
+}
+
+#else  // !ASPEN_TELEMETRY_ENABLED
+
+class op_scope {
+ public:
+  explicit op_scope(op_class) noexcept {}
+  op_scope(const op_scope&) = delete;
+  op_scope& operator=(const op_scope&) = delete;
+};
+
+static_assert(sizeof(op_scope) == 1,
+              "with ASPEN_TELEMETRY off op scopes must carry no state");
+
+struct op_capture {
+  op_capture() noexcept = default;
+  void complete_deferred() const noexcept {}
+  [[nodiscard]] std::uint64_t track() const noexcept { return 0; }
+};
+
+inline void note_op_eager() noexcept {}
+inline void note_op_deferred_now() noexcept {}
+inline void note_progress_tick() noexcept {}
+
+#endif
 
 /// Emit a Perfetto flow event at the current time: `ph:"s"` (begin=true)
 /// starts a flow arrow, `ph:"f"` (begin=false) terminates it. The two ends

@@ -14,6 +14,12 @@ namespace aspen::telemetry::live {
 namespace {
 
 std::uint64_t field_get(const snapshot& s, std::size_t i) noexcept {
+  if (i >= kLatFieldBase) {
+    const std::size_t j = i - kLatFieldBase;
+    const lat_hist& h = s.lat[j / (kLatBuckets + 1)];
+    const std::size_t k = j % (kLatBuckets + 1);
+    return k < kLatBuckets ? h.buckets[k] : h.max_ns;
+  }
   if (i < kCounterCount) return s.counters[i];
   i -= kCounterCount;
   if (i < kPqBatchBuckets) return s.pq_fire_hist[i];
@@ -26,6 +32,17 @@ std::uint64_t field_get(const snapshot& s, std::size_t i) noexcept {
 }
 
 void field_set(snapshot& s, std::size_t i, std::uint64_t v) noexcept {
+  if (i >= kLatFieldBase) {
+    const std::size_t j = i - kLatFieldBase;
+    lat_hist& h = s.lat[j / (kLatBuckets + 1)];
+    const std::size_t k = j % (kLatBuckets + 1);
+    if (k < kLatBuckets) {
+      h.buckets[k] = v;
+    } else {
+      h.max_ns = v;
+    }
+    return;
+  }
   if (i < kCounterCount) {
     s.counters[i] = v;
     return;

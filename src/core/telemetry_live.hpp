@@ -47,11 +47,17 @@ struct gauges {
   std::uint64_t lpc_mailbox_depth = 0; ///< current persona's mailbox backlog
 };
 
-/// Flat field space of the update codec: every counter, every histogram
-/// bucket, then the four scalar snapshot fields (pq_high_water,
-/// pq_reserve_growths, pq_total_fired, lpc_mailbox_high_water).
-inline constexpr std::size_t kFieldCount =
+/// Flat field space of the update codec: every counter, every
+/// progress-queue histogram bucket, the four scalar snapshot fields
+/// (pq_high_water, pq_reserve_growths, pq_total_fired,
+/// lpc_mailbox_high_water), then per latency stream its 64 buckets
+/// followed by max_ns. Latency buckets delta-encode like counters;
+/// each max_ns travels absolute and merges by max, exactly like
+/// pq_high_water — so the sparse nonzero encoding stays correct for both.
+inline constexpr std::size_t kLatFieldBase =
     kCounterCount + kPqBatchBuckets + 4;
+inline constexpr std::size_t kFieldCount =
+    kLatFieldBase + kLatStreamCount * (kLatBuckets + 1);
 
 // ---------------------------------------------------------------------------
 // Wire codec (the `telemetry` frame payload)

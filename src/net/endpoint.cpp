@@ -134,6 +134,38 @@ endpoint::endpoint(int rank, int nranks, gex::net_config cfg,
   bootstrap(segment_bytes);
   if (telemetry::live::trace_base() != nullptr)
     telemetry::enable_tracing(true);
+  if (telemetry::watchdog::enabled()) {
+    telemetry::watchdog::install_signal_handler();
+    telemetry::watchdog::set_transport_probe([this] {
+      telemetry::watchdog::transport_status st;
+      st.valid = true;
+      const std::uint64_t now = mono_ns();
+      std::uint64_t frames_sent = 0;
+      std::uint64_t frames_delivered = 0;
+      for (int r = 0; r < nranks_; ++r) {
+        frames_sent +=
+            sent_to_[static_cast<std::size_t>(r)].load(
+                std::memory_order_relaxed);
+        frames_delivered +=
+            delivered_from_[static_cast<std::size_t>(r)].load(
+                std::memory_order_relaxed);
+        if (r == rank_) continue;
+        const peer& p = *peers_[static_cast<std::size_t>(r)];
+        std::lock_guard<std::mutex> lk(p.mu);
+        st.sendq_bytes += p.out.size() - p.out_off;
+        st.staged_msgs += p.staged.size();
+        if (p.out_busy_since_ns != 0 && now > p.out_busy_since_ns) {
+          const std::uint64_t age = now - p.out_busy_since_ns;
+          if (age > st.oldest_sendq_age_ns) st.oldest_sendq_age_ns = age;
+        }
+      }
+      st.detail_json = "\"quiescence\": {\"frames_sent\": " +
+                       std::to_string(frames_sent) +
+                       ", \"frames_delivered\": " +
+                       std::to_string(frames_delivered) + "}";
+      return st;
+    });
+  }
 }
 
 endpoint::~endpoint() {
@@ -296,6 +328,12 @@ void endpoint::serve_clock_probes(int fd) {
 
 void endpoint::flush_locked(peer& p, int target) {
   (void)target;
+  // Residency stamp: the queue went non-empty at (or just before) this
+  // flush attempt. Cleared below once it fully drains; the elapsed time is
+  // the sendq_residency latency sample and the watchdog's stall probe.
+  if (telemetry::compiled_in() && p.out_busy_since_ns == 0 &&
+      p.out_off < p.out.size())
+    p.out_busy_since_ns = mono_ns();
   while (p.out_off < p.out.size()) {
     const std::size_t want = p.out.size() - p.out_off;
     ssize_t n =
@@ -317,6 +355,11 @@ void endpoint::flush_locked(peer& p, int target) {
   if (p.out_off == p.out.size()) {
     p.out.clear();
     p.out_off = 0;
+    if (telemetry::compiled_in() && p.out_busy_since_ns != 0) {
+      telemetry::note_latency(telemetry::lat_stream::sendq_residency,
+                              mono_ns() - p.out_busy_since_ns);
+      p.out_busy_since_ns = 0;
+    }
   } else if (p.out_off >= (std::size_t{1} << 20)) {
     // Keep the resident queue proportional to the unsent tail.
     p.out.erase(p.out.begin(),
@@ -359,6 +402,16 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
   sent_to_[static_cast<std::size_t>(target)].fetch_add(
       1, std::memory_order_relaxed);
 
+  // Send timestamp in rank 0's clock base, so the receiver can compute
+  // wire latency by subtracting its own normalized clock. Always written
+  // (0 when telemetry is compiled out) so the frame layout never varies
+  // by build configuration.
+  const std::uint64_t send_ns =
+      telemetry::compiled_in()
+          ? static_cast<std::uint64_t>(static_cast<std::int64_t>(mono_ns()) -
+                                       clock_offset_ns_)
+          : 0;
+
   std::lock_guard<std::mutex> lk(p.mu);
   const std::uint64_t seq = p.next_send_seq++;
   telemetry::trace_flow("wire_msg", "net", /*begin=*/true,
@@ -369,9 +422,11 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
     h.kind = static_cast<std::uint16_t>(frame_kind::am_eager);
     h.src = rank_;
     h.seq = seq;
-    std::vector<std::byte> body(sizeof delta + len);
+    std::vector<std::byte> body(2 * sizeof(std::uint64_t) + len);
     std::memcpy(body.data(), &delta, sizeof delta);
-    if (len != 0) std::memcpy(body.data() + sizeof delta, msg.payload(), len);
+    std::memcpy(body.data() + sizeof delta, &send_ns, sizeof send_ns);
+    if (len != 0)
+      std::memcpy(body.data() + 2 * sizeof(std::uint64_t), msg.payload(), len);
     encode_frame(p.out, h, body.data(), body.size());
   } else {
     // Rendezvous: park the payload until the receiver grants a CTS, so a
@@ -386,6 +441,7 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
     rb.token = token;
     rb.handler_delta = delta;
     rb.total_len = len;
+    rb.send_ns = send_ns;
     frame_header h{};
     h.kind = static_cast<std::uint16_t>(frame_kind::am_rts);
     h.src = rank_;
@@ -404,6 +460,7 @@ std::size_t endpoint::pump(gex::runtime& rt) {
   if (pumping_) return 0;
   pumping_ = true;
   maybe_push_telemetry(/*final_flush=*/false);
+  telemetry::watchdog::poll_check();
   std::size_t work = 0;
   for (int r = 0; r < nranks_; ++r) {
     if (r == rank_) continue;
@@ -500,10 +557,12 @@ void endpoint::process_frame(gex::runtime& rt, int rank, frame&& f) {
   switch (f.kind()) {
     case frame_kind::am_eager: {
       const std::uint64_t delta = read_u64(f.payload.data());
-      const std::size_t len = f.payload.size() - sizeof delta;
+      const std::uint64_t send_ns =
+          read_u64(f.payload.data() + sizeof delta);
+      const std::size_t len = f.payload.size() - 2 * sizeof(std::uint64_t);
       gex::am_message msg(decode_handler(delta, text_anchor()), rank,
-                          f.payload.data() + sizeof delta, len);
-      p.staged.emplace(f.hdr.seq, std::move(msg));
+                          f.payload.data() + 2 * sizeof(std::uint64_t), len);
+      p.staged.emplace(f.hdr.seq, staged_am{std::move(msg), send_ns});
       break;
     }
     case frame_kind::am_rts: {
@@ -513,6 +572,7 @@ void endpoint::process_frame(gex::runtime& rt, int rank, frame&& f) {
       in.seq = f.hdr.seq;
       in.handler_delta = rb.handler_delta;
       in.total_len = rb.total_len;
+      in.send_ns = rb.send_ns;
       p.rdzv_in.emplace(rb.token, in);
       frame_header cts{};
       cts.kind = static_cast<std::uint16_t>(frame_kind::am_cts);
@@ -549,7 +609,8 @@ void endpoint::process_frame(gex::runtime& rt, int rank, frame&& f) {
       gex::am_message msg(
           decode_handler(it->second.handler_delta, text_anchor()), rank,
           f.payload.data(), f.payload.size());
-      p.staged.emplace(it->second.seq, std::move(msg));
+      p.staged.emplace(it->second.seq,
+                       staged_am{std::move(msg), it->second.send_ns});
       p.rdzv_in.erase(it);
       break;
     }
@@ -626,7 +687,17 @@ std::size_t endpoint::release_staged(gex::runtime& rt, int rank) {
     telemetry::span sp("wire_deliver", "net");
     telemetry::trace_flow("wire_msg", "net", /*begin=*/false,
                           flow_id(rank, rank_, it->first));
-    rt.deliver_from_wire(rank_, std::move(it->second));
+    if (telemetry::compiled_in() && it->second.send_ns != 0) {
+      // Both clocks are rank-0-normalized; clamp at 0 against residual
+      // offset-estimation error on sub-microsecond hops.
+      const auto now_norm = static_cast<std::int64_t>(mono_ns()) -
+                            clock_offset_ns_;
+      const auto sent = static_cast<std::int64_t>(it->second.send_ns);
+      telemetry::note_latency(
+          telemetry::lat_stream::wire_delivery,
+          now_norm > sent ? static_cast<std::uint64_t>(now_norm - sent) : 0);
+    }
+    rt.deliver_from_wire(rank_, std::move(it->second.msg));
     delivered_from_[static_cast<std::size_t>(rank)].fetch_add(
         1, std::memory_order_relaxed);
     telemetry::count(telemetry::counter::net_msgs_received);

@@ -136,6 +136,15 @@ class endpoint final : public gex::wire_transport {
     std::uint64_t seq = 0;
     std::uint64_t handler_delta = 0;
     std::uint64_t total_len = 0;
+    std::uint64_t send_ns = 0;  ///< from the RTS; rank-0-normalized
+  };
+
+  /// An in-order delivery slot: the decoded AM plus the sender's
+  /// rank-0-normalized send timestamp (0 when untimed), so release can
+  /// record wire send -> staged-delivery latency.
+  struct staged_am {
+    gex::am_message msg;
+    std::uint64_t send_ns = 0;
   };
 
   struct peer {
@@ -146,13 +155,17 @@ class endpoint final : public gex::wire_transport {
     mutable std::mutex mu;
     std::vector<std::byte> out;  ///< queued wire bytes
     std::size_t out_off = 0;     ///< consumed prefix of `out`
+    /// Local steady-clock time the queue last went non-empty (0 while
+    /// drained). Feeds the sendq_residency latency stream and the
+    /// watchdog's sendq-stall probe.
+    std::uint64_t out_busy_since_ns = 0;
     std::uint64_t next_send_seq = 0;
     std::uint32_t next_token = 1;
     std::unordered_map<std::uint32_t, pending_rdzv> rdzv_out;
     // ---- receive side (pump/master thread only) ----
     std::unique_ptr<decoder> dec;
     std::uint64_t next_deliver_seq = 0;
-    std::map<std::uint64_t, gex::am_message> staged;
+    std::map<std::uint64_t, staged_am> staged;
     std::unordered_map<std::uint32_t, inbound_rdzv> rdzv_in;
   };
 

@@ -15,12 +15,15 @@
 //                  listen ports, rank-ordered.
 //   ident          first frame on every mesh socket; src names the
 //                  connecting rank. Empty payload.
-//   am_eager       one complete active message: u64 handler delta then the
-//                  AM payload bytes. seq orders it per (src -> dst).
+//   am_eager       one complete active message: u64 handler delta, u64
+//                  send timestamp (sender steady-clock ns normalized to
+//                  rank 0's clock base; 0 when untimed), then the AM
+//                  payload bytes. seq orders it per (src -> dst).
 //   am_rts         rendezvous request-to-send for an AM whose payload
 //                  exceeds eager_max. Payload: rdzv_body (token, handler
-//                  delta, total payload length). seq is the *message's*
-//                  delivery slot; the data frame inherits it.
+//                  delta, total payload length, send timestamp). seq is
+//                  the *message's* delivery slot; the data frame inherits
+//                  it.
 //   am_cts         receiver -> sender clear-to-send. aux = token. No
 //                  payload.
 //   am_data        the rendezvous payload, one frame. aux = token.
@@ -59,7 +62,7 @@
 namespace aspen::net {
 
 inline constexpr std::uint16_t kMagic = 0xA59E;
-inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 enum class frame_kind : std::uint16_t {
   hello = 1,
@@ -113,6 +116,7 @@ struct rdzv_body {
   std::uint32_t pad = 0;
   std::uint64_t handler_delta = 0;
   std::uint64_t total_len = 0;
+  std::uint64_t send_ns = 0;  ///< sender clock, rank-0-normalized; 0 untimed
 };
 static_assert(std::is_trivially_copyable_v<rdzv_body>);
 

@@ -317,7 +317,8 @@ bool snap_eq(const aspen::telemetry::snapshot& a,
          a.pq_high_water == b.pq_high_water &&
          a.pq_reserve_growths == b.pq_reserve_growths &&
          a.pq_total_fired == b.pq_total_fired &&
-         a.lpc_mailbox_high_water == b.lpc_mailbox_high_water;
+         a.lpc_mailbox_high_water == b.lpc_mailbox_high_water &&
+         a.lat == b.lat;
 }
 
 // The tentpole acceptance test: with ASPEN_TELEMETRY_INTERVAL_MS set (the
@@ -411,6 +412,66 @@ TEST(NetSpmd, LiveAggregationMatchesSidecarMerge) {
 
   aspen::spmd(n, tcp_cfg(), [] { aspen::barrier(); });  // rank 0 done
   (void)std::remove(aspen::bench::rank_sidecar_path(base, rank).c_str());
+}
+
+// The paper's latency claim, observed live at the job level: self-targeted
+// AMOs complete eagerly at the initiation site while cross-process AMOs
+// defer through the progress engine, so the job-wide amo_eager histogram
+// must sit well below amo_deferred at the median. Runs on the live legs
+// (the name rides the NetSpmd.LiveAggregation* ctest filter).
+TEST(NetSpmd, LiveAggregationLatencyDispositions) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  namespace live = aspen::telemetry::live;
+  using aspen::telemetry::lat_stream;
+  if (!aspen::telemetry::compiled_in())
+    GTEST_SKIP() << "telemetry compiled out";
+  if (!live::enabled())
+    GTEST_SKIP() << "set ASPEN_TELEMETRY_INTERVAL_MS for the live leg "
+                    "(ctest net_spmd_live_n*)";
+
+  aspen::spmd(n, tcp_cfg(), [n] {
+    // GUPS-shaped traffic: every rank fires batched fetch-adds at its own
+    // table slot (eager inline completion) and its neighbor's (deferred
+    // over the wire).
+    aspen::atomic_domain<std::uint64_t> ad({aspen::gex::amo_op::fadd});
+    auto gp = aspen::new_<std::uint64_t>(0);
+    std::vector<aspen::global_ptr<std::uint64_t>> dir(
+        static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r)
+      dir[static_cast<std::size_t>(r)] = aspen::broadcast(gp, r);
+    aspen::barrier();
+    const int self = aspen::rank_me();
+    const int nb = (self + 1) % n;
+    for (int i = 0; i < 128; ++i) {
+      (void)ad.fetch_add(dir[static_cast<std::size_t>(self)], 1).wait();
+      (void)ad.fetch_add(dir[static_cast<std::size_t>(nb)], 1).wait();
+    }
+    aspen::barrier();
+    aspen::delete_(gp);
+  });
+
+  const int rank = aspen::net::endpoint::instance()->self_rank();
+  if (rank == 0) {
+    const aspen::telemetry::snapshot js = live::job_snapshot();
+    const auto& eager = js.lat_of(lat_stream::amo_eager);
+    const auto& deferred = js.lat_of(lat_stream::amo_deferred);
+    ASSERT_GT(eager.total(), 0u) << "no eager AMO completions recorded";
+    if (n > 1) {
+      ASSERT_GT(deferred.total(), 0u)
+          << "no deferred AMO completions recorded";
+      EXPECT_LT(eager.percentile_ns(50.0), deferred.percentile_ns(50.0))
+          << "eager median should beat deferred (eager p50 "
+          << eager.percentile_ns(50.0) << " ns, deferred p50 "
+          << deferred.percentile_ns(50.0) << " ns)";
+      // The transport streams populate too: timed wire deliveries and
+      // progress-gap samples from every rank reach the collector.
+      EXPECT_GT(js.lat_of(lat_stream::wire_delivery).total(), 0u);
+      EXPECT_GT(js.lat_of(lat_stream::progress_gap).total(), 0u);
+    }
+  }
+
+  aspen::spmd(n, tcp_cfg(), [] { aspen::barrier(); });  // rank 0 done
 }
 
 // Clock-aligned multi-rank tracing: each rank records wire spans and flow

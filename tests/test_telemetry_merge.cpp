@@ -27,6 +27,14 @@ snapshot make_snapshot(std::uint64_t base) {
   s.lpc_mailbox_high_water = 100 - base;
   s.pq_fire_hist[0] = base;
   s.pq_fire_hist[3] = 2 * base;
+  using aspen::telemetry::lat_stream;
+  auto& amo_e = s.lat[static_cast<std::size_t>(lat_stream::amo_eager)];
+  amo_e.buckets[7] = base + 5;
+  amo_e.buckets[63] = base;  // saturating top bucket survives the sidecar
+  amo_e.max_ns = 1000 * base;
+  auto& wire = s.lat[static_cast<std::size_t>(lat_stream::wire_delivery)];
+  wire.buckets[12] = 3 * base;
+  wire.max_ns = 77 + base;
   return s;
 }
 
@@ -53,6 +61,10 @@ TEST(TelemetryMerge, SidecarRoundTripsThroughParser) {
   EXPECT_EQ(read.lpc_mailbox_high_water, wrote.lpc_mailbox_high_water);
   for (std::size_t i = 0; i < aspen::telemetry::kPqBatchBuckets; ++i)
     EXPECT_EQ(read.pq_fire_hist[i], wrote.pq_fire_hist[i]) << "bucket " << i;
+  for (std::size_t s = 0; s < aspen::telemetry::kLatStreamCount; ++s)
+    EXPECT_EQ(read.lat[s], wrote.lat[s]) << "lat stream " << s;
+  // Full-structure equality: anything the sidecar dropped shows up here.
+  EXPECT_EQ(read, wrote);
   std::remove(path.c_str());
 }
 
@@ -83,6 +95,15 @@ TEST(TelemetryMerge, MergeSumsCountersAndMaxesHighWaters) {
   // High-water marks are per-process maxima, not sums.
   EXPECT_EQ(m.pq_high_water, 40u);
   EXPECT_EQ(m.lpc_mailbox_high_water, 97u);
+  // Latency histograms: buckets add, max_ns maxes.
+  using aspen::telemetry::lat_stream;
+  const auto& amo_e =
+      m.lat[static_cast<std::size_t>(lat_stream::amo_eager)];
+  EXPECT_EQ(amo_e.buckets[7], (3u + 5u) + (40u + 5u));
+  EXPECT_EQ(amo_e.buckets[63], 43u);
+  EXPECT_EQ(amo_e.max_ns, 40'000u);
+  EXPECT_EQ(m.lat[static_cast<std::size_t>(lat_stream::wire_delivery)].max_ns,
+            117u);
 }
 
 TEST(TelemetryMerge, MergeRankSidecarsSkipsMissingRanks) {
