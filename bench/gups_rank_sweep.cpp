@@ -4,20 +4,195 @@
 // claim on the reproduction: for each power-of-two rank count it reports
 // the pure-RMA-with-promises eager/defer speedup and the RMA-with-futures
 // speedup, which must stay >1 across the sweep.
+//
+// With ASPEN_BENCH_SHM=1 the sweep appends a real-process leg: it re-execs
+// itself under `aspen-run` on conduit::tcp and conduit::shm and reports
+// MUPS, the job-wide cx_eager_taken count, and the table checksum for each
+// — the shm fabric must beat tcp on MUPS, multiply cx_eager_taken (every
+// mapped-peer update completes eagerly, not just the 1/n self-targeted
+// ones), and land a bit-identical table.
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "apps/gups/gups.hpp"
 #include "benchutil/options.hpp"
 #include "benchutil/stats.hpp"
 #include "benchutil/table.hpp"
+#include "core/telemetry.hpp"
+#include "net/endpoint.hpp"
 
 namespace {
 using namespace aspen;
 namespace g = aspen::apps::gups;
+
+// Child contract for the real-process legs: "<conduit>:<result-path>".
+constexpr const char* kNetChildEnv = "ASPEN_GUPS_SWEEP_NET";
+
+g::params net_params(const aspen::bench::options& opt) {
+  g::params p;
+  p.table_bits = 16;
+  // Every update crosses a process boundary; a lighter workload than the
+  // in-process sweep still gives stable MUPS.
+  p.updates_per_rank = static_cast<std::uint64_t>(
+      16'384 * std::max(1.0, opt.scale));
+  p.batch = 512;
+  return p;
+}
+
+std::uint64_t table_checksum(g::table& t) {
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < t.per_rank(); ++i)
+    acc ^= t.local_slice()[i] * 0x9E3779B97F4A7C15ull + i;
+  return acc;
+}
+
+/// One rank of the re-exec'd `aspen-run` job: run eager GUPS on the
+/// requested conduit, then rank 0 writes "<mups> <cx_eager> <checksum>".
+int run_net_child(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) return 1;
+  const bool shm = spec.substr(0, colon) == "shm";
+  const std::string result = spec.substr(colon + 1);
+  const char* nr = std::getenv(net::kEnvNranks);
+  const int nranks = nr != nullptr ? std::atoi(nr) : 2;
+  const auto opt = aspen::bench::options::from_env();
+  const g::params p = net_params(opt);
+
+  gex::config gcfg;
+  gcfg.transport = shm ? gex::conduit::shm : gex::conduit::tcp;
+
+  double mups = 0;
+  std::uint64_t cx_eager = 0, checksum = 0;
+  aspen::spmd(nranks, gcfg, [&] {
+    set_version_config(version_config::make(emulated_version::v2021_3_6_eager));
+    g::table tbl(p);
+    const auto before = telemetry::local_snapshot();
+    std::vector<double> samples;
+    for (std::size_t s = 0; s < opt.samples; ++s)
+      samples.push_back(g::run_variant(g::variant::amo_promises, tbl, p).seconds);
+    const auto d = telemetry::local_snapshot() - before;
+    const double secs =
+        aspen::bench::summarize_best(std::move(samples), opt.keep).mean;
+    mups = static_cast<double>(p.updates_per_rank) *
+           static_cast<double>(rank_n()) / secs / 1e6;
+    cx_eager =
+        allreduce_sum(d.get(telemetry::counter::cx_eager_taken));
+    checksum = allreduce_sum(table_checksum(tbl));
+    barrier();
+  });
+
+  if (net::endpoint::instance()->self_rank() == 0) {
+    std::ofstream f(result);
+    if (!f) return 1;
+    f << mups << ' ' << cx_eager << ' ' << checksum << '\n';
+    if (!f) return 1;
+  }
+  return 0;
+}
+
+struct net_leg {
+  bool ok = false;
+  double mups = 0;
+  std::uint64_t cx_eager = 0;
+  std::uint64_t checksum = 0;
+};
+
+net_leg run_net_leg(const char* self_hint, const char* conduit, int nranks) {
+  net_leg leg;
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof self - 1);
+  if (n <= 0) {
+    std::snprintf(self, sizeof self, "%s", self_hint);
+  } else {
+    self[n] = '\0';
+  }
+  std::string launcher;
+  if (const char* env = std::getenv("ASPEN_RUN")) {
+    launcher = env;
+  } else {
+    const std::string dir(self, std::string(self).find_last_of('/'));
+    launcher = dir + "/../src/aspen-run";
+  }
+  if (::access(launcher.c_str(), X_OK) != 0) {
+    std::cout << "conduit::" << conduit
+              << " leg skipped: launcher not found at " << launcher
+              << " (set ASPEN_RUN to override).\n";
+    return leg;
+  }
+  const std::string result =
+      std::string("gups_rank_sweep.") + conduit + ".row";
+  ::setenv(kNetChildEnv, (std::string(conduit) + ":" + result).c_str(), 1);
+  const std::string cmd =
+      launcher + " -n " + std::to_string(nranks) + " " + self;
+  const int rc = std::system(cmd.c_str());
+  ::unsetenv(kNetChildEnv);
+  if (rc != 0) {
+    std::cout << "conduit::" << conduit << " leg failed (exit " << rc
+              << "), skipping.\n";
+    return leg;
+  }
+  std::ifstream f(result);
+  f >> leg.mups >> leg.cx_eager >> leg.checksum;
+  leg.ok = static_cast<bool>(f);
+  if (!leg.ok)
+    std::cout << "conduit::" << conduit
+              << " leg produced no result row, skipping.\n";
+  return leg;
+}
+
+/// The ASPEN_BENCH_SHM leg: eager GUPS over real processes on tcp and shm,
+/// MUPS + job-wide cx_eager_taken side by side.
+void run_net_sweep(const char* self_hint, const aspen::bench::options& opt) {
+  if (aspen::bench::env_size_t("ASPEN_BENCH_SHM", 0) == 0) return;
+  const int nranks = std::min(std::max(opt.ranks, 2), 8);
+  std::cout << "\nreal-process GUPS (eager, " << nranks
+            << " ranks via aspen-run):\n";
+  const net_leg tcp = run_net_leg(self_hint, "tcp", nranks);
+  const net_leg shm = run_net_leg(self_hint, "shm", nranks);
+  if (!tcp.ok || !shm.ok) return;
+
+  aspen::bench::table t(
+      {"conduit", "MUPS", "cx_eager_taken (job)", "table checksum"});
+  char m[32], e[32], c[32];
+  std::snprintf(m, sizeof m, "%.2f", tcp.mups);
+  std::snprintf(e, sizeof e, "%llu",
+                static_cast<unsigned long long>(tcp.cx_eager));
+  std::snprintf(c, sizeof c, "%016llx",
+                static_cast<unsigned long long>(tcp.checksum));
+  t.add_row({"tcp", m, e, c});
+  std::snprintf(m, sizeof m, "%.2f", shm.mups);
+  std::snprintf(e, sizeof e, "%llu",
+                static_cast<unsigned long long>(shm.cx_eager));
+  std::snprintf(c, sizeof c, "%016llx",
+                static_cast<unsigned long long>(shm.checksum));
+  t.add_row({"shm", m, e, c});
+  t.print(std::cout);
+
+  std::cout << "shm vs tcp MUPS: "
+            << aspen::bench::format_speedup(shm.mups / tcp.mups)
+            << "; cx_eager_taken " << shm.cx_eager << " vs " << tcp.cx_eager
+            << "\n";
+  std::cout << (shm.checksum == tcp.checksum
+                    ? "table checksums bit-identical across conduits\n"
+                    : "WARNING: table checksum diverged between shm and "
+                      "tcp\n");
+  std::cout << "expectation: shm beats tcp on MUPS and multiplies "
+               "cx_eager_taken — on tcp only the 1/n self-targeted updates "
+               "complete eagerly, on shm every mapped-peer update does.\n";
+}
+
 }  // namespace
 
-int main() {
+int main(int, char** argv) {
+  if (const char* spec = std::getenv(kNetChildEnv);
+      spec != nullptr && aspen::net::endpoint::launched())
+    return run_net_child(spec);
+
   const auto opt = aspen::bench::options::from_env();
   aspen::bench::print_figure_header(
       std::cout, "S-IV.B (sweep)",
@@ -78,5 +253,7 @@ int main() {
   t.print(std::cout);
   std::cout << "paper claim: the eager advantage holds at every process "
                "count (\"same trends\").\n";
+
+  run_net_sweep(argv[0], opt);
   return 0;
 }

@@ -14,6 +14,9 @@
 //   --once          render exactly one frame (no screen clearing) and exit
 //   --interval MS   refresh interval (else ASPEN_TOP_INTERVAL_MS, else 500)
 //   --rounds R      traffic rounds to run (default 20; 3 with --once)
+//   --conduit C     tcp (default) or shm; the shm% column shows the share
+//                   of each rank's AM traffic that rode the shared-memory
+//                   rings (always 0.0 under tcp)
 #include <unistd.h>
 
 #include <algorithm>
@@ -41,6 +44,7 @@ struct top_options {
   bool once = false;
   std::uint32_t interval_ms = 0;  // 0 = resolve from env / default below
   int rounds = 0;                 // 0 = default per mode
+  bool shm = false;               // --conduit shm
 };
 
 std::uint32_t resolve_interval(const top_options& o) {
@@ -68,11 +72,19 @@ top_options parse_args(int argc, char** argv) {
           std::max(1, std::atoi(argv[++i])));
     } else if (a == "--rounds" && i + 1 < argc) {
       o.rounds = std::max(1, std::atoi(argv[++i]));
+    } else if (a == "--conduit" && i + 1 < argc) {
+      const std::string c = argv[++i];
+      if (c != "tcp" && c != "shm") {
+        std::fprintf(stderr, "aspen-top: unknown conduit \"%s\"\n",
+                     c.c_str());
+        std::exit(2);
+      }
+      o.shm = c == "shm";
     } else {
       std::fprintf(stderr,
                    "aspen-top: unknown argument \"%s\"\n"
                    "usage: aspen-top [-n N] [--once] [--interval MS] "
-                   "[--rounds R]\n",
+                   "[--rounds R] [--conduit tcp|shm]\n",
                    a.c_str());
       std::exit(2);
     }
@@ -107,19 +119,30 @@ void render_frame(int nranks, int frame, int rounds, bool clear_screen) {
   std::printf("aspen-top — %d ranks, frame %d/%d\n", nranks, frame, rounds);
 
   bench::table ranks({"rank", "updates", "eager", "deferred", "ratio",
-                      "sendq", "staged", "lpc_depth"});
+                      "shm%", "sendq", "staged", "lpc_depth"});
   for (int r = 0; r < nranks; ++r) {
     const telemetry::snapshot s = telemetry::live::rank_snapshot(r);
     const telemetry::live::gauges g = telemetry::live::rank_gauges(r);
     char ratio[16];
     std::snprintf(ratio, sizeof ratio, "%.3f", s.eager_bypass_ratio());
+    // Share of this rank's AM traffic that rode the shared-memory rings
+    // instead of a socket (0.0 on tcp or with the shm fabric down).
+    const std::uint64_t net_sent = s.get(telemetry::counter::net_msgs_sent);
+    char shm_pct[16];
+    std::snprintf(shm_pct, sizeof shm_pct, "%.1f",
+                  net_sent == 0
+                      ? 0.0
+                      : 100.0 *
+                            static_cast<double>(
+                                s.get(telemetry::counter::shm_msgs_sent)) /
+                            static_cast<double>(net_sent));
     ranks.add_row({std::to_string(r),
                    std::to_string(telemetry::live::rank_updates(r)),
                    std::to_string(s.get(telemetry::counter::cx_eager_taken)),
                    std::to_string(
                        s.get(telemetry::counter::cx_deferred_queued) +
                        s.get(telemetry::counter::cx_remote_async)),
-                   ratio, std::to_string(g.sendq_bytes),
+                   ratio, shm_pct, std::to_string(g.sendq_bytes),
                    std::to_string(g.staged_msgs),
                    std::to_string(g.lpc_mailbox_depth)});
   }
@@ -132,6 +155,8 @@ void render_frame(int nranks, int frame, int rounds, bool clear_screen) {
               job.lat_by_disposition(telemetry::disposition::deferred));
   add_lat_row(lat, "wire_delivery",
               job.lat_of(telemetry::lat_stream::wire_delivery));
+  add_lat_row(lat, "shm_delivery",
+              job.lat_of(telemetry::lat_stream::shm_delivery));
   add_lat_row(lat, "progress_gap",
               job.lat_of(telemetry::lat_stream::progress_gap));
   add_lat_row(lat, "sendq_residency",
@@ -185,7 +210,7 @@ int run_monitored_job(const top_options& o) {
   const int nranks = nr != nullptr ? std::atoi(nr) : o.nranks;
   const std::uint32_t interval = resolve_interval(o);
   gex::config gcfg;
-  gcfg.transport = gex::conduit::tcp;
+  gcfg.transport = o.shm ? gex::conduit::shm : gex::conduit::tcp;
 
   aspen::spmd(nranks, gcfg, [&] {
     atomic_domain<std::uint64_t> ad({gex::amo_op::fadd});
@@ -252,6 +277,7 @@ int relaunch(const top_options& o, const char* argv0) {
   }
   std::string cmd = launcher + " -n " + std::to_string(o.nranks) + " " + self;
   if (o.once) cmd += " --once";
+  if (o.shm) cmd += " --conduit shm";
   cmd += " --rounds " + std::to_string(o.rounds);
   cmd += " --interval " + std::to_string(resolve_interval(o));
   const int rc = std::system(cmd.c_str());

@@ -52,6 +52,25 @@
 //                          launcher (default: ../src/aspen-run relative to
 //                          the benchmark binary)
 //
+// conduit::shm (same-host shared-memory fabric; see docs/SHM.md). The
+// ASPEN_SHM_* family is read by the same net::apply_env pass:
+//   ASPEN_SHM              zero disables the fabric entirely: conduit::shm
+//                          jobs run pure-tcp with identical results — the
+//                          degraded/fallback mode (default 1)
+//   ASPEN_SHM_EAGER_MAX    largest AM payload carried inline in a msg-ring
+//                          record; 0/unset inherits ASPEN_NET_EAGER_MAX,
+//                          clamped to a quarter of the msg ring
+//   ASPEN_SHM_RING_BYTES   per-directed-pair msg ring capacity, rounded to
+//                          a power of two in [4 KiB, 256 MiB]
+//                          (default 1 MiB)
+//   ASPEN_SHM_BULK_BYTES   per-directed-pair bulk ring capacity, same
+//                          rounding; payloads up to half of it stage
+//                          through the bulk ring, larger ones fall back to
+//                          the socket rendezvous (default 8 MiB)
+//   ASPEN_BENCH_SHM        offnode_branch / gups_rank_sweep only: non-zero
+//                          adds a conduit::shm leg next to the tcp leg
+//                          (default 1 in offnode_branch, 0 in the sweep)
+//
 // Live cross-process telemetry (see docs/TELEMETRY.md):
 //   ASPEN_TELEMETRY_INTERVAL_MS  non-zero ranks push delta-encoded counter
 //                          updates to rank 0 every this-many ms, plus one

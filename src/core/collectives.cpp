@@ -8,7 +8,8 @@ namespace aspen {
 namespace detail {
 
 bool coll_wire_active() noexcept {
-  return ctx().rt->cfg().transport == gex::conduit::tcp;
+  const auto t = ctx().rt->cfg().transport;
+  return t == gex::conduit::tcp || t == gex::conduit::shm;
 }
 
 std::vector<std::vector<std::byte>> coll_wire_exchange(

@@ -111,17 +111,18 @@ void run_workers(int nthreads, const std::function<void(int)>& fn) {
 
 namespace {
 
-/// conduit::tcp SPMD: this process IS one rank of an `aspen-run` job. The
-/// runtime still carries nranks rank-state slots (segment addressing and
-/// counters are rank-indexed), but only the env-assigned rank runs user
-/// code here; everything cross-rank rides the socket endpoint, which
+/// Multi-process SPMD (conduit::tcp and conduit::shm): this process IS one
+/// rank of an `aspen-run` job. The runtime still carries nranks rank-state
+/// slots (segment addressing and counters are rank-indexed), but only the
+/// env-assigned rank runs user code here; everything cross-rank rides the
+/// socket endpoint (and, on shm, the shared-memory rings behind it), which
 /// persists across successive spmd regions.
 void spmd_net(int nranks, gex::config gcfg, version_config ver,
               const std::function<void()>& fn) {
   if (!net::endpoint::launched()) {
     std::fprintf(stderr,
-                 "aspen: fatal: spmd with conduit::tcp outside an "
-                 "aspen-run job. Launch this program as `aspen-run -n %d "
+                 "aspen: fatal: spmd with a multi-process conduit outside "
+                 "an aspen-run job. Launch this program as `aspen-run -n %d "
                  "<prog>`.\n",
                  nranks);
     std::abort();
@@ -130,9 +131,14 @@ void spmd_net(int nranks, gex::config gcfg, version_config ver,
   net::endpoint& ep = net::endpoint::ensure(gcfg.net, gcfg.segment_bytes);
   if (ep.nranks() != nranks)
     throw std::invalid_argument(
-        "spmd: nranks must equal the aspen-run job size (-n) under "
-        "conduit::tcp");
+        "spmd: nranks must equal the aspen-run job size (-n) under the "
+        "multi-process conduits");
   const int rank = ep.self_rank();
+
+  // Arm (or disarm) the shared-memory fast path for this region before the
+  // runtime maps the arena: a conduit::tcp region in the same process must
+  // behave socket-only even though the rings stay wired.
+  ep.set_region_shm(gcfg.transport == gex::conduit::shm);
 
   world w(nranks, gcfg, ver);
   w.rt().attach_wire(&ep);
@@ -186,7 +192,8 @@ void spmd(int nranks, gex::config gcfg, version_config ver,
   if (detail::have_ctx())
     throw std::logic_error("spmd: nested SPMD runs are not supported");
 
-  if (gcfg.transport == gex::conduit::tcp) {
+  if (gcfg.transport == gex::conduit::tcp ||
+      gcfg.transport == gex::conduit::shm) {
     spmd_net(nranks, gcfg, ver, fn);
     return;
   }

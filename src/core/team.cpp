@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "shm/mapper.hpp"
+
 namespace aspen {
 
 namespace detail {
@@ -189,6 +191,13 @@ team local_team() {
   if (cfg.transport == gex::conduit::tcp) {
     // Every rank is its own process: nobody shares memory with anybody.
     color = c.rank;
+  } else if (cfg.transport == gex::conduit::shm) {
+    // Colors must agree collectively, and shares_memory() is transitive
+    // here only when the whole job is mapped: one local team iff every
+    // rank mapped every other, singleton teams otherwise (partial maps
+    // would give overlapping-but-unequal neighborhoods).
+    const auto* mp = shm::mapper::instance();
+    color = mp != nullptr && mp->fully_mapped() ? 0 : c.rank;
   } else if (cfg.transport != gex::conduit::smp &&
              cfg.locality.node_size != 0) {
     color = static_cast<int>(static_cast<std::size_t>(c.rank) /

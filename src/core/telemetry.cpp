@@ -53,6 +53,13 @@ constexpr const char* kCounterNames[] = {
     "net_short_reads",
     "net_telemetry_sent",
     "net_telemetry_received",
+    "shm_msgs_sent",
+    "shm_msgs_received",
+    "shm_bytes_sent",
+    "shm_bytes_received",
+    "shm_bulk_staged",
+    "shm_ring_full",
+    "shm_peers_mapped",
 };
 static_assert(std::size(kCounterNames) == kCounterCount,
               "counter name table out of sync with the enum");

@@ -127,6 +127,17 @@ enum class counter : std::size_t {
   net_telemetry_sent,      ///< live-telemetry update frames shipped to rank 0
   net_telemetry_received,  ///< live-telemetry update frames rank 0 absorbed
 
+  // Shared-memory conduit (src/shm/), conduit::shm. The shm_* counters are
+  // the subset of net_* traffic that took the ring path instead of a
+  // socket (net_msgs_sent still counts every cross-process AM).
+  shm_msgs_sent,       ///< AMs pushed through a shared-memory ring
+  shm_msgs_received,   ///< AMs popped from a shared-memory ring
+  shm_bytes_sent,      ///< payload bytes pushed through the rings
+  shm_bytes_received,  ///< payload bytes popped from the rings
+  shm_bulk_staged,     ///< large payloads staged via the bulk ring
+  shm_ring_full,       ///< pushes that fell back to the socket (ring full)
+  shm_peers_mapped,    ///< peers whose segments were mapped at bootstrap
+
   kCount,
 };
 

@@ -32,6 +32,7 @@ constexpr const char* kLatStreamNames[] = {
     "wire_delivery",
     "progress_gap",
     "sendq_residency",
+    "shm_delivery",
 };
 static_assert(std::size(kLatStreamNames) == kLatStreamCount,
               "latency stream name table out of sync with the enum");
@@ -200,9 +201,12 @@ void write_report(int rank, const char* reason, std::uint64_t now_ns,
                  ",\n  \"transport\": {\n"
                  "    \"sendq_bytes\": %" PRIu64 ",\n"
                  "    \"staged_msgs\": %" PRIu64 ",\n"
-                 "    \"oldest_sendq_age_ms\": %" PRIu64 "%s%s\n  }",
+                 "    \"oldest_sendq_age_ms\": %" PRIu64 ",\n"
+                 "    \"shm_ring_depth_bytes\": %" PRIu64 ",\n"
+                 "    \"shm_ring_high_water\": %" PRIu64 "%s%s\n  }",
                  ts.sendq_bytes, ts.staged_msgs,
                  ts.oldest_sendq_age_ns / 1'000'000u,
+                 ts.shm_ring_depth_bytes, ts.shm_ring_high_water,
                  ts.detail_json.empty() ? "" : ",\n    ",
                  ts.detail_json.c_str());
   }

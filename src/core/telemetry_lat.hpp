@@ -90,6 +90,7 @@ enum class lat_stream : std::size_t {
   wire_delivery,    ///< send_am -> staged in-order delivery (rank0-clock)
   progress_gap,     ///< inter-arrival gap between progress() calls, per thread
   sendq_residency,  ///< peer send queue busy episode: first byte -> drained
+  shm_delivery,     ///< send_am -> delivery over the shared-memory rings
   kCount,
 };
 
@@ -209,6 +210,12 @@ struct transport_status {
   /// Age of the oldest still-undrained send-queue busy episode (0 when
   /// every peer queue is drained).
   std::uint64_t oldest_sendq_age_ns = 0;
+  /// Bytes currently resident in shared-memory rings (all peers, both
+  /// directions; 0 off the shm conduit) and the process-lifetime
+  /// per-peer-pair high-water mark — a stall with a pinned-high ring depth
+  /// points at a consumer that stopped pumping.
+  std::uint64_t shm_ring_depth_bytes = 0;
+  std::uint64_t shm_ring_high_water = 0;
   /// Pre-rendered JSON fields for the health report (quiescence matrices).
   std::string detail_json;
 };

@@ -16,6 +16,7 @@
 #include "gex/mpsc_queue.hpp"
 #include "gex/perturb.hpp"
 #include "gex/segment.hpp"
+#include "shm/mapper.hpp"
 
 namespace aspen::gex {
 
@@ -77,7 +78,10 @@ class runtime {
   runtime(int nranks, config cfg)
       : cfg_(cfg),
         arena_(nranks, cfg.segment_bytes,
-               cfg.transport == conduit::tcp ? cfg.net.segment_base : 0),
+               cfg.transport == conduit::tcp || cfg.transport == conduit::shm
+                   ? cfg.net.segment_base
+                   : 0,
+               cfg.transport == conduit::shm),
         states_(static_cast<std::size_t>(nranks)) {
     for (auto& s : states_) s = std::make_unique<rank_state>();
     if (cfg_.transport == conduit::perturbed) {
@@ -101,10 +105,18 @@ class runtime {
   /// conduit this is unconditionally true; on loopback it consults the
   /// locality model; on tcp only a rank and itself share memory (each rank
   /// is a separate process), so rma_target_local is false for every remote
-  /// target and all cross-rank traffic rides the deferred AM path.
+  /// target and all cross-rank traffic rides the deferred AM path. On shm,
+  /// two ranks share memory when both segments are mapped into this process
+  /// (same host, fd exchange succeeded) — RMA/atomics then complete as
+  /// direct loads/stores and the eager bypass fires across processes.
   [[nodiscard]] bool shares_memory(int a, int b) const noexcept {
     if (cfg_.transport == conduit::smp) return true;
     if (cfg_.transport == conduit::tcp) return a == b;
+    if (cfg_.transport == conduit::shm) {
+      if (a == b) return true;
+      const auto* mp = shm::mapper::instance();
+      return mp != nullptr && mp->rank_mapped(a) && mp->rank_mapped(b);
+    }
     return cfg_.locality.same_node(a, b);
   }
 

@@ -37,11 +37,26 @@ namespace aspen::gex {
 ///              `shares_memory` is true only for a rank and itself, so
 ///              every cross-rank RMA/atomic takes the deferred AM path —
 ///              the authentic off-node regime of the paper's Figs. 5-7.
+///  - shm:      multi-process like tcp (same launcher, same socket mesh for
+///              bootstrap and off-host peers), but same-host peers map each
+///              other's segment arenas through memfd + SCM_RIGHTS fd-passing
+///              (src/shm/, GASNet-EX PSHM style). Every process maps every
+///              same-host arena at the same fixed address, so raw global_ptr
+///              addresses stay valid across processes: RMA/atomics become
+///              direct loads/stores/memcpy and complete synchronously — the
+///              eager bypass fires across real process boundaries. AMs to
+///              mapped peers travel over lock-free SPSC rings in a shared
+///              control segment; any peer that cannot be mapped (off-host,
+///              memfd unavailable, ASPEN_SHM=0) transparently keeps the tcp
+///              socket path. `hybrid` is an alias for this per-peer
+///              shm-or-tcp selection.
 enum class conduit : std::uint8_t {
   smp,
   loopback,
   perturbed,
   tcp,
+  shm,
+  hybrid = shm,
 };
 
 /// Locality model: which rank pairs are treated as sharing a node.
@@ -92,6 +107,32 @@ struct perturb_config {
   bool honor_env = true;
 };
 
+/// Tunables of the shared-memory channel used by `conduit::shm` for
+/// same-host peers. Each knob is overridable through the ASPEN_SHM_*
+/// environment family (see docs/SHM.md) unless net_config::honor_env is
+/// cleared.
+struct shm_config {
+  /// Master switch: false forces every peer onto the tcp socket path even
+  /// when memfd mapping would have succeeded (the degraded-mode leg used by
+  /// CI to prove result equivalence). Env: ASPEN_SHM (0 disables).
+  bool enabled = true;
+  /// Largest AM payload pushed inline through the message ring; larger
+  /// payloads stage through the bulk ring. 0 (the default) inherits
+  /// net_config::eager_max so the shm and tcp eager/rendezvous cutovers
+  /// coincide. The effective value is clamped to a quarter of the message
+  /// ring so several inline records always fit. Env: ASPEN_SHM_EAGER_MAX.
+  std::size_t eager_max = 0;
+  /// Capacity of each directed per-peer message ring (control records +
+  /// inline payloads). Rounded to a power of two in [4 KiB, 256 MiB].
+  /// Env: ASPEN_SHM_RING_BYTES.
+  std::size_t msg_ring_bytes = std::size_t{1} << 20;
+  /// Capacity of each directed per-peer bulk ring (payloads above the shm
+  /// eager bound). Same rounding. A payload larger than half this ring can
+  /// never take the shm path and falls back to the socket rendezvous.
+  /// Env: ASPEN_SHM_BULK_BYTES.
+  std::size_t bulk_ring_bytes = std::size_t{8} << 20;
+};
+
 /// Tunables of the `conduit::tcp` socket transport (src/net/). Each knob is
 /// overridable at run time through the ASPEN_NET_* environment family (see
 /// docs/NET.md) unless honor_env is cleared.
@@ -109,6 +150,9 @@ struct net_config {
   /// global_ptr addresses meaningful across the wire. Env:
   /// ASPEN_NET_SEGMENT_BASE (decimal or 0x-hex).
   std::uintptr_t segment_base = 0x2a5e00000000ull;
+  /// Shared-memory channel settings; consulted only when transport is
+  /// conduit::shm.
+  shm_config shm{};
   /// Apply ASPEN_NET_* environment overrides when the endpoint starts.
   bool honor_env = true;
 };
@@ -126,8 +170,9 @@ struct config {
   /// Perturbation engine settings; consulted only when transport is
   /// conduit::perturbed.
   perturb_config perturb{};
-  /// Socket transport settings; consulted only when transport is
-  /// conduit::tcp.
+  /// Socket transport settings; consulted when transport is conduit::tcp
+  /// or conduit::shm (the shm conduit bootstraps and falls back over the
+  /// same socket mesh).
   net_config net{};
 };
 

@@ -9,6 +9,8 @@
 #include <cstring>
 #include <new>
 
+#include "shm/mapper.hpp"
+
 namespace aspen::gex {
 
 // ---------------------------------------------------------------------------
@@ -41,10 +43,19 @@ struct segment_allocator::block_header {
   }
 };
 
-segment_allocator::segment_allocator(std::byte* base, std::size_t size)
+segment_allocator::segment_allocator(std::byte* base, std::size_t size,
+                                     bool init)
     : base_(base), size_(size) {
   assert(reinterpret_cast<std::uintptr_t>(base) % alignof(block_header) == 0);
   assert(size > sizeof(block_header) + kMinPayload);
+  if (!init) {
+    // Attach-only: this segment is a MAP_SHARED alias of another process's
+    // memory. The owning process wrote (or will write) the initial header;
+    // writing it again here would race with the owner's live allocations.
+    // Allocation through this view is forbidden and returns nullptr
+    // (free_head_ stays empty).
+    return;
+  }
   auto* b = new (base_) block_header;
   b->size = size_ - sizeof(block_header);
   b->prev_size = 0;
@@ -202,9 +213,36 @@ bool segment_allocator::check_integrity() const noexcept {
 // ---------------------------------------------------------------------------
 
 segment_arena::segment_arena(int nranks, std::size_t bytes_per_rank,
-                             std::uintptr_t fixed_base) {
-  bytes_per_rank_ = round_up(bytes_per_rank, 64);
+                             std::uintptr_t fixed_base, bool shm_shared) {
+  // Fixed-address arenas stride on page boundaries (memfd slices must be
+  // page-granular); in-process arenas only need allocator alignment.
+  bytes_per_rank_ = round_up(bytes_per_rank, fixed_base != 0 ? 4096 : 64);
   const std::size_t total = bytes_per_rank_ * static_cast<std::size_t>(nranks);
+  auto* mp = shm::mapper::instance();
+  if (shm_shared && fixed_base != 0 && mp != nullptr) {
+    // conduit::shm: the mapper places every rank's slice — MAP_SHARED from
+    // that rank's data memfd when same-host, private anonymous otherwise.
+    if (mp->seg_stride() != bytes_per_rank_ || mp->nranks() != nranks) {
+      std::fprintf(stderr,
+                   "aspen/gex: fatal: shm mapper geometry (%zu B x %d ranks) "
+                   "does not match the arena (%zu B x %d ranks)\n",
+                   mp->seg_stride(), mp->nranks(), bytes_per_rank_, nranks);
+      std::abort();
+    }
+    mp->map_data_segments(fixed_base);
+    mapped_bytes_ = total;
+    aligned_base_ = reinterpret_cast<std::byte*>(fixed_base);
+    segments_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      // Only the owning process initializes allocator metadata in a shared
+      // slice; every other view attaches read-mostly.
+      const bool init = r == mp->rank() || !mp->rank_mapped(r);
+      segments_.push_back(std::make_unique<segment>(
+          r, aligned_base_ + bytes_per_rank_ * static_cast<std::size_t>(r),
+          bytes_per_rank_, init));
+    }
+    return;
+  }
   if (fixed_base != 0) {
     // conduit::tcp: identical placement in every rank's process. NOREPLACE
     // (not plain MAP_FIXED) so an address-space collision is a hard,

@@ -21,7 +21,12 @@ namespace aspen::gex {
 /// rank thread allocates/frees (asserted by the caller).
 class segment_allocator {
  public:
-  segment_allocator(std::byte* base, std::size_t size);
+  /// `init == true` (the owner) writes the initial free-block header into
+  /// the segment. `init == false` attaches without touching the memory:
+  /// used by conduit::shm peers whose view of this segment is a MAP_SHARED
+  /// alias of another process's — only the owner may ever allocate, and
+  /// only the owner may initialize.
+  segment_allocator(std::byte* base, std::size_t size, bool init = true);
 
   segment_allocator(const segment_allocator&) = delete;
   segment_allocator& operator=(const segment_allocator&) = delete;
@@ -66,8 +71,12 @@ class segment_allocator {
 /// One rank's segment: memory range + allocator.
 class segment {
  public:
-  segment(int owner, std::byte* base, std::size_t size)
-      : owner_(owner), base_(base), size_(size), alloc_(base, size) {}
+  segment(int owner, std::byte* base, std::size_t size,
+          bool init_allocator = true)
+      : owner_(owner),
+        base_(base),
+        size_(size),
+        alloc_(base, size, init_allocator) {}
 
   [[nodiscard]] int owner() const noexcept { return owner_; }
   [[nodiscard]] std::byte* base() const noexcept { return base_; }
@@ -97,10 +106,16 @@ class segment {
 /// RMA wire protocol rely on. Pages are reserved for all ranks' segments
 /// but only the owning rank's pages are ever touched locally (NORESERVE
 /// keeps the untouched remainder free).
+/// When `shm_shared` is set (conduit::shm with an active shm::mapper) the
+/// fixed-address window is populated by the mapper instead: each rank's
+/// slice is a MAP_SHARED view of that rank's data memfd, so the same
+/// physical pages back the address in every same-host process. Allocator
+/// headers are then initialized only in the owning rank's process.
 class segment_arena {
  public:
   explicit segment_arena(int nranks, std::size_t bytes_per_rank,
-                         std::uintptr_t fixed_base = 0);
+                         std::uintptr_t fixed_base = 0,
+                         bool shm_shared = false);
   ~segment_arena();
 
   [[nodiscard]] segment& of(int rank) noexcept { return *segments_[rank]; }

@@ -19,6 +19,8 @@
 #include "core/persona.hpp"
 #include "core/telemetry.hpp"
 #include "core/telemetry_live.hpp"
+#include "shm/fdpass.hpp"
+#include "shm/mapper.hpp"
 
 namespace aspen::net {
 
@@ -103,9 +105,10 @@ endpoint& endpoint::ensure(const gex::net_config& cfg,
         port > 65535) {
       std::fprintf(
           stderr,
-          "aspen/net: fatal: conduit::tcp requires the aspen-run launcher. "
-          "Run this program as `aspen-run -n N <prog>`, or fix the "
-          "%s/%s/%s environment (got rank=%ld nranks=%ld port=%ld).\n",
+          "aspen/net: fatal: the multi-process conduits (tcp, shm) require "
+          "the aspen-run launcher. Run this program as `aspen-run -n N "
+          "<prog>`, or fix the %s/%s/%s environment (got rank=%ld "
+          "nranks=%ld port=%ld).\n",
           kEnvRank, kEnvNranks, kEnvRdzvPort, rank, nranks, port);
       std::abort();
     }
@@ -158,7 +161,14 @@ endpoint::endpoint(int rank, int nranks, gex::net_config cfg,
           const std::uint64_t age = now - p.out_busy_since_ns;
           if (age > st.oldest_sendq_age_ns) st.oldest_sendq_age_ns = age;
         }
+        if (p.shm_active) {
+          st.shm_ring_depth_bytes += p.shm_out_msg.depth_bytes() +
+                                     p.shm_out_bulk.depth_bytes() +
+                                     p.shm_in_msg.depth_bytes() +
+                                     p.shm_in_bulk.depth_bytes();
+        }
       }
+      st.shm_ring_high_water = shm_ring_high_water();
       st.detail_json = "\"quiescence\": {\"frames_sent\": " +
                        std::to_string(frames_sent) +
                        ", \"frames_delivered\": " +
@@ -201,6 +211,32 @@ void endpoint::bootstrap(std::uint64_t segment_bytes) {
   const long rdzv_port = env_long(kEnvRdzvPort);
   fd_handle rdzv = connect_loopback(static_cast<std::uint16_t>(rdzv_port));
 
+  // Shared-memory channel prep, before the hello: create this rank's data
+  // and control memfds (so shm_ok in the hello is truthful) and the
+  // abstract-socket listener peers will use for the fd exchange (so any
+  // peer that sees our shm_ok in the table can connect unconditionally).
+  // Geometry note: the stride must match segment_arena's page rounding.
+  shm::mapper* mp = nullptr;
+  int shm_listen = -1;
+  if (cfg_.shm.enabled && nranks_ > 1) {
+    shm::mapper::config mc;
+    mc.rank = rank_;
+    mc.nranks = nranks_;
+    mc.seg_stride = (segment_bytes + 4095) & ~std::uint64_t{4095};
+    mc.msg_ring_bytes = shm::spsc_ring::clamp_capacity(cfg_.shm.msg_ring_bytes);
+    mc.bulk_ring_bytes =
+        shm::spsc_ring::clamp_capacity(cfg_.shm.bulk_ring_bytes);
+    mp = shm::mapper::create(mc);
+    if (mp != nullptr) {
+      shm_listen = shm::listen_abstract(
+          shm::exchange_socket_name(static_cast<std::uint16_t>(rdzv_port),
+                                    rank_),
+          nranks_);
+      if (shm_listen < 0) mp = nullptr;  // exchange impossible: stay on tcp
+    }
+  }
+  shm_ok_ = mp != nullptr;
+
   hello_body hb;
   hb.rank = rank_;
   hb.nranks = nranks_;
@@ -209,6 +245,8 @@ void endpoint::bootstrap(std::uint64_t segment_bytes) {
   hb.segment_base = static_cast<std::uint64_t>(cfg_.segment_base);
   hb.segment_bytes = segment_bytes;
   hb.pid = static_cast<std::int32_t>(::getpid());
+  hb.shm_ok = shm_ok_ ? 1 : 0;
+  hb.host_id = host_identity();
   frame_header hh{};
   hh.kind = static_cast<std::uint16_t>(frame_kind::hello);
   hh.src = rank_;
@@ -223,7 +261,9 @@ void endpoint::bootstrap(std::uint64_t segment_bytes) {
   std::uint32_t n = 0;
   std::memcpy(&n, table.payload.data(), sizeof n);
   if (n != static_cast<std::uint32_t>(nranks_) ||
-      table.payload.size() != sizeof n + n * sizeof(std::uint16_t)) {
+      table.payload.size() !=
+          sizeof n + n * (sizeof(std::uint16_t) + sizeof(std::uint64_t) +
+                          sizeof(std::uint8_t))) {
     std::fprintf(stderr,
                  "aspen/net: fatal: bootstrap table disagrees on the rank "
                  "count (launcher says %u, environment says %d)\n",
@@ -231,8 +271,16 @@ void endpoint::bootstrap(std::uint64_t segment_bytes) {
     std::abort();
   }
   std::vector<std::uint16_t> ports(n);
-  std::memcpy(ports.data(), table.payload.data() + sizeof n,
-              n * sizeof(std::uint16_t));
+  std::vector<std::uint64_t> host_ids(n);
+  std::vector<std::uint8_t> shm_ready(n);
+  {
+    const std::byte* at = table.payload.data() + sizeof n;
+    std::memcpy(ports.data(), at, n * sizeof(std::uint16_t));
+    at += n * sizeof(std::uint16_t);
+    std::memcpy(host_ids.data(), at, n * sizeof(std::uint64_t));
+    at += n * sizeof(std::uint64_t);
+    std::memcpy(shm_ready.data(), at, n * sizeof(std::uint8_t));
+  }
   rdzv.reset();  // launcher tracks liveness via waitpid from here on
 
   // Full mesh: connect to every lower rank, accept every higher one.
@@ -264,8 +312,96 @@ void endpoint::bootstrap(std::uint64_t segment_bytes) {
     peer_of(id.hdr.src).sock = std::move(s);
   }
   if (rank_ == 0) telemetry::set_clock_sync(0);
+
+  // Shared-memory fd exchange, after the mesh (every rank has the table,
+  // so candidacy decisions agree) and before the sockets go non-blocking.
+  if (shm_ok_)
+    bootstrap_shm(host_ids, shm_ready, shm_listen);
+  if (shm_listen >= 0) ::close(shm_listen);
+
   for (int r = 0; r < nranks_; ++r)
     if (r != rank_) make_wire_ready(peer_of(r).sock.get());
+}
+
+void endpoint::bootstrap_shm(const std::vector<std::uint64_t>& host_ids,
+                             const std::vector<std::uint8_t>& shm_ready,
+                             int exchange_listen_fd) {
+  auto* mp = shm::mapper::instance();
+  if (mp == nullptr) return;
+
+  // Effective payload bounds for the shm channel. eager_max was normalized
+  // by apply_env, but ensure() callers may bypass it — re-derive
+  // defensively against the actual ring capacities (every slot in our own
+  // control segment has the same geometry; probe our own sender slot).
+  const std::size_t msg_cap = mp->inbound_msg(rank_).capacity();
+  shm_eager_max_ = cfg_.shm.eager_max != 0 ? cfg_.shm.eager_max
+                                           : cfg_.eager_max;
+  if (shm_eager_max_ > msg_cap / 4) shm_eager_max_ = msg_cap / 4;
+  shm_bulk_max_ = mp->inbound_bulk(rank_).capacity() / 2;
+
+  const auto candidate = [&](int r) {
+    return r != rank_ && shm_ready[static_cast<std::size_t>(r)] != 0 &&
+           host_ids[static_cast<std::size_t>(r)] ==
+               host_ids[static_cast<std::size_t>(rank_)];
+  };
+  const long rdzv_port = env_long(kEnvRdzvPort);
+  const int my_fds[2] = {mp->data_fd(), mp->ctrl_fd()};
+
+  const auto wire_peer = [&](int r) {
+    if (!mp->rank_mapped(r)) return;
+    peer& p = peer_of(r);
+    p.shm_out_msg = mp->outbound_msg(r);
+    p.shm_out_bulk = mp->outbound_bulk(r);
+    p.shm_in_msg = mp->inbound_msg(r);
+    p.shm_in_bulk = mp->inbound_bulk(r);
+    p.shm_active = p.shm_out_msg.valid() && p.shm_out_bulk.valid() &&
+                   p.shm_in_msg.valid() && p.shm_in_bulk.valid();
+    if (p.shm_active)
+      telemetry::count(telemetry::counter::shm_peers_mapped);
+  };
+
+  // Mirror the mesh pattern: connect to every lower candidate's abstract
+  // listener, accept every higher candidate from ours. The connector sends
+  // its (tag, fds) first; the acceptor identifies the peer by the received
+  // tag (accept order is not deterministic) and answers with its own fds.
+  for (int j = 0; j < rank_; ++j) {
+    if (!candidate(j)) continue;
+    const int s = shm::connect_abstract(shm::exchange_socket_name(
+        static_cast<std::uint16_t>(rdzv_port), j));
+    if (s < 0) continue;  // unreachable namespace: treat as off-host
+    std::uint32_t tag = 0;
+    int fds[2] = {-1, -1};
+    if (shm::send_fds(s, static_cast<std::uint32_t>(rank_), my_fds, 2) &&
+        shm::recv_fds(s, &tag, fds, 2) && tag == static_cast<std::uint32_t>(j))
+      (void)mp->adopt_peer(j, fds[0], fds[1]);
+    else if (fds[0] >= 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+    }
+    ::close(s);
+    wire_peer(j);
+  }
+  int expected = 0;
+  for (int k = rank_ + 1; k < nranks_; ++k)
+    if (candidate(k)) ++expected;
+  for (int i = 0; i < expected; ++i) {
+    const int s = shm::accept_peer(exchange_listen_fd);
+    if (s < 0) break;
+    std::uint32_t tag = 0;
+    int fds[2] = {-1, -1};
+    if (shm::recv_fds(s, &tag, fds, 2) &&
+        tag > static_cast<std::uint32_t>(rank_) &&
+        tag < static_cast<std::uint32_t>(nranks_) &&
+        candidate(static_cast<int>(tag)) &&
+        shm::send_fds(s, static_cast<std::uint32_t>(rank_), my_fds, 2)) {
+      (void)mp->adopt_peer(static_cast<int>(tag), fds[0], fds[1]);
+      wire_peer(static_cast<int>(tag));
+    } else if (fds[0] >= 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+    }
+    ::close(s);
+  }
 }
 
 void endpoint::clock_sync_with_rank0() {
@@ -416,6 +552,56 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
   const std::uint64_t seq = p.next_send_seq++;
   telemetry::trace_flow("wire_msg", "net", /*begin=*/true,
                         flow_id(rank_, target, seq));
+
+  // Shared-memory fast path: same-host peer with a wired ring pair and an
+  // shm region active. The seq is assigned under p.mu regardless of which
+  // channel carries the message, and the receiver's staged map re-merges
+  // both channels, so per-peer delivery order survives a mid-stream
+  // fallback (full ring -> socket). Never blocks: a ring without space
+  // falls through to the socket path below.
+  if (shm_region_active_ && p.shm_active) {
+    shm_rec_hdr rh;
+    rh.seq = seq;
+    rh.handler_delta = delta;
+    rh.send_ns = send_ns;
+    rh.len = static_cast<std::uint32_t>(len);
+    bool pushed = false;
+    bool attempted = false;
+    if (len <= shm_eager_max_) {
+      attempted = true;
+      pushed = p.shm_out_msg.try_push2(&rh, sizeof rh, msg.payload(), len);
+    } else if (len <= shm_bulk_max_) {
+      attempted = true;
+      // Both-or-neither: reserve-check the pair before writing either, and
+      // push the bulk payload BEFORE its control record — the consumer
+      // acquiring the control record is then guaranteed to find the
+      // payload (release-store chain across the two rings).
+      if (p.shm_out_bulk.can_push(len) && p.shm_out_msg.can_push(sizeof rh)) {
+        rh.flags = kShmBulk;
+        pushed = p.shm_out_bulk.try_push(msg.payload(), len) &&
+                 p.shm_out_msg.try_push(&rh, sizeof rh);
+        if (pushed)
+          telemetry::count(telemetry::counter::shm_bulk_staged);
+      }
+    }
+    if (pushed) {
+      telemetry::count(telemetry::counter::shm_msgs_sent);
+      telemetry::count(telemetry::counter::shm_bytes_sent,
+                       static_cast<std::uint64_t>(len));
+      const std::size_t depth =
+          p.shm_out_msg.depth_bytes() + p.shm_out_bulk.depth_bytes();
+      std::size_t hw = shm_ring_high_water_.load(std::memory_order_relaxed);
+      while (depth > hw && !shm_ring_high_water_.compare_exchange_weak(
+                               hw, depth, std::memory_order_relaxed)) {
+      }
+      return;
+    }
+    if (attempted)
+      telemetry::count(telemetry::counter::shm_ring_full);
+    // Payload too large for the rings, or rings full: the socket path
+    // below carries this message with the same seq.
+  }
+
   if (len <= cfg_.eager_max) {
     telemetry::count(telemetry::counter::net_eager_sent);
     frame_header h{};
@@ -470,9 +656,65 @@ std::size_t endpoint::pump(gex::runtime& rt) {
       std::lock_guard<std::mutex> lk(p.mu);
       if (p.out_off < p.out.size()) flush_locked(p, r);
     }
+    if (p.shm_active) work += pump_shm_peer(rt, r);
     work += pump_peer(rt, r);
   }
   pumping_ = false;
+  return work;
+}
+
+std::size_t endpoint::pump_shm_peer(gex::runtime& rt, int rank) {
+  peer& p = peer_of(rank);
+  std::size_t work = 0;
+  std::vector<std::byte> rec;
+  for (;;) {
+    const std::size_t sz = p.shm_in_msg.front_size();
+    if (sz == 0) break;
+    if (sz < sizeof(shm_rec_hdr)) {
+      std::fprintf(stderr,
+                   "aspen/net: fatal: runt shm record (%zu bytes) on the "
+                   "rank %d -> %d ring\n",
+                   sz, rank, rank_);
+      std::abort();
+    }
+    rec.resize(sz);
+    p.shm_in_msg.pop_front(rec.data());
+    shm_rec_hdr rh;
+    std::memcpy(&rh, rec.data(), sizeof rh);
+    telemetry::count(telemetry::counter::shm_msgs_received);
+    telemetry::count(telemetry::counter::shm_bytes_received, rh.len);
+    if ((rh.flags & kShmBulk) != 0) {
+      // The producer release-published the bulk payload before the control
+      // record, so the matching bulk record is guaranteed present.
+      const std::size_t bsz = p.shm_in_bulk.front_size();
+      if (bsz != rh.len) {
+        std::fprintf(stderr,
+                     "aspen/net: fatal: shm bulk record from rank %d does "
+                     "not match its control record (%zu vs %u bytes)\n",
+                     rank, bsz, rh.len);
+        std::abort();
+      }
+      std::vector<std::byte> payload(rh.len);
+      if (rh.len != 0) p.shm_in_bulk.pop_front(payload.data());
+      else p.shm_in_bulk.consume_front();
+      gex::am_message msg(decode_handler(rh.handler_delta, text_anchor()),
+                          rank, payload.data(), payload.size());
+      p.staged.emplace(rh.seq, staged_am{std::move(msg), rh.send_ns, true});
+    } else {
+      if (sz != sizeof rh + rh.len) {
+        std::fprintf(stderr,
+                     "aspen/net: fatal: shm record length mismatch from "
+                     "rank %d (%zu record bytes for a %u-byte payload)\n",
+                     rank, sz, rh.len);
+        std::abort();
+      }
+      gex::am_message msg(decode_handler(rh.handler_delta, text_anchor()),
+                          rank, rec.data() + sizeof rh, rh.len);
+      p.staged.emplace(rh.seq, staged_am{std::move(msg), rh.send_ns, true});
+    }
+    ++work;
+  }
+  work += release_staged(rt, rank);
   return work;
 }
 
@@ -488,6 +730,10 @@ void endpoint::idle_wait() noexcept {
   for (int r = 0; r < nranks_ && n < kMaxPollFds; ++r) {
     if (r == rank_) continue;
     const peer& p = peer_of(r);
+    // A non-empty inbound shm ring IS progress waiting to happen: return
+    // immediately so the caller pumps instead of parking on sockets that
+    // will never see those bytes.
+    if (p.shm_active && !p.shm_in_msg.empty()) return;
     if (!p.sock.valid()) continue;
     fds[n].fd = p.sock.get();
     fds[n].events = POLLIN;
@@ -694,7 +940,8 @@ std::size_t endpoint::release_staged(gex::runtime& rt, int rank) {
                             clock_offset_ns_;
       const auto sent = static_cast<std::int64_t>(it->second.send_ns);
       telemetry::note_latency(
-          telemetry::lat_stream::wire_delivery,
+          it->second.via_shm ? telemetry::lat_stream::shm_delivery
+                             : telemetry::lat_stream::wire_delivery,
           now_norm > sent ? static_cast<std::uint64_t>(now_norm - sent) : 0);
     }
     rt.deliver_from_wire(rank_, std::move(it->second.msg));
@@ -719,6 +966,9 @@ bool endpoint::locally_unsettled() const noexcept {
     if (!p.rdzv_out.empty()) return true;
     if (!p.staged.empty() || !p.rdzv_in.empty()) return true;
     if (p.dec && p.dec->buffered() != 0) return true;
+    // Undrained inbound shm records are local work; outbound ring bytes
+    // are the peer's (and show in the quiescence matrices until consumed).
+    if (p.shm_active && !p.shm_in_msg.empty()) return true;
   }
   return false;
 }
@@ -918,6 +1168,9 @@ telemetry::live::gauges endpoint::live_gauges() const {
     const peer& p = *peers_[static_cast<std::size_t>(r)];
     std::lock_guard<std::mutex> lk(p.mu);
     g.sendq_bytes += p.out.size() - p.out_off;
+    if (p.shm_active)
+      g.sendq_bytes +=
+          p.shm_out_msg.depth_bytes() + p.shm_out_bulk.depth_bytes();
     g.staged_msgs += p.staged.size();
   }
   g.sendq_high_water = sendq_high_water_.load(std::memory_order_relaxed);

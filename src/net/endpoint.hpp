@@ -28,6 +28,7 @@
 #include "gex/config.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "shm/ring.hpp"
 
 namespace aspen::net {
 
@@ -73,6 +74,26 @@ class endpoint final : public gex::wire_transport {
   /// Largest per-peer send-queue depth (bytes) observed so far.
   [[nodiscard]] std::size_t sendq_high_water() const noexcept {
     return sendq_high_water_.load(std::memory_order_relaxed);
+  }
+
+  /// Largest shm ring depth (bytes, any direction's message+bulk pair)
+  /// observed so far. 0 when the shm channel never activated.
+  [[nodiscard]] std::size_t shm_ring_high_water() const noexcept {
+    return shm_ring_high_water_.load(std::memory_order_relaxed);
+  }
+
+  /// Arm or disarm the shared-memory fast path for the coming region.
+  /// The shm channel is wired once at bootstrap (when the launcher's table
+  /// showed same-host peers and memfds were available), but it only carries
+  /// traffic while the active region runs conduit::shm — a later
+  /// conduit::tcp region in the same process must see authentic
+  /// socket-only behavior.
+  void set_region_shm(bool active) noexcept { shm_region_active_ = active; }
+
+  /// True when the shm channel to `target` is wired and armed.
+  [[nodiscard]] bool shm_peer(int target) const noexcept {
+    return shm_region_active_ &&
+           peers_[static_cast<std::size_t>(target)]->shm_active;
   }
 
   /// Instantaneous transport gauges for the live-telemetry plane.
@@ -145,6 +166,7 @@ class endpoint final : public gex::wire_transport {
   struct staged_am {
     gex::am_message msg;
     std::uint64_t send_ns = 0;
+    bool via_shm = false;  ///< arrived over the shm ring (not the socket)
   };
 
   struct peer {
@@ -167,9 +189,36 @@ class endpoint final : public gex::wire_transport {
     std::uint64_t next_deliver_seq = 0;
     std::map<std::uint64_t, staged_am> staged;
     std::unordered_map<std::uint32_t, inbound_rdzv> rdzv_in;
+    // ---- shm channel (wired at bootstrap iff the fd exchange succeeded).
+    // The outbound rings are produced under mu (same lock as `out`, so the
+    // per-peer seq stays totally ordered across both channels); the inbound
+    // rings are consumed by the pump/master thread only.
+    bool shm_active = false;
+    shm::spsc_ring shm_out_msg;
+    shm::spsc_ring shm_out_bulk;
+    shm::spsc_ring shm_in_msg;
+    shm::spsc_ring shm_in_bulk;
   };
 
+  /// Record header carried in the shm message ring (followed inline by the
+  /// payload when `flags` lacks kShmBulk; payload rides the bulk ring
+  /// otherwise).
+  struct shm_rec_hdr {
+    std::uint64_t seq = 0;
+    std::uint64_t handler_delta = 0;
+    std::uint64_t send_ns = 0;
+    std::uint32_t flags = 0;
+    std::uint32_t len = 0;
+  };
+  static constexpr std::uint32_t kShmBulk = 1u << 0;
+
   void bootstrap(std::uint64_t segment_bytes);
+  /// Post-mesh bootstrap phase: exchange memfds with same-host peers over
+  /// abstract unix sockets and wire each peer's ring views. Failures leave
+  /// individual peers on the socket path; never fatal.
+  void bootstrap_shm(const std::vector<std::uint64_t>& host_ids,
+                     const std::vector<std::uint8_t>& shm_ready,
+                     int exchange_listen_fd);
   peer& peer_of(int rank) { return *peers_[static_cast<std::size_t>(rank)]; }
 
   /// Rank > 0: estimate clock_offset_ns_ against rank 0 over the (still
@@ -193,6 +242,8 @@ class endpoint final : public gex::wire_transport {
   void flush_locked(peer& p, int target);
   /// Drain readable bytes and process complete frames for one peer.
   std::size_t pump_peer(gex::runtime& rt, int rank);
+  /// Drain the peer's inbound shm rings into the staged map.
+  std::size_t pump_shm_peer(gex::runtime& rt, int rank);
   void process_frame(gex::runtime& rt, int rank, frame&& f);
   /// Release in-order staged AMs to the substrate inbox.
   std::size_t release_staged(gex::runtime& rt, int rank);
@@ -224,6 +275,16 @@ class endpoint final : public gex::wire_transport {
   std::uint64_t quiesce_seq_ = 0;
 
   std::atomic<std::size_t> sendq_high_water_{0};
+
+  // Shared-memory channel state. shm_ok_ is set at bootstrap when this
+  // rank's mapper came up; shm_region_active_ arms the fast path per
+  // region (see set_region_shm). Effective payload bounds are derived from
+  // cfg_.shm at bootstrap.
+  bool shm_ok_ = false;
+  bool shm_region_active_ = false;
+  std::size_t shm_eager_max_ = 0;
+  std::size_t shm_bulk_max_ = 0;
+  std::atomic<std::size_t> shm_ring_high_water_{0};
 
   // Live-telemetry plane (0 == disabled) and bootstrap clock sync.
   std::uint32_t telemetry_interval_ms_ = 0;

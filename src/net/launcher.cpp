@@ -1,4 +1,4 @@
-// aspen-run — the SPMD launcher for conduit::tcp.
+// aspen-run — the SPMD launcher for the multi-process conduits (tcp, shm).
 //
 //   aspen-run -n N [--] <prog> [args...]
 //
@@ -210,18 +210,32 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Publish the port table.
+  // Publish the table: ports, then each rank's host identity and shm
+  // readiness (so every rank can decide per peer between the shared-memory
+  // channel and the socket without extra round trips).
   std::vector<std::byte> table;
   const auto n32 = static_cast<std::uint32_t>(nranks);
-  table.resize(sizeof n32 + n32 * sizeof(std::uint16_t));
+  table.resize(sizeof n32 +
+               n32 * (sizeof(std::uint16_t) + sizeof(std::uint64_t) +
+                      sizeof(std::uint8_t)));
   std::memcpy(table.data(), &n32, sizeof n32);
+  std::size_t off = sizeof n32;
   for (int r = 0; r < nranks; ++r) {
     const auto port =
         static_cast<std::uint16_t>(hellos[static_cast<std::size_t>(r)]
                                        .listen_port);
-    std::memcpy(table.data() + sizeof n32 +
-                    static_cast<std::size_t>(r) * sizeof port,
-                &port, sizeof port);
+    std::memcpy(table.data() + off, &port, sizeof port);
+    off += sizeof port;
+  }
+  for (int r = 0; r < nranks; ++r) {
+    const std::uint64_t hid = hellos[static_cast<std::size_t>(r)].host_id;
+    std::memcpy(table.data() + off, &hid, sizeof hid);
+    off += sizeof hid;
+  }
+  for (int r = 0; r < nranks; ++r) {
+    const std::uint8_t ok = hellos[static_cast<std::size_t>(r)].shm_ok != 0;
+    std::memcpy(table.data() + off, &ok, sizeof ok);
+    off += sizeof ok;
   }
   frame_header th{};
   th.kind = static_cast<std::uint16_t>(frame_kind::table);

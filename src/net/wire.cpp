@@ -1,7 +1,12 @@
 #include "net/wire.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#include "shm/ring.hpp"
 
 namespace aspen::net {
 
@@ -126,15 +131,54 @@ std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
 }  // namespace
 
 gex::net_config apply_env(gex::net_config cfg) {
-  if (!cfg.honor_env) return cfg;
-  cfg.eager_max = static_cast<std::size_t>(
-      env_u64("ASPEN_NET_EAGER_MAX", cfg.eager_max));
-  cfg.max_frame = static_cast<std::size_t>(
-      env_u64("ASPEN_NET_MAX_FRAME", cfg.max_frame));
-  cfg.segment_base = static_cast<std::uintptr_t>(
-      env_u64("ASPEN_NET_SEGMENT_BASE", cfg.segment_base));
+  if (cfg.honor_env) {
+    cfg.eager_max = static_cast<std::size_t>(
+        env_u64("ASPEN_NET_EAGER_MAX", cfg.eager_max));
+    cfg.max_frame = static_cast<std::size_t>(
+        env_u64("ASPEN_NET_MAX_FRAME", cfg.max_frame));
+    cfg.segment_base = static_cast<std::uintptr_t>(
+        env_u64("ASPEN_NET_SEGMENT_BASE", cfg.segment_base));
+    cfg.shm.enabled = env_u64("ASPEN_SHM", cfg.shm.enabled ? 1 : 0) != 0;
+    cfg.shm.eager_max = static_cast<std::size_t>(
+        env_u64("ASPEN_SHM_EAGER_MAX", cfg.shm.eager_max));
+    cfg.shm.msg_ring_bytes = static_cast<std::size_t>(
+        env_u64("ASPEN_SHM_RING_BYTES", cfg.shm.msg_ring_bytes));
+    cfg.shm.bulk_ring_bytes = static_cast<std::size_t>(
+        env_u64("ASPEN_SHM_BULK_BYTES", cfg.shm.bulk_ring_bytes));
+  }
   if (cfg.eager_max > cfg.max_frame) cfg.eager_max = cfg.max_frame;
+  // Normalize the shm channel geometry: power-of-two rings, the inline
+  // bound inherited from the socket eager_max unless overridden, and always
+  // small enough that several inline records fit in a message ring.
+  cfg.shm.msg_ring_bytes = shm::spsc_ring::clamp_capacity(cfg.shm.msg_ring_bytes);
+  cfg.shm.bulk_ring_bytes =
+      shm::spsc_ring::clamp_capacity(cfg.shm.bulk_ring_bytes);
+  if (cfg.shm.eager_max == 0) cfg.shm.eager_max = cfg.eager_max;
+  if (cfg.shm.eager_max > cfg.shm.msg_ring_bytes / 4)
+    cfg.shm.eager_max = cfg.shm.msg_ring_bytes / 4;
   return cfg;
+}
+
+std::uint64_t host_identity() noexcept {
+  // FNV-1a over the hostname plus the kernel boot id: equal for every
+  // process on one booted machine, practically unique across machines.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](const char* p, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(p[i]);
+      h *= 0x100000001b3ull;
+    }
+  };
+  char host[256] = {};
+  if (::gethostname(host, sizeof host - 1) == 0)
+    mix(host, std::strlen(host));
+  if (std::FILE* f = std::fopen("/proc/sys/kernel/random/boot_id", "re")) {
+    char boot[64] = {};
+    const std::size_t n = std::fread(boot, 1, sizeof boot, f);
+    std::fclose(f);
+    mix(boot, n);
+  }
+  return h;
 }
 
 }  // namespace aspen::net

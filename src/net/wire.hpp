@@ -62,7 +62,7 @@
 namespace aspen::net {
 
 inline constexpr std::uint16_t kMagic = 0xA59E;
-inline constexpr std::uint32_t kProtocolVersion = 3;
+inline constexpr std::uint32_t kProtocolVersion = 4;
 
 enum class frame_kind : std::uint16_t {
   hello = 1,
@@ -106,7 +106,8 @@ struct hello_body {
   std::uint64_t segment_base = 0;  ///< fixed arena base this process uses
   std::uint64_t segment_bytes = 0;
   std::int32_t pid = 0;
-  std::uint32_t pad = 0;
+  std::uint32_t shm_ok = 0;   ///< rank created shm memfds (conduit::shm)
+  std::uint64_t host_id = 0;  ///< host identity fingerprint (same-host test)
 };
 static_assert(std::is_trivially_copyable_v<hello_body>);
 
@@ -204,7 +205,15 @@ class decoder {
 // ---------------------------------------------------------------------------
 
 /// Apply ASPEN_NET_EAGER_MAX / ASPEN_NET_MAX_FRAME /
-/// ASPEN_NET_SEGMENT_BASE on top of `cfg`.
+/// ASPEN_NET_SEGMENT_BASE plus the ASPEN_SHM_* family on top of `cfg`, and
+/// normalize the shm knobs (power-of-two ring capacities, eager bound
+/// inherited from eager_max when unset and clamped to a quarter ring).
 [[nodiscard]] gex::net_config apply_env(gex::net_config cfg);
+
+/// A fingerprint of this host (hostname + boot id), identical for every
+/// process on the machine and distinct across machines with overwhelming
+/// probability. Carried in the hello so the launcher's table tells each
+/// rank which peers are same-host candidates for the shm conduit.
+[[nodiscard]] std::uint64_t host_identity() noexcept;
 
 }  // namespace aspen::net

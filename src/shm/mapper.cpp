@@ -1,0 +1,157 @@
+#include "shm/mapper.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "shm/fdpass.hpp"
+
+namespace aspen::shm {
+
+namespace {
+
+mapper* g_mapper = nullptr;
+
+}  // namespace
+
+mapper* mapper::instance() noexcept { return g_mapper; }
+
+mapper* mapper::create(const config& c) noexcept {
+  if (g_mapper != nullptr) return g_mapper;
+  if (c.nranks <= 1 || c.seg_stride == 0) return nullptr;
+
+  auto* m = new mapper;
+  m->cfg_ = c;
+
+  m->data_fd_ = create_memfd("aspen-shm-data", c.seg_stride);
+  m->ctrl_fd_ = create_memfd("aspen-shm-ctrl", m->ctrl_bytes());
+  if (m->data_fd_ < 0 || m->ctrl_fd_ < 0) {
+    if (m->data_fd_ >= 0) ::close(m->data_fd_);
+    if (m->ctrl_fd_ >= 0) ::close(m->ctrl_fd_);
+    delete m;
+    return nullptr;
+  }
+
+  void* ctrl = ::mmap(nullptr, m->ctrl_bytes(), PROT_READ | PROT_WRITE,
+                      MAP_SHARED, m->ctrl_fd_, 0);
+  if (ctrl == MAP_FAILED) {
+    ::close(m->data_fd_);
+    ::close(m->ctrl_fd_);
+    delete m;
+    return nullptr;
+  }
+  m->own_ctrl_ = static_cast<std::byte*>(ctrl);
+
+  // The owner initializes every sender slot before the fd is ever shared,
+  // so a peer that maps the control segment finds valid ring headers no
+  // matter how the exchange interleaves.
+  for (int s = 0; s < c.nranks; ++s) {
+    std::byte* at = m->slot(m->own_ctrl_, s);
+    (void)spsc_ring::create(at, c.msg_ring_bytes);
+    (void)spsc_ring::create(at + spsc_ring::footprint(c.msg_ring_bytes),
+                            c.bulk_ring_bytes);
+  }
+
+  m->peers_ = new peer_state[static_cast<std::size_t>(c.nranks)];
+  g_mapper = m;
+  return m;
+}
+
+bool mapper::adopt_peer(int peer, int peer_data_fd,
+                        int peer_ctrl_fd) noexcept {
+  if (peer < 0 || peer >= cfg_.nranks || peer == cfg_.rank ||
+      peers_[peer].ctrl != nullptr) {
+    ::close(peer_data_fd);
+    ::close(peer_ctrl_fd);
+    return false;
+  }
+  void* ctrl = ::mmap(nullptr, ctrl_bytes(), PROT_READ | PROT_WRITE,
+                      MAP_SHARED, peer_ctrl_fd, 0);
+  if (ctrl == MAP_FAILED) {
+    ::close(peer_data_fd);
+    ::close(peer_ctrl_fd);
+    return false;
+  }
+  // Sanity-check the peer's ring geometry matches ours before trusting it.
+  std::byte* my_slot = slot(static_cast<std::byte*>(ctrl), cfg_.rank);
+  if (!spsc_ring::attach(my_slot).valid() ||
+      spsc_ring::attach(my_slot).capacity() != cfg_.msg_ring_bytes) {
+    ::munmap(ctrl, ctrl_bytes());
+    ::close(peer_data_fd);
+    ::close(peer_ctrl_fd);
+    return false;
+  }
+  peers_[peer].data_fd = peer_data_fd;
+  peers_[peer].ctrl_fd = peer_ctrl_fd;
+  peers_[peer].ctrl = static_cast<std::byte*>(ctrl);
+  return true;
+}
+
+bool mapper::rank_mapped(int r) const noexcept {
+  if (r < 0 || r >= cfg_.nranks) return false;
+  return r == cfg_.rank || peers_[r].ctrl != nullptr;
+}
+
+int mapper::mapped_count() const noexcept {
+  int n = 1;  // self
+  for (int r = 0; r < cfg_.nranks; ++r)
+    if (r != cfg_.rank && peers_[r].ctrl != nullptr) ++n;
+  return n;
+}
+
+spsc_ring mapper::inbound_msg(int from) const noexcept {
+  return spsc_ring::attach(slot(own_ctrl_, from));
+}
+
+spsc_ring mapper::inbound_bulk(int from) const noexcept {
+  return spsc_ring::attach(slot(own_ctrl_, from) +
+                           spsc_ring::footprint(cfg_.msg_ring_bytes));
+}
+
+spsc_ring mapper::outbound_msg(int to) const noexcept {
+  if (!rank_mapped(to) || to == cfg_.rank) return {};
+  return spsc_ring::attach(slot(peers_[to].ctrl, cfg_.rank));
+}
+
+spsc_ring mapper::outbound_bulk(int to) const noexcept {
+  if (!rank_mapped(to) || to == cfg_.rank) return {};
+  return spsc_ring::attach(slot(peers_[to].ctrl, cfg_.rank) +
+                           spsc_ring::footprint(cfg_.msg_ring_bytes));
+}
+
+void mapper::map_data_segments(std::uintptr_t base) noexcept {
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    void* want = reinterpret_cast<void*>(base + cfg_.seg_stride *
+                                                    static_cast<std::size_t>(r));
+    void* got = MAP_FAILED;
+    if (rank_mapped(r)) {
+      const int fd = r == cfg_.rank ? data_fd_ : peers_[r].data_fd;
+      got = ::mmap(want, cfg_.seg_stride, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_FIXED_NOREPLACE, fd, 0);
+    } else {
+      // Off-host rank: keep the arena contiguous with a private reservation
+      // so owner_of()/pointer arithmetic stay uniform; nobody stores here.
+      got = ::mmap(want, cfg_.seg_stride, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED_NOREPLACE |
+                       MAP_NORESERVE,
+                   -1, 0);
+    }
+    if (got != want) {
+      std::fprintf(stderr,
+                   "aspen::shm: cannot map rank %d segment at %p — the fixed "
+                   "segment window is occupied; pick a different "
+                   "ASPEN_NET_SEGMENT_BASE\n",
+                   r, want);
+      std::abort();
+    }
+  }
+}
+
+void mapper::unmap_data_segments(std::uintptr_t base) noexcept {
+  ::munmap(reinterpret_cast<void*>(base),
+           cfg_.seg_stride * static_cast<std::size_t>(cfg_.nranks));
+}
+
+}  // namespace aspen::shm

@@ -23,6 +23,7 @@
 #include "core/telemetry.hpp"
 #include "core/telemetry_live.hpp"
 #include "net/endpoint.hpp"
+#include "shm/mapper.hpp"
 
 namespace {
 
@@ -35,6 +36,21 @@ aspen::gex::config tcp_cfg() {
   aspen::gex::config cfg;
   cfg.transport = aspen::gex::conduit::tcp;
   return cfg;
+}
+
+aspen::gex::config shm_cfg() {
+  aspen::gex::config cfg;
+  cfg.transport = aspen::gex::conduit::shm;
+  return cfg;
+}
+
+// Whether the shared-memory fabric actually came up job-wide. False under
+// ASPEN_SHM=0 (the degraded leg) or when memfd/fd-passing failed — the
+// conduit then runs pure-tcp and every ShmSpmd test below asserts the tcp
+// expectations instead, so the degraded leg proves the fallback.
+bool shm_fabric_up() {
+  const auto* mp = aspen::shm::mapper::instance();
+  return mp != nullptr && mp->fully_mapped();
 }
 
 #define ASPEN_REQUIRE_LAUNCHED()                                       \
@@ -545,6 +561,366 @@ TEST(NetSpmd, MergedTraceCarriesFlowEvents) {
 
   aspen::spmd(n, tcp_cfg(), [] { aspen::barrier(); });  // rank 0 done
   (void)std::remove(aspen::bench::rank_trace_path(base, rank).c_str());
+}
+
+// ---------------------------------------------------------------------------
+// conduit::shm — the same SPMD binary over the shared-memory fabric. Every
+// test also runs (with inverted expectations) on the ASPEN_SHM=0 degraded
+// leg, which must behave exactly like conduit::tcp.
+// ---------------------------------------------------------------------------
+
+// The locality claim: with the fabric up every same-host rank maps every
+// other's segment, so shares_memory() holds cross-process and local_team()
+// spans the whole job. Degraded: identical to tcp (singleton teams).
+TEST(ShmSpmd, RanksShareMemory) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  aspen::spmd(n, shm_cfg(), [n] {
+    EXPECT_EQ(aspen::rank_n(), n);
+    const bool up = shm_fabric_up();
+    aspen::team lt = aspen::local_team();
+    if (up) {
+      EXPECT_EQ(lt.rank_n(), n);
+      EXPECT_EQ(lt.rank_me(), aspen::rank_me());
+    } else {
+      EXPECT_EQ(lt.rank_n(), 1);
+      EXPECT_EQ(lt.rank_me(), 0);
+    }
+    // Ranks are still distinct OS processes either way.
+    const int my_pid = static_cast<int>(::getpid());
+    for (int r = 0; r < n; ++r) {
+      const int pid_r = aspen::broadcast(my_pid, r);
+      if (r == aspen::rank_me()) {
+        EXPECT_EQ(pid_r, my_pid);
+      } else {
+        EXPECT_NE(pid_r, my_pid);
+      }
+    }
+    aspen::barrier();
+  });
+}
+
+// The acceptance claim inverted from NetSpmd.EagerDispositionCrossVsSelf:
+// over shm a *cross-process* rput to a mapped peer is a direct store into
+// the peer's segment and completes eagerly — cx_eager_taken > 0 where the
+// tcp conduit structurally pins it to 0.
+TEST(ShmSpmd, CrossProcessRmaCompletesEagerly) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  aspen::spmd(n, shm_cfg(), [n] {
+    using c = aspen::telemetry::counter;
+    auto gp = aspen::new_<std::uint64_t>(0);
+    std::vector<aspen::global_ptr<std::uint64_t>> dir(
+        static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r)
+      dir[static_cast<std::size_t>(r)] = aspen::broadcast(gp, r);
+    aspen::barrier();
+
+    const bool up = shm_fabric_up();
+    const int right = (aspen::rank_me() + 1) % n;
+    const int left = (aspen::rank_me() + n - 1) % n;
+    const auto before = aspen::telemetry::local_snapshot();
+    for (int i = 0; i < 8; ++i)
+      aspen::rput(std::uint64_t{100} * aspen::rank_me() + i,
+                  dir[static_cast<std::size_t>(right)])
+          .wait();
+    const auto d = aspen::telemetry::local_snapshot() - before;
+    aspen::barrier();
+    EXPECT_EQ(*gp.local(), std::uint64_t{100} * left + 7);
+    EXPECT_EQ(aspen::rget(dir[static_cast<std::size_t>(left)]).wait(),
+              std::uint64_t{100} * ((left + n - 1) % n) + 7);
+    if (n > 1 && aspen::telemetry::compiled_in()) {
+      if (up) {
+        EXPECT_GT(d.get(c::cx_eager_taken), 0u)
+            << "a mapped-peer rput should complete eagerly over shm";
+      } else {
+        EXPECT_EQ(d.get(c::cx_eager_taken), 0u)
+            << "degraded shm (pure tcp) must never complete cross-rank "
+               "rputs eagerly";
+      }
+    }
+    aspen::barrier();
+    aspen::delete_(gp);
+  });
+}
+
+// AMs over the rings: a small rpc rides the msg ring inline, a mid-size
+// payload stages through the bulk ring, and a payload beyond the bulk
+// threshold falls back to the socket — all three must deliver correct
+// results, and the shm counters must attribute ring traffic only when the
+// fabric is up.
+TEST(ShmSpmd, RpcInlineAndBulkPayloads) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  aspen::spmd(n, shm_cfg(), [n] {
+    using c = aspen::telemetry::counter;
+    const bool up = shm_fabric_up();
+    const auto before = aspen::telemetry::local_snapshot();
+    const int target = (aspen::rank_me() + 1) % n;
+
+    // Inline: fits any eager/ring budget.
+    const int got =
+        aspen::rpc(target, [](int x) { return x * 2 + aspen::rank_me(); },
+                   21)
+            .wait();
+    EXPECT_EQ(got, 42 + target);
+
+    // Bulk-ring sized: above the inline eager max (default 8 KiB), well
+    // below the bulk-ring capacity.
+    std::vector<std::uint64_t> mid(1 << 12);  // 32 KiB
+    std::iota(mid.begin(), mid.end(), 17ull * aspen::rank_me());
+    const std::uint64_t mid_sum =
+        std::accumulate(mid.begin(), mid.end(), 0ull);
+    EXPECT_EQ(aspen::rpc(target,
+                         [](const std::vector<std::uint64_t>& v) {
+                           return std::accumulate(v.begin(), v.end(), 0ull);
+                         },
+                         mid)
+                  .wait(),
+              mid_sum);
+
+    // Beyond any ring: a 6 MiB payload exceeds the default bulk-ring
+    // budget (8 MiB capacity, shm_bulk_max_ = capacity/2 = 4 MiB), so it
+    // must take the socket rendezvous path even with the fabric up.
+    std::vector<std::uint64_t> huge((6u << 20) / sizeof(std::uint64_t));
+    std::iota(huge.begin(), huge.end(), 3ull);
+    const std::uint64_t huge_sum =
+        std::accumulate(huge.begin(), huge.end(), 0ull);
+    EXPECT_EQ(aspen::rpc(target,
+                         [](const std::vector<std::uint64_t>& v) {
+                           return std::accumulate(v.begin(), v.end(), 0ull);
+                         },
+                         huge)
+                  .wait(),
+              huge_sum);
+    aspen::barrier();
+
+    const auto d = aspen::telemetry::local_snapshot() - before;
+    if (n > 1 && aspen::telemetry::compiled_in()) {
+      if (up) {
+        EXPECT_GT(d.get(c::shm_msgs_sent), 0u);
+        EXPECT_GT(d.get(c::shm_msgs_received), 0u);
+        EXPECT_GT(d.get(c::shm_bulk_staged), 0u)
+            << "the 32 KiB rpc should stage through the bulk ring";
+        // The 16 MiB transfer went over the socket.
+        EXPECT_GT(d.get(c::net_rdzv_sent), 0u);
+      } else {
+        EXPECT_EQ(d.get(c::shm_msgs_sent), 0u);
+        EXPECT_EQ(d.get(c::shm_msgs_received), 0u);
+        EXPECT_EQ(d.get(c::shm_bulk_staged), 0u);
+      }
+    }
+    aspen::barrier();
+  });
+}
+
+// Cross-process atomics: with segments mapped the fetch-adds are local
+// lock-free u64 atomics on shared pages (eager), degraded they ride AM —
+// the final count must be identical either way.
+TEST(ShmSpmd, AtomicsAcrossProcesses) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  aspen::spmd(n, shm_cfg(), [n] {
+    using c = aspen::telemetry::counter;
+    const bool up = shm_fabric_up();
+    aspen::global_ptr<std::uint64_t> counter;
+    if (aspen::rank_me() == 0) counter = aspen::new_<std::uint64_t>(0);
+    counter = aspen::broadcast(counter, 0);
+    aspen::atomic_domain<std::uint64_t> ad(
+        {aspen::gex::amo_op::fadd, aspen::gex::amo_op::load});
+    const auto before = aspen::telemetry::local_snapshot();
+    for (int i = 0; i < 50; ++i) ad.fetch_add(counter, 1).wait();
+    const auto d = aspen::telemetry::local_snapshot() - before;
+    aspen::barrier();
+    EXPECT_EQ(ad.load(counter).wait(), static_cast<std::uint64_t>(50 * n));
+    if (n > 1 && aspen::rank_me() != 0 &&
+        aspen::telemetry::compiled_in()) {
+      if (up)
+        EXPECT_GT(d.get(c::cx_eager_taken), 0u)
+            << "mapped-peer AMOs should complete eagerly over shm";
+      else
+        EXPECT_EQ(d.get(c::cx_eager_taken), 0u);
+    }
+    aspen::barrier();
+    if (aspen::rank_me() == 0) aspen::delete_(counter);
+  });
+}
+
+TEST(ShmSpmd, CollectivesAndDistObjects) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  aspen::spmd(n, shm_cfg(), [n] {
+    EXPECT_EQ(aspen::allreduce_sum(1), n);
+    EXPECT_EQ(aspen::allreduce_sum(aspen::rank_me()), n * (n - 1) / 2);
+    EXPECT_EQ(aspen::broadcast(7 * aspen::rank_me() + 1, n - 1),
+              7 * (n - 1) + 1);
+
+    aspen::team t = aspen::team::world().split(aspen::rank_me() % 2,
+                                               aspen::rank_me());
+    const int parity = aspen::rank_me() % 2;
+    int expect_sum = 0;
+    for (int r = 0; r < n; ++r)
+      if (r % 2 == parity) expect_sum += r;
+    EXPECT_EQ(t.allreduce_sum(aspen::rank_me()), expect_sum);
+    t.barrier();
+
+    aspen::dist_object<int> d(2000 + aspen::rank_me());
+    aspen::barrier();
+    for (int r = 0; r < n; ++r) EXPECT_EQ(d.fetch(r).wait(), 2000 + r);
+    aspen::barrier();
+    aspen::barrier_async().wait();
+    aspen::barrier();
+  });
+}
+
+// GUPS equivalence across all three conduits: the commutative XOR-update
+// workload must land the table in a bit-identical state whether ranks are
+// threads (smp), socket processes (tcp), or ring/mapped processes (shm).
+TEST(ShmSpmd, GupsMatchesTcpAndSmp) {
+  ASPEN_REQUIRE_LAUNCHED();
+  namespace g = aspen::apps::gups;
+  const int n = job_size();
+  g::params p;
+  p.table_bits = 12;
+  p.updates_per_rank = 1 << 10;
+  p.batch = 64;
+
+  auto local_checksum = [](g::table& t) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < t.per_rank(); ++i)
+      acc ^= t.local_slice()[i] * 0x9E3779B97F4A7C15ull + i;
+    return acc;
+  };
+
+  std::uint64_t shm_sum = 0;
+  aspen::spmd(n, shm_cfg(), [&] {
+    g::table t(p);
+    (void)g::run_variant(g::variant::amo_promises, t, p);
+    shm_sum = aspen::allreduce_sum(local_checksum(t));
+    aspen::barrier();
+  });
+
+  std::uint64_t tcp_sum = 0;
+  aspen::spmd(n, tcp_cfg(), [&] {
+    g::table t(p);
+    (void)g::run_variant(g::variant::amo_promises, t, p);
+    tcp_sum = aspen::allreduce_sum(local_checksum(t));
+    aspen::barrier();
+  });
+  EXPECT_EQ(shm_sum, tcp_sum)
+      << "conduit::shm GUPS diverged from tcp at " << n << " ranks";
+
+  std::uint64_t smp_sum = 0;
+  aspen::spmd(n, [&] {
+    g::table t(p);
+    (void)g::run_variant(g::variant::amo_promises, t, p);
+    const std::uint64_t sum = aspen::allreduce_sum(local_checksum(t));
+    if (aspen::rank_me() == 0) smp_sum = sum;
+  });
+  EXPECT_EQ(shm_sum, smp_sum)
+      << "conduit::shm GUPS diverged from smp at " << n << " ranks";
+}
+
+// The endpoint survives alternating shm and tcp regions in one process:
+// rings only carry traffic inside shm regions, sockets stay authoritative
+// inside tcp regions, and every boundary quiesces.
+TEST(ShmSpmd, AlternatingShmTcpRegions) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  for (int round = 0; round < 4; ++round) {
+    const bool use_shm = round % 2 == 0;
+    aspen::spmd(n, use_shm ? shm_cfg() : tcp_cfg(), [n, round] {
+      const int target = (aspen::rank_me() + 1 + round) % n;
+      const int got =
+          aspen::rpc(target, [](int x) { return x + 10; }, round).wait();
+      EXPECT_EQ(got, round + 10);
+      aspen::barrier();
+    });
+  }
+}
+
+// Job-wide live telemetry over the shm fabric: non-zero ranks still stream
+// counter deltas to rank 0 (the telemetry frames themselves ride whatever
+// channel the endpoint picks), and the aggregate must show ring traffic
+// exactly when the fabric is up.
+TEST(ShmSpmd, LiveAggregationOverShm) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  namespace live = aspen::telemetry::live;
+  using c = aspen::telemetry::counter;
+  if (!aspen::telemetry::compiled_in() || !live::enabled()) {
+    // Join the mesh anyway: every rank of an aspen-run job must complete
+    // bootstrap or the launcher treats the early exit as a crashed rank.
+    aspen::spmd(n, shm_cfg(), [] { aspen::barrier(); });
+    if (!aspen::telemetry::compiled_in())
+      GTEST_SKIP() << "telemetry compiled out";
+    GTEST_SKIP() << "set ASPEN_TELEMETRY_INTERVAL_MS for the live leg "
+                    "(ctest net_spmd_shm_live_n*)";
+  }
+
+  const aspen::telemetry::snapshot before = live::job_snapshot();
+  bool up = false;
+  aspen::spmd(n, shm_cfg(), [n, &up] {
+    up = shm_fabric_up();
+    const int target = (aspen::rank_me() + 1) % n;
+    for (int i = 0; i < 32; ++i)
+      (void)aspen::rpc(target, [](int x) { return x + 1; }, i).wait();
+    aspen::barrier();
+  });
+
+  const int rank = aspen::net::endpoint::instance()->self_rank();
+  if (rank == 0) {
+    const auto d = live::job_snapshot() - before;
+    EXPECT_GT(d.get(c::net_msgs_sent), 0u);
+    if (n > 1) {
+      if (up) {
+        EXPECT_GT(d.get(c::shm_msgs_sent), 0u)
+            << "no job-wide ring traffic with the fabric up";
+        EXPECT_GT(d.get(c::shm_msgs_received), 0u);
+      } else {
+        EXPECT_EQ(d.get(c::shm_msgs_sent), 0u);
+      }
+    }
+  }
+  aspen::spmd(n, shm_cfg(), [] { aspen::barrier(); });  // rank 0 done
+}
+
+// The shm counters are the ring-path *subset* of the net counters: every
+// record pushed ticks both planes, so shm_msgs_sent can never exceed
+// net_msgs_sent, and the degraded leg keeps the whole shm family at zero.
+TEST(ShmSpmd, ShmCountersAreNetSubset) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  if (!aspen::telemetry::compiled_in())
+    GTEST_SKIP() << "telemetry compiled out";
+  const auto before = aspen::telemetry::local_snapshot();
+  bool up = false;
+  aspen::spmd(n, shm_cfg(), [n, &up] {
+    up = shm_fabric_up();
+    const int target = (aspen::rank_me() + 1) % n;
+    for (int i = 0; i < 64; ++i)
+      (void)aspen::rpc(target, [](int x) { return x ^ 255; }, i).wait();
+    aspen::barrier();
+  });
+  using c = aspen::telemetry::counter;
+  const auto d = aspen::telemetry::local_snapshot() - before;
+  const auto total = aspen::telemetry::local_snapshot();
+  if (n > 1 && up) {
+    EXPECT_GT(d.get(c::shm_msgs_sent), 0u);
+    EXPECT_GT(d.get(c::shm_bytes_sent), 0u);
+    // Every ring record ticked net_msgs_sent too (net_bytes_sent counts
+    // only socket bytes, so no byte-level subset relation holds).
+    EXPECT_LE(d.get(c::shm_msgs_sent), d.get(c::net_msgs_sent));
+    // Bootstrap mapped every same-host peer exactly once (absolute, not
+    // windowed: the fabric may predate this test's snapshot).
+    EXPECT_GE(total.get(c::shm_peers_mapped),
+              static_cast<std::uint64_t>(n - 1));
+  }
+  if (!up) {
+    EXPECT_EQ(total.get(c::shm_msgs_sent), 0u);
+    EXPECT_EQ(total.get(c::shm_msgs_received), 0u);
+    EXPECT_EQ(total.get(c::shm_peers_mapped), 0u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,226 @@
+// aspen::shm::spsc_ring unit tests — single process, both ring views over
+// one private buffer (the cross-process legs live in test_net_spmd's
+// ShmSpmd suite; the ring itself is oblivious to which side of a fork it
+// sits on).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "shm/ring.hpp"
+
+namespace {
+
+using aspen::shm::ring_header;
+using aspen::shm::spsc_ring;
+
+std::vector<std::byte> ring_mem(std::size_t capacity) {
+  // Over-allocate so placement-new alignment never matters in the test.
+  return std::vector<std::byte>(spsc_ring::footprint(capacity) + 64);
+}
+
+TEST(ShmRing, CapacityClamps) {
+  EXPECT_EQ(spsc_ring::clamp_capacity(0), spsc_ring::kMinCapacity);
+  EXPECT_EQ(spsc_ring::clamp_capacity(1), spsc_ring::kMinCapacity);
+  EXPECT_EQ(spsc_ring::clamp_capacity(spsc_ring::kMinCapacity),
+            spsc_ring::kMinCapacity);
+  // Non-powers round up to the next power of two.
+  EXPECT_EQ(spsc_ring::clamp_capacity(spsc_ring::kMinCapacity + 1),
+            spsc_ring::kMinCapacity * 2);
+  EXPECT_EQ(spsc_ring::clamp_capacity((1u << 20) - 3), 1u << 20);
+  EXPECT_EQ(spsc_ring::clamp_capacity(spsc_ring::kMaxCapacity),
+            spsc_ring::kMaxCapacity);
+  EXPECT_EQ(spsc_ring::clamp_capacity(spsc_ring::kMaxCapacity + 1),
+            spsc_ring::kMaxCapacity);
+  EXPECT_EQ(spsc_ring::clamp_capacity(~std::size_t{0}),
+            spsc_ring::kMaxCapacity);
+}
+
+TEST(ShmRing, RecordFootprintPadsToEight) {
+  EXPECT_EQ(spsc_ring::record_footprint(0), 8u);
+  EXPECT_EQ(spsc_ring::record_footprint(1), 16u);
+  EXPECT_EQ(spsc_ring::record_footprint(8), 16u);
+  EXPECT_EQ(spsc_ring::record_footprint(9), 24u);
+  EXPECT_EQ(spsc_ring::record_footprint(16), 24u);
+}
+
+TEST(ShmRing, CreateAttachAndMagicValidation) {
+  auto mem = ring_mem(spsc_ring::kMinCapacity);
+  spsc_ring w = spsc_ring::create(mem.data(), spsc_ring::kMinCapacity);
+  ASSERT_TRUE(w.valid());
+  EXPECT_EQ(w.capacity(), spsc_ring::kMinCapacity);
+
+  spsc_ring r = spsc_ring::attach(mem.data());
+  ASSERT_TRUE(r.valid());
+  EXPECT_EQ(r.capacity(), spsc_ring::kMinCapacity);
+
+  // Attach must reject a segment that was never initialized (wrong magic)
+  // or carries a corrupt non-power-of-two capacity.
+  std::vector<std::byte> junk(sizeof(ring_header), std::byte{0x5a});
+  EXPECT_FALSE(spsc_ring::attach(junk.data()).valid());
+  auto* h = reinterpret_cast<ring_header*>(mem.data());
+  h->capacity = spsc_ring::kMinCapacity - 1;
+  EXPECT_FALSE(spsc_ring::attach(mem.data()).valid());
+  h->capacity = spsc_ring::kMinCapacity;
+  EXPECT_TRUE(spsc_ring::attach(mem.data()).valid());
+}
+
+TEST(ShmRing, PushPopRoundTrip) {
+  auto mem = ring_mem(spsc_ring::kMinCapacity);
+  spsc_ring w = spsc_ring::create(mem.data(), spsc_ring::kMinCapacity);
+  spsc_ring r = spsc_ring::attach(mem.data());
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.front_size(), 0u);
+
+  const char msg[] = "hello rings";
+  ASSERT_TRUE(w.try_push(msg, sizeof msg));
+  EXPECT_FALSE(r.empty());
+  ASSERT_EQ(r.front_size(), sizeof msg);
+  char out[sizeof msg] = {};
+  r.pop_front(out);
+  EXPECT_STREQ(out, msg);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.depth_bytes(), 0u);
+}
+
+TEST(ShmRing, TwoSpanPushReassembles) {
+  auto mem = ring_mem(spsc_ring::kMinCapacity);
+  spsc_ring w = spsc_ring::create(mem.data(), spsc_ring::kMinCapacity);
+  spsc_ring r = spsc_ring::attach(mem.data());
+
+  const std::uint64_t hdr = 0x1122334455667788ull;
+  const char body[] = "payload-after-header";
+  ASSERT_TRUE(w.try_push2(&hdr, sizeof hdr, body, sizeof body));
+  ASSERT_EQ(r.front_size(), sizeof hdr + sizeof body);
+  std::vector<char> out(sizeof hdr + sizeof body);
+  r.pop_front(out.data());
+  std::uint64_t got_hdr = 0;
+  std::memcpy(&got_hdr, out.data(), sizeof got_hdr);
+  EXPECT_EQ(got_hdr, hdr);
+  EXPECT_STREQ(out.data() + sizeof hdr, body);
+}
+
+// A record larger than the bytes left before the physical end of the
+// buffer must split into two memcpys and reassemble bit-exactly — driven
+// far enough that every wrap offset is exercised.
+TEST(ShmRing, WrapAroundPreservesRecords) {
+  constexpr std::size_t kCap = spsc_ring::kMinCapacity;  // 4 KiB
+  auto mem = ring_mem(kCap);
+  spsc_ring w = spsc_ring::create(mem.data(), kCap);
+  spsc_ring r = spsc_ring::attach(mem.data());
+
+  // 100-byte records, 108-byte footprint: the free-running index is never
+  // a multiple of the capacity, so records straddle the edge regularly.
+  std::vector<std::uint8_t> rec(100);
+  std::vector<std::uint8_t> out(100);
+  for (int i = 0; i < 1000; ++i) {
+    for (std::size_t j = 0; j < rec.size(); ++j)
+      rec[j] = static_cast<std::uint8_t>(i * 31 + j);
+    ASSERT_TRUE(w.try_push(rec.data(), rec.size())) << "iteration " << i;
+    ASSERT_EQ(r.front_size(), rec.size());
+    r.pop_front(out.data());
+    ASSERT_EQ(out, rec) << "payload torn at iteration " << i;
+  }
+  EXPECT_TRUE(r.empty());
+}
+
+// copy_front peeks without consuming: a reader that abandons a record
+// mid-pump (the endpoint does this when its staging allocation fails)
+// resumes at the identical bytes, and only consume_front advances.
+TEST(ShmRing, TornReaderResumesAtSameRecord) {
+  auto mem = ring_mem(spsc_ring::kMinCapacity);
+  spsc_ring w = spsc_ring::create(mem.data(), spsc_ring::kMinCapacity);
+  spsc_ring r = spsc_ring::attach(mem.data());
+
+  const char first[] = "first-record";
+  const char second[] = "second-record";
+  ASSERT_TRUE(w.try_push(first, sizeof first));
+  ASSERT_TRUE(w.try_push(second, sizeof second));
+
+  char peek1[sizeof first] = {};
+  char peek2[sizeof first] = {};
+  ASSERT_EQ(r.front_size(), sizeof first);
+  r.copy_front(peek1);
+  // Abandon, come back later: same record, same bytes.
+  ASSERT_EQ(r.front_size(), sizeof first);
+  r.copy_front(peek2);
+  EXPECT_STREQ(peek1, first);
+  EXPECT_STREQ(peek2, first);
+
+  r.consume_front();
+  ASSERT_EQ(r.front_size(), sizeof second);
+  char out[sizeof second] = {};
+  r.pop_front(out);
+  EXPECT_STREQ(out, second);
+  EXPECT_TRUE(r.empty());
+}
+
+// A full ring refuses the push (wait-free backpressure: the endpoint falls
+// back to the socket) and accepts again once the consumer drains.
+TEST(ShmRing, FullRingBackpressure) {
+  constexpr std::size_t kCap = spsc_ring::kMinCapacity;
+  auto mem = ring_mem(kCap);
+  spsc_ring w = spsc_ring::create(mem.data(), kCap);
+  spsc_ring r = spsc_ring::attach(mem.data());
+
+  std::vector<std::uint8_t> rec(56);  // 64-byte footprint
+  std::size_t pushed = 0;
+  while (w.try_push(rec.data(), rec.size())) ++pushed;
+  EXPECT_EQ(pushed, kCap / 64);
+  EXPECT_FALSE(w.can_push(rec.size()));
+  EXPECT_EQ(w.free_bytes(), 0u);
+  EXPECT_EQ(r.depth_bytes(), kCap);
+
+  // One drain opens exactly one slot.
+  std::vector<std::uint8_t> out(rec.size());
+  r.pop_front(out.data());
+  EXPECT_TRUE(w.can_push(rec.size()));
+  EXPECT_TRUE(w.try_push(rec.data(), rec.size()));
+  EXPECT_FALSE(w.can_push(rec.size()));
+
+  // A record that can never fit is refused even on an empty ring.
+  while (!r.empty()) {
+    ASSERT_EQ(r.front_size(), rec.size());
+    r.consume_front();
+  }
+  std::vector<std::uint8_t> huge(kCap);
+  EXPECT_FALSE(w.try_push(huge.data(), huge.size()));
+}
+
+// Concurrent producer/consumer threads over the shared header: the release/
+// acquire pair must never surface a torn or reordered record. (Threads
+// stand in for processes — the ring only ever touches the mapped bytes.)
+TEST(ShmRing, ConcurrentProducerConsumer) {
+  constexpr std::size_t kCap = spsc_ring::kMinCapacity;
+  constexpr int kRecords = 20000;
+  auto mem = ring_mem(kCap);
+  spsc_ring w = spsc_ring::create(mem.data(), kCap);
+  spsc_ring r = spsc_ring::attach(mem.data());
+
+  std::thread producer([&w] {
+    std::uint64_t payload[4];
+    for (int i = 0; i < kRecords; ++i) {
+      for (int j = 0; j < 4; ++j)
+        payload[j] = static_cast<std::uint64_t>(i) * 4 + j;
+      while (!w.try_push(payload, sizeof payload)) {
+      }
+    }
+  });
+
+  std::uint64_t got[4];
+  for (int i = 0; i < kRecords; ++i) {
+    while (r.front_size() == 0) {
+    }
+    ASSERT_EQ(r.front_size(), sizeof got);
+    r.pop_front(got);
+    for (int j = 0; j < 4; ++j)
+      ASSERT_EQ(got[j], static_cast<std::uint64_t>(i) * 4 + j)
+          << "record " << i << " lane " << j;
+  }
+  producer.join();
+  EXPECT_TRUE(r.empty());
+}
+
+}  // namespace
