@@ -52,7 +52,8 @@ std::uint64_t table_checksum(g::table& t) {
 }
 
 /// One rank of the re-exec'd `aspen-run` job: run eager GUPS on the
-/// requested conduit, then rank 0 writes "<mups> <cx_eager> <checksum>".
+/// requested conduit, then rank 0 writes
+/// "<mups> <cx_eager> <checksum> <agg_frames>".
 int run_net_child(const std::string& spec) {
   const std::size_t colon = spec.find(':');
   if (colon == std::string::npos) return 1;
@@ -67,7 +68,7 @@ int run_net_child(const std::string& spec) {
   gcfg.transport = shm ? gex::conduit::shm : gex::conduit::tcp;
 
   double mups = 0;
-  std::uint64_t cx_eager = 0, checksum = 0;
+  std::uint64_t cx_eager = 0, checksum = 0, agg_frames = 0;
   aspen::spmd(nranks, gcfg, [&] {
     set_version_config(version_config::make(emulated_version::v2021_3_6_eager));
     g::table tbl(p);
@@ -82,6 +83,8 @@ int run_net_child(const std::string& spec) {
            static_cast<double>(rank_n()) / secs / 1e6;
     cx_eager =
         allreduce_sum(d.get(telemetry::counter::cx_eager_taken));
+    agg_frames =
+        allreduce_sum(d.get(telemetry::counter::agg_frames_coalesced));
     checksum = allreduce_sum(table_checksum(tbl));
     barrier();
   });
@@ -89,7 +92,8 @@ int run_net_child(const std::string& spec) {
   if (net::endpoint::instance()->self_rank() == 0) {
     std::ofstream f(result);
     if (!f) return 1;
-    f << mups << ' ' << cx_eager << ' ' << checksum << '\n';
+    f << mups << ' ' << cx_eager << ' ' << checksum << ' ' << agg_frames
+      << '\n';
     if (!f) return 1;
   }
   return 0;
@@ -100,9 +104,13 @@ struct net_leg {
   double mups = 0;
   std::uint64_t cx_eager = 0;
   std::uint64_t checksum = 0;
+  std::uint64_t agg_frames = 0;
 };
 
-net_leg run_net_leg(const char* self_hint, const char* conduit, int nranks) {
+/// `tag` names the result file so legs that reuse a conduit under different
+/// env (the ASPEN_AGG on/off pair) don't clobber each other's rows.
+net_leg run_net_leg(const char* self_hint, const char* conduit, int nranks,
+                    const char* tag = nullptr) {
   net_leg leg;
   char self[4096];
   const ssize_t n = ::readlink("/proc/self/exe", self, sizeof self - 1);
@@ -124,8 +132,8 @@ net_leg run_net_leg(const char* self_hint, const char* conduit, int nranks) {
               << " (set ASPEN_RUN to override).\n";
     return leg;
   }
-  const std::string result =
-      std::string("gups_rank_sweep.") + conduit + ".row";
+  const std::string result = std::string("gups_rank_sweep.") +
+                             (tag != nullptr ? tag : conduit) + ".row";
   ::setenv(kNetChildEnv, (std::string(conduit) + ":" + result).c_str(), 1);
   const std::string cmd =
       launcher + " -n " + std::to_string(nranks) + " " + self;
@@ -137,7 +145,7 @@ net_leg run_net_leg(const char* self_hint, const char* conduit, int nranks) {
     return leg;
   }
   std::ifstream f(result);
-  f >> leg.mups >> leg.cx_eager >> leg.checksum;
+  f >> leg.mups >> leg.cx_eager >> leg.checksum >> leg.agg_frames;
   leg.ok = static_cast<bool>(f);
   if (!leg.ok)
     std::cout << "conduit::" << conduit
@@ -184,6 +192,54 @@ void run_net_sweep(const char* self_hint, const aspen::bench::options& opt) {
   std::cout << "expectation: shm beats tcp on MUPS and multiplies "
                "cx_eager_taken — on tcp only the 1/n self-targeted updates "
                "complete eagerly, on shm every mapped-peer update does.\n";
+}
+
+/// The ASPEN_BENCH_AGG leg: eager GUPS on conduit::tcp with the wire
+/// aggregation fabric off and on (docs/AGG.md), plus a conduit::shm
+/// reference row. Aggregation must raise tcp MUPS (the batched injection
+/// pattern coalesces each 512-update batch into a handful of flushes),
+/// coalesce a nonzero number of frames, and keep the table bit-identical.
+void run_agg_sweep(const char* self_hint, const aspen::bench::options& opt) {
+  if (aspen::bench::env_size_t("ASPEN_BENCH_AGG", 0) == 0) return;
+  const int nranks = std::min(std::max(opt.ranks, 4), 8);
+  std::cout << "\nreal-process GUPS, wire aggregation off vs on (eager, "
+            << nranks << " ranks via aspen-run):\n";
+  ::setenv("ASPEN_AGG", "0", 1);
+  const net_leg plain = run_net_leg(self_hint, "tcp", nranks, "tcp_noagg");
+  ::setenv("ASPEN_AGG", "1", 1);
+  const net_leg agg = run_net_leg(self_hint, "tcp", nranks, "tcp_agg");
+  const net_leg shm = run_net_leg(self_hint, "shm", nranks, "shm_agg");
+  ::unsetenv("ASPEN_AGG");
+  if (!plain.ok || !agg.ok) return;
+
+  aspen::bench::table t({"leg", "MUPS", "agg_frames_coalesced (job)",
+                         "table checksum"});
+  auto add = [&](const char* name, const net_leg& leg) {
+    char m[32], a[32], c[32];
+    std::snprintf(m, sizeof m, "%.2f", leg.mups);
+    std::snprintf(a, sizeof a, "%llu",
+                  static_cast<unsigned long long>(leg.agg_frames));
+    std::snprintf(c, sizeof c, "%016llx",
+                  static_cast<unsigned long long>(leg.checksum));
+    t.add_row({name, m, a, c});
+  };
+  add("tcp ASPEN_AGG=0", plain);
+  add("tcp ASPEN_AGG=1", agg);
+  if (shm.ok) add("shm ASPEN_AGG=1", shm);
+  t.print(std::cout);
+
+  std::cout << "agg vs plain tcp MUPS: "
+            << aspen::bench::format_speedup(agg.mups / plain.mups) << "\n";
+  std::cout << (agg.checksum == plain.checksum &&
+                        (!shm.ok || agg.checksum == shm.checksum)
+                    ? "table checksums bit-identical with aggregation\n"
+                    : "WARNING: table checksum diverged under "
+                      "aggregation\n");
+  std::cout << (agg.agg_frames > 0
+                    ? "agg_frames_coalesced > 0 under ASPEN_AGG=1\n"
+                    : "WARNING: ASPEN_AGG=1 coalesced no frames\n");
+  std::cout << "expectation: coalescing each 512-update injection batch "
+               "into a few wire flushes beats one syscall per update.\n";
 }
 
 }  // namespace
@@ -255,5 +311,6 @@ int main(int, char** argv) {
                "count (\"same trends\").\n";
 
   run_net_sweep(argv[0], opt);
+  run_agg_sweep(argv[0], opt);
   return 0;
 }

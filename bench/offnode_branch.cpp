@@ -338,6 +338,35 @@ int main(int, char** argv) {
   const bool have_tcp = run_net_leg(argv[0], /*shm=*/false, &tcp_merged);
   const bool have_shm = run_net_leg(argv[0], /*shm=*/true, &shm_merged);
 
+  // Optional aggregation leg (docs/AGG.md): the same tcp process run with
+  // the wire coalescing fabric armed. This workload is latency-bound (one
+  // op in flight per iteration), so MUPS-style gains don't apply — the
+  // claim here is the conservative one: aggregation must not disturb the
+  // latency-bound path. The progress-tick watermark carries that claim: a
+  // batch no new frame joined across a pump tick flushes immediately, so a
+  // blocked single-op waiter ships on its second progress call.
+  if (have_tcp && aspen::bench::env_size_t("ASPEN_BENCH_AGG", 0) != 0) {
+    ::setenv("ASPEN_AGG", "1", 1);
+    std::cout << "\nre-running the tcp leg with ASPEN_AGG=1 (wire "
+                 "aggregation armed):\n";
+    telemetry::snapshot agg_merged{};
+    const bool have_agg = run_net_leg(argv[0], /*shm=*/false, &agg_merged);
+    ::unsetenv("ASPEN_AGG");
+    if (have_agg && telemetry::compiled_in()) {
+      using c = telemetry::counter;
+      std::cout << "aggregation telemetry (merged): agg_frames_coalesced="
+                << agg_merged.get(c::agg_frames_coalesced)
+                << " agg_flush_forced=" << agg_merged.get(c::agg_flush_forced)
+                << " agg_flush_age=" << agg_merged.get(c::agg_flush_age)
+                << "\n";
+      std::cout << "expectation: eager vs defer stays ~1.00x with "
+                   "aggregation armed, and absolute latency matches the "
+                   "unaggregated leg — single-op round trips go out on the "
+                   "progress-tick watermark (agg_flush_age), not held to "
+                   "the wall-clock age.\n";
+    }
+  }
+
   // The paper's cross-process claim in one line: the same 2-process
   // workload flips its cross-rank completions from fully deferred (tcp:
   // cx_eager_taken == 0) to overwhelmingly eager (shm maps the peer).

@@ -119,7 +119,7 @@ void render_frame(int nranks, int frame, int rounds, bool clear_screen) {
   std::printf("aspen-top — %d ranks, frame %d/%d\n", nranks, frame, rounds);
 
   bench::table ranks({"rank", "updates", "eager", "deferred", "ratio",
-                      "shm%", "sendq", "staged", "lpc_depth"});
+                      "shm%", "agg", "sendq", "staged", "lpc_depth"});
   for (int r = 0; r < nranks; ++r) {
     const telemetry::snapshot s = telemetry::live::rank_snapshot(r);
     const telemetry::live::gauges g = telemetry::live::rank_gauges(r);
@@ -142,7 +142,10 @@ void render_frame(int nranks, int frame, int rounds, bool clear_screen) {
                    std::to_string(
                        s.get(telemetry::counter::cx_deferred_queued) +
                        s.get(telemetry::counter::cx_remote_async)),
-                   ratio, shm_pct, std::to_string(g.sendq_bytes),
+                   ratio, shm_pct,
+                   std::to_string(
+                       s.get(telemetry::counter::agg_frames_coalesced)),
+                   std::to_string(g.sendq_bytes),
                    std::to_string(g.staged_msgs),
                    std::to_string(g.lpc_mailbox_depth)});
   }
@@ -157,6 +160,8 @@ void render_frame(int nranks, int frame, int rounds, bool clear_screen) {
               job.lat_of(telemetry::lat_stream::wire_delivery));
   add_lat_row(lat, "shm_delivery",
               job.lat_of(telemetry::lat_stream::shm_delivery));
+  add_lat_row(lat, "agg_batch_fill",
+              job.lat_of(telemetry::lat_stream::agg_batch_fill));
   add_lat_row(lat, "progress_gap",
               job.lat_of(telemetry::lat_stream::progress_gap));
   add_lat_row(lat, "sendq_residency",

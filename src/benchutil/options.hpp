@@ -71,6 +71,34 @@
 //                          adds a conduit::shm leg next to the tcp leg
 //                          (default 1 in offnode_branch, 0 in the sweep)
 //
+// Wire aggregation fabric (aspen::agg; see docs/AGG.md). Read by the same
+// net::apply_env pass at every region entry:
+//   ASPEN_AGG              non-zero arms per-peer coalescing: queued eager
+//                          frames pack into one bounded buffer per syscall
+//                          (and one kShmBatch ring record on shm), flushed
+//                          on the watermarks below (default 0 = off)
+//   ASPEN_AGG_BYTES        byte watermark: flush once the open batch would
+//                          exceed this many queued bytes; clamped so one
+//                          maximal eager frame always fits (default 64 KiB)
+//   ASPEN_AGG_FRAMES       frame-count watermark: flush after this many
+//                          coalesced frames (default 128, min 1)
+//   ASPEN_AGG_FLUSH_US     age watermark in microseconds — the wall-clock
+//                          backstop behind the progress-tick watermark (a
+//                          batch that gains no frame across a pump tick
+//                          flushes immediately; one an injector thread is
+//                          still filling waits at most this long)
+//                          (default 100)
+//   ASPEN_NET_SENDQ_MAX    non-zero bounds each peer's send queue at this
+//                          many bytes: injectors whose target queue is over
+//                          the bound park in bounded flush-and-retry spins
+//                          (counted by net_sendq_parked) instead of growing
+//                          the queue without limit (default 0 = unbounded)
+//   ASPEN_BENCH_AGG        gups_rank_sweep / offnode_branch only: non-zero
+//                          adds the aggregation-on legs (tcp ASPEN_AGG=0
+//                          vs 1 MUPS + checksum identity in the sweep; the
+//                          latency-parity re-run in offnode_branch)
+//                          (default 0)
+//
 // Live cross-process telemetry (see docs/TELEMETRY.md):
 //   ASPEN_TELEMETRY_INTERVAL_MS  non-zero ranks push delta-encoded counter
 //                          updates to rank 0 every this-many ms, plus one

@@ -60,6 +60,15 @@ constexpr const char* kCounterNames[] = {
     "shm_bulk_staged",
     "shm_ring_full",
     "shm_peers_mapped",
+    "agg_frames_coalesced",
+    "agg_flush_bytes",
+    "agg_flush_frames",
+    "agg_flush_age",
+    "agg_flush_forced",
+    "agg_bytes_saved",
+    "agg_store_buckets_shipped",
+    "agg_store_elems",
+    "net_sendq_parked",
 };
 static_assert(std::size(kCounterNames) == kCounterCount,
               "counter name table out of sync with the enum");

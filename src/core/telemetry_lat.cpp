@@ -33,6 +33,7 @@ constexpr const char* kLatStreamNames[] = {
     "progress_gap",
     "sendq_residency",
     "shm_delivery",
+    "agg_batch_fill",
 };
 static_assert(std::size(kLatStreamNames) == kLatStreamCount,
               "latency stream name table out of sync with the enum");

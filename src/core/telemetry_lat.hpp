@@ -91,6 +91,7 @@ enum class lat_stream : std::size_t {
   progress_gap,     ///< inter-arrival gap between progress() calls, per thread
   sendq_residency,  ///< peer send queue busy episode: first byte -> drained
   shm_delivery,     ///< send_am -> delivery over the shared-memory rings
+  agg_batch_fill,   ///< aggregation batch age: first frame queued -> flush
   kCount,
 };
 

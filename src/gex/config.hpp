@@ -133,6 +133,28 @@ struct shm_config {
   std::size_t bulk_ring_bytes = std::size_t{8} << 20;
 };
 
+/// Tunables of the small-message aggregation layer (`aspen::agg`,
+/// docs/AGG.md): per-peer coalescing of queued eager frames into one
+/// syscall (tcp) or one batch ring record (shm). Each knob is overridable
+/// through the ASPEN_AGG* environment family unless net_config::honor_env
+/// is cleared. Aggregation never reorders: frames accumulate in seq order
+/// and any non-eager traffic to a peer flushes everything queued ahead of
+/// it, so the staged-delivery bit-identity guarantees are unaffected.
+struct agg_config {
+  /// Master switch. Env: ASPEN_AGG (1 enables).
+  bool enabled = false;
+  /// Flush a peer's aggregation buffer once this many queued bytes
+  /// (headers included) are pending. Env: ASPEN_AGG_BYTES.
+  std::size_t max_bytes = std::size_t{64} << 10;
+  /// Flush once this many eager frames are queued. Env: ASPEN_AGG_FRAMES.
+  std::size_t max_frames = 128;
+  /// Progress-tick age watermark: a batch older than this is flushed by the
+  /// next poll even if under the size/count watermarks, bounding the extra
+  /// latency aggregation can add to any single message.
+  /// Env: ASPEN_AGG_FLUSH_US.
+  std::uint64_t flush_us = 100;
+};
+
 /// Tunables of the `conduit::tcp` socket transport (src/net/). Each knob is
 /// overridable at run time through the ASPEN_NET_* environment family (see
 /// docs/NET.md) unless honor_env is cleared.
@@ -153,6 +175,15 @@ struct net_config {
   /// Shared-memory channel settings; consulted only when transport is
   /// conduit::shm.
   shm_config shm{};
+  /// Small-message aggregation settings (both socket and shm channels).
+  agg_config agg{};
+  /// Cap on a peer's queued-but-unsent socket bytes (`peer::out`). An
+  /// injector finding the queue over this bound parks (flush + yield, with
+  /// a bounded spin so progress is always guaranteed) instead of growing it
+  /// without bound — the first slice of adaptive flow control, mirroring
+  /// the perturbed conduit's bounded-inbox semantics. 0 = unbounded.
+  /// Env: ASPEN_NET_SENDQ_MAX.
+  std::size_t sendq_max = 0;
   /// Apply ASPEN_NET_* environment overrides when the endpoint starts.
   bool honor_env = true;
 };

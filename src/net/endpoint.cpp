@@ -6,6 +6,7 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cinttypes>
@@ -114,8 +115,22 @@ endpoint& endpoint::ensure(const gex::net_config& cfg,
     }
     slot.reset(new endpoint(static_cast<int>(rank), static_cast<int>(nranks),
                             cfg, segment_bytes));
+  } else {
+    // The mesh persists across regions; only the per-region tunables track
+    // the (env-reapplied) config handed to each new spmd region.
+    slot->refresh_region_tunables(cfg);
   }
   return *slot;
+}
+
+void endpoint::refresh_region_tunables(const gex::net_config& cfg) noexcept {
+  cfg_.agg = cfg.agg;
+  cfg_.sendq_max = cfg.sendq_max;
+  agg_on_ = cfg.agg.enabled;
+  agg_max_bytes_ = cfg.agg.max_bytes;
+  agg_max_frames_ = cfg.agg.max_frames;
+  agg_flush_ns_ = cfg.agg.flush_us * 1000u;
+  sendq_max_ = cfg.sendq_max;
 }
 
 endpoint::endpoint(int rank, int nranks, gex::net_config cfg,
@@ -131,6 +146,7 @@ endpoint::endpoint(int rank, int nranks, gex::net_config cfg,
     peers_[static_cast<std::size_t>(r)]->dec =
         std::make_unique<decoder>(cfg_.max_frame);
   }
+  refresh_region_tunables(cfg_);
   telemetry_interval_ms_ = telemetry::live::interval_ms();
   last_push_ns_ = mono_ns();
   if (rank_ == 0) telemetry::live::collector_reset(nranks_);
@@ -155,7 +171,7 @@ endpoint::endpoint(int rank, int nranks, gex::net_config cfg,
         if (r == rank_) continue;
         const peer& p = *peers_[static_cast<std::size_t>(r)];
         std::lock_guard<std::mutex> lk(p.mu);
-        st.sendq_bytes += p.out.size() - p.out_off;
+        st.sendq_bytes += p.out.size() - p.out_off + p.shm_agg.size();
         st.staged_msgs += p.staged.size();
         if (p.out_busy_since_ns != 0 && now > p.out_busy_since_ns) {
           const std::uint64_t age = now - p.out_busy_since_ns;
@@ -334,6 +350,7 @@ void endpoint::bootstrap_shm(const std::vector<std::uint64_t>& host_ids,
   // defensively against the actual ring capacities (every slot in our own
   // control segment has the same geometry; probe our own sender slot).
   const std::size_t msg_cap = mp->inbound_msg(rank_).capacity();
+  shm_msg_cap_ = msg_cap;
   shm_eager_max_ = cfg_.shm.eager_max != 0 ? cfg_.shm.eager_max
                                            : cfg_.eager_max;
   if (shm_eager_max_ > msg_cap / 4) shm_eager_max_ = msg_cap / 4;
@@ -509,6 +526,122 @@ void endpoint::flush_locked(peer& p, int target) {
   }
 }
 
+void endpoint::agg_note_flush_locked(peer& p,
+                                     telemetry::counter trigger) noexcept {
+  if (p.agg_frames == 0) return;
+  // Frames beyond a batch of one genuinely shared their syscall with
+  // others; a batch of one is just a deferred single send.
+  if (p.agg_frames > 1)
+    telemetry::count(telemetry::counter::agg_frames_coalesced,
+                     static_cast<std::uint64_t>(p.agg_frames));
+  telemetry::count(trigger);
+  if (telemetry::compiled_in() && p.agg_open_ns != 0)
+    telemetry::note_latency(telemetry::lat_stream::agg_batch_fill,
+                            mono_ns() - p.agg_open_ns);
+  p.agg_frames = 0;
+  p.agg_open_ns = 0;
+  p.agg_seen_frames = 0;
+}
+
+void endpoint::agg_flush_locked(peer& p, int target,
+                                telemetry::counter trigger) {
+  agg_note_flush_locked(p, trigger);
+  flush_locked(p, target);
+}
+
+void endpoint::shm_agg_flush_locked(peer& p, int target,
+                                    telemetry::counter trigger) {
+  if (p.shm_agg_frames == 0) return;
+  const std::size_t frames = p.shm_agg_frames;
+  const std::size_t payload_bytes =
+      p.shm_agg.size() - frames * sizeof(shm_rec_hdr);
+  // Batch header: seq of the leading sub-record (informational — each
+  // sub-record carries its own), handler_delta repurposed as the count.
+  shm_rec_hdr bh;
+  std::memcpy(&bh, p.shm_agg.data(), sizeof bh);
+  bh.handler_delta = frames;
+  bh.send_ns = 0;
+  bh.flags = kShmBatch;
+  bh.len = static_cast<std::uint32_t>(p.shm_agg.size());
+  if (p.shm_out_msg.try_push2(&bh, sizeof bh, p.shm_agg.data(),
+                              p.shm_agg.size())) {
+    telemetry::count(telemetry::counter::shm_msgs_sent,
+                     static_cast<std::uint64_t>(frames));
+    telemetry::count(telemetry::counter::shm_bytes_sent,
+                     static_cast<std::uint64_t>(payload_bytes));
+    if (frames > 1)
+      telemetry::count(telemetry::counter::agg_frames_coalesced,
+                       static_cast<std::uint64_t>(frames));
+    telemetry::count(trigger);
+    if (telemetry::compiled_in() && p.shm_agg_open_ns != 0)
+      telemetry::note_latency(telemetry::lat_stream::agg_batch_fill,
+                              mono_ns() - p.shm_agg_open_ns);
+    const std::size_t depth =
+        p.shm_out_msg.depth_bytes() + p.shm_out_bulk.depth_bytes();
+    std::size_t hw = shm_ring_high_water_.load(std::memory_order_relaxed);
+    while (depth > hw && !shm_ring_high_water_.compare_exchange_weak(
+                             hw, depth, std::memory_order_relaxed)) {
+    }
+  } else {
+    // Ring full: re-route every staged sub-record as an eager socket frame.
+    // The seqs travel with them, so the receiver's staged map re-merges the
+    // two channels in order.
+    telemetry::count(telemetry::counter::shm_ring_full);
+    const std::byte* q = p.shm_agg.data();
+    const std::byte* end = q + p.shm_agg.size();
+    std::vector<std::byte> body;
+    while (q != end) {
+      shm_rec_hdr sr;
+      std::memcpy(&sr, q, sizeof sr);
+      telemetry::count(telemetry::counter::net_eager_sent);
+      frame_header h{};
+      h.kind = static_cast<std::uint16_t>(frame_kind::am_eager);
+      h.src = rank_;
+      h.seq = sr.seq;
+      body.resize(2 * sizeof(std::uint64_t) + sr.len);
+      std::memcpy(body.data(), &sr.handler_delta, sizeof sr.handler_delta);
+      std::memcpy(body.data() + sizeof sr.handler_delta, &sr.send_ns,
+                  sizeof sr.send_ns);
+      if (sr.len != 0)
+        std::memcpy(body.data() + 2 * sizeof(std::uint64_t), q + sizeof sr,
+                    sr.len);
+      encode_frame(p.out, h, body.data(), body.size());
+      q += sizeof sr + sr.len;
+    }
+    agg_flush_locked(p, target, trigger);
+  }
+  p.shm_agg.clear();
+  p.shm_agg_frames = 0;
+  p.shm_agg_open_ns = 0;
+  p.shm_agg_seen_frames = 0;
+}
+
+void endpoint::park_sendq(peer& p, int target) {
+  // Bounded-queue mode (ASPEN_NET_SENDQ_MAX): an injector that finds the
+  // peer's unsent queue over the cap parks — flush attempt, then yield —
+  // instead of growing it without bound, mirroring the perturbed conduit's
+  // bounded-inbox backpressure. The spin budget guarantees progress even
+  // when both sides flood each other (each then proceeds and the queues
+  // absorb the overshoot). Never parks inside the pump: a handler replying
+  // from process_frame must not wait on the queue its own delivery fills.
+  if (pumping_.load(std::memory_order_relaxed)) return;
+  constexpr int kParkSpins = 1 << 12;
+  bool parked = false;
+  for (int spin = 0; spin < kParkSpins; ++spin) {
+    {
+      std::lock_guard<std::mutex> lk(p.mu);
+      if (p.out.size() - p.out_off <= sendq_max_) return;
+      flush_locked(p, target);
+      if (p.out.size() - p.out_off <= sendq_max_) return;
+    }
+    if (!parked) {
+      parked = true;
+      telemetry::count(telemetry::counter::net_sendq_parked);
+    }
+    std::this_thread::yield();
+  }
+}
+
 void endpoint::enqueue_frame(peer& p, int target, const frame_header& hdr,
                              const void* payload, std::size_t len,
                              bool counted) {
@@ -517,7 +650,9 @@ void endpoint::enqueue_frame(peer& p, int target, const frame_header& hdr,
         1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lk(p.mu);
   encode_frame(p.out, hdr, payload, len);
-  flush_locked(p, target);
+  // Control traffic flushes any coalescing batch queued ahead of it — one
+  // buffer, one ordered flush.
+  agg_flush_locked(p, target, telemetry::counter::agg_flush_forced);
 }
 
 void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
@@ -548,6 +683,8 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
                                        clock_offset_ns_)
           : 0;
 
+  if (sendq_max_ != 0) park_sendq(p, target);
+
   std::lock_guard<std::mutex> lk(p.mu);
   const std::uint64_t seq = p.next_send_seq++;
   telemetry::trace_flow("wire_msg", "net", /*begin=*/true,
@@ -565,6 +702,30 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
     rh.handler_delta = delta;
     rh.send_ns = send_ns;
     rh.len = static_cast<std::uint32_t>(len);
+    // Aggregating path: stage the record into the peer's shm batch; it
+    // ships as ONE kShmBatch ring record on a size / count watermark (or
+    // the pump's age watermark). The whole batch record must stay pushable,
+    // so its bound is the byte watermark clamped to half the ring.
+    if (agg_on_ && len <= shm_eager_max_) {
+      const std::size_t off = p.shm_agg.size();
+      p.shm_agg.resize(off + sizeof rh + len);
+      std::memcpy(p.shm_agg.data() + off, &rh, sizeof rh);
+      if (len != 0)
+        std::memcpy(p.shm_agg.data() + off + sizeof rh, msg.payload(), len);
+      if (p.shm_agg_frames++ == 0) p.shm_agg_open_ns = mono_ns();
+      const std::size_t batch_cap =
+          std::min(agg_max_bytes_, shm_msg_cap_ / 2 - sizeof rh);
+      if (p.shm_agg.size() + shm_eager_max_ + sizeof rh >= batch_cap)
+        shm_agg_flush_locked(p, target,
+                             telemetry::counter::agg_flush_bytes);
+      else if (p.shm_agg_frames >= agg_max_frames_)
+        shm_agg_flush_locked(p, target,
+                             telemetry::counter::agg_flush_frames);
+      return;
+    }
+    // A message that cannot join the batch (bulk-sized or aggregation off)
+    // flushes any staged batch first, keeping ring delivery near-FIFO.
+    shm_agg_flush_locked(p, target, telemetry::counter::agg_flush_forced);
     bool pushed = false;
     bool attempted = false;
     if (len <= shm_eager_max_) {
@@ -614,6 +775,16 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
     if (len != 0)
       std::memcpy(body.data() + 2 * sizeof(std::uint64_t), msg.payload(), len);
     encode_frame(p.out, h, body.data(), body.size());
+    if (agg_on_) {
+      // Coalesce: leave the frame queued; it flushes with its batch on a
+      // watermark (here: bytes / frame count; pump() owns the age check).
+      if (p.agg_frames++ == 0) p.agg_open_ns = mono_ns();
+      if (p.out.size() - p.out_off >= agg_max_bytes_)
+        agg_flush_locked(p, target, telemetry::counter::agg_flush_bytes);
+      else if (p.agg_frames >= agg_max_frames_)
+        agg_flush_locked(p, target, telemetry::counter::agg_flush_frames);
+      return;
+    }
   } else {
     // Rendezvous: park the payload until the receiver grants a CTS, so a
     // large transfer never floods a peer that is not ready for it.
@@ -635,7 +806,9 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
     h.seq = seq;
     encode_frame(p.out, h, &rb, sizeof rb);
   }
-  flush_locked(p, target);
+  // An RTS (or any non-coalesced frame) flushes the batch queued ahead of
+  // it along with itself — one buffer, one ordered flush.
+  agg_flush_locked(p, target, telemetry::counter::agg_flush_forced);
 }
 
 // ---------------------------------------------------------------------------
@@ -643,8 +816,8 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
 // ---------------------------------------------------------------------------
 
 std::size_t endpoint::pump(gex::runtime& rt) {
-  if (pumping_) return 0;
-  pumping_ = true;
+  if (pumping_.load(std::memory_order_relaxed)) return 0;
+  pumping_.store(true, std::memory_order_relaxed);
   maybe_push_telemetry(/*final_flush=*/false);
   telemetry::watchdog::poll_check();
   std::size_t work = 0;
@@ -654,12 +827,34 @@ std::size_t endpoint::pump(gex::runtime& rt) {
     if (!p.sock.valid()) continue;
     {
       std::lock_guard<std::mutex> lk(p.mu);
-      if (p.out_off < p.out.size()) flush_locked(p, r);
+      // Progress-tick + age watermarks. A batch that gained no frame since
+      // the previous tick has stopped growing — holding it longer buys no
+      // coalescing and only adds latency (a blocked single-op waiter calls
+      // progress immediately, so its frame goes out on the second tick, at
+      // native round-trip cost). The wall-clock age watermark backstops
+      // injector threads that stage between two master-thread ticks.
+      // Residual bytes with no open batch flush unconditionally.
+      if (p.agg_frames != 0) {
+        if (p.agg_frames == p.agg_seen_frames ||
+            mono_ns() - p.agg_open_ns >= agg_flush_ns_)
+          agg_flush_locked(p, r, telemetry::counter::agg_flush_age);
+        else
+          p.agg_seen_frames = p.agg_frames;
+      } else if (p.out_off < p.out.size()) {
+        agg_flush_locked(p, r, telemetry::counter::agg_flush_age);
+      }
+      if (p.shm_agg_frames != 0) {
+        if (p.shm_agg_frames == p.shm_agg_seen_frames ||
+            mono_ns() - p.shm_agg_open_ns >= agg_flush_ns_)
+          shm_agg_flush_locked(p, r, telemetry::counter::agg_flush_age);
+        else
+          p.shm_agg_seen_frames = p.shm_agg_frames;
+      }
     }
     if (p.shm_active) work += pump_shm_peer(rt, r);
     work += pump_peer(rt, r);
   }
-  pumping_ = false;
+  pumping_.store(false, std::memory_order_relaxed);
   return work;
 }
 
@@ -681,6 +876,50 @@ std::size_t endpoint::pump_shm_peer(gex::runtime& rt, int rank) {
     p.shm_in_msg.pop_front(rec.data());
     shm_rec_hdr rh;
     std::memcpy(&rh, rec.data(), sizeof rh);
+    if ((rh.flags & kShmBatch) != 0) {
+      // One ring record carrying rh.handler_delta coalesced sub-records,
+      // each [shm_rec_hdr][payload] with its own seq.
+      if (sz != sizeof rh + rh.len) {
+        std::fprintf(stderr,
+                     "aspen/net: fatal: shm batch record length mismatch "
+                     "from rank %d (%zu record bytes, %u batch bytes)\n",
+                     rank, sz, rh.len);
+        std::abort();
+      }
+      std::uint64_t remaining = rh.handler_delta;
+      const std::byte* q = rec.data() + sizeof rh;
+      const std::byte* end = rec.data() + sz;
+      while (q != end) {
+        shm_rec_hdr sr;
+        if (remaining == 0 ||
+            static_cast<std::size_t>(end - q) < sizeof sr) {
+          remaining = 1;  // force the mismatch diagnostic below
+          break;
+        }
+        std::memcpy(&sr, q, sizeof sr);
+        if (sr.flags != 0 ||
+            static_cast<std::size_t>(end - q) < sizeof sr + sr.len) {
+          remaining = 1;
+          break;
+        }
+        telemetry::count(telemetry::counter::shm_msgs_received);
+        telemetry::count(telemetry::counter::shm_bytes_received, sr.len);
+        gex::am_message msg(decode_handler(sr.handler_delta, text_anchor()),
+                            rank, q + sizeof sr, sr.len);
+        p.staged.emplace(sr.seq, staged_am{std::move(msg), sr.send_ns, true});
+        q += sizeof sr + sr.len;
+        --remaining;
+        ++work;
+      }
+      if (remaining != 0) {
+        std::fprintf(stderr,
+                     "aspen/net: fatal: malformed shm batch from rank %d "
+                     "(announced %" PRIu64 " sub-records)\n",
+                     rank, rh.handler_delta);
+        std::abort();
+      }
+      continue;
+    }
     telemetry::count(telemetry::counter::shm_msgs_received);
     telemetry::count(telemetry::counter::shm_bytes_received, rh.len);
     if ((rh.flags & kShmBulk) != 0) {
@@ -725,6 +964,21 @@ void endpoint::idle_wait() noexcept {
   // the sender at once, and the first byte of its reply wakes us. POLLIN
   // only: a send stalled on a full socket buffer resolves when the peer
   // drains it, and the 1 ms bound caps that (rare) case's latency.
+  //
+  // Open coalescing batches are forced out first: a parked waiter may be
+  // waiting on replies to the very frames a batch is still holding.
+  if (agg_on_) {
+    for (int r = 0; r < nranks_; ++r) {
+      if (r == rank_) continue;
+      peer& p = peer_of(r);
+      if (!p.sock.valid()) continue;
+      std::lock_guard<std::mutex> lk(p.mu);
+      if (p.shm_agg_frames != 0)
+        shm_agg_flush_locked(p, r, telemetry::counter::agg_flush_forced);
+      if (p.agg_frames != 0)
+        agg_flush_locked(p, r, telemetry::counter::agg_flush_forced);
+    }
+  }
   pollfd fds[kMaxPollFds];
   nfds_t n = 0;
   for (int r = 0; r < nranks_ && n < kMaxPollFds; ++r) {
@@ -839,7 +1093,7 @@ void endpoint::process_frame(gex::runtime& rt, int rank, frame&& f) {
       encode_frame(p.out, dh, it->second.bytes.data(),
                    it->second.bytes.size());
       p.rdzv_out.erase(it);
-      flush_locked(p, rank);
+      agg_flush_locked(p, rank, telemetry::counter::agg_flush_forced);
       break;
     }
     case frame_kind::am_data: {
@@ -963,6 +1217,7 @@ bool endpoint::locally_unsettled() const noexcept {
     const peer& p = *peers_[static_cast<std::size_t>(r)];
     std::lock_guard<std::mutex> lk(p.mu);
     if (p.out_off < p.out.size()) return true;
+    if (p.shm_agg_frames != 0) return true;
     if (!p.rdzv_out.empty()) return true;
     if (!p.staged.empty() || !p.rdzv_in.empty()) return true;
     if (p.dec && p.dec->buffered() != 0) return true;
@@ -1167,7 +1422,7 @@ telemetry::live::gauges endpoint::live_gauges() const {
     if (r == rank_) continue;
     const peer& p = *peers_[static_cast<std::size_t>(r)];
     std::lock_guard<std::mutex> lk(p.mu);
-    g.sendq_bytes += p.out.size() - p.out_off;
+    g.sendq_bytes += p.out.size() - p.out_off + p.shm_agg.size();
     if (p.shm_active)
       g.sendq_bytes +=
           p.shm_out_msg.depth_bytes() + p.shm_out_bulk.depth_bytes();
@@ -1219,7 +1474,7 @@ void endpoint::finish_region_telemetry(const progress_fn& progress) {
       {
         std::lock_guard<std::mutex> lk(p0.mu);
         if (p0.out_off >= p0.out.size()) return;
-        flush_locked(p0, 0);
+        agg_flush_locked(p0, 0, telemetry::counter::agg_flush_forced);
         if (p0.out_off >= p0.out.size()) return;
       }
       progress();

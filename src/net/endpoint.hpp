@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/telemetry.hpp"
 #include "core/telemetry_live.hpp"
 #include "gex/am.hpp"
 #include "gex/backend.hpp"
@@ -56,6 +57,13 @@ class endpoint final : public gex::wire_transport {
   /// fails.
   static endpoint& ensure(const gex::net_config& cfg,
                           std::size_t segment_bytes);
+
+  /// Re-arm the per-region tunables (aggregation watermarks, send-queue
+  /// bound) from a freshly env-applied config. ensure() calls this on every
+  /// region entry, so ASPEN_AGG / ASPEN_NET_SENDQ_MAX toggles between
+  /// successive spmd regions of one process take effect — the endpoint
+  /// itself (sockets, rings) is wired once and persists.
+  void refresh_region_tunables(const gex::net_config& cfg) noexcept;
 
   /// The already-bootstrapped instance, or nullptr before first ensure().
   [[nodiscard]] static endpoint* instance() noexcept;
@@ -198,6 +206,24 @@ class endpoint final : public gex::wire_transport {
     shm::spsc_ring shm_out_bulk;
     shm::spsc_ring shm_in_msg;
     shm::spsc_ring shm_in_bulk;
+    // ---- aggregation state (aspen::agg, docs/AGG.md; guarded by mu) ----
+    /// Eager frames sitting in `out` since the last flush. While non-zero,
+    /// the queue holds an open coalescing batch that pump() flushes only
+    /// once the age watermark passes; zero means any queued bytes are a
+    /// partial-write residue that flushes unconditionally.
+    std::size_t agg_frames = 0;
+    std::uint64_t agg_open_ns = 0;  ///< when the open batch's first frame queued
+    /// agg_frames as of the previous pump tick: a batch no new frame joined
+    /// across a full tick is done growing and flushes (the progress-tick
+    /// watermark — it keeps single-op round trips at native latency while
+    /// burst injection, which queues many frames between ticks, coalesces).
+    std::size_t agg_seen_frames = 0;
+    /// Staged shm batch: concatenated [shm_rec_hdr][payload] sub-records
+    /// that ship as ONE kShmBatch ring record on a watermark.
+    std::vector<std::byte> shm_agg;
+    std::size_t shm_agg_frames = 0;
+    std::uint64_t shm_agg_open_ns = 0;
+    std::size_t shm_agg_seen_frames = 0;  ///< progress-tick watermark state
   };
 
   /// Record header carried in the shm message ring (followed inline by the
@@ -211,6 +237,10 @@ class endpoint final : public gex::wire_transport {
     std::uint32_t len = 0;
   };
   static constexpr std::uint32_t kShmBulk = 1u << 0;
+  /// Batch record: the payload is a run of `handler_delta` (repurposed as
+  /// the sub-record count) inline sub-records, each [shm_rec_hdr][payload]
+  /// with its own seq — one ring push carrying N coalesced AMs.
+  static constexpr std::uint32_t kShmBatch = 1u << 1;
 
   void bootstrap(std::uint64_t segment_bytes);
   /// Post-mesh bootstrap phase: exchange memfds with same-host peers over
@@ -240,6 +270,20 @@ class endpoint final : public gex::wire_transport {
                      const void* payload, std::size_t len, bool counted);
   /// Flush as much of `p.out` as the socket accepts (mu held by caller).
   void flush_locked(peer& p, int target);
+  /// Close the peer's open socket coalescing batch for telemetry (ticks
+  /// `trigger` and the agg_batch_fill stream; no-op while no batch is
+  /// open), without flushing. mu held by caller.
+  void agg_note_flush_locked(peer& p, telemetry::counter trigger) noexcept;
+  /// agg_note_flush_locked + flush_locked in one step (mu held by caller).
+  void agg_flush_locked(peer& p, int target, telemetry::counter trigger);
+  /// Ship the peer's staged shm batch as one kShmBatch ring record; if the
+  /// ring lacks space, re-route every sub-record as an eager socket frame
+  /// (same seqs — the receiver's staged map re-merges the channels). mu
+  /// held by caller.
+  void shm_agg_flush_locked(peer& p, int target, telemetry::counter trigger);
+  /// Park the calling injector while the peer's socket queue exceeds
+  /// sendq_max_ (bounded spin: progress is always guaranteed).
+  void park_sendq(peer& p, int target);
   /// Drain readable bytes and process complete frames for one peer.
   std::size_t pump_peer(gex::runtime& rt, int rank);
   /// Drain the peer's inbound shm rings into the staged map.
@@ -254,7 +298,9 @@ class endpoint final : public gex::wire_transport {
   int nranks_;
   gex::net_config cfg_;
   std::vector<std::unique_ptr<peer>> peers_;  ///< [nranks_], self unused
-  bool pumping_ = false;  ///< pump() reentrancy guard (master thread)
+  /// pump() reentrancy guard. Written by the master thread only; atomic
+  /// because park_sendq() consults it from injector threads.
+  std::atomic<bool> pumping_{false};
 
   // Quiescence matrices: counted frames sent to / delivered from each
   // rank. Atomic because worker threads may inject sends.
@@ -284,7 +330,16 @@ class endpoint final : public gex::wire_transport {
   bool shm_region_active_ = false;
   std::size_t shm_eager_max_ = 0;
   std::size_t shm_bulk_max_ = 0;
+  std::size_t shm_msg_cap_ = 0;  ///< message-ring capacity (batch bound)
   std::atomic<std::size_t> shm_ring_high_water_{0};
+
+  // Aggregation watermarks and the send-queue bound (docs/AGG.md),
+  // re-derived per region via refresh_region_tunables().
+  bool agg_on_ = false;
+  std::size_t agg_max_bytes_ = 0;
+  std::size_t agg_max_frames_ = 0;
+  std::uint64_t agg_flush_ns_ = 0;
+  std::size_t sendq_max_ = 0;
 
   // Live-telemetry plane (0 == disabled) and bootstrap clock sync.
   std::uint32_t telemetry_interval_ms_ = 0;

@@ -145,8 +145,33 @@ gex::net_config apply_env(gex::net_config cfg) {
         env_u64("ASPEN_SHM_RING_BYTES", cfg.shm.msg_ring_bytes));
     cfg.shm.bulk_ring_bytes = static_cast<std::size_t>(
         env_u64("ASPEN_SHM_BULK_BYTES", cfg.shm.bulk_ring_bytes));
+    cfg.agg.enabled = env_u64("ASPEN_AGG", cfg.agg.enabled ? 1 : 0) != 0;
+    cfg.agg.max_bytes = static_cast<std::size_t>(
+        env_u64("ASPEN_AGG_BYTES", cfg.agg.max_bytes));
+    cfg.agg.max_frames = static_cast<std::size_t>(
+        env_u64("ASPEN_AGG_FRAMES", cfg.agg.max_frames));
+    cfg.agg.flush_us = env_u64("ASPEN_AGG_FLUSH_US", cfg.agg.flush_us);
+    cfg.sendq_max = static_cast<std::size_t>(
+        env_u64("ASPEN_NET_SENDQ_MAX", cfg.sendq_max));
   }
   if (cfg.eager_max > cfg.max_frame) cfg.eager_max = cfg.max_frame;
+  // Normalize the aggregation watermarks: at least one full eager frame must
+  // fit (otherwise every send would flush immediately and the layer is pure
+  // overhead), and a frame-count watermark of zero means "flush every frame"
+  // which is the same as disabled — clamp both to sane minima.
+  if (cfg.agg.max_bytes < cfg.eager_max + sizeof(frame_header))
+    cfg.agg.max_bytes = cfg.eager_max + sizeof(frame_header);
+  if (cfg.agg.max_frames == 0) cfg.agg.max_frames = 1;
+  if (cfg.agg.flush_us == 0) cfg.agg.flush_us = 1;
+  // A send-queue bound below the aggregation byte watermark (or below one
+  // maximal frame) would park injectors before a batch could ever fill;
+  // clamp it up so the two mechanisms compose.
+  if (cfg.sendq_max != 0) {
+    const std::size_t floor_bytes =
+        (cfg.agg.enabled ? cfg.agg.max_bytes : cfg.eager_max) +
+        2 * sizeof(frame_header);
+    if (cfg.sendq_max < floor_bytes) cfg.sendq_max = floor_bytes;
+  }
   // Normalize the shm channel geometry: power-of-two rings, the inline
   // bound inherited from the socket eager_max unless overridden, and always
   // small enough that several inline records fit in a message ring.

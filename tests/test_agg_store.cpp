@@ -1,0 +1,194 @@
+// aspen::agg::agg_store tests (src/agg/store.hpp): bucket-watermark and
+// explicit shipping, progress-driven auto-flush, per-source handler
+// dispatch, self-targeted buckets, and the agg_store_* telemetry counters.
+// Runs on the in-process smp conduit — the store rides send_am, so the
+// conduit underneath is irrelevant to its semantics (the cross-process
+// wire-coalescing layer is covered by test_net_spmd.cpp's AggSpmd suite).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+
+#include "agg/store.hpp"
+#include "core/aspen.hpp"
+#include "core/telemetry.hpp"
+
+namespace {
+
+using namespace aspen;
+
+constexpr int kRanks = 4;
+
+// Handler effects land via file-scope atomics: smp ranks are threads of
+// this process, and shippable callables cannot capture non-trivial state.
+std::atomic<std::uint64_t> g_sum{0};
+std::atomic<std::uint64_t> g_count{0};
+std::array<std::atomic<std::uint64_t>, kRanks> g_from_src{};
+
+void reset_effects() {
+  g_sum.store(0);
+  g_count.store(0);
+  for (auto& a : g_from_src) a.store(0);
+}
+
+/// Spin the progress engine until `done()` or ~2s pass.
+template <typename Pred>
+bool progress_until(Pred done) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (!done()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    aspen::progress();
+  }
+  return true;
+}
+
+TEST(AggStore, PushAndFlushAllDeliversEveryElement) {
+  reset_effects();
+  aspen::spmd(kRanks, [] {
+    constexpr std::uint64_t kPerTarget = 10;
+    {
+      agg::agg_store<void (*)(std::uint64_t), std::uint64_t> store(
+          [](std::uint64_t v) {
+            g_sum.fetch_add(v);
+            g_count.fetch_add(1);
+          },
+          {.bucket_elems = 1024, .auto_flush = false});
+      for (int t = 0; t < rank_n(); ++t)
+        for (std::uint64_t i = 0; i < kPerTarget; ++i)
+          store.push(t, i + 1);
+      EXPECT_EQ(store.pending(),
+                kPerTarget * static_cast<std::uint64_t>(rank_n()));
+      const std::size_t shipped = store.flush_all();
+      EXPECT_EQ(shipped, kPerTarget * static_cast<std::uint64_t>(rank_n()));
+      EXPECT_EQ(store.pending(), 0u);
+    }
+    // Every rank pushed kPerTarget elements to every rank (self included).
+    const std::uint64_t want_count =
+        kPerTarget * static_cast<std::uint64_t>(rank_n()) *
+        static_cast<std::uint64_t>(rank_n());
+    EXPECT_TRUE(progress_until([&] { return g_count.load() >= want_count; }));
+    barrier();
+    EXPECT_EQ(g_count.load(), want_count);
+    // sum 1..10 = 55, per (sender, target) pair.
+    EXPECT_EQ(g_sum.load(), 55u * static_cast<std::uint64_t>(rank_n()) *
+                                static_cast<std::uint64_t>(rank_n()));
+    barrier();
+  });
+}
+
+TEST(AggStore, BucketWatermarkShipsWithoutExplicitFlush) {
+  reset_effects();
+  aspen::spmd(kRanks, [] {
+    constexpr std::size_t kBucket = 8;
+    agg::agg_store<void (*)(std::uint64_t), std::uint64_t> store(
+        [](std::uint64_t) { g_count.fetch_add(1); },
+        {.bucket_elems = kBucket, .auto_flush = false});
+    const int target = (rank_me() + 1) % rank_n();
+    for (std::size_t i = 0; i < kBucket - 1; ++i) store.push(target, i);
+    EXPECT_EQ(store.pending(), kBucket - 1);  // under the watermark: held
+    store.push(target, 99);                   // hits it: ships inline
+    EXPECT_EQ(store.pending(), 0u);
+    const std::uint64_t want =
+        kBucket * static_cast<std::uint64_t>(rank_n());
+    EXPECT_TRUE(progress_until([&] { return g_count.load() >= want; }));
+    barrier();
+    EXPECT_EQ(g_count.load(), want);
+    barrier();
+  });
+}
+
+TEST(AggStore, AutoFlushShipsAgedBucketsFromProgress) {
+  reset_effects();
+  aspen::spmd(kRanks, [] {
+    agg::agg_store<void (*)(std::uint64_t), std::uint64_t> store(
+        [](std::uint64_t) { g_count.fetch_add(1); },
+        {.bucket_elems = 1024, .flush_us = 1, .auto_flush = true});
+    const int target = (rank_me() + 1) % rank_n();
+    store.push(target, 7);
+    // No explicit flush: the registered progress hook must notice the
+    // 1us-aged bucket and ship it from inside aspen::progress().
+    const std::uint64_t want = static_cast<std::uint64_t>(rank_n());
+    EXPECT_TRUE(progress_until(
+        [&] { return g_count.load() >= want && store.pending() == 0; }));
+    barrier();
+    EXPECT_EQ(g_count.load(), want);
+    barrier();
+  });
+}
+
+TEST(AggStore, HandlerReceivesSourceRank) {
+  reset_effects();
+  aspen::spmd(kRanks, [] {
+    {
+      agg::agg_store<void (*)(int, std::uint64_t), std::uint64_t> store(
+          [](int src, std::uint64_t v) {
+            g_from_src[static_cast<std::size_t>(src)].fetch_add(v);
+          },
+          {.auto_flush = false});
+      const int target = (rank_me() + 1) % rank_n();
+      // Distinct contribution per source: src pushes (src+1) three times.
+      for (int i = 0; i < 3; ++i)
+        store.push(target,
+                   static_cast<std::uint64_t>(rank_me()) + 1);
+      store.flush_all();
+    }
+    const int left = (rank_me() + rank_n() - 1) % rank_n();
+    EXPECT_TRUE(progress_until([&] {
+      return g_from_src[static_cast<std::size_t>(left)].load() >=
+             3u * (static_cast<std::uint64_t>(left) + 1);
+    }));
+    barrier();
+    for (int src = 0; src < rank_n(); ++src)
+      EXPECT_EQ(g_from_src[static_cast<std::size_t>(src)].load(),
+                3u * (static_cast<std::uint64_t>(src) + 1))
+          << "wrong per-source total from rank " << src;
+    barrier();
+  });
+}
+
+TEST(AggStore, DestructorFlushesPendingBuckets) {
+  reset_effects();
+  aspen::spmd(kRanks, [] {
+    {
+      agg::agg_store<void (*)(std::uint64_t), std::uint64_t> store(
+          [](std::uint64_t) { g_count.fetch_add(1); },
+          {.bucket_elems = 1024, .auto_flush = true});
+      store.push((rank_me() + 1) % rank_n(), 1);
+      // Dropping the store with a non-empty bucket must ship it (and
+      // deregister the progress hook without tripping later progress calls).
+    }
+    const std::uint64_t want = static_cast<std::uint64_t>(rank_n());
+    EXPECT_TRUE(progress_until([&] { return g_count.load() >= want; }));
+    barrier();
+    EXPECT_EQ(g_count.load(), want);
+    barrier();
+  });
+}
+
+TEST(AggStore, CountersTick) {
+  if (!telemetry::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  reset_effects();
+  aspen::spmd(kRanks, [] {
+    using c = telemetry::counter;
+    const auto before = telemetry::local_snapshot();
+    {
+      agg::agg_store<void (*)(std::uint64_t), std::uint64_t> store(
+          [](std::uint64_t) { g_count.fetch_add(1); },
+          {.bucket_elems = 4, .auto_flush = false});
+      const int target = (rank_me() + 1) % rank_n();
+      for (std::uint64_t i = 0; i < 8; ++i) store.push(target, i);  // 2 ships
+    }
+    const auto d = telemetry::local_snapshot() - before;
+    EXPECT_EQ(d.get(c::agg_store_elems), 8u);
+    EXPECT_EQ(d.get(c::agg_store_buckets_shipped), 2u);
+    EXPECT_GT(d.get(c::agg_bytes_saved), 0u);
+    EXPECT_TRUE(progress_until([&] {
+      return g_count.load() >= 8u * static_cast<std::uint64_t>(rank_n());
+    }));
+    barrier();
+  });
+}
+
+}  // namespace

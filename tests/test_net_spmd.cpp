@@ -923,4 +923,185 @@ TEST(ShmSpmd, ShmCountersAreNetSubset) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// AggSpmd — the wire aggregation fabric (ASPEN_AGG, docs/AGG.md) over real
+// processes. spmd_net re-applies the ASPEN_* environment at every region
+// entry, so each test arms/disarms aggregation with setenv around a region;
+// the watermarks are pinned low so even the small test workloads coalesce.
+// ---------------------------------------------------------------------------
+
+/// setenv/unsetenv guard for the ASPEN_AGG knob family.
+struct agg_env_guard {
+  explicit agg_env_guard(const char* frames = "16", const char* flush_us = "200") {
+    setenv("ASPEN_AGG", "1", 1);
+    setenv("ASPEN_AGG_FRAMES", frames, 1);
+    setenv("ASPEN_AGG_FLUSH_US", flush_us, 1);
+  }
+  ~agg_env_guard() {
+    unsetenv("ASPEN_AGG");
+    unsetenv("ASPEN_AGG_FRAMES");
+    unsetenv("ASPEN_AGG_FLUSH_US");
+  }
+};
+
+// The headline equivalence: the commutative GUPS workload must land a
+// bit-identical table with aggregation on, aggregation off, and on the smp
+// baseline — coalescing changes syscall boundaries, never frame content or
+// per-peer order — and the aggregated region must actually coalesce.
+TEST(AggSpmd, GupsBitIdenticalAggOnOffAndSmp) {
+  ASPEN_REQUIRE_LAUNCHED();
+  namespace g = aspen::apps::gups;
+  using c = aspen::telemetry::counter;
+  const int n = job_size();
+  g::params p;
+  p.table_bits = 12;
+  p.updates_per_rank = 1 << 10;
+  p.batch = 64;
+
+  auto local_checksum = [](g::table& t) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < t.per_rank(); ++i)
+      acc ^= t.local_slice()[i] * 0x9E3779B97F4A7C15ull + i;
+    return acc;
+  };
+
+  std::uint64_t agg_sum = 0, coalesced = 0;
+  {
+    agg_env_guard armed;
+    aspen::spmd(n, tcp_cfg(), [&] {
+      const auto before = aspen::telemetry::local_snapshot();
+      g::table t(p);
+      (void)g::run_variant(g::variant::amo_promises, t, p);
+      agg_sum = aspen::allreduce_sum(local_checksum(t));
+      const auto d = aspen::telemetry::local_snapshot() - before;
+      coalesced = aspen::allreduce_sum(d.get(c::agg_frames_coalesced));
+      aspen::barrier();
+    });
+  }
+
+  std::uint64_t plain_sum = 0;
+  aspen::spmd(n, tcp_cfg(), [&] {
+    g::table t(p);
+    (void)g::run_variant(g::variant::amo_promises, t, p);
+    plain_sum = aspen::allreduce_sum(local_checksum(t));
+    aspen::barrier();
+  });
+  EXPECT_EQ(agg_sum, plain_sum)
+      << "ASPEN_AGG=1 GUPS diverged from unaggregated tcp at " << n
+      << " ranks";
+
+  std::uint64_t smp_sum = 0;
+  aspen::spmd(n, [&] {
+    g::table t(p);
+    (void)g::run_variant(g::variant::amo_promises, t, p);
+    const std::uint64_t sum = aspen::allreduce_sum(local_checksum(t));
+    if (aspen::rank_me() == 0) smp_sum = sum;
+  });
+  EXPECT_EQ(agg_sum, smp_sum)
+      << "ASPEN_AGG=1 GUPS diverged from smp at " << n << " ranks";
+
+  if (n > 1 && aspen::telemetry::compiled_in())
+    EXPECT_GT(coalesced, 0u)
+        << "the armed region coalesced no frames — aggregation never "
+           "engaged";
+}
+
+// Same equivalence over conduit::shm: staged ring batches (kShmBatch
+// records, with socket fallback when a ring fills) must preserve the
+// bit-identical result, and toggling between an aggregated shm region and
+// an unaggregated one in the same process must requiesce cleanly.
+TEST(AggSpmd, GupsBitIdenticalOverShm) {
+  ASPEN_REQUIRE_LAUNCHED();
+  namespace g = aspen::apps::gups;
+  const int n = job_size();
+  g::params p;
+  p.table_bits = 12;
+  p.updates_per_rank = 1 << 10;
+  p.batch = 64;
+
+  auto local_checksum = [](g::table& t) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < t.per_rank(); ++i)
+      acc ^= t.local_slice()[i] * 0x9E3779B97F4A7C15ull + i;
+    return acc;
+  };
+
+  std::uint64_t agg_sum = 0;
+  {
+    agg_env_guard armed;
+    aspen::spmd(n, shm_cfg(), [&] {
+      g::table t(p);
+      (void)g::run_variant(g::variant::amo_promises, t, p);
+      agg_sum = aspen::allreduce_sum(local_checksum(t));
+      aspen::barrier();
+    });
+  }
+  std::uint64_t plain_sum = 0;
+  aspen::spmd(n, shm_cfg(), [&] {
+    g::table t(p);
+    (void)g::run_variant(g::variant::amo_promises, t, p);
+    plain_sum = aspen::allreduce_sum(local_checksum(t));
+    aspen::barrier();
+  });
+  EXPECT_EQ(agg_sum, plain_sum)
+      << "ASPEN_AGG=1 over shm diverged from unaggregated shm at " << n
+      << " ranks";
+}
+
+// Latency-bound round trips with aggregation armed and a deliberately huge
+// age watermark: a rank blocked in wait() must not deadlock on its own
+// unflushed batch — enqueue_frame flushes replies eagerly and idle_wait
+// force-flushes before parking. RPC results prove nothing was dropped.
+TEST(AggSpmd, SingleOpRoundTripsDoNotStall) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  setenv("ASPEN_AGG", "1", 1);
+  setenv("ASPEN_AGG_FLUSH_US", "1000000", 1);  // 1s: age flush can't save us
+  aspen::spmd(n, tcp_cfg(), [n] {
+    const int target = (aspen::rank_me() + 1) % n;
+    for (int i = 0; i < 64; ++i) {
+      const int got =
+          aspen::rpc(target, [](int x) { return x * 3; }, i).wait();
+      EXPECT_EQ(got, i * 3);
+    }
+    aspen::barrier();
+  });
+  unsetenv("ASPEN_AGG");
+  unsetenv("ASPEN_AGG_FLUSH_US");
+}
+
+// The bounded send queue (ASPEN_NET_SENDQ_MAX): a one-sided rpc_ff flood
+// against a tiny bound must park injectors rather than grow the queue
+// without limit, and every message must still land (counted remotely).
+TEST(AggSpmd, BoundedSendqParksAndDelivers) {
+  ASPEN_REQUIRE_LAUNCHED();
+  using c = aspen::telemetry::counter;
+  const int n = job_size();
+  static std::atomic<int> hits{0};
+  hits.store(0);
+  setenv("ASPEN_AGG", "1", 1);
+  setenv("ASPEN_NET_SENDQ_MAX", "16384", 1);
+  constexpr int kFloods = 512;
+  std::uint64_t parked = 0;
+  aspen::spmd(n, tcp_cfg(), [n, &parked] {
+    const auto before = aspen::telemetry::local_snapshot();
+    const int target = (aspen::rank_me() + 1) % n;
+    for (int i = 0; i < kFloods; ++i)
+      aspen::rpc_ff(target, [] { hits.fetch_add(1); });
+    const auto d = aspen::telemetry::local_snapshot() - before;
+    parked = d.get(c::net_sendq_parked);
+    // Quiescence at region end guarantees delivery of all kFloods.
+    aspen::barrier();
+  });
+  unsetenv("ASPEN_AGG");
+  unsetenv("ASPEN_NET_SENDQ_MAX");
+  if (n > 1)
+    EXPECT_EQ(hits.load(), kFloods)
+        << "rpc_ff flood lost messages under a bounded send queue";
+  // Parking is load-dependent (the pump may keep up), so only report it.
+  if (parked > 0)
+    std::printf("note: net_sendq_parked=%llu under the %d-message flood\n",
+                static_cast<unsigned long long>(parked), kFloods);
+}
+
 }  // namespace

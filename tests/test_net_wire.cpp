@@ -132,6 +132,76 @@ TEST(NetWire, TornOneByteFeedReassembles) {
   EXPECT_EQ(dec.buffered(), 0u);
 }
 
+/// A coalesced flush (ASPEN_AGG, docs/AGG.md) emits N back-to-back frames
+/// in ONE write; the batch must decode as the same N individual frames, in
+/// seq order, with nothing left buffered.
+TEST(NetWire, CoalescedBatchDecodesAsIndividualFrames) {
+  constexpr std::size_t kFrames = 64;
+  std::vector<std::byte> batch;
+  std::vector<std::vector<std::byte>> payloads;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    std::vector<std::byte> p(1 + (i % 13));
+    for (std::size_t j = 0; j < p.size(); ++j)
+      p[j] = static_cast<std::byte>((i * 31 + j) & 0xFF);
+    net::frame_header h = make_header(net::frame_kind::am_eager,
+                                      static_cast<std::uint32_t>(p.size()));
+    h.seq = i;
+    net::encode_frame(batch, h, p.data(), p.size());
+    payloads.push_back(std::move(p));
+  }
+
+  net::decoder dec(kMaxFrame);
+  dec.feed(batch.data(), batch.size());
+  net::frame f;
+  std::size_t i = 0;
+  while (dec.try_next(f)) {
+    ASSERT_LT(i, kFrames);
+    EXPECT_EQ(f.kind(), net::frame_kind::am_eager);
+    EXPECT_EQ(f.hdr.seq, i);
+    EXPECT_EQ(f.payload, payloads[i]);
+    ++i;
+  }
+  ASSERT_FALSE(dec.in_error()) << dec.error();
+  EXPECT_EQ(i, kFrames);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+/// The same coalesced batch torn at EVERY byte boundary: recv() may split a
+/// multi-frame write anywhere, including between two frames of the batch
+/// and inside any header or payload.
+TEST(NetWire, CoalescedBatchSurvivesTornFeedAtEveryBoundary) {
+  constexpr std::size_t kFrames = 8;
+  std::vector<std::byte> batch;
+  std::vector<std::vector<std::byte>> payloads;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    std::vector<std::byte> p(3 + 5 * i);
+    for (std::size_t j = 0; j < p.size(); ++j)
+      p[j] = static_cast<std::byte>((i * 131 + j * 17) & 0xFF);
+    net::frame_header h = make_header(net::frame_kind::am_eager,
+                                      static_cast<std::uint32_t>(p.size()));
+    h.seq = i;
+    net::encode_frame(batch, h, p.data(), p.size());
+    payloads.push_back(std::move(p));
+  }
+
+  for (std::size_t split = 0; split <= batch.size(); ++split) {
+    net::decoder dec(kMaxFrame);
+    std::vector<net::frame> got;
+    net::frame f;
+    dec.feed(batch.data(), split);
+    while (dec.try_next(f)) got.push_back(std::move(f));
+    dec.feed(batch.data() + split, batch.size() - split);
+    while (dec.try_next(f)) got.push_back(std::move(f));
+    ASSERT_FALSE(dec.in_error()) << "split=" << split << ": " << dec.error();
+    ASSERT_EQ(got.size(), kFrames) << "split=" << split;
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      EXPECT_EQ(got[i].hdr.seq, i) << "split=" << split;
+      EXPECT_EQ(got[i].payload, payloads[i]) << "split=" << split;
+    }
+    EXPECT_EQ(dec.buffered(), 0u) << "split=" << split;
+  }
+}
+
 TEST(NetWire, OversizedPayloadIsRejected) {
   net::frame_header h = make_header(net::frame_kind::am_eager,
                                     static_cast<std::uint32_t>(kMaxFrame) + 1);
@@ -225,6 +295,52 @@ TEST(NetWire, ApplyEnvOverridesAndClamps) {
   got = net::apply_env(deaf);
   EXPECT_EQ(got.eager_max, base.eager_max);
   unsetenv("ASPEN_NET_EAGER_MAX");
+}
+
+TEST(NetWire, ApplyEnvParsesAggregationKnobs) {
+  aspen::gex::net_config base;
+  EXPECT_FALSE(base.agg.enabled);  // aggregation is opt-in
+  EXPECT_EQ(base.sendq_max, 0u);   // send queue unbounded by default
+
+  setenv("ASPEN_AGG", "1", 1);
+  setenv("ASPEN_AGG_BYTES", "0x8000", 1);
+  setenv("ASPEN_AGG_FRAMES", "32", 1);
+  setenv("ASPEN_AGG_FLUSH_US", "250", 1);
+  setenv("ASPEN_NET_SENDQ_MAX", "0x100000", 1);
+  aspen::gex::net_config got = net::apply_env(base);
+  EXPECT_TRUE(got.agg.enabled);
+  EXPECT_EQ(got.agg.max_bytes, std::size_t{1} << 15);
+  EXPECT_EQ(got.agg.max_frames, 32u);
+  EXPECT_EQ(got.agg.flush_us, 250u);
+  EXPECT_EQ(got.sendq_max, std::size_t{1} << 20);
+
+  // A batch must hold at least one maximal eager frame, the frame
+  // watermark at least one frame, and a nonzero sendq bound at least one
+  // flushed batch (else injectors would park forever).
+  setenv("ASPEN_AGG_BYTES", "16", 1);
+  setenv("ASPEN_AGG_FRAMES", "0", 1);
+  setenv("ASPEN_NET_SENDQ_MAX", "1", 1);
+  got = net::apply_env(base);
+  EXPECT_GE(got.agg.max_bytes,
+            got.eager_max + sizeof(net::frame_header));
+  EXPECT_GE(got.agg.max_frames, 1u);
+  EXPECT_GE(got.sendq_max,
+            got.agg.max_bytes + 2 * sizeof(net::frame_header));
+
+  // ASPEN_AGG=0 disarms even with the tuning knobs set.
+  setenv("ASPEN_AGG", "0", 1);
+  got = net::apply_env(base);
+  EXPECT_FALSE(got.agg.enabled);
+
+  unsetenv("ASPEN_AGG");
+  unsetenv("ASPEN_AGG_BYTES");
+  unsetenv("ASPEN_AGG_FRAMES");
+  unsetenv("ASPEN_AGG_FLUSH_US");
+  unsetenv("ASPEN_NET_SENDQ_MAX");
+  got = net::apply_env(base);
+  EXPECT_FALSE(got.agg.enabled);
+  EXPECT_EQ(got.agg.max_bytes, base.agg.max_bytes);
+  EXPECT_EQ(got.sendq_max, 0u);
 }
 
 // ---------------------------------------------------------------------------
