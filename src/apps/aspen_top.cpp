@@ -119,7 +119,8 @@ void render_frame(int nranks, int frame, int rounds, bool clear_screen) {
   std::printf("aspen-top — %d ranks, frame %d/%d\n", nranks, frame, rounds);
 
   bench::table ranks({"rank", "updates", "eager", "deferred", "ratio",
-                      "shm%", "agg", "sendq", "staged", "lpc_depth"});
+                      "shm%", "agg", "plane", "sqe_saved", "sendq", "staged",
+                      "lpc_depth"});
   for (int r = 0; r < nranks; ++r) {
     const telemetry::snapshot s = telemetry::live::rank_snapshot(r);
     const telemetry::live::gauges g = telemetry::live::rank_gauges(r);
@@ -145,6 +146,11 @@ void render_frame(int nranks, int frame, int rounds, bool clear_screen) {
                    ratio, shm_pct,
                    std::to_string(
                        s.get(telemetry::counter::agg_frames_coalesced)),
+                   // Data plane ("poll"/"uring") and the syscalls the uring
+                   // backend saved vs poll (batched SQEs + multishot hits).
+                   g.backend != 0 ? "uring" : "poll",
+                   std::to_string(
+                       s.get(telemetry::counter::uring_syscalls_saved)),
                    std::to_string(g.sendq_bytes),
                    std::to_string(g.staged_msgs),
                    std::to_string(g.lpc_mailbox_depth)});

@@ -104,6 +104,7 @@ void encode_update(const snapshot& delta, const gauges& g,
   put_varint(out, g.sendq_high_water);
   put_varint(out, g.staged_msgs);
   put_varint(out, g.lpc_mailbox_depth);
+  put_varint(out, g.backend);
 }
 
 bool decode_update(const void* data, std::size_t len, snapshot* delta,
@@ -129,7 +130,8 @@ bool decode_update(const void* data, std::size_t len, snapshot* delta,
   if (!get_varint(p, end, &gg.sendq_bytes) ||
       !get_varint(p, end, &gg.sendq_high_water) ||
       !get_varint(p, end, &gg.staged_msgs) ||
-      !get_varint(p, end, &gg.lpc_mailbox_depth))
+      !get_varint(p, end, &gg.lpc_mailbox_depth) ||
+      !get_varint(p, end, &gg.backend))
     return false;
   if (p != end) return false;  // trailing garbage
   if (delta != nullptr) *delta = s;

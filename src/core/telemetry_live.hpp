@@ -45,6 +45,7 @@ struct gauges {
   std::uint64_t sendq_high_water = 0;  ///< endpoint sendq high-water (bytes)
   std::uint64_t staged_msgs = 0;       ///< AMs staged awaiting in-order release
   std::uint64_t lpc_mailbox_depth = 0; ///< current persona's mailbox backlog
+  std::uint64_t backend = 0;           ///< socket data plane: 0 poll, 1 uring
 };
 
 /// Flat field space of the update codec: every counter, every

@@ -1,6 +1,5 @@
 #include "net/endpoint.hpp"
 
-#include <poll.h>
 #include <sys/personality.h>
 #include <sys/socket.h>
 #include <sys/types.h>
@@ -32,10 +31,6 @@ namespace {
 // byte 0xEC.
 constexpr std::uint64_t kRegionKey = 0xEC00000000000001ull;
 constexpr std::uint64_t kQuiesceKey = 0xEC00000000000002ull;
-
-/// idle_wait() watches at most this many peer sockets; larger jobs still
-/// wake within the 1 ms poll bound for the unwatched remainder.
-constexpr nfds_t kMaxPollFds = 64;
 
 /// Bootstrap clock-offset probes per rank; the lowest-RTT sample wins.
 constexpr int kClockProbes = 8;
@@ -150,7 +145,25 @@ endpoint::endpoint(int rank, int nranks, gex::net_config cfg,
   telemetry_interval_ms_ = telemetry::live::interval_ms();
   last_push_ns_ = mono_ns();
   if (rank_ == 0) telemetry::live::collector_reset(nranks_);
+  master_tid_ = std::this_thread::get_id();
   bootstrap(segment_bytes);
+  // Choose the socket data plane once the mesh is wired: io_uring when
+  // ASPEN_NET_URING=1 and the kernel cooperates, the portable poll(2)
+  // backend otherwise (docs/URING.md). The choice persists across regions
+  // like the sockets themselves.
+  io_ = make_io_backend(cfg_, nranks_, io_reason_);
+  for (int r = 0; r < nranks_; ++r) {
+    if (r == rank_) continue;
+    peer& p = peer_of(r);
+    if (p.sock.valid()) io_->attach(r, p.sock.get());
+  }
+  if (rank_ == 0) {
+    if (io_reason_.empty())
+      std::fprintf(stderr, "aspen/net: data plane = %s\n", io_->name());
+    else
+      std::fprintf(stderr, "aspen/net: data plane = %s (%s)\n", io_->name(),
+                   io_reason_.c_str());
+  }
   if (telemetry::live::trace_base() != nullptr)
     telemetry::enable_tracing(true);
   if (telemetry::watchdog::enabled()) {
@@ -171,7 +184,8 @@ endpoint::endpoint(int rank, int nranks, gex::net_config cfg,
         if (r == rank_) continue;
         const peer& p = *peers_[static_cast<std::size_t>(r)];
         std::lock_guard<std::mutex> lk(p.mu);
-        st.sendq_bytes += p.out.size() - p.out_off + p.shm_agg.size();
+        st.sendq_bytes += p.out.size() - p.out_off + p.shm_agg.size() +
+                          io_->send_backlog(r);
         st.staged_msgs += p.staged.size();
         if (p.out_busy_since_ns != 0 && now > p.out_busy_since_ns) {
           const std::uint64_t age = now - p.out_busy_since_ns;
@@ -195,6 +209,10 @@ endpoint::endpoint(int rank, int nranks, gex::net_config cfg,
 }
 
 endpoint::~endpoint() {
+  // Tear down the data plane first: quiescence already drained its queues,
+  // and closing the ring cancels the armed multishot recvs so the raw bye
+  // sends below own the sockets outright.
+  io_.reset();
   // Best-effort clean-shutdown marker so peers can distinguish our EOF
   // from a crash. The quiescence protocol has already drained real
   // traffic; 24 header bytes fit any live socket buffer.
@@ -480,35 +498,21 @@ void endpoint::serve_clock_probes(int fd) {
 // ---------------------------------------------------------------------------
 
 void endpoint::flush_locked(peer& p, int target) {
-  (void)target;
   // Residency stamp: the queue went non-empty at (or just before) this
-  // flush attempt. Cleared below once it fully drains; the elapsed time is
-  // the sendq_residency latency sample and the watchdog's stall probe.
+  // flush attempt. Cleared below once the socket path fully drains (poll:
+  // right here; uring: once the completion lands, detected by pump()); the
+  // elapsed time is the sendq_residency latency sample and the watchdog's
+  // stall probe.
   if (telemetry::compiled_in() && p.out_busy_since_ns == 0 &&
       p.out_off < p.out.size())
     p.out_busy_since_ns = mono_ns();
-  while (p.out_off < p.out.size()) {
-    const std::size_t want = p.out.size() - p.out_off;
-    ssize_t n =
-        ::send(p.sock.get(), p.out.data() + p.out_off, want, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        telemetry::count(telemetry::counter::net_partial_writes);
-        break;
-      }
-      die_errno("send");
-    }
-    telemetry::count(telemetry::counter::net_bytes_sent,
-                     static_cast<std::uint64_t>(n));
-    p.out_off += static_cast<std::size_t>(n);
-    if (static_cast<std::size_t>(n) < want)
-      telemetry::count(telemetry::counter::net_partial_writes);
-  }
+  io_->flush(target, p.out, p.out_off);
+  const std::size_t backlog = io_->send_backlog(target);
   if (p.out_off == p.out.size()) {
     p.out.clear();
     p.out_off = 0;
-    if (telemetry::compiled_in() && p.out_busy_since_ns != 0) {
+    if (telemetry::compiled_in() && p.out_busy_since_ns != 0 &&
+        backlog == 0 && !io_->send_pending(target)) {
       telemetry::note_latency(telemetry::lat_stream::sendq_residency,
                               mono_ns() - p.out_busy_since_ns);
       p.out_busy_since_ns = 0;
@@ -519,7 +523,9 @@ void endpoint::flush_locked(peer& p, int target) {
                 p.out.begin() + static_cast<std::ptrdiff_t>(p.out_off));
     p.out_off = 0;
   }
-  const std::size_t depth = p.out.size() - p.out_off;
+  // Depth spans both homes of unsent bytes: the endpoint's residue (poll's
+  // EAGAIN leftover) and the backend's adopted backlog (uring).
+  const std::size_t depth = p.out.size() - p.out_off + backlog;
   std::size_t hw = sendq_high_water_.load(std::memory_order_relaxed);
   while (depth > hw && !sendq_high_water_.compare_exchange_weak(
                            hw, depth, std::memory_order_relaxed)) {
@@ -616,29 +622,39 @@ void endpoint::shm_agg_flush_locked(peer& p, int target,
   p.shm_agg_seen_frames = 0;
 }
 
-void endpoint::park_sendq(peer& p, int target) {
+void endpoint::park_sendq(gex::runtime& rt, peer& p, int target) {
   // Bounded-queue mode (ASPEN_NET_SENDQ_MAX): an injector that finds the
-  // peer's unsent queue over the cap parks — flush attempt, then yield —
-  // instead of growing it without bound, mirroring the perturbed conduit's
-  // bounded-inbox backpressure. The spin budget guarantees progress even
-  // when both sides flood each other (each then proceeds and the queues
-  // absorb the overshoot). Never parks inside the pump: a handler replying
-  // from process_frame must not wait on the queue its own delivery fills.
+  // peer's unsent bytes (endpoint residue + backend backlog) over the cap
+  // parks — flush attempt, then yield or pump — instead of growing the
+  // queue without bound, mirroring the perturbed conduit's bounded-inbox
+  // backpressure. The spin budget guarantees progress even when both sides
+  // flood each other (each then proceeds and the queues absorb the
+  // overshoot). Never parks inside the pump: a handler replying from
+  // process_frame must not wait on the queue its own delivery fills.
   if (pumping_.load(std::memory_order_relaxed)) return;
   constexpr int kParkSpins = 1 << 12;
+  const bool master = std::this_thread::get_id() == master_tid_;
   bool parked = false;
   for (int spin = 0; spin < kParkSpins; ++spin) {
     {
       std::lock_guard<std::mutex> lk(p.mu);
-      if (p.out.size() - p.out_off <= sendq_max_) return;
+      if (p.out.size() - p.out_off + io_->send_backlog(target) <= sendq_max_)
+        return;
       flush_locked(p, target);
-      if (p.out.size() - p.out_off <= sendq_max_) return;
+      if (p.out.size() - p.out_off + io_->send_backlog(target) <= sendq_max_)
+        return;
     }
     if (!parked) {
       parked = true;
       telemetry::count(telemetry::counter::net_sendq_parked);
     }
-    std::this_thread::yield();
+    // The uring backlog only drains when its completions are reaped, and
+    // only the master thread pumps — so the master makes its own progress
+    // here; injector threads yield to it.
+    if (master)
+      (void)pump(rt);
+    else
+      std::this_thread::yield();
   }
 }
 
@@ -656,7 +672,6 @@ void endpoint::enqueue_frame(peer& p, int target, const frame_header& hdr,
 }
 
 void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
-  (void)rt;
   telemetry::span sp("wire_send", "net");
   peer& p = peer_of(target);
   if (!p.sock.valid() || p.departed) {
@@ -683,7 +698,7 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
                                        clock_offset_ns_)
           : 0;
 
-  if (sendq_max_ != 0) park_sendq(p, target);
+  if (sendq_max_ != 0) park_sendq(rt, p, target);
 
   std::lock_guard<std::mutex> lk(p.mu);
   const std::uint64_t seq = p.next_send_seq++;
@@ -850,13 +865,36 @@ std::size_t endpoint::pump(gex::runtime& rt) {
         else
           p.shm_agg_seen_frames = p.shm_agg_frames;
       }
+      // uring completes sends asynchronously: close the residency window
+      // here once the backend's backlog has drained (poll closes it inside
+      // flush_locked, synchronously).
+      if (telemetry::compiled_in() && p.out_busy_since_ns != 0 &&
+          p.out_off >= p.out.size() && !io_->send_pending(r)) {
+        telemetry::note_latency(telemetry::lat_stream::sendq_residency,
+                                mono_ns() - p.out_busy_since_ns);
+        p.out_busy_since_ns = 0;
+      }
     }
     if (p.shm_active) work += pump_shm_peer(rt, r);
-    work += pump_peer(rt, r);
+  }
+  // One backend tick drains every readable socket / reaps every completion
+  // and feeds the decoders (on_bytes); frames are then processed per peer.
+  work += io_->pump(*this);
+  for (int r = 0; r < nranks_; ++r) {
+    if (r == rank_) continue;
+    work += drain_peer(rt, r);
   }
   pumping_.store(false, std::memory_order_relaxed);
   return work;
 }
+
+void endpoint::on_bytes(int rank, const void* data, std::size_t len) {
+  peer& p = peer_of(rank);
+  if (p.departed || !p.dec) return;
+  p.dec->feed(data, len);
+}
+
+void endpoint::on_eof(int rank) { peer_of(rank).eof_pending = true; }
 
 std::size_t endpoint::pump_shm_peer(gex::runtime& rt, int rank) {
   peer& p = peer_of(rank);
@@ -959,11 +997,10 @@ std::size_t endpoint::pump_shm_peer(gex::runtime& rt, int rank) {
 
 void endpoint::idle_wait() noexcept {
   // A wait loop has gone a sustained stretch with zero progress: this rank
-  // is blocked on a sibling *process*. Park in poll(2) on the mesh sockets
-  // (bounded at 1 ms) instead of spinning — the scheduler hands the CPU to
-  // the sender at once, and the first byte of its reply wakes us. POLLIN
-  // only: a send stalled on a full socket buffer resolves when the peer
-  // drains it, and the 1 ms bound caps that (rare) case's latency.
+  // is blocked on a sibling *process*. Park in the data plane's wait —
+  // poll(2) on the mesh sockets or io_uring_enter(GETEVENTS) — bounded at
+  // 1 ms, instead of spinning: the scheduler hands the CPU to the sender
+  // at once, and the first inbound byte (or completion) wakes us.
   //
   // Open coalescing batches are forced out first: a parked waiter may be
   // waiting on replies to the very frames a batch is still holding.
@@ -979,62 +1016,20 @@ void endpoint::idle_wait() noexcept {
         agg_flush_locked(p, r, telemetry::counter::agg_flush_forced);
     }
   }
-  pollfd fds[kMaxPollFds];
-  nfds_t n = 0;
-  for (int r = 0; r < nranks_ && n < kMaxPollFds; ++r) {
+  for (int r = 0; r < nranks_; ++r) {
     if (r == rank_) continue;
     const peer& p = peer_of(r);
     // A non-empty inbound shm ring IS progress waiting to happen: return
     // immediately so the caller pumps instead of parking on sockets that
     // will never see those bytes.
     if (p.shm_active && !p.shm_in_msg.empty()) return;
-    if (!p.sock.valid()) continue;
-    fds[n].fd = p.sock.get();
-    fds[n].events = POLLIN;
-    fds[n].revents = 0;
-    ++n;
   }
-  if (n == 0) {
-    std::this_thread::yield();
-    return;
-  }
-  (void)::poll(fds, n, 1);
+  io_->idle_park();
 }
 
-std::size_t endpoint::pump_peer(gex::runtime& rt, int rank) {
+std::size_t endpoint::drain_peer(gex::runtime& rt, int rank) {
   peer& p = peer_of(rank);
   if (p.departed) return 0;
-  std::byte buf[64 * 1024];
-  for (;;) {
-    ssize_t n = ::recv(p.sock.get(), buf, sizeof buf, 0);
-    if (n > 0) {
-      telemetry::count(telemetry::counter::net_bytes_received,
-                       static_cast<std::uint64_t>(n));
-      p.dec->feed(buf, static_cast<std::size_t>(n));
-      if (static_cast<std::size_t>(n) < sizeof buf) {
-        // Short read: the kernel buffer is drained for now.
-        telemetry::count(telemetry::counter::net_short_reads);
-        break;
-      }
-      continue;
-    }
-    if (n == 0) {
-      if (!p.bye_seen) {
-        std::fprintf(stderr,
-                     "aspen/net: fatal: rank %d closed its connection "
-                     "without a clean shutdown (crashed?); aborting rank "
-                     "%d\n",
-                     rank, rank_);
-        std::abort();
-      }
-      p.departed = true;
-      p.sock.reset();
-      break;
-    }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    die_errno("recv");
-  }
   std::size_t work = 0;
   frame f;
   while (p.dec && p.dec->try_next(f)) {
@@ -1047,6 +1042,23 @@ std::size_t endpoint::pump_peer(gex::runtime& rt, int rank) {
                  "stream: %s\n",
                  rank, rank_, p.dec->error().c_str());
     std::abort();
+  }
+  if (p.eof_pending) {
+    // Resolved after the frame drain: the bye marker may have arrived in
+    // the very byte batch that ended with the EOF.
+    p.eof_pending = false;
+    if (!p.bye_seen) {
+      std::fprintf(stderr,
+                   "aspen/net: fatal: rank %d closed its connection "
+                   "without a clean shutdown (crashed?); aborting rank "
+                   "%d\n",
+                   rank, rank_);
+      std::abort();
+    }
+    p.departed = true;
+    io_->detach(rank);
+    p.sock.reset();
+    ++work;
   }
   work += release_staged(rt, rank);
   return work;
@@ -1090,10 +1102,18 @@ void endpoint::process_frame(gex::runtime& rt, int rank, frame&& f) {
       dh.src = rank_;
       dh.aux = f.hdr.aux;
       dh.seq = it->second.seq;
-      encode_frame(p.out, dh, it->second.bytes.data(),
-                   it->second.bytes.size());
-      p.rdzv_out.erase(it);
+      // Everything queued ahead of the DATA frame goes to the backend
+      // first (order), then the backend may take the frame straight from a
+      // registered fixed buffer — skipping the wire-buffer copy. Fallback:
+      // the classic encode-and-flush.
       agg_flush_locked(p, rank, telemetry::counter::agg_flush_forced);
+      if (!io_->send_data_frame(rank, dh, it->second.bytes.data(),
+                                it->second.bytes.size())) {
+        encode_frame(p.out, dh, it->second.bytes.data(),
+                     it->second.bytes.size());
+        flush_locked(p, rank);
+      }
+      p.rdzv_out.erase(it);
       break;
     }
     case frame_kind::am_data: {
@@ -1217,6 +1237,7 @@ bool endpoint::locally_unsettled() const noexcept {
     const peer& p = *peers_[static_cast<std::size_t>(r)];
     std::lock_guard<std::mutex> lk(p.mu);
     if (p.out_off < p.out.size()) return true;
+    if (io_->send_pending(r)) return true;
     if (p.shm_agg_frames != 0) return true;
     if (!p.rdzv_out.empty()) return true;
     if (!p.staged.empty() || !p.rdzv_in.empty()) return true;
@@ -1422,7 +1443,8 @@ telemetry::live::gauges endpoint::live_gauges() const {
     if (r == rank_) continue;
     const peer& p = *peers_[static_cast<std::size_t>(r)];
     std::lock_guard<std::mutex> lk(p.mu);
-    g.sendq_bytes += p.out.size() - p.out_off + p.shm_agg.size();
+    g.sendq_bytes += p.out.size() - p.out_off + p.shm_agg.size() +
+                     io_->send_backlog(r);
     if (p.shm_active)
       g.sendq_bytes +=
           p.shm_out_msg.depth_bytes() + p.shm_out_bulk.depth_bytes();
@@ -1430,6 +1452,7 @@ telemetry::live::gauges endpoint::live_gauges() const {
   }
   g.sendq_high_water = sendq_high_water_.load(std::memory_order_relaxed);
   g.lpc_mailbox_depth = current_persona().mailbox_depth();
+  g.backend = std::strcmp(io_->name(), "uring") == 0 ? 1 : 0;
   return g;
 }
 
@@ -1473,9 +1496,9 @@ void endpoint::finish_region_telemetry(const progress_fn& progress) {
       peer& p0 = peer_of(0);
       {
         std::lock_guard<std::mutex> lk(p0.mu);
-        if (p0.out_off >= p0.out.size()) return;
+        if (p0.out_off >= p0.out.size() && !io_->send_pending(0)) return;
         agg_flush_locked(p0, 0, telemetry::counter::agg_flush_forced);
-        if (p0.out_off >= p0.out.size()) return;
+        if (p0.out_off >= p0.out.size() && !io_->send_pending(0)) return;
       }
       progress();
     }

@@ -1,0 +1,485 @@
+#include "uring/net_backend.hpp"
+
+#ifdef __linux__
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/telemetry.hpp"
+#include "uring/ring.hpp"
+
+namespace aspen::uring {
+
+namespace {
+
+/// Provided-buffer chunk size for multishot recv. One peer burst larger
+/// than this simply spans several CQEs; the endpoint's incremental decoder
+/// tolerates arbitrary tearing.
+constexpr std::size_t kRecvChunk = 32 * 1024;
+constexpr std::uint16_t kBufGroup = 0;
+
+/// Registered fixed-buffer pool for rendezvous DATA sends. Payloads larger
+/// than a slot (or arriving while every slot is busy) fall back to the
+/// dynamic wire-buffer path — correctness never depends on the pool.
+constexpr unsigned kFixedSlots = 4;
+constexpr std::size_t kFixedSlotBytes = 512 * 1024;
+
+/// flush() steals the endpoint's whole wire buffer (instead of copying)
+/// once it is at least this large and fully unsent.
+constexpr std::size_t kSwapThreshold = 64 * 1024;
+
+// CQE routing: user_data = tag<<56 | rank. The segment queue, not the
+// user_data, carries per-send details (fixed slot, progress offset).
+constexpr std::uint64_t kTagSendDyn = 1;
+constexpr std::uint64_t kTagSendFixed = 2;
+constexpr std::uint64_t kTagRecv = 3;
+constexpr std::uint64_t kTagCancel = 4;
+
+constexpr std::uint64_t make_ud(std::uint64_t tag, int rank) {
+  return (tag << 56) | static_cast<std::uint32_t>(rank);
+}
+
+[[noreturn]] void die(const char* what, int rank, int err) {
+  std::fprintf(stderr, "aspen/net: fatal: uring %s (peer rank %d): %s\n",
+               what, rank, std::strerror(err));
+  std::abort();
+}
+
+/// One queued send: either backend-owned dynamic bytes or a registered
+/// fixed-buffer slot. `off` tracks partial-send progress; the front
+/// segment's memory is pinned while its SQE is in flight.
+struct seg {
+  std::vector<std::byte> bytes;
+  std::size_t off = 0;
+  int fixed_slot = -1;
+  std::uint32_t fixed_len = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return fixed_slot >= 0 ? fixed_len : bytes.size();
+  }
+};
+
+struct peer_io {
+  int fd = -1;
+  std::deque<seg> q;        ///< FIFO; front is the (only) in-flight send
+  bool inflight = false;    ///< a send SQE references q.front()
+  bool recv_armed = false;  ///< a multishot recv SQE is outstanding
+  std::size_t backlog = 0;  ///< unsent bytes held across all segments
+};
+
+class net_backend final : public net::io_backend {
+ public:
+  net_backend(std::unique_ptr<ring> r, int nranks, bool fixed_ok)
+      : ring_(std::move(r)), peers_(static_cast<std::size_t>(nranks)) {
+    if (fixed_ok)
+      for (unsigned s = 0; s < ring_->fixed_slots(); ++s)
+        free_slots_.push_back(static_cast<int>(s));
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "uring"; }
+
+  void attach(int rank, int fd) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    peer_io& p = peers_[static_cast<std::size_t>(rank)];
+    p.fd = fd;
+    if (!p.recv_armed) arm_recv_locked(rank);
+    submit_locked();
+  }
+
+  void detach(int rank) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    peer_io& p = peers_[static_cast<std::size_t>(rank)];
+    p.fd = -1;
+    p.backlog = 0;
+    if (p.recv_armed) {
+      // Cancel the armed multishot recv: a pending op holds a kernel
+      // reference to the file, so without this the endpoint's subsequent
+      // close(2) would not actually close the socket and the remote side
+      // would never observe EOF. The canceled recv completes -ECANCELED
+      // (recycled as a stale CQE); the cancel op itself is CQE_SKIP'd.
+      p.recv_armed = false;
+      if (io_uring_sqe* sqe = sqe_locked()) {
+        sqe->opcode = IORING_OP_ASYNC_CANCEL;
+        sqe->addr = make_ud(kTagRecv, rank);
+        sqe->flags = IOSQE_CQE_SKIP_SUCCESS;
+        sqe->user_data = make_ud(kTagCancel, rank);
+        submit_locked();
+      }
+    }
+    // The in-flight SQE (if any) still references q.front()'s memory, so
+    // that segment survives until its CQE lands; everything behind it is
+    // dropped now.
+    const std::size_t keep = p.inflight && !p.q.empty() ? 1 : 0;
+    while (p.q.size() > keep) {
+      release_slot_locked(p.q.back());
+      p.q.pop_back();
+    }
+  }
+
+  void flush(int rank, std::vector<std::byte>& out,
+             std::size_t& off) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    peer_io& p = peers_[static_cast<std::size_t>(rank)];
+    const std::size_t n = out.size() - off;
+    if (p.fd < 0 || n == 0) {
+      out.clear();
+      off = 0;
+      return;
+    }
+    // Quiet-socket fast path: with nothing queued ahead, write inline
+    // exactly like the poll plane — zero queueing delay, no SQE, and the
+    // adopted-segment machinery below becomes the backpressure path only.
+    // Without this, every byte waits for the master pump to reap the
+    // previous send CQE before restaging, which shows up as tens of KiB of
+    // sendq residency under throughput loads that poll ships with none.
+    if (p.q.empty() && !p.inflight) {
+      while (off < out.size()) {
+        const std::size_t want = out.size() - off;
+        const ssize_t w = ::send(p.fd, out.data() + off, want, MSG_NOSIGNAL);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            telemetry::count(telemetry::counter::net_partial_writes);
+            break;
+          }
+          die("send", rank, errno);
+        }
+        telemetry::count(telemetry::counter::net_bytes_sent,
+                         static_cast<std::uint64_t>(w));
+        off += static_cast<std::size_t>(w);
+        if (static_cast<std::size_t>(w) < want)
+          telemetry::count(telemetry::counter::net_partial_writes);
+      }
+      if (off >= out.size()) {
+        out.clear();
+        off = 0;
+        return;
+      }
+    }
+    const std::size_t rem = out.size() - off;
+    // Adopt the bytes into backend-owned storage. Coalesce into the open
+    // dynamic tail segment when one exists and its memory is not pinned by
+    // an in-flight SQE — repeated flushes while a send is outstanding then
+    // cost zero extra SQEs (the poll backend pays one send(2) each).
+    if (!p.q.empty() && p.q.back().fixed_slot < 0 &&
+        !(p.q.size() == 1 && p.inflight)) {
+      p.q.back().bytes.insert(p.q.back().bytes.end(), out.begin() + off,
+                              out.end());
+    } else if (off == 0 && n >= kSwapThreshold) {
+      seg s;
+      s.bytes = std::move(out);
+      p.q.push_back(std::move(s));
+      out = std::vector<std::byte>{};
+    } else {
+      seg s;
+      s.bytes.assign(out.begin() + off, out.end());
+      p.q.push_back(std::move(s));
+    }
+    p.backlog += rem;
+    out.clear();
+    off = 0;
+    stage_send_locked(rank);
+    submit_locked();
+  }
+
+  bool send_data_frame(int rank, const net::frame_header& hdr,
+                       const void* payload, std::size_t len) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    peer_io& p = peers_[static_cast<std::size_t>(rank)];
+    const std::size_t need = sizeof(net::frame_header) + len;
+    if (p.fd < 0 || free_slots_.empty() || need > ring_->fixed_slot_bytes())
+      return false;
+    const int slot = free_slots_.back();
+    free_slots_.pop_back();
+    net::frame_header h = hdr;
+    h.payload_len = static_cast<std::uint32_t>(len);
+    std::byte* dst = ring_->fixed_base(static_cast<unsigned>(slot));
+    std::memcpy(dst, &h, sizeof h);
+    if (len != 0) std::memcpy(dst + sizeof h, payload, len);
+    seg s;
+    s.fixed_slot = slot;
+    s.fixed_len = static_cast<std::uint32_t>(need);
+    p.q.push_back(std::move(s));
+    p.backlog += need;
+    stage_send_locked(rank);
+    submit_locked();
+    return true;
+  }
+
+  [[nodiscard]] bool send_pending(int rank) const noexcept override {
+    std::lock_guard<std::mutex> lk(mu_);
+    return !peers_[static_cast<std::size_t>(rank)].q.empty();
+  }
+
+  [[nodiscard]] std::size_t send_backlog(int rank) const noexcept override {
+    std::lock_guard<std::mutex> lk(mu_);
+    return peers_[static_cast<std::size_t>(rank)].backlog;
+  }
+
+  std::size_t pump(recv_sink& sink) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    // COOP_TASKRUN defers CQE posting until a kernel entry; collect any
+    // flagged completions first so this tick's reap sees them.
+    (void)ring_->flush_task_work();
+    std::size_t work = reap_locked(sink);
+    // ONE kernel round-trip publishes every SQE staged by the reap
+    // (send-completion restages, multishot re-arms) plus anything flushes
+    // queued since the last tick.
+    submit_locked();
+    work += reap_locked(sink);  // inline completions from the submit
+    return work;
+  }
+
+  void idle_park() override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      submit_locked();
+      if (ring_->cq_ready() != 0) return;
+    }
+    // Wait outside the lock so flushes from other threads stay unblocked;
+    // their own submit wakes this wait when the completion lands.
+    (void)ring_->wait(1, 1'000'000);
+  }
+
+ private:
+  void release_slot_locked(seg& s) {
+    if (s.fixed_slot >= 0) {
+      free_slots_.push_back(s.fixed_slot);
+      s.fixed_slot = -1;
+    }
+  }
+
+  io_uring_sqe* sqe_locked() {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      if (io_uring_sqe* sqe = ring_->get_sqe()) return sqe;
+      const int rc = ring_->submit();
+      if (rc < 0 && rc != -EBUSY && rc != -EAGAIN)
+        die("io_uring_enter", -1, -rc);
+      if (rc > 0) count_submit(static_cast<unsigned>(rc));
+    }
+    die("submission queue wedged", -1, EBUSY);
+  }
+
+  void count_submit(unsigned k) {
+    telemetry::count(telemetry::counter::uring_sqe_submitted, k);
+    if (k > 1) {
+      telemetry::count(telemetry::counter::uring_sqe_batched, k);
+      telemetry::count(telemetry::counter::uring_syscalls_saved, k - 1);
+    }
+  }
+
+  void submit_locked() {
+    if (ring_->staged() == 0) return;
+    const int rc = ring_->submit();
+    if (rc < 0) {
+      // -EBUSY: CQ overflow backlog; the next reap drains it and the
+      // staged SQEs go out on the following submit.
+      if (rc == -EBUSY || rc == -EAGAIN) return;
+      die("io_uring_enter", -1, -rc);
+    }
+    if (rc > 0) count_submit(static_cast<unsigned>(rc));
+  }
+
+  void arm_recv_locked(int rank) {
+    peer_io& p = peers_[static_cast<std::size_t>(rank)];
+    io_uring_sqe* sqe = sqe_locked();
+    sqe->opcode = IORING_OP_RECV;
+    sqe->fd = p.fd;
+    sqe->ioprio = IORING_RECV_MULTISHOT;
+    sqe->flags = IOSQE_BUFFER_SELECT;
+    sqe->buf_group = kBufGroup;
+    sqe->user_data = make_ud(kTagRecv, rank);
+    p.recv_armed = true;
+  }
+
+  void stage_send_locked(int rank) {
+    peer_io& p = peers_[static_cast<std::size_t>(rank)];
+    if (p.inflight || p.q.empty() || p.fd < 0) return;
+    seg& s = p.q.front();
+    io_uring_sqe* sqe = sqe_locked();
+    if (s.fixed_slot >= 0) {
+      sqe->opcode = IORING_OP_WRITE_FIXED;
+      sqe->fd = p.fd;
+      sqe->addr = reinterpret_cast<std::uint64_t>(
+          ring_->fixed_base(static_cast<unsigned>(s.fixed_slot)) + s.off);
+      sqe->len = static_cast<std::uint32_t>(s.fixed_len - s.off);
+      sqe->off = 0;
+      sqe->buf_index = static_cast<std::uint16_t>(s.fixed_slot);
+      sqe->user_data = make_ud(kTagSendFixed, rank);
+    } else {
+      sqe->opcode = IORING_OP_SEND;
+      sqe->fd = p.fd;
+      sqe->addr = reinterpret_cast<std::uint64_t>(s.bytes.data() + s.off);
+      sqe->len = static_cast<std::uint32_t>(s.bytes.size() - s.off);
+      sqe->msg_flags = MSG_NOSIGNAL;
+      sqe->user_data = make_ud(kTagSendDyn, rank);
+    }
+    p.inflight = true;
+  }
+
+  std::size_t reap_locked(recv_sink& sink) {
+    std::size_t work = 0;
+    io_uring_cqe cqe;
+    while (ring_->peek_cqe(cqe)) {
+      telemetry::count(telemetry::counter::uring_cqe_reaped);
+      const std::uint64_t tag = cqe.user_data >> 56;
+      const int rank = static_cast<int>(cqe.user_data & 0xffffffffu);
+      if (tag == kTagRecv)
+        handle_recv_cqe(rank, cqe, sink);
+      else if (tag == kTagCancel)
+        ;  // failed cancel (-ENOENT: the recv already completed) — nothing
+           // to do, the recv CQE itself carries the terminal state
+      else
+        handle_send_cqe(rank, cqe);
+      ring_->seen_cqe();
+      ++work;
+    }
+    return work;
+  }
+
+  void handle_recv_cqe(int rank, const io_uring_cqe& cqe, recv_sink& sink) {
+    peer_io& p = peers_[static_cast<std::size_t>(rank)];
+    const bool has_buf = (cqe.flags & IORING_CQE_F_BUFFER) != 0;
+    const unsigned bid = cqe.flags >> IORING_CQE_BUFFER_SHIFT;
+    if (p.fd < 0) {
+      // Stale completion for a detached peer: just recycle the chunk.
+      if (has_buf) ring_->buf_recycle(bid);
+      return;
+    }
+    if (cqe.res > 0) {
+      telemetry::count(telemetry::counter::net_bytes_received,
+                       static_cast<std::uint64_t>(cqe.res));
+      if (has_buf) {
+        sink.on_bytes(rank, ring_->buf_base(bid),
+                      static_cast<std::size_t>(cqe.res));
+        ring_->buf_recycle(bid);
+      }
+      if (cqe.flags & IORING_CQE_F_MORE) {
+        // The multishot stays armed: one recv CQE that poll would have
+        // paid a recv(2) syscall for.
+        telemetry::count(telemetry::counter::uring_syscalls_saved);
+      } else {
+        telemetry::count(telemetry::counter::uring_multishot_requeues);
+        arm_recv_locked(rank);
+      }
+      return;
+    }
+    if (cqe.res == 0) {
+      if (has_buf) ring_->buf_recycle(bid);
+      p.recv_armed = false;
+      sink.on_eof(rank);
+      return;
+    }
+    const int err = -cqe.res;
+    if (has_buf) ring_->buf_recycle(bid);
+    if (err == ENOBUFS || err == EINTR || err == EAGAIN ||
+        err == ECANCELED) {
+      // Transient: the buffer ring ran dry mid-burst or the op was
+      // interrupted; re-arm and keep going.
+      telemetry::count(telemetry::counter::uring_multishot_requeues);
+      arm_recv_locked(rank);
+      return;
+    }
+    die("multishot recv", rank, err);
+  }
+
+  void handle_send_cqe(int rank, const io_uring_cqe& cqe) {
+    peer_io& p = peers_[static_cast<std::size_t>(rank)];
+    p.inflight = false;
+    if (p.q.empty()) return;  // detached and already drained
+    seg& s = p.q.front();
+    if (cqe.res < 0) {
+      const int err = -cqe.res;
+      if (err == EINTR || err == EAGAIN) {
+        if (p.fd >= 0) stage_send_locked(rank);
+        return;
+      }
+      if (p.fd < 0 || err == EPIPE || err == ECONNRESET ||
+          err == ECANCELED) {
+        // Peer is gone (detach raced the completion, or the remote closed
+        // first); the endpoint's EOF path owns the diagnostics.
+        release_slot_locked(s);
+        p.q.pop_front();
+        return;
+      }
+      die("send", rank, err);
+    }
+    const std::size_t n = static_cast<std::size_t>(cqe.res);
+    telemetry::count(telemetry::counter::net_bytes_sent,
+                     static_cast<std::uint64_t>(n));
+    s.off += n;
+    p.backlog -= p.backlog < n ? p.backlog : n;
+    if (s.off < s.total()) {
+      telemetry::count(telemetry::counter::net_partial_writes);
+    } else {
+      release_slot_locked(s);
+      p.q.pop_front();
+    }
+    if (p.fd >= 0) stage_send_locked(rank);
+  }
+
+  std::unique_ptr<ring> ring_;
+  mutable std::mutex mu_;
+  std::vector<peer_io> peers_;
+  std::vector<int> free_slots_;  ///< available fixed-buffer slot indices
+};
+
+unsigned bufring_entries(std::size_t bufring_bytes) {
+  std::size_t want = bufring_bytes / kRecvChunk;
+  unsigned entries = 4;
+  while (entries < 32768 && static_cast<std::size_t>(entries) * 2 <= want)
+    entries *= 2;
+  return entries;
+}
+
+/// WRITE_FIXED has no MSG_NOSIGNAL equivalent, so a peer closing mid-send
+/// would raise SIGPIPE. Ignore it — but only when the process still has the
+/// default disposition, so an application handler is left alone.
+void ignore_sigpipe() {
+  struct sigaction sa {};
+  if (::sigaction(SIGPIPE, nullptr, &sa) != 0) return;
+  if (sa.sa_handler != SIG_DFL) return;
+  sa.sa_handler = SIG_IGN;
+  (void)::sigaction(SIGPIPE, &sa, nullptr);
+}
+
+}  // namespace
+
+std::unique_ptr<net::io_backend> make_net_backend(const gex::uring_config& cfg,
+                                                  int nranks,
+                                                  std::string& reason) {
+  auto r = ring::create(cfg.sq_depth, &reason);
+  if (!r) return nullptr;
+  if (!r->setup_buf_ring(kBufGroup, bufring_entries(cfg.bufring_bytes),
+                         kRecvChunk, &reason))
+    return nullptr;
+  std::string fixed_err;
+  const bool fixed_ok =
+      r->register_fixed(kFixedSlots, kFixedSlotBytes, &fixed_err);
+  if (fixed_ok) ignore_sigpipe();
+  reason.clear();
+  return std::make_unique<net_backend>(std::move(r), nranks, fixed_ok);
+}
+
+}  // namespace aspen::uring
+
+#else  // !__linux__
+
+namespace aspen::uring {
+
+std::unique_ptr<net::io_backend> make_net_backend(const gex::uring_config&,
+                                                  int, std::string& reason) {
+  reason = "io_uring requires Linux";
+  return nullptr;
+}
+
+}  // namespace aspen::uring
+
+#endif  // __linux__

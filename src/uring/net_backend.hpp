@@ -1,0 +1,39 @@
+// aspen::uring::net_backend — the io_uring implementation of the endpoint's
+// io_backend seam (docs/URING.md).
+//
+// Shape of the data plane:
+//
+//   - Sends: flush() adopts the endpoint's wire bytes into backend-owned
+//     segments (per-peer FIFO). At most ONE send SQE is in flight per peer,
+//     so the TCP byte stream keeps the exact order the endpoint queued —
+//     the next segment is staged only when the previous completion lands.
+//     All staged SQEs across all peers are published with a single
+//     io_uring_enter per pump tick (uring_sqe_batched / syscalls-saved).
+//   - Receives: one multishot recv per peer, filling chunks from a
+//     registered provided-buffer ring. Chunk boundaries tear frames
+//     arbitrarily; the endpoint's incremental decoder already copes.
+//   - Rendezvous DATA: send_data_frame() copies header+payload into a
+//     registered fixed buffer and queues a WRITE_FIXED segment, skipping
+//     the wire-buffer encode/memmove entirely when a slot is free.
+//   - Idle: park in io_uring_enter(GETEVENTS, 1ms) instead of poll(2).
+//
+// make_net_backend is the runtime capability probe: nullptr + reason means
+// the caller must fall back to the poll backend (identical wire semantics).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "gex/config.hpp"
+#include "net/io_backend.hpp"
+
+namespace aspen::uring {
+
+/// Build the uring data plane, or return nullptr with `reason` describing
+/// why the poll fallback must be used (old kernel, seccomp, forced test
+/// failure, PBUF_RING unsupported, ...).
+std::unique_ptr<net::io_backend> make_net_backend(const gex::uring_config& cfg,
+                                                  int nranks,
+                                                  std::string& reason);
+
+}  // namespace aspen::uring

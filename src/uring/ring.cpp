@@ -1,0 +1,337 @@
+#include "uring/ring.hpp"
+
+#ifdef __linux__
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace aspen::uring {
+
+namespace {
+
+int sys_setup(unsigned entries, io_uring_params* p) noexcept {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+long sys_enter(int fd, unsigned to_submit, unsigned min_complete,
+               unsigned flags, const void* arg, std::size_t argsz) noexcept {
+  return ::syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags,
+                   arg, argsz);
+}
+
+int sys_register(int fd, unsigned opcode, const void* arg,
+                 unsigned nr_args) noexcept {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+std::string errno_string(const char* what, int err) {
+  return std::string(what) + ": " + std::strerror(err);
+}
+
+std::size_t page_round(std::size_t n) noexcept {
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return (n + page - 1) & ~(page - 1);
+}
+
+std::atomic_ref<unsigned> aref(unsigned* p) noexcept {
+  return std::atomic_ref<unsigned>(*p);
+}
+
+}  // namespace
+
+bool available() noexcept {
+  std::string err;
+  auto r = ring::create(8, &err);
+  if (!r) return false;
+  return r->setup_buf_ring(/*bgid=*/0, /*entries=*/8, /*chunk_bytes=*/4096,
+                           &err);
+}
+
+std::unique_ptr<ring> ring::create(unsigned sq_depth, std::string* error) {
+  // Forced-degradation hook for the fallback tests: behave exactly as if
+  // the kernel had refused the ring.
+  if (const char* f = std::getenv("ASPEN_URING_TEST_SETUP_FAIL");
+      f != nullptr && *f != '\0' && *f != '0') {
+    if (error != nullptr)
+      *error = "io_uring_setup forced to fail (ASPEN_URING_TEST_SETUP_FAIL)";
+    return nullptr;
+  }
+
+  io_uring_params p{};
+  p.flags = IORING_SETUP_CLAMP | IORING_SETUP_CQSIZE;
+  // Oversized CQ: one pump tick may reap a send CQE per peer plus a burst
+  // of multishot recv CQEs per buffer chunk; with NODROP the kernel buffers
+  // any overflow, but staying out of the overflow slow path is cheap.
+  p.cq_entries = sq_depth * 8;
+  // Cooperative task work: without COOP_TASKRUN every packet landing on an
+  // armed multishot recv interrupts this task (signal-style task work) to
+  // post its CQE — pure per-packet overhead when ranks share cores. With it,
+  // completions post when we enter the kernel anyway (submit/wait), and
+  // TASKRUN_FLAG raises IORING_SQ_TASKRUN so the pump knows when one cheap
+  // GETEVENTS enter is needed to collect them.
+#if defined(IORING_SETUP_COOP_TASKRUN) && defined(IORING_SETUP_TASKRUN_FLAG)
+  p.flags |= IORING_SETUP_COOP_TASKRUN | IORING_SETUP_TASKRUN_FLAG;
+#endif
+  int fd = sys_setup(sq_depth, &p);
+#if defined(IORING_SETUP_COOP_TASKRUN) && defined(IORING_SETUP_TASKRUN_FLAG)
+  if (fd < 0 && errno == EINVAL) {
+    // Pre-5.19 kernel: retry without the task-work flags.
+    p.flags &= ~(IORING_SETUP_COOP_TASKRUN | IORING_SETUP_TASKRUN_FLAG);
+    fd = sys_setup(sq_depth, &p);
+  }
+#endif
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_string("io_uring_setup", errno);
+    return nullptr;
+  }
+  constexpr unsigned kNeeded = IORING_FEAT_SINGLE_MMAP | IORING_FEAT_NODROP |
+                               IORING_FEAT_EXT_ARG | IORING_FEAT_CQE_SKIP;
+  if ((p.features & kNeeded) != kNeeded) {
+    ::close(fd);
+    if (error != nullptr) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    "kernel io_uring too old (features 0x%x, need 0x%x)",
+                    p.features, kNeeded);
+      *error = buf;
+    }
+    return nullptr;
+  }
+
+  auto r = std::unique_ptr<ring>(new ring());
+  r->fd_ = fd;
+  r->features_ = p.features;
+  r->sq_entries_ = p.sq_entries;
+
+  const std::size_t sq_len =
+      p.sq_off.array + p.sq_entries * sizeof(std::uint32_t);
+  const std::size_t cq_len = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  r->ring_mem_len_ = page_round(sq_len > cq_len ? sq_len : cq_len);
+  r->ring_mem_ = ::mmap(nullptr, r->ring_mem_len_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+  if (r->ring_mem_ == MAP_FAILED) {
+    r->ring_mem_ = nullptr;
+    if (error != nullptr) *error = errno_string("mmap(sq ring)", errno);
+    return nullptr;
+  }
+  r->sqes_len_ = page_round(p.sq_entries * sizeof(io_uring_sqe));
+  void* sqes = ::mmap(nullptr, r->sqes_len_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+  if (sqes == MAP_FAILED) {
+    if (error != nullptr) *error = errno_string("mmap(sqes)", errno);
+    return nullptr;
+  }
+  r->sqes_ = static_cast<io_uring_sqe*>(sqes);
+
+  auto* base = static_cast<std::byte*>(r->ring_mem_);
+  r->sq_head_ = reinterpret_cast<unsigned*>(base + p.sq_off.head);
+  r->sq_tail_ = reinterpret_cast<unsigned*>(base + p.sq_off.tail);
+  r->sq_flags_ = reinterpret_cast<unsigned*>(base + p.sq_off.flags);
+  r->sq_mask_ = *reinterpret_cast<unsigned*>(base + p.sq_off.ring_mask);
+  r->cq_head_ = reinterpret_cast<unsigned*>(base + p.cq_off.head);
+  r->cq_tail_ = reinterpret_cast<unsigned*>(base + p.cq_off.tail);
+  r->cq_mask_ = *reinterpret_cast<unsigned*>(base + p.cq_off.ring_mask);
+  r->cqes_ = reinterpret_cast<io_uring_cqe*>(base + p.cq_off.cqes);
+
+  // Identity-map the SQ index array once: slot i always names SQE i, so
+  // submission is purely a tail publish.
+  auto* array = reinterpret_cast<unsigned*>(base + p.sq_off.array);
+  for (unsigned i = 0; i < p.sq_entries; ++i) array[i] = i;
+
+  return r;
+}
+
+ring::~ring() {
+  if (sqes_ != nullptr) ::munmap(sqes_, sqes_len_);
+  if (ring_mem_ != nullptr) ::munmap(ring_mem_, ring_mem_len_);
+  if (buf_mem_ != nullptr) ::munmap(buf_mem_, buf_mem_len_);
+  if (fixed_mem_ != nullptr) ::munmap(fixed_mem_, fixed_mem_len_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+io_uring_sqe* ring::get_sqe() noexcept {
+  const unsigned head = aref(sq_head_).load(std::memory_order_acquire);
+  if (sqe_tail_ - head >= sq_entries_) return nullptr;
+  io_uring_sqe* sqe = &sqes_[sqe_tail_ & sq_mask_];
+  ++sqe_tail_;
+  std::memset(sqe, 0, sizeof *sqe);
+  return sqe;
+}
+
+int ring::submit() noexcept {
+  // Buffer recycles that found the SQ full ride along now that submitting
+  // is about to free slots anyway.
+  while (!pending_recycles_.empty() && stage_provide(pending_recycles_.back()))
+    pending_recycles_.pop_back();
+  const unsigned to_submit = sqe_tail_ - submitted_tail_;
+  if (to_submit == 0) return 0;
+  aref(sq_tail_).store(sqe_tail_, std::memory_order_release);
+  for (;;) {
+    const long r = sys_enter(fd_, to_submit, 0, 0, nullptr, 0);
+    if (r >= 0) {
+      submitted_tail_ += static_cast<unsigned>(r);
+      return static_cast<int>(r);
+    }
+    if (errno == EINTR) continue;
+    return -errno;
+  }
+}
+
+int ring::wait(unsigned min_complete, std::uint64_t timeout_ns) noexcept {
+  __kernel_timespec ts{};
+  ts.tv_sec = static_cast<long long>(timeout_ns / 1'000'000'000ull);
+  ts.tv_nsec = static_cast<long long>(timeout_ns % 1'000'000'000ull);
+  io_uring_getevents_arg arg{};
+  arg.ts = static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&ts));
+  const long r =
+      sys_enter(fd_, 0, min_complete, IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG,
+                &arg, sizeof arg);
+  return r < 0 ? -errno : static_cast<int>(r);
+}
+
+bool ring::peek_cqe(io_uring_cqe& out) noexcept {
+  for (;;) {
+    const unsigned head = aref(cq_head_).load(std::memory_order_relaxed);
+    if (head == aref(cq_tail_).load(std::memory_order_acquire)) return false;
+    out = cqes_[head & cq_mask_];
+    if (out.user_data != kProvideUserData) return true;
+    // A failed buffer replenish (success is CQE_SKIP-suppressed). The
+    // chunk is lost; recv keeps working on the remaining pool, and a pool
+    // running dry surfaces as ENOBUFS on the recv CQE where the owner has
+    // real error handling.
+    aref(cq_head_).store(head + 1, std::memory_order_release);
+  }
+}
+
+void ring::seen_cqe() noexcept {
+  const unsigned head = aref(cq_head_).load(std::memory_order_relaxed);
+  aref(cq_head_).store(head + 1, std::memory_order_release);
+}
+
+bool ring::flush_task_work() noexcept {
+#ifdef IORING_SQ_TASKRUN
+  if ((aref(sq_flags_).load(std::memory_order_relaxed) & IORING_SQ_TASKRUN) ==
+      0)
+    return false;
+  (void)sys_enter(fd_, 0, 0, IORING_ENTER_GETEVENTS, nullptr, 0);
+  return true;
+#else
+  return false;
+#endif
+}
+
+unsigned ring::cq_ready() const noexcept {
+  return aref(cq_tail_).load(std::memory_order_acquire) -
+         aref(cq_head_).load(std::memory_order_relaxed);
+}
+
+bool ring::setup_buf_ring(std::uint16_t bgid, unsigned entries,
+                          std::size_t chunk_bytes, std::string* error) {
+  buf_mem_len_ = page_round(static_cast<std::size_t>(entries) * chunk_bytes);
+  void* mem = ::mmap(nullptr, buf_mem_len_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    if (error != nullptr) *error = errno_string("mmap(recv chunks)", errno);
+    return false;
+  }
+  buf_mem_ = static_cast<std::byte*>(mem);
+  buf_chunk_ = chunk_bytes;
+  br_entries_ = entries;
+  buf_bgid_ = bgid;
+  pending_recycles_.reserve(entries);
+
+  // Provide the whole pool in one op and validate synchronously: buffer
+  // select predates every kernel this backend will meet, but a probe here
+  // is what turns "kernel can't do it" into a clean poll degradation. No
+  // CQE_SKIP on this one — the completion is the probe result.
+  io_uring_sqe* sqe = get_sqe();
+  if (sqe == nullptr) {
+    if (error != nullptr) *error = "setup_buf_ring: SQ full";
+    return false;
+  }
+  sqe->opcode = IORING_OP_PROVIDE_BUFFERS;
+  sqe->fd = static_cast<int>(entries);  // nbufs
+  sqe->addr = static_cast<std::uint64_t>(
+      reinterpret_cast<std::uintptr_t>(buf_mem_));
+  sqe->len = static_cast<std::uint32_t>(chunk_bytes);  // per-buffer length
+  sqe->buf_group = bgid;
+  sqe->off = 0;  // starting bid
+  sqe->user_data = kProvideUserData;
+  const int rc = submit();
+  if (rc < 0) {
+    if (error != nullptr) *error = errno_string("submit(provide)", -rc);
+    return false;
+  }
+  (void)wait(1, 1'000'000'000ull);
+  // Read the completion raw: peek_cqe would swallow a kProvideUserData CQE.
+  const unsigned head = aref(cq_head_).load(std::memory_order_relaxed);
+  if (head == aref(cq_tail_).load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "PROVIDE_BUFFERS: no completion";
+    return false;
+  }
+  const io_uring_cqe cqe = cqes_[head & cq_mask_];
+  aref(cq_head_).store(head + 1, std::memory_order_release);
+  if (cqe.res < 0) {
+    if (error != nullptr) *error = errno_string("PROVIDE_BUFFERS", -cqe.res);
+    return false;
+  }
+  return true;
+}
+
+bool ring::stage_provide(unsigned bid) noexcept {
+  io_uring_sqe* sqe = get_sqe();
+  if (sqe == nullptr) return false;
+  sqe->opcode = IORING_OP_PROVIDE_BUFFERS;
+  sqe->fd = 1;  // one buffer
+  sqe->addr = static_cast<std::uint64_t>(
+      reinterpret_cast<std::uintptr_t>(buf_base(bid)));
+  sqe->len = static_cast<std::uint32_t>(buf_chunk_);
+  sqe->buf_group = buf_bgid_;
+  sqe->off = bid;
+  sqe->flags = IOSQE_CQE_SKIP_SUCCESS;
+  sqe->user_data = kProvideUserData;
+  return true;
+}
+
+void ring::buf_recycle(unsigned bid) noexcept {
+  if (!stage_provide(bid)) pending_recycles_.push_back(bid);
+}
+
+bool ring::register_fixed(unsigned slots, std::size_t slot_bytes,
+                          std::string* error) {
+  fixed_mem_len_ = page_round(static_cast<std::size_t>(slots) * slot_bytes);
+  void* mem = ::mmap(nullptr, fixed_mem_len_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    if (error != nullptr) *error = errno_string("mmap(fixed pool)", errno);
+    return false;
+  }
+  auto iovs = std::make_unique<iovec[]>(slots);
+  for (unsigned i = 0; i < slots; ++i) {
+    iovs[i].iov_base = static_cast<std::byte*>(mem) + i * slot_bytes;
+    iovs[i].iov_len = slot_bytes;
+  }
+  if (sys_register(fd_, IORING_REGISTER_BUFFERS, iovs.get(), slots) < 0) {
+    if (error != nullptr)
+      *error = errno_string("IORING_REGISTER_BUFFERS", errno);
+    ::munmap(mem, fixed_mem_len_);
+    return false;
+  }
+  fixed_mem_ = static_cast<std::byte*>(mem);
+  fixed_slots_ = slots;
+  fixed_slot_bytes_ = slot_bytes;
+  return true;
+}
+
+}  // namespace aspen::uring
+
+#endif  // __linux__

@@ -1,0 +1,177 @@
+// aspen::uring — a minimal raw-syscall io_uring wrapper (docs/URING.md).
+//
+// The container and CI images carry no liburing, so the data plane talks to
+// the kernel directly: io_uring_setup/enter/register via syscall(2) with the
+// ABI structs from <linux/io_uring.h>. The wrapper owns exactly the slice of
+// io_uring the net backend needs:
+//
+//   - an SQ/CQ pair with local tail shadowing (get_sqe stages, submit
+//     publishes the whole batch in ONE io_uring_enter),
+//   - a provided-buffer pool (IORING_OP_PROVIDE_BUFFERS) feeding multishot
+//     recv — the classic op, not IORING_REGISTER_PBUF_RING, because the
+//     register variant silently delivers ENOBUFS on some kernels (observed
+//     on the CI image) while PROVIDE_BUFFERS works everywhere buffer select
+//     exists; recycles are staged as CQE_SKIP_SUCCESS SQEs that ride the
+//     next batched submit for free,
+//   - a small pool of registered fixed buffers for WRITE_FIXED sends,
+//   - a GETEVENTS+EXT_ARG bounded wait for idle parking.
+//
+// Creation is a runtime capability probe: any failure (ENOSYS on an old
+// kernel, EPERM under a seccomp filter, a missing feature bit, PBUF_RING
+// unsupported) returns nullptr with a reason string, and the caller falls
+// back to the portable poll(2) backend. The ASPEN_URING_TEST_SETUP_FAIL
+// environment hook forces that failure path for the degradation tests.
+//
+// Thread safety: none. The owning backend serializes every call under its
+// own mutex; the kernel is the only concurrent party, synchronized through
+// the ring head/tail acquire/release pairs.
+#pragma once
+
+#ifdef __linux__
+
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace aspen::uring {
+
+/// Cheap capability probe: can a ring with a provided-buffer ring come up
+/// right now? Not cached — it honors ASPEN_URING_TEST_SETUP_FAIL at call
+/// time, so tests can flip the hook between calls.
+[[nodiscard]] bool available() noexcept;
+
+class ring {
+ public:
+  /// Set up a ring of `sq_depth` submission entries (kernel-clamped via
+  /// IORING_SETUP_CLAMP; the CQ is sized 8x so multishot recv bursts and
+  /// batched sends cannot overflow it in one tick). Returns nullptr with
+  /// `*error` set when the kernel cannot provide the features the backend
+  /// relies on (SINGLE_MMAP, NODROP, EXT_ARG).
+  static std::unique_ptr<ring> create(unsigned sq_depth, std::string* error);
+  ~ring();
+
+  ring(const ring&) = delete;
+  ring& operator=(const ring&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] unsigned sq_entries() const noexcept { return sq_entries_; }
+
+  /// Stage one zeroed SQE, or nullptr when the SQ is full (submit first).
+  [[nodiscard]] io_uring_sqe* get_sqe() noexcept;
+  /// SQEs staged since the last successful submit.
+  [[nodiscard]] unsigned staged() const noexcept {
+    return sqe_tail_ - submitted_tail_;
+  }
+  /// Publish every staged SQE with one io_uring_enter. Returns the number
+  /// the kernel consumed (>= 0) or -errno (notably -EBUSY while the CQ
+  /// overflow list is non-empty — reap and retry).
+  int submit() noexcept;
+  /// Bounded completion wait: io_uring_enter(GETEVENTS|EXT_ARG) for up to
+  /// `timeout_ns`, returning early once `min_complete` CQEs are ready.
+  /// Submits nothing. Returns 0/-ETIME/-EINTR style results.
+  int wait(unsigned min_complete, std::uint64_t timeout_ns) noexcept;
+
+  /// Copy the head CQE without consuming it. False when the CQ is empty.
+  [[nodiscard]] bool peek_cqe(io_uring_cqe& out) noexcept;
+  /// Consume the CQE last returned by peek_cqe.
+  void seen_cqe() noexcept;
+  /// CQEs currently visible in the completion ring.
+  [[nodiscard]] unsigned cq_ready() const noexcept;
+  /// With COOP_TASKRUN the kernel defers posting CQEs until this task
+  /// enters the kernel; when the SQ flags say completions are pending
+  /// (IORING_SQ_TASKRUN), collect them with one GETEVENTS enter. Returns
+  /// true when a syscall was made. No-op on kernels without the flag.
+  bool flush_task_work() noexcept;
+
+  // -- provided-buffer pool (multishot recv feed) ---------------------------
+
+  /// CQEs carrying this user_data are internal buffer-replenish
+  /// completions; peek_cqe consumes them itself and never surfaces them.
+  /// Callers must not stage SQEs with this user_data.
+  static constexpr std::uint64_t kProvideUserData = ~std::uint64_t{0};
+
+  /// Provide `entries` chunks of `chunk_bytes` each under buffer group
+  /// `bgid` (one synchronous IORING_OP_PROVIDE_BUFFERS covering the whole
+  /// pool). False (with *error) when the kernel predates buffer select.
+  bool setup_buf_ring(std::uint16_t bgid, unsigned entries,
+                      std::size_t chunk_bytes, std::string* error);
+  [[nodiscard]] std::byte* buf_base(unsigned bid) noexcept {
+    return buf_mem_ + static_cast<std::size_t>(bid) * buf_chunk_;
+  }
+  [[nodiscard]] std::size_t buf_chunk_bytes() const noexcept {
+    return buf_chunk_;
+  }
+  /// Hand chunk `bid` back to the kernel: stages a skip-success
+  /// PROVIDE_BUFFERS SQE that the next submit() batch carries (queued
+  /// without an SQE slot when the SQ is momentarily full). No syscall.
+  void buf_recycle(unsigned bid) noexcept;
+
+  // -- registered fixed buffers (rendezvous DATA sends) ---------------------
+
+  /// Register `slots` fixed buffers of `slot_bytes` each for WRITE_FIXED.
+  /// Failure (RLIMIT_MEMLOCK, old kernel) is survivable: the backend just
+  /// keeps large sends on the dynamic path.
+  bool register_fixed(unsigned slots, std::size_t slot_bytes,
+                      std::string* error);
+  [[nodiscard]] std::byte* fixed_base(unsigned slot) noexcept {
+    return fixed_mem_ + static_cast<std::size_t>(slot) * fixed_slot_bytes_;
+  }
+  [[nodiscard]] std::size_t fixed_slot_bytes() const noexcept {
+    return fixed_slot_bytes_;
+  }
+  [[nodiscard]] unsigned fixed_slots() const noexcept { return fixed_slots_; }
+
+ private:
+  ring() = default;
+
+  int fd_ = -1;
+  unsigned features_ = 0;
+
+  // Submission queue (single-mmap layout shared with the CQ).
+  void* ring_mem_ = nullptr;
+  std::size_t ring_mem_len_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sqes_len_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_flags_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned sq_entries_ = 0;
+  unsigned sqe_tail_ = 0;        ///< local shadow of the next SQE slot
+  unsigned submitted_tail_ = 0;  ///< high-water mark handed to the kernel
+
+  // Completion queue.
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  /// Stage one PROVIDE_BUFFERS SQE for chunk `bid`; false when the SQ is
+  /// full.
+  bool stage_provide(unsigned bid) noexcept;
+
+  // Provided-buffer pool.
+  std::uint16_t buf_bgid_ = 0;
+  unsigned br_entries_ = 0;
+  std::byte* buf_mem_ = nullptr;
+  std::size_t buf_mem_len_ = 0;
+  std::size_t buf_chunk_ = 0;
+  /// Recycles that arrived while the SQ was full; drained by submit().
+  /// Capacity is reserved up front so buf_recycle never allocates.
+  std::vector<unsigned> pending_recycles_;
+
+  // Fixed-buffer pool.
+  std::byte* fixed_mem_ = nullptr;
+  std::size_t fixed_mem_len_ = 0;
+  unsigned fixed_slots_ = 0;
+  std::size_t fixed_slot_bytes_ = 0;
+};
+
+}  // namespace aspen::uring
+
+#endif  // __linux__

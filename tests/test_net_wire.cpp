@@ -343,6 +343,45 @@ TEST(NetWire, ApplyEnvParsesAggregationKnobs) {
   EXPECT_EQ(got.sendq_max, 0u);
 }
 
+TEST(NetWire, ApplyEnvParsesUringKnobs) {
+  aspen::gex::net_config base;
+  EXPECT_FALSE(base.uring.enabled);  // the uring data plane is opt-in
+
+  setenv("ASPEN_NET_URING", "1", 1);
+  setenv("ASPEN_URING_SQ_DEPTH", "512", 1);
+  setenv("ASPEN_URING_BUFRING_BYTES", "0x400000", 1);
+  aspen::gex::net_config got = net::apply_env(base);
+  EXPECT_TRUE(got.uring.enabled);
+  EXPECT_EQ(got.uring.sq_depth, 512u);
+  EXPECT_EQ(got.uring.bufring_bytes, std::size_t{4} << 20);
+
+  // Depth and buffer-ring clamps: a ring too shallow to batch is useless,
+  // one too deep wastes locked memory; same for the recv buffer pool.
+  setenv("ASPEN_URING_SQ_DEPTH", "1", 1);
+  setenv("ASPEN_URING_BUFRING_BYTES", "1", 1);
+  got = net::apply_env(base);
+  EXPECT_GE(got.uring.sq_depth, 8u);
+  EXPECT_GE(got.uring.bufring_bytes, std::size_t{64} << 10);
+  setenv("ASPEN_URING_SQ_DEPTH", "1000000", 1);
+  setenv("ASPEN_URING_BUFRING_BYTES", "0x10000000000", 1);
+  got = net::apply_env(base);
+  EXPECT_LE(got.uring.sq_depth, 4096u);
+  EXPECT_LE(got.uring.bufring_bytes, std::size_t{64} << 20);
+
+  // ASPEN_NET_URING=0 disarms even with the tuning knobs set.
+  setenv("ASPEN_NET_URING", "0", 1);
+  got = net::apply_env(base);
+  EXPECT_FALSE(got.uring.enabled);
+
+  unsetenv("ASPEN_NET_URING");
+  unsetenv("ASPEN_URING_SQ_DEPTH");
+  unsetenv("ASPEN_URING_BUFRING_BYTES");
+  got = net::apply_env(base);
+  EXPECT_FALSE(got.uring.enabled);
+  EXPECT_EQ(got.uring.sq_depth, base.uring.sq_depth);
+  EXPECT_EQ(got.uring.bufring_bytes, base.uring.bufring_bytes);
+}
+
 // ---------------------------------------------------------------------------
 // Telemetry update frames (the live-aggregation payload codec).
 // ---------------------------------------------------------------------------
@@ -385,6 +424,7 @@ TEST(NetWire, TelemetryUpdateRoundTrips) {
   gin.sendq_high_water = 999999;
   gin.staged_msgs = 7;
   gin.lpc_mailbox_depth = 3;
+  gin.backend = 1;  // uring data plane
   std::vector<std::byte> body;
   live::encode_update(in, gin, body);
 
@@ -396,11 +436,12 @@ TEST(NetWire, TelemetryUpdateRoundTrips) {
   EXPECT_EQ(gout.sendq_high_water, gin.sendq_high_water);
   EXPECT_EQ(gout.staged_msgs, gin.staged_msgs);
   EXPECT_EQ(gout.lpc_mailbox_depth, gin.lpc_mailbox_depth);
+  EXPECT_EQ(gout.backend, gin.backend);
 
-  // The all-zero update (an idle interval) is 5 bytes and round-trips too.
+  // The all-zero update (an idle interval) is 6 bytes and round-trips too.
   std::vector<std::byte> empty;
   live::encode_update(snapshot{}, live::gauges{}, empty);
-  EXPECT_EQ(empty.size(), 5u);
+  EXPECT_EQ(empty.size(), 6u);
   ASSERT_TRUE(live::decode_update(empty.data(), empty.size(), &out, &gout));
   EXPECT_TRUE(snap_eq(out, snapshot{}));
 }
@@ -459,7 +500,7 @@ TEST(NetWire, TelemetryUpdateRejectsMalformedInput) {
       put_varint(b, idx);
       put_varint(b, val);
     }
-    for (int g = 0; g < 4; ++g) put_varint(b, 0);  // gauges
+    for (int g = 0; g < 5; ++g) put_varint(b, 0);  // gauges
     return b;
   };
   // Non-increasing field indices (canonical form is strictly ascending).

@@ -1,0 +1,328 @@
+// aspen::uring tests: the raw-syscall ring wrapper (setup probe, batched
+// submission, multishot recv from a provided-buffer ring, fixed-buffer
+// writes) and the io_backend contract of both data planes — the uring
+// backend and the poll fallback must move bytes identically. Every
+// kernel-dependent case skips cleanly when io_uring is unavailable (old
+// kernel, seccomp), which is exactly the degradation path the factory
+// tests pin down.
+#include <gtest/gtest.h>
+
+#ifdef __linux__
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/io_backend.hpp"
+#include "uring/net_backend.hpp"
+#include "uring/ring.hpp"
+
+namespace uring = aspen::uring;
+namespace net = aspen::net;
+
+namespace {
+
+struct fd_pair {
+  int a = -1;
+  int b = -1;
+  fd_pair() {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, fds) == 0) {
+      a = fds[0];
+      b = fds[1];
+    }
+  }
+  ~fd_pair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::byte>((seed * 131 + i * 7) & 0xFF);
+  return v;
+}
+
+/// recv_sink that concatenates everything a backend pump delivers.
+struct collect_sink final : net::io_backend::recv_sink {
+  std::vector<std::byte> bytes;
+  int eof_rank = -1;
+  void on_bytes(int, const void* data, std::size_t len) override {
+    const auto* p = static_cast<const std::byte*>(data);
+    bytes.insert(bytes.end(), p, p + len);
+  }
+  void on_eof(int rank) override { eof_rank = rank; }
+};
+
+}  // namespace
+
+TEST(Uring, AvailabilityProbeHonorsTheForcedFailureHook) {
+  unsetenv("ASPEN_URING_TEST_SETUP_FAIL");
+  if (!uring::available())
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  setenv("ASPEN_URING_TEST_SETUP_FAIL", "1", 1);
+  EXPECT_FALSE(uring::available());
+  unsetenv("ASPEN_URING_TEST_SETUP_FAIL");
+  EXPECT_TRUE(uring::available());
+}
+
+TEST(Uring, CreateReportsAReasonOnForcedFailure) {
+  setenv("ASPEN_URING_TEST_SETUP_FAIL", "1", 1);
+  std::string err;
+  EXPECT_EQ(uring::ring::create(64, &err), nullptr);
+  EXPECT_NE(err.find("forced to fail"), std::string::npos) << err;
+  unsetenv("ASPEN_URING_TEST_SETUP_FAIL");
+}
+
+TEST(Uring, BatchedNopsSubmitInOneCall) {
+  unsetenv("ASPEN_URING_TEST_SETUP_FAIL");
+  if (!uring::available()) GTEST_SKIP() << "io_uring unavailable";
+  std::string err;
+  auto r = uring::ring::create(16, &err);
+  ASSERT_NE(r, nullptr) << err;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    io_uring_sqe* sqe = r->get_sqe();
+    ASSERT_NE(sqe, nullptr);
+    sqe->opcode = IORING_OP_NOP;
+    sqe->user_data = i;
+  }
+  EXPECT_EQ(r->staged(), 3u);
+  EXPECT_EQ(r->submit(), 3);  // the whole batch in ONE io_uring_enter
+  EXPECT_EQ(r->staged(), 0u);
+  ASSERT_EQ(r->wait(3, 1'000'000'000ull), 0);
+  bool seen[3] = {false, false, false};
+  io_uring_cqe cqe;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(r->peek_cqe(cqe));
+    ASSERT_LT(cqe.user_data, 3u);
+    seen[cqe.user_data] = true;
+    r->seen_cqe();
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST(Uring, SendLandsOnTheSocket) {
+  unsetenv("ASPEN_URING_TEST_SETUP_FAIL");
+  if (!uring::available()) GTEST_SKIP() << "io_uring unavailable";
+  std::string err;
+  auto r = uring::ring::create(16, &err);
+  ASSERT_NE(r, nullptr) << err;
+  fd_pair sp;
+  ASSERT_GE(sp.a, 0);
+  const auto msg = pattern(512, 1);
+  io_uring_sqe* sqe = r->get_sqe();
+  ASSERT_NE(sqe, nullptr);
+  sqe->opcode = IORING_OP_SEND;
+  sqe->fd = sp.a;
+  sqe->addr = reinterpret_cast<std::uint64_t>(msg.data());
+  sqe->len = static_cast<std::uint32_t>(msg.size());
+  sqe->msg_flags = MSG_NOSIGNAL;
+  sqe->user_data = 7;
+  ASSERT_EQ(r->submit(), 1);
+  ASSERT_EQ(r->wait(1, 1'000'000'000ull), 0);
+  io_uring_cqe cqe;
+  ASSERT_TRUE(r->peek_cqe(cqe));
+  EXPECT_EQ(cqe.user_data, 7u);
+  ASSERT_EQ(cqe.res, static_cast<int>(msg.size()));
+  r->seen_cqe();
+  std::vector<std::byte> got(msg.size());
+  ASSERT_EQ(::recv(sp.b, got.data(), got.size(), 0),
+            static_cast<ssize_t>(msg.size()));
+  EXPECT_EQ(got, msg);
+}
+
+TEST(Uring, MultishotRecvDeliversFromTheBufferRing) {
+  unsetenv("ASPEN_URING_TEST_SETUP_FAIL");
+  if (!uring::available()) GTEST_SKIP() << "io_uring unavailable";
+  std::string err;
+  auto r = uring::ring::create(16, &err);
+  ASSERT_NE(r, nullptr) << err;
+  ASSERT_TRUE(r->setup_buf_ring(0, 8, 4096, &err)) << err;
+  fd_pair sp;
+  ASSERT_GE(sp.a, 0);
+
+  io_uring_sqe* sqe = r->get_sqe();
+  ASSERT_NE(sqe, nullptr);
+  sqe->opcode = IORING_OP_RECV;
+  sqe->fd = sp.b;
+  sqe->ioprio = IORING_RECV_MULTISHOT;
+  sqe->flags = IOSQE_BUFFER_SELECT;
+  sqe->buf_group = 0;
+  sqe->user_data = 9;
+  ASSERT_EQ(r->submit(), 1);
+
+  // Two separate writes: one armed multishot op must produce one CQE per
+  // arrival, each carrying a buffer-ring chunk id.
+  for (unsigned round = 0; round < 2; ++round) {
+    const auto msg = pattern(100 + round * 37, round);
+    ASSERT_EQ(::send(sp.a, msg.data(), msg.size(), 0),
+              static_cast<ssize_t>(msg.size()));
+    ASSERT_EQ(r->wait(1, 1'000'000'000ull), 0);
+    io_uring_cqe cqe;
+    ASSERT_TRUE(r->peek_cqe(cqe));
+    EXPECT_EQ(cqe.user_data, 9u);
+    ASSERT_EQ(cqe.res, static_cast<int>(msg.size()));
+    ASSERT_NE(cqe.flags & IORING_CQE_F_BUFFER, 0u);
+    EXPECT_NE(cqe.flags & IORING_CQE_F_MORE, 0u)
+        << "multishot should stay armed between arrivals";
+    const unsigned bid = cqe.flags >> IORING_CQE_BUFFER_SHIFT;
+    EXPECT_EQ(std::memcmp(r->buf_base(bid), msg.data(), msg.size()), 0);
+    r->buf_recycle(bid);
+    r->seen_cqe();
+  }
+}
+
+TEST(Uring, FixedBufferWriteRoundTrips) {
+  unsetenv("ASPEN_URING_TEST_SETUP_FAIL");
+  if (!uring::available()) GTEST_SKIP() << "io_uring unavailable";
+  std::string err;
+  auto r = uring::ring::create(16, &err);
+  ASSERT_NE(r, nullptr) << err;
+  if (!r->register_fixed(2, 4096, &err))
+    GTEST_SKIP() << "fixed buffers unavailable: " << err;
+  fd_pair sp;
+  ASSERT_GE(sp.a, 0);
+  const auto msg = pattern(777, 3);
+  std::memcpy(r->fixed_base(1), msg.data(), msg.size());
+  io_uring_sqe* sqe = r->get_sqe();
+  ASSERT_NE(sqe, nullptr);
+  sqe->opcode = IORING_OP_WRITE_FIXED;
+  sqe->fd = sp.a;
+  sqe->addr = reinterpret_cast<std::uint64_t>(r->fixed_base(1));
+  sqe->len = static_cast<std::uint32_t>(msg.size());
+  sqe->off = 0;
+  sqe->buf_index = 1;
+  sqe->user_data = 11;
+  ASSERT_EQ(r->submit(), 1);
+  ASSERT_EQ(r->wait(1, 1'000'000'000ull), 0);
+  io_uring_cqe cqe;
+  ASSERT_TRUE(r->peek_cqe(cqe));
+  ASSERT_EQ(cqe.res, static_cast<int>(msg.size()));
+  r->seen_cqe();
+  std::vector<std::byte> got(msg.size());
+  ASSERT_EQ(::recv(sp.b, got.data(), got.size(), 0),
+            static_cast<ssize_t>(msg.size()));
+  EXPECT_EQ(got, msg);
+}
+
+// ---------------------------------------------------------------------------
+// The io_backend factory: runtime selection and silent degradation.
+// ---------------------------------------------------------------------------
+
+TEST(UringBackend, DisabledSelectsPollWithAReason) {
+  aspen::gex::net_config cfg;
+  cfg.uring.enabled = false;
+  std::string reason;
+  auto b = net::make_io_backend(cfg, 2, reason);
+  ASSERT_NE(b, nullptr);
+  EXPECT_STREQ(b->name(), "poll");
+  EXPECT_EQ(reason, "ASPEN_NET_URING not set");
+}
+
+TEST(UringBackend, ForcedSetupFailureDegradesToPoll) {
+  setenv("ASPEN_URING_TEST_SETUP_FAIL", "1", 1);
+  aspen::gex::net_config cfg;
+  cfg.uring.enabled = true;
+  std::string reason;
+  auto b = net::make_io_backend(cfg, 2, reason);
+  unsetenv("ASPEN_URING_TEST_SETUP_FAIL");
+  ASSERT_NE(b, nullptr);
+  EXPECT_STREQ(b->name(), "poll");
+  EXPECT_NE(reason.find("forced to fail"), std::string::npos) << reason;
+}
+
+TEST(UringBackend, EnabledSelectsUringWhenTheKernelCooperates) {
+  unsetenv("ASPEN_URING_TEST_SETUP_FAIL");
+  if (!uring::available()) GTEST_SKIP() << "io_uring unavailable";
+  aspen::gex::net_config cfg;
+  cfg.uring.enabled = true;
+  std::string reason;
+  auto b = net::make_io_backend(cfg, 2, reason);
+  ASSERT_NE(b, nullptr);
+  EXPECT_STREQ(b->name(), "uring");
+  EXPECT_TRUE(reason.empty()) << reason;
+}
+
+// ---------------------------------------------------------------------------
+// io_backend contract: both data planes move bytes identically.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Run the byte-stream contract against the backend selected by `enabled`:
+/// two backends bridged by a socketpair play ranks 0 and 1, the sender
+/// flushes a mix of small/large buffers, and the receiver must observe the
+/// exact concatenation in order, then a clean EOF.
+void stream_contract(bool enable_uring) {
+  aspen::gex::net_config cfg;
+  cfg.uring.enabled = enable_uring;
+  std::string reason;
+  auto tx = net::make_io_backend(cfg, 2, reason);
+  auto rx = net::make_io_backend(cfg, 2, reason);
+  ASSERT_NE(tx, nullptr);
+  ASSERT_NE(rx, nullptr);
+
+  auto sp = std::make_unique<fd_pair>();
+  ASSERT_GE(sp->a, 0);
+  tx->attach(1, sp->a);
+  rx->attach(0, sp->b);
+
+  std::vector<std::byte> expect;
+  collect_sink tx_sink;  // the sender's own pump (reaps send completions)
+  collect_sink rx_sink;
+  // A mix that exercises append-coalescing, the copy path, and the
+  // steal-the-buffer path (>= 64 KiB with off == 0).
+  const std::size_t sizes[] = {17, 400, 9000, 100 * 1024, 3, 64 * 1024};
+  unsigned seed = 0;
+  for (std::size_t n : sizes) {
+    auto chunk = pattern(n, ++seed);
+    expect.insert(expect.end(), chunk.begin(), chunk.end());
+    std::size_t off = 0;
+    tx->flush(1, chunk, off);
+    EXPECT_TRUE(chunk.empty() || off == chunk.size() ||
+                tx->send_backlog(1) > 0);
+    // Drain both sides as we go so socket buffers never fill up.
+    tx->pump(tx_sink);
+    rx->pump(rx_sink);
+  }
+  for (int spin = 0; spin < 20000 && rx_sink.bytes.size() < expect.size();
+       ++spin) {
+    tx->pump(tx_sink);
+    rx->pump(rx_sink);
+  }
+  ASSERT_EQ(rx_sink.bytes.size(), expect.size());
+  EXPECT_EQ(rx_sink.bytes, expect);
+  EXPECT_FALSE(tx->send_pending(1));
+  EXPECT_EQ(tx->send_backlog(1), 0u);
+
+  // Close the sender's socket: the receiver's next pumps must report EOF.
+  tx->detach(1);
+  ::close(sp->a);
+  sp->a = -1;
+  for (int spin = 0; spin < 20000 && rx_sink.eof_rank < 0; ++spin)
+    rx->pump(rx_sink);
+  EXPECT_EQ(rx_sink.eof_rank, 0);
+  rx->detach(0);
+}
+
+}  // namespace
+
+TEST(UringBackend, PollPlaneStreamsBytesInOrder) { stream_contract(false); }
+
+TEST(UringBackend, UringPlaneStreamsBytesInOrder) {
+  unsetenv("ASPEN_URING_TEST_SETUP_FAIL");
+  if (!uring::available()) GTEST_SKIP() << "io_uring unavailable";
+  stream_contract(true);
+}
+
+#else  // !__linux__
+
+TEST(Uring, SkippedOffLinux) { GTEST_SKIP() << "io_uring is Linux-only"; }
+
+#endif  // __linux__
