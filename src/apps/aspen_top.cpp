@@ -112,15 +112,37 @@ void add_lat_row(bench::table& t, const char* name,
              fmt_ns(h.percentile_ns(99.0)), fmt_ns(h.max_ns)});
 }
 
+/// Watchdog health gauge -> a one-glyph column: healthy ranks show a dot,
+/// a rank inside a detected stall shows "!", a rank that stalled earlier
+/// this region but has recovered shows "~".
+const char* health_glyph(std::uint64_t wd_state) {
+  switch (wd_state) {
+    case 1: return "!";
+    case 2: return "~";
+    default: return ".";  // ASCII so the byte-width table stays aligned
+  }
+}
+
 /// One dashboard frame from rank 0's live collector.
 void render_frame(int nranks, int frame, int rounds, bool clear_screen) {
   if (clear_screen) std::fputs("\033[2J\033[H", stdout);
   const telemetry::snapshot job = telemetry::live::job_snapshot();
   std::printf("aspen-top — %d ranks, frame %d/%d\n", nranks, frame, rounds);
 
-  bench::table ranks({"rank", "updates", "eager", "deferred", "ratio",
-                      "shm%", "agg", "plane", "sqe_saved", "sendq", "staged",
-                      "lpc_depth"});
+  // trc/s is a per-frame rate, so remember the previous frame's sampled-op
+  // totals and timestamp (rank 0 renders every frame from one thread).
+  static std::vector<std::uint64_t> prev_sampled;
+  static std::chrono::steady_clock::time_point prev_when;
+  const auto now = std::chrono::steady_clock::now();
+  const double dt =
+      prev_sampled.empty()
+          ? 0.0
+          : std::chrono::duration<double>(now - prev_when).count();
+  prev_sampled.resize(static_cast<std::size_t>(nranks), 0);
+
+  bench::table ranks({"rank", "hp", "updates", "eager", "deferred", "ratio",
+                      "shm%", "agg", "trc/s", "plane", "sqe_saved", "sendq",
+                      "staged", "lpc_depth"});
   for (int r = 0; r < nranks; ++r) {
     const telemetry::snapshot s = telemetry::live::rank_snapshot(r);
     const telemetry::live::gauges g = telemetry::live::rank_gauges(r);
@@ -137,7 +159,22 @@ void render_frame(int nranks, int frame, int rounds, bool clear_screen) {
                             static_cast<double>(
                                 s.get(telemetry::counter::shm_msgs_sent)) /
                             static_cast<double>(net_sent));
-    ranks.add_row({std::to_string(r),
+    // Sampled-trace throughput since the previous frame; "-" until a
+    // second frame gives the rate a baseline, "0" when tracing is off.
+    const std::uint64_t sampled =
+        s.get(telemetry::counter::otrace_sampled);
+    char trc[24];
+    if (dt <= 0.0) {
+      std::snprintf(trc, sizeof trc, "-");
+    } else {
+      const std::uint64_t was = prev_sampled[static_cast<std::size_t>(r)];
+      std::snprintf(trc, sizeof trc, "%.0f",
+                    sampled >= was
+                        ? static_cast<double>(sampled - was) / dt
+                        : 0.0);
+    }
+    prev_sampled[static_cast<std::size_t>(r)] = sampled;
+    ranks.add_row({std::to_string(r), health_glyph(g.wd_state),
                    std::to_string(telemetry::live::rank_updates(r)),
                    std::to_string(s.get(telemetry::counter::cx_eager_taken)),
                    std::to_string(
@@ -146,6 +183,7 @@ void render_frame(int nranks, int frame, int rounds, bool clear_screen) {
                    ratio, shm_pct,
                    std::to_string(
                        s.get(telemetry::counter::agg_frames_coalesced)),
+                   trc,
                    // Data plane ("poll"/"uring") and the syscalls the uring
                    // backend saved vs poll (batched SQEs + multishot hits).
                    g.backend != 0 ? "uring" : "poll",
@@ -155,6 +193,7 @@ void render_frame(int nranks, int frame, int rounds, bool clear_screen) {
                    std::to_string(g.staged_msgs),
                    std::to_string(g.lpc_mailbox_depth)});
   }
+  prev_when = now;
   ranks.print(std::cout);
 
   bench::table lat({"latency stream (job)", "count", "p50", "p99", "max"});

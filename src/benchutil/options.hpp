@@ -147,6 +147,19 @@
 //   ASPEN_WATCHDOG_REPORT  report base path <base> above (default "aspen")
 //   ASPEN_TOP_INTERVAL_MS  aspen-top refresh interval when --interval is
 //                          not given (default 500, clamped to 1 min)
+//
+// Operation tracing and the flight recorder (see docs/OTRACE.md):
+//   ASPEN_TRACE_SAMPLE     "N" or "1/N": one injected op in N draws a
+//                          job-unique trace id carried across the wire;
+//                          every hop it touches lands in the flight
+//                          recorder and the region-exit Perfetto export
+//                          (unset/0 = off, the default; 1 = every op)
+//   ASPEN_TRACE_RING_BYTES per-rank flight-recorder ring size in bytes,
+//                          rounded down to a power-of-two slot count
+//                          (default 1 MiB, clamped to [4 KiB, 1 GiB])
+//   ASPEN_LOG              runtime diagnostic verbosity: error, warn,
+//                          info (default), debug, or 0-3 — every line
+//                          goes to stderr as "aspen[r<rank>] <level>: ..."
 #pragma once
 
 #include <cstddef>

@@ -96,4 +96,16 @@ void print_live_telemetry_report(std::ostream& os);
 int merge_rank_traces(const std::string& base, int nranks,
                       const std::string& out_path);
 
+/// "<base>.rank<r>.otrace.json" — the per-rank flight-recorder export
+/// scheme (identical to otrace::dump_path, re-stated here so drivers can
+/// locate the files without linking the tracer).
+[[nodiscard]] std::string rank_otrace_path(const std::string& base, int rank);
+
+/// Stitch the per-rank otrace exports (region-exit Perfetto fragments with
+/// 's'/'f' flow events per wire hop) into one merged timeline at
+/// `out_path`, exactly like merge_rank_traces. Returns the number of rank
+/// files merged, or -1 if `out_path` cannot be written.
+int merge_rank_otraces(const std::string& base, int nranks,
+                       const std::string& out_path);
+
 }  // namespace aspen::bench

@@ -289,6 +289,7 @@ class atomic_domain {
     check_registered(op);
     telemetry::span sp("amo_fetch", "amo");
     telemetry::op_scope os(telemetry::op_class::amo);
+    otrace::op_scope ts;
     telemetry::count(telemetry::counter::amo_fetching);
     detail::rank_context& c = detail::ctx();
     detail::no_remote_cx rs;
@@ -311,6 +312,7 @@ class atomic_domain {
     check_registered(op);
     telemetry::span sp("amo_void", "amo");
     telemetry::op_scope os(telemetry::op_class::amo);
+    otrace::op_scope ts;
     telemetry::count(telemetry::counter::amo_sideeffect);
     detail::rank_context& c = detail::ctx();
     detail::no_remote_cx rs;
@@ -333,6 +335,7 @@ class atomic_domain {
     check_registered(op);
     telemetry::span sp("amo_into", "amo");
     telemetry::op_scope os(telemetry::op_class::amo);
+    otrace::op_scope ts;
     telemetry::count(telemetry::counter::amo_nonfetching);
     detail::rank_context& c = detail::ctx();
     if (!c.ver.nonfetching_atomics)

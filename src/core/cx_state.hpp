@@ -26,6 +26,7 @@
 #include "core/completion.hpp"
 #include "core/future.hpp"
 #include "core/inplace_function.hpp"
+#include "core/otrace.hpp"
 #include "core/persona.hpp"
 #include "core/telemetry.hpp"
 #include "core/when_all.hpp"
@@ -115,11 +116,13 @@ template <typename... V>
   c->deps = 1;
   c->set_value(vals...);
   c->add_ref();  // the queue's reference
-  current_persona().enqueue_deferred([c, oc = telemetry::op_capture{}] {
-    c->satisfy(1);
-    c->drop_ref();
-    oc.complete_deferred();
-  });
+  current_persona().enqueue_deferred(
+      [c, oc = telemetry::op_capture{}, tid = otrace::current()] {
+        otrace::note_id(tid, otrace::stage::fulfill_deferred);
+        c->satisfy(1);
+        c->drop_ref();
+        oc.complete_deferred();
+      });
   return future<V...>(c, /*add_ref=*/false);
 }
 
@@ -131,7 +134,9 @@ void deferred_promise_fulfill(promise<T...>& p, V... vals) {
   cell<T...>* c = p.raw_cell();
   c->add_ref();
   current_persona().enqueue_deferred(
-      [c, vals..., oc = telemetry::op_capture{}] {
+      [c, vals..., oc = telemetry::op_capture{},
+       tid = otrace::current()] {
+        otrace::note_id(tid, otrace::stage::fulfill_deferred);
         if constexpr (sizeof...(V) > 0) c->set_value(vals...);
         c->satisfy(1);
         c->drop_ref();
@@ -150,6 +155,7 @@ std::tuple<future<V...>> handle_sync(future_cx<event_operation_t>& it,
   if (resolve_eager(it.e)) {
     telemetry::count(telemetry::counter::cx_eager_taken);
     telemetry::note_op_eager();
+    otrace::note_fulfill_eager();
     if constexpr (sizeof...(V) == 0) {
       return {make_future()};
     } else {
@@ -166,6 +172,7 @@ std::tuple<future<>> handle_sync(future_cx<event_source_t>& it, RemoteSend&,
   if (resolve_eager(it.e)) {
     telemetry::count(telemetry::counter::cx_eager_taken);
     telemetry::note_op_eager();
+    otrace::note_fulfill_eager();
     return {make_future()};
   }
   return {deferred_future<>()};
@@ -182,6 +189,7 @@ std::tuple<> handle_sync(promise_cx<event_operation_t, T...>& it, RemoteSend&,
     if (resolve_eager(it.e)) {
       telemetry::count(telemetry::counter::cx_eager_taken);
       telemetry::note_op_eager();
+      otrace::note_fulfill_eager();
       return {};  // full elision (paper §III-A)
     }
     it.pro.require_anonymous(1);
@@ -191,6 +199,7 @@ std::tuple<> handle_sync(promise_cx<event_operation_t, T...>& it, RemoteSend&,
     if (resolve_eager(it.e)) {
       telemetry::count(telemetry::counter::cx_eager_taken);
       telemetry::note_op_eager();
+      otrace::note_fulfill_eager();
       it.pro.fulfill_result(vals...);
       it.pro.fulfill_anonymous(1);
     } else {
@@ -206,6 +215,7 @@ std::tuple<> handle_sync(promise_cx<event_source_t>& it, RemoteSend&, V...) {
   if (resolve_eager(it.e)) {
     telemetry::count(telemetry::counter::cx_eager_taken);
     telemetry::note_op_eager();
+    otrace::note_fulfill_eager();
     return {};
   }
   it.pro.require_anonymous(1);
@@ -220,12 +230,14 @@ std::tuple<> handle_sync(lpc_cx<event_operation_t, Fn>& it, RemoteSend&,
   if (resolve_eager(it.e)) {
     telemetry::count(telemetry::counter::cx_eager_taken);
     telemetry::note_op_eager();
+    otrace::note_fulfill_eager();
     it.fn(vals...);
   } else {
     telemetry::count(telemetry::counter::cx_deferred_queued);
     current_persona().enqueue_deferred(
-        [fn = std::move(it.fn), vals...,
-         oc = telemetry::op_capture{}]() mutable {
+        [fn = std::move(it.fn), vals..., oc = telemetry::op_capture{},
+         tid = otrace::current()]() mutable {
+          otrace::note_id(tid, otrace::stage::fulfill_deferred);
           fn(vals...);
           oc.complete_deferred();
         });
@@ -239,11 +251,14 @@ std::tuple<> handle_sync(lpc_cx<event_source_t, Fn>& it, RemoteSend&, V...) {
   if (resolve_eager(it.e)) {
     telemetry::count(telemetry::counter::cx_eager_taken);
     telemetry::note_op_eager();
+    otrace::note_fulfill_eager();
     it.fn();
   } else {
     telemetry::count(telemetry::counter::cx_deferred_queued);
     current_persona().enqueue_deferred(
-        [fn = std::move(it.fn), oc = telemetry::op_capture{}]() mutable {
+        [fn = std::move(it.fn), oc = telemetry::op_capture{},
+         tid = otrace::current()]() mutable {
+          otrace::note_id(tid, otrace::stage::fulfill_deferred);
           fn();
           oc.complete_deferred();
         });
@@ -301,6 +316,10 @@ struct op_record {
   /// deferred stream.
   telemetry::op_capture issued;
   std::uint64_t wd_id = 0;  ///< stall-watchdog handle (0 = untracked)
+  /// otrace id of the initiating op (0 = unsampled), captured inside the
+  /// initiating call's otrace::op_scope so the reply-side fulfillment can
+  /// rejoin the causal chain.
+  std::uint64_t trace = otrace::current();
 
   void add_sink(inplace_function<void(V...), 64> sink) {
     if (!complete) {
@@ -319,12 +338,15 @@ struct op_record {
     // the notification still routes to another thread's mailbox below.
     telemetry::watchdog::complete_op(wd_id);
     if (initiator == nullptr || initiator->active_with_caller()) {
+      otrace::note_id(trace, otrace::stage::fulfill_deferred);
       if (complete) complete(vs...);
       issued.complete_deferred();
       delete this;
       return;
     }
+    otrace::note_id(trace, otrace::stage::lpc_hop);
     initiator->lpc_ff([this, vs...] {
+      otrace::note_id(trace, otrace::stage::fulfill_deferred);
       if (complete) complete(vs...);
       issued.complete_deferred();
       delete this;
@@ -356,6 +378,7 @@ std::tuple<future<>> handle_async(future_cx<event_source_t>& it,
   if (resolve_eager(it.e)) {
     telemetry::count(telemetry::counter::cx_eager_taken);
     telemetry::note_op_eager();
+    otrace::note_fulfill_eager();
     return {make_future()};
   }
   return {deferred_future<>()};
@@ -382,6 +405,7 @@ std::tuple<> handle_async(promise_cx<event_source_t>& it, op_record<V...>&,
   if (resolve_eager(it.e)) {
     telemetry::count(telemetry::counter::cx_eager_taken);
     telemetry::note_op_eager();
+    otrace::note_fulfill_eager();
     return {};
   }
   it.pro.require_anonymous(1);
@@ -403,11 +427,14 @@ std::tuple<> handle_async(lpc_cx<event_source_t, Fn>& it, op_record<V...>&,
   if (resolve_eager(it.e)) {
     telemetry::count(telemetry::counter::cx_eager_taken);
     telemetry::note_op_eager();
+    otrace::note_fulfill_eager();
     it.fn();
   } else {
     telemetry::count(telemetry::counter::cx_deferred_queued);
     current_persona().enqueue_deferred(
-        [fn = std::move(it.fn), oc = telemetry::op_capture{}]() mutable {
+        [fn = std::move(it.fn), oc = telemetry::op_capture{},
+         tid = otrace::current()]() mutable {
+          otrace::note_id(tid, otrace::stage::fulfill_deferred);
           fn();
           oc.complete_deferred();
         });

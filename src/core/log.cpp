@@ -1,0 +1,95 @@
+#include "core/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace aspen {
+
+namespace {
+
+constexpr const char* kLevelNames[] = {"error", "warn", "info", "debug"};
+
+std::atomic<int> g_process_rank{-1};
+thread_local int t_rank = -2;  // -2: unset, fall back to the process rank
+
+int parse_level(const char* v) noexcept {
+  if (v == nullptr || *v == '\0') return static_cast<int>(log_level::info);
+  if (std::strcmp(v, "error") == 0) return 0;
+  if (std::strcmp(v, "warn") == 0) return 1;
+  if (std::strcmp(v, "info") == 0) return 2;
+  if (std::strcmp(v, "debug") == 0) return 3;
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (end != v && *end == '\0' && n >= 0 && n <= 3)
+    return static_cast<int>(n);
+  std::fprintf(stderr, "aspen: ignoring unparsable ASPEN_LOG=\"%s\"\n", v);
+  return static_cast<int>(log_level::info);
+}
+
+int threshold() noexcept {
+  static const int t = parse_level(std::getenv("ASPEN_LOG"));
+  return t;
+}
+
+}  // namespace
+
+bool log_enabled(log_level lvl) noexcept {
+  return static_cast<int>(lvl) <= threshold();
+}
+
+void log_set_rank(int rank) noexcept {
+  t_rank = rank < 0 ? -2 : rank;
+  if (rank >= 0) {
+    int expected = -1;
+    g_process_rank.compare_exchange_strong(expected, rank,
+                                           std::memory_order_relaxed);
+  }
+}
+
+int log_rank() noexcept {
+  if (t_rank != -2) return t_rank;
+  return g_process_rank.load(std::memory_order_relaxed);
+}
+
+void vlog(log_level lvl, const char* fmt, std::va_list ap) noexcept {
+  if (!log_enabled(lvl)) return;
+  // One buffer, one fwrite: concurrent ranks interleave whole lines.
+  char buf[1024];
+  std::size_t off = 0;
+  const int rank = log_rank();
+  int n = rank >= 0
+              ? std::snprintf(buf, sizeof buf, "aspen[r%d] %s: ", rank,
+                              kLevelNames[static_cast<int>(lvl)])
+              : std::snprintf(buf, sizeof buf, "aspen %s: ",
+                              kLevelNames[static_cast<int>(lvl)]);
+  if (n > 0) off = static_cast<std::size_t>(n) < sizeof buf - 2
+                       ? static_cast<std::size_t>(n)
+                       : sizeof buf - 2;
+  n = std::vsnprintf(buf + off, sizeof buf - off - 1, fmt, ap);
+  if (n > 0) {
+    off += static_cast<std::size_t>(n) < sizeof buf - off - 1
+               ? static_cast<std::size_t>(n)
+               : sizeof buf - off - 1;
+  }
+  buf[off++] = '\n';
+  std::fwrite(buf, 1, off, stderr);
+}
+
+void log(log_level lvl, const char* fmt, ...) noexcept {
+  std::va_list ap;
+  va_start(ap, fmt);
+  vlog(lvl, fmt, ap);
+  va_end(ap);
+}
+
+void fatal(const char* fmt, ...) noexcept {
+  std::va_list ap;
+  va_start(ap, fmt);
+  vlog(log_level::error, fmt, ap);
+  va_end(ap);
+  std::abort();
+}
+
+}  // namespace aspen

@@ -1,0 +1,59 @@
+// aspen::log — rank-prefixed stderr diagnostics with an ASPEN_LOG level
+// filter.
+//
+// Every layer used to fprintf(stderr, ...) with its own ad-hoc prefix, so a
+// 16-rank job's interleaved stderr could not be attributed to a rank or
+// filtered by severity. This helper writes one line per call:
+//
+//   aspen[r3] error: net: protocol error from rank 1: bad frame magic
+//
+// The rank tag comes from a thread-local set by telemetry::set_thread_rank
+// (falling back to a process-wide rank the conduit::tcp endpoint sets at
+// bootstrap, then to no tag at all for pre-bootstrap diagnostics). The
+// ASPEN_LOG environment variable selects the minimum severity printed:
+// error < warn < info < debug (default info; also accepts 0-3). fatal()
+// prints at error severity and aborts — it never returns, so call sites can
+// drop their trailing std::abort().
+//
+// Each line is rendered into one buffer and written with a single
+// fwrite(), so concurrent ranks' lines interleave whole, never mid-line.
+#pragma once
+
+#include <cstdarg>
+
+namespace aspen {
+
+enum class log_level : int { error = 0, warn = 1, info = 2, debug = 3 };
+
+/// Would a message at `lvl` be printed? (Callers guarding expensive
+/// argument rendering.)
+[[nodiscard]] bool log_enabled(log_level lvl) noexcept;
+
+/// Tag the calling thread's log lines with `rank` (negative clears the
+/// thread tag). The first non-negative rank also becomes the process-wide
+/// fallback used by threads that never called this.
+void log_set_rank(int rank) noexcept;
+
+/// The rank the calling thread's lines are tagged with (-1 when unknown).
+[[nodiscard]] int log_rank() noexcept;
+
+void vlog(log_level lvl, const char* fmt, std::va_list ap) noexcept;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ASPEN_LOG_PRINTF(fmt_idx, arg_idx) \
+  __attribute__((format(printf, fmt_idx, arg_idx)))
+#else
+#define ASPEN_LOG_PRINTF(fmt_idx, arg_idx)
+#endif
+
+/// Print one rank-prefixed line at `lvl` (printf formatting; no trailing
+/// newline needed — one is appended).
+void log(log_level lvl, const char* fmt, ...) noexcept
+    ASPEN_LOG_PRINTF(2, 3);
+
+/// Print at error severity (never filtered) and abort the process.
+[[noreturn]] void fatal(const char* fmt, ...) noexcept ASPEN_LOG_PRINTF(1, 2);
+
+#undef ASPEN_LOG_PRINTF
+
+}  // namespace aspen

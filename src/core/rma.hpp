@@ -190,6 +190,7 @@ auto rma_put_bytes(int target, void* dest_raw, const void* src,
                    std::size_t nbytes, Cxs&& cxs) -> cx_return_t<Cxs> {
   telemetry::span sp("rput", "rma");
   telemetry::op_scope os(telemetry::op_class::rma_put);
+  otrace::op_scope ts;
   rank_context& c = ctx();
   if (rma_target_local(c, target)) {
     telemetry::count(telemetry::counter::rma_put_local);
@@ -246,6 +247,7 @@ auto rget(global_ptr<T> src, Cxs cxs = operation_cx::as_future())
     -> detail::cx_return_t<Cxs, T> {
   telemetry::span sp("rget", "rma");
   telemetry::op_scope os(telemetry::op_class::rma_get);
+  otrace::op_scope ts;
   detail::rank_context& c = detail::ctx();
   detail::no_remote_cx rs;
   if (detail::rma_target_local(c, src.where())) {
@@ -282,6 +284,7 @@ auto rget(global_ptr<T> src, T* dest, std::size_t n,
           Cxs cxs = operation_cx::as_future()) -> detail::cx_return_t<Cxs> {
   telemetry::span sp("rget_bulk", "rma");
   telemetry::op_scope os(telemetry::op_class::rma_get);
+  otrace::op_scope ts;
   detail::rank_context& c = detail::ctx();
   detail::no_remote_cx rs;
   if (detail::rma_target_local(c, src.where())) {

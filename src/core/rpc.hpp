@@ -63,6 +63,9 @@ void rpc_reply_handler(gex::runtime&, int /*me*/, int /*src*/,
   if constexpr (sizeof...(U) > 0) {
     c->set_value_tuple(r.read<std::tuple<U...>>());
   }
+  // Readying the cell is the rpc's completion; the reply AM carried the
+  // trace, so this lands on the initiating op's causal chain.
+  otrace::note(otrace::stage::fulfill_deferred);
   c->satisfy(1);
   c->drop_ref();
   if (issue_ns != 0)
@@ -130,6 +133,7 @@ void send_rpc_ff_tuple(int target, const Fn& fn, const ArgsTuple& args) {
                 "rpc callables must be trivially copyable");
   telemetry::span sp("rpc_ff", "rpc");
   telemetry::count(telemetry::counter::rpc_ff_sent);
+  otrace::op_scope ts;
   ser_writer w(sizeof(Fn) + 64);
   write_callable(w, fn);
   w.write(args);
@@ -178,6 +182,7 @@ auto rpc(int target, Fn fn, Args&&... args) {
 
   telemetry::span sp("rpc", "rpc");
   telemetry::count(telemetry::counter::rpc_roundtrip);
+  otrace::op_scope ts;
   auto* c = new RCell();
   c->deps = 1;
   c->add_ref();  // the in-flight reply's reference

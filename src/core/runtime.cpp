@@ -1,6 +1,7 @@
 #include "core/runtime.hpp"
 
 #include "core/future_cell.hpp"
+#include "core/log.hpp"
 #include "core/telemetry.hpp"
 #include "net/endpoint.hpp"
 #include "net/wire.hpp"
@@ -159,12 +160,10 @@ namespace {
 void spmd_net(int nranks, gex::config gcfg, version_config ver,
               const std::function<void()>& fn) {
   if (!net::endpoint::launched()) {
-    std::fprintf(stderr,
-                 "aspen: fatal: spmd with a multi-process conduit outside "
-                 "an aspen-run job. Launch this program as `aspen-run -n %d "
-                 "<prog>`.\n",
+    aspen::fatal("spmd with a multi-process conduit outside an "
+                 "aspen-run job. Launch this program as `aspen-run -n %d "
+                 "<prog>`.",
                  nranks);
-    std::abort();
   }
   gcfg.net = net::apply_env(gcfg.net);
   net::endpoint& ep = net::endpoint::ensure(gcfg.net, gcfg.segment_bytes);

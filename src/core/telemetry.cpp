@@ -7,6 +7,9 @@
 #include <sstream>
 #include <vector>
 
+#include "core/log.hpp"
+#include "core/otrace.hpp"
+
 namespace aspen::telemetry {
 
 namespace {
@@ -75,6 +78,7 @@ constexpr const char* kCounterNames[] = {
     "uring_multishot_requeues",
     "uring_syscalls_saved",
     "net_idle_unwatched",
+    "otrace_sampled",
 };
 static_assert(std::size(kCounterNames) == kCounterCount,
               "counter name table out of sync with the enum");
@@ -413,6 +417,8 @@ bool tracing_enabled() noexcept {
 void set_thread_rank(int rank) noexcept {
   tls_trace().tid = rank < 0 ? 0 : static_cast<std::uint32_t>(rank);
   watchdog::set_thread_rank(rank);
+  otrace::set_thread_rank(rank);
+  log_set_rank(rank);
 }
 
 void set_clock_sync(std::int64_t offset_ns) noexcept {
@@ -480,7 +486,7 @@ snapshot aggregate() noexcept { return {}; }
 
 void enable_tracing(bool) noexcept {}
 bool tracing_enabled() noexcept { return false; }
-void set_thread_rank(int) noexcept {}
+void set_thread_rank(int rank) noexcept { log_set_rank(rank); }
 void set_clock_sync(std::int64_t) noexcept {}
 bool clock_synced() noexcept { return false; }
 std::int64_t clock_offset_ns() noexcept { return 0; }

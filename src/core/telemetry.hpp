@@ -159,6 +159,9 @@ enum class counter : std::size_t {
   uring_syscalls_saved,      ///< syscalls avoided vs the poll backend
   net_idle_unwatched,        ///< peers left unwatched by one capped idle poll
 
+  // Operation tracing (aspen::otrace, docs/OTRACE.md).
+  otrace_sampled,  ///< injected ops that drew a sampled trace id
+
   kCount,
 };
 

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "core/log.hpp"
+#include "core/otrace.hpp"
 #include "core/telemetry.hpp"
 
 #if ASPEN_TELEMETRY_ENABLED
@@ -118,6 +120,8 @@ struct wd_state {
   std::atomic<int> reports{0};
   std::atomic<bool> enabled_mirror{false};
   std::atomic<bool> signal_installed{false};
+  /// 0 healthy, 1 stall episode active, 2 recovered (health_state()).
+  std::atomic<int> health{0};
 };
 
 /// Leaked like every telemetry registry: checks can run during static
@@ -153,10 +157,8 @@ void ensure_configured_locked(wd_state& s) {
     if (end != v && *end == '\0') {
       s.threshold_ns = static_cast<std::uint64_t>(ms) * 1'000'000u;
     } else {
-      std::fprintf(stderr,
-                   "aspen/watchdog: ignoring unparsable ASPEN_WATCHDOG_MS"
-                   "=\"%s\"\n",
-                   v);
+      aspen::log(log_level::warn,
+                 "watchdog: ignoring unparsable ASPEN_WATCHDOG_MS=\"%s\"", v);
     }
   }
   const char* base = std::getenv("ASPEN_WATCHDOG_REPORT");
@@ -214,11 +216,14 @@ void write_report(int rank, const char* reason, std::uint64_t now_ns,
   std::fprintf(f, "\n}\n");
   std::fclose(f);
   s.reports.fetch_add(1, std::memory_order_relaxed);
-  std::fprintf(stderr,
-               "aspen/watchdog: rank %d %s (oldest op %" PRIu64
-               " ms, gap %" PRIu64 " ms, %zu pending) -> %s\n",
-               rank, reason, oldest_age_ns / 1'000'000u,
-               gap_ns / 1'000'000u, pending_count, path.c_str());
+  aspen::log(log_level::error,
+             "watchdog: rank %d %s (oldest op %" PRIu64 " ms, gap %" PRIu64
+             " ms, %zu pending) -> %s",
+             rank, reason, oldest_age_ns / 1'000'000u, gap_ns / 1'000'000u,
+             pending_count, path.c_str());
+  // A tripped watchdog is exactly the moment the flight recorder exists
+  // for: dump the otrace ring next to the health report.
+  otrace::dump_now();
 }
 
 void maybe_check(std::uint64_t now_ns, std::uint64_t prev_progress_ns) {
@@ -279,6 +284,7 @@ void maybe_check(std::uint64_t now_ns, std::uint64_t prev_progress_ns) {
   }
 
   if (reason == nullptr && !forced) {
+    if (t.in_stall) s.health.store(2, std::memory_order_relaxed);
     t.in_stall = false;  // healthy: arm the next episode
     return;
   }
@@ -289,6 +295,7 @@ void maybe_check(std::uint64_t now_ns, std::uint64_t prev_progress_ns) {
   }
   if (t.in_stall) return;  // already reported this episode
   t.in_stall = true;
+  s.health.store(1, std::memory_order_relaxed);
   write_report(t.rank, reason, now_ns, threshold, pending_count, oldest_age,
                oldest_cls, gap, ts);
 }
@@ -383,6 +390,10 @@ void set_transport_probe(transport_probe probe) {
 
 int reports_written() noexcept {
   return st().reports.load(std::memory_order_relaxed);
+}
+
+int health_state() noexcept {
+  return st().health.load(std::memory_order_relaxed);
 }
 
 #endif  // ASPEN_TELEMETRY_ENABLED

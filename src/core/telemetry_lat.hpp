@@ -263,6 +263,11 @@ void set_transport_probe(transport_probe probe);
 /// Health reports written by this process so far (test observability).
 [[nodiscard]] int reports_written() noexcept;
 
+/// Last-episode state: 0 = healthy (no stall episode yet), 1 = a stall
+/// episode is active, 2 = stalled earlier but recovered. Rides the live
+/// telemetry plane as the wd_state gauge (aspen-top's health glyph).
+[[nodiscard]] int health_state() noexcept;
+
 #else  // !ASPEN_TELEMETRY_ENABLED — the watchdog compiles out entirely.
 
 inline void configure(std::uint64_t, const char*) noexcept {}
@@ -277,6 +282,7 @@ inline void request_report() noexcept {}
 inline void install_signal_handler() noexcept {}
 inline void set_transport_probe(transport_probe) {}
 [[nodiscard]] inline int reports_written() noexcept { return 0; }
+[[nodiscard]] inline int health_state() noexcept { return 0; }
 
 #endif
 

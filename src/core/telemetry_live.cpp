@@ -5,6 +5,8 @@
 #include <mutex>
 #include <string>
 
+#include "core/log.hpp"
+
 namespace aspen::telemetry::live {
 
 // ---------------------------------------------------------------------------
@@ -105,6 +107,7 @@ void encode_update(const snapshot& delta, const gauges& g,
   put_varint(out, g.staged_msgs);
   put_varint(out, g.lpc_mailbox_depth);
   put_varint(out, g.backend);
+  put_varint(out, g.wd_state);
 }
 
 bool decode_update(const void* data, std::size_t len, snapshot* delta,
@@ -131,7 +134,8 @@ bool decode_update(const void* data, std::size_t len, snapshot* delta,
       !get_varint(p, end, &gg.sendq_high_water) ||
       !get_varint(p, end, &gg.staged_msgs) ||
       !get_varint(p, end, &gg.lpc_mailbox_depth) ||
-      !get_varint(p, end, &gg.backend))
+      !get_varint(p, end, &gg.backend) ||
+      !get_varint(p, end, &gg.wd_state))
     return false;
   if (p != end) return false;  // trailing garbage
   if (delta != nullptr) *delta = s;
@@ -150,11 +154,10 @@ std::uint32_t interval_ms() noexcept {
     char* end = nullptr;
     const unsigned long r = std::strtoul(s, &end, 10);
     if (end == s || *end != '\0') {
-      std::fprintf(
-          stderr,
-          "aspen/telemetry: ignoring unparsable ASPEN_TELEMETRY_INTERVAL_MS"
-          "=\"%s\"\n",
-          s);
+      aspen::log(log_level::warn,
+                 "telemetry: ignoring unparsable ASPEN_TELEMETRY_INTERVAL_MS"
+                 "=\"%s\"",
+                 s);
       return 0u;
     }
     return r > 3'600'000ul ? 3'600'000u : static_cast<std::uint32_t>(r);

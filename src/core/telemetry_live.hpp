@@ -46,6 +46,8 @@ struct gauges {
   std::uint64_t staged_msgs = 0;       ///< AMs staged awaiting in-order release
   std::uint64_t lpc_mailbox_depth = 0; ///< current persona's mailbox backlog
   std::uint64_t backend = 0;           ///< socket data plane: 0 poll, 1 uring
+  std::uint64_t wd_state = 0;          ///< watchdog last-episode state:
+                                       ///< 0 healthy, 1 stalled, 2 recovered
 };
 
 /// Flat field space of the update codec: every counter, every
@@ -66,7 +68,7 @@ inline constexpr std::size_t kFieldCount =
 
 /// Append the update payload to `out`: a varint count of non-zero fields,
 /// that many (varint index, varint value) pairs with strictly increasing
-/// indexes, then the four gauge varints.
+/// indexes, then the six gauge varints.
 void encode_update(const snapshot& delta, const gauges& g,
                    std::vector<std::byte>& out);
 

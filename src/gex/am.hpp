@@ -12,6 +12,8 @@
 #include <cstring>
 #include <memory>
 
+#include "core/otrace.hpp"
+
 namespace aspen::gex {
 
 class runtime;
@@ -75,7 +77,21 @@ class am_message {
   /// encode it on the wire as an offset from the process text anchor.
   [[nodiscard]] am_handler handler() const noexcept { return handler_; }
 
+  /// otrace trace id carried with the message (0 = the originating op was
+  /// not sampled). Stamped by runtime::send_am from the sender's ambient
+  /// trace, restored by conduits that deserialize from the wire.
+  [[nodiscard]] std::uint64_t trace() const noexcept { return trace_; }
+  void set_trace(std::uint64_t id) noexcept { trace_ = id; }
+
   void execute(runtime& rt, int me) {
+    if (trace_ != 0) {
+      // Run the handler under the message's trace so any AMs it sends
+      // (e.g. the rpc reply) inherit the causal chain.
+      otrace::scope ts(trace_);
+      otrace::note(otrace::stage::handler_run);
+      handler_(rt, me, src_, payload(), len_);
+      return;
+    }
     handler_(rt, me, src_, payload(), len_);
   }
 
@@ -83,6 +99,7 @@ class am_message {
   am_handler handler_ = nullptr;
   int src_ = -1;
   std::uint32_t len_ = 0;
+  std::uint64_t trace_ = 0;
   std::byte inline_buf_[kInlineBytes];
   std::unique_ptr<std::byte[]> overflow_;
 };

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/log.hpp"
 #include "core/telemetry.hpp"
 #include "gex/am.hpp"
 #include "gex/config.hpp"
@@ -129,6 +130,13 @@ class runtime {
     const int src = msg.source();
     state(src).ams_sent.fetch_add(1, std::memory_order_relaxed);
     telemetry::count(telemetry::counter::am_sent);
+    // Single chokepoint where every conduit's AMs pass: stamp the sender's
+    // ambient trace id so sampled ops propagate across handler hops, wire
+    // frames, and shm rings alike.
+    if (const std::uint64_t tid = otrace::current(); tid != 0) {
+      msg.set_trace(tid);
+      otrace::note(otrace::stage::am_send);
+    }
     if (wire_ && target != wire_->self_rank()) {
       // Remote process: serialize onto the socket. The receiving process
       // ticks its own ams_received when the frame is delivered.
@@ -168,14 +176,12 @@ class runtime {
             st.master_holder.load(std::memory_order_relaxed);
         holder != std::thread::id{} &&
         holder != std::this_thread::get_id()) {
-      std::fprintf(
-          stderr,
-          "aspen/gex: fatal: poll(%d) called from a thread that does not "
-          "hold rank %d's master persona. Only the master-persona holder "
-          "may poll the substrate; acquire it with persona_scope after "
-          "liberate_master_persona(), or leave polling to the rank thread.\n",
+      aspen::fatal(
+          "gex: poll(%d) called from a thread that does not hold rank %d's "
+          "master persona. Only the master-persona holder may poll the "
+          "substrate; acquire it with persona_scope after "
+          "liberate_master_persona(), or leave polling to the rank thread.",
           me, me);
-      std::abort();
     }
 #endif
     // Advance the socket state machine first so frames that just arrived

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <new>
 
+#include "core/log.hpp"
 #include "shm/mapper.hpp"
 
 namespace aspen::gex {
@@ -223,11 +224,9 @@ segment_arena::segment_arena(int nranks, std::size_t bytes_per_rank,
     // conduit::shm: the mapper places every rank's slice — MAP_SHARED from
     // that rank's data memfd when same-host, private anonymous otherwise.
     if (mp->seg_stride() != bytes_per_rank_ || mp->nranks() != nranks) {
-      std::fprintf(stderr,
-                   "aspen/gex: fatal: shm mapper geometry (%zu B x %d ranks) "
-                   "does not match the arena (%zu B x %d ranks)\n",
+      aspen::fatal("gex: shm mapper geometry (%zu B x %d ranks) does "
+                   "not match the arena (%zu B x %d ranks)",
                    mp->seg_stride(), mp->nranks(), bytes_per_rank_, nranks);
-      std::abort();
     }
     mp->map_data_segments(fixed_base);
     mapped_bytes_ = total;
@@ -257,13 +256,11 @@ segment_arena::segment_arena(int nranks, std::size_t bytes_per_rank,
                    -1, 0);
     if (p == MAP_FAILED || p != reinterpret_cast<void*>(fixed_base)) {
       if (p != MAP_FAILED) munmap(p, mapped_bytes_);
-      std::fprintf(stderr,
-                   "aspen/gex: fatal: cannot map the segment arena at fixed "
-                   "base 0x%llx (%zu bytes): %s. Another mapping occupies "
-                   "the range; pick a different ASPEN_NET_SEGMENT_BASE.\n",
+      aspen::fatal("gex: cannot map the segment arena at fixed base "
+                   "0x%llx (%zu bytes): %s. Another mapping occupies the "
+                   "range; pick a different ASPEN_NET_SEGMENT_BASE.",
                    static_cast<unsigned long long>(fixed_base), mapped_bytes_,
                    std::strerror(errno));
-      std::abort();
     }
     aligned_base_ = static_cast<std::byte*>(p);
   } else {

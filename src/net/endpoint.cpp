@@ -16,6 +16,8 @@
 #include <string>
 #include <thread>
 
+#include "core/log.hpp"
+#include "core/otrace.hpp"
 #include "core/persona.hpp"
 #include "core/telemetry.hpp"
 #include "core/telemetry_live.hpp"
@@ -67,9 +69,7 @@ long env_long(const char* name) {
 }
 
 [[noreturn]] void die_errno(const char* what) {
-  std::fprintf(stderr, "aspen/net: fatal: %s: %s\n", what,
-               std::strerror(errno));
-  std::abort();
+  aspen::fatal("net: %s: %s", what, std::strerror(errno));
 }
 
 void append_u64(std::vector<std::byte>& v, std::uint64_t x) {
@@ -99,14 +99,11 @@ endpoint& endpoint::ensure(const gex::net_config& cfg,
     const long port = env_long(kEnvRdzvPort);
     if (rank < 0 || nranks < 1 || rank >= nranks || port <= 0 ||
         port > 65535) {
-      std::fprintf(
-          stderr,
-          "aspen/net: fatal: the multi-process conduits (tcp, shm) require "
-          "the aspen-run launcher. Run this program as `aspen-run -n N "
-          "<prog>`, or fix the %s/%s/%s environment (got rank=%ld "
-          "nranks=%ld port=%ld).\n",
+      aspen::fatal(
+          "net: the multi-process conduits (tcp, shm) require the aspen-run "
+          "launcher. Run this program as `aspen-run -n N <prog>`, or fix the "
+          "%s/%s/%s environment (got rank=%ld nranks=%ld port=%ld).",
           kEnvRank, kEnvNranks, kEnvRdzvPort, rank, nranks, port);
-      std::abort();
     }
     slot.reset(new endpoint(static_cast<int>(rank), static_cast<int>(nranks),
                             cfg, segment_bytes));
@@ -119,6 +116,9 @@ endpoint& endpoint::ensure(const gex::net_config& cfg,
 }
 
 void endpoint::refresh_region_tunables(const gex::net_config& cfg) noexcept {
+  // Idempotent, and a no-op unless sampling is on: a region that enabled
+  // otrace after the mesh was built still gets its dump handlers.
+  otrace::install_crash_handlers();
   cfg_.agg = cfg.agg;
   cfg_.sendq_max = cfg.sendq_max;
   agg_on_ = cfg.agg.enabled;
@@ -136,6 +136,7 @@ endpoint::endpoint(int rank, int nranks, gex::net_config cfg,
       peers_(static_cast<std::size_t>(nranks)),
       sent_to_(static_cast<std::size_t>(nranks)),
       delivered_from_(static_cast<std::size_t>(nranks)) {
+  aspen::log_set_rank(rank_);
   for (int r = 0; r < nranks_; ++r) {
     peers_[static_cast<std::size_t>(r)] = std::make_unique<peer>();
     peers_[static_cast<std::size_t>(r)]->dec =
@@ -159,13 +160,14 @@ endpoint::endpoint(int rank, int nranks, gex::net_config cfg,
   }
   if (rank_ == 0) {
     if (io_reason_.empty())
-      std::fprintf(stderr, "aspen/net: data plane = %s\n", io_->name());
+      aspen::log(log_level::info, "net: data plane = %s", io_->name());
     else
-      std::fprintf(stderr, "aspen/net: data plane = %s (%s)\n", io_->name(),
-                   io_reason_.c_str());
+      aspen::log(log_level::info, "net: data plane = %s (%s)", io_->name(),
+                 io_reason_.c_str());
   }
   if (telemetry::live::trace_base() != nullptr)
     telemetry::enable_tracing(true);
+  otrace::install_crash_handlers();
   if (telemetry::watchdog::enabled()) {
     telemetry::watchdog::install_signal_handler();
     telemetry::watchdog::set_transport_probe([this] {
@@ -289,8 +291,7 @@ void endpoint::bootstrap(std::uint64_t segment_bytes) {
   frame table = read_frame_blocking(rdzv.get(), 1u << 20);
   if (table.kind() != frame_kind::table ||
       table.payload.size() < sizeof(std::uint32_t)) {
-    std::fprintf(stderr, "aspen/net: fatal: malformed bootstrap table\n");
-    std::abort();
+    aspen::fatal("net: malformed bootstrap table");
   }
   std::uint32_t n = 0;
   std::memcpy(&n, table.payload.data(), sizeof n);
@@ -298,11 +299,10 @@ void endpoint::bootstrap(std::uint64_t segment_bytes) {
       table.payload.size() !=
           sizeof n + n * (sizeof(std::uint16_t) + sizeof(std::uint64_t) +
                           sizeof(std::uint8_t))) {
-    std::fprintf(stderr,
-                 "aspen/net: fatal: bootstrap table disagrees on the rank "
-                 "count (launcher says %u, environment says %d)\n",
-                 n, nranks_);
-    std::abort();
+    aspen::fatal(
+        "net: bootstrap table disagrees on the rank count (launcher says "
+        "%u, environment says %d)",
+        n, nranks_);
   }
   std::vector<std::uint16_t> ports(n);
   std::vector<std::uint64_t> host_ids(n);
@@ -336,11 +336,8 @@ void endpoint::bootstrap(std::uint64_t segment_bytes) {
     frame id = read_frame_blocking(s.get(), 4096);
     if (id.kind() != frame_kind::ident || id.hdr.src <= rank_ ||
         id.hdr.src >= nranks_) {
-      std::fprintf(stderr,
-                   "aspen/net: fatal: bad mesh identification (kind %s, "
-                   "src %d)\n",
+      aspen::fatal("net: bad mesh identification (kind %s, src %d)",
                    kind_name(id.kind()), id.hdr.src);
-      std::abort();
     }
     if (rank_ == 0) serve_clock_probes(s.get());
     peer_of(id.hdr.src).sock = std::move(s);
@@ -454,11 +451,10 @@ void endpoint::clock_sync_with_rank0() {
     const auto t1 = static_cast<std::int64_t>(mono_ns());
     if (r.kind() != frame_kind::clock_reply ||
         r.payload.size() != sizeof(std::uint64_t)) {
-      std::fprintf(stderr,
-                   "aspen/net: fatal: bad clock-sync reply from rank 0 "
-                   "(kind %s, %zu payload bytes)\n",
-                   kind_name(r.kind()), r.payload.size());
-      std::abort();
+      aspen::fatal(
+          "net: bad clock-sync reply from rank 0 (kind %s, %zu payload "
+          "bytes)",
+          kind_name(r.kind()), r.payload.size());
     }
     const auto remote = static_cast<std::int64_t>(read_u64(r.payload.data()));
     // RTT-midpoint estimate: rank 0 stamped `remote` roughly when our
@@ -478,11 +474,8 @@ void endpoint::serve_clock_probes(int fd) {
   for (int i = 0; i < kClockProbes; ++i) {
     frame f = read_frame_blocking(fd, 4096);
     if (f.kind() != frame_kind::clock_probe) {
-      std::fprintf(stderr,
-                   "aspen/net: fatal: expected a clock probe during "
-                   "bootstrap, got %s\n",
+      aspen::fatal("net: expected a clock probe during bootstrap, got %s",
                    kind_name(f.kind()));
-      std::abort();
     }
     frame_header rh{};
     rh.kind = static_cast<std::uint16_t>(frame_kind::clock_reply);
@@ -604,13 +597,14 @@ void endpoint::shm_agg_flush_locked(peer& p, int target,
       h.kind = static_cast<std::uint16_t>(frame_kind::am_eager);
       h.src = rank_;
       h.seq = sr.seq;
-      body.resize(2 * sizeof(std::uint64_t) + sr.len);
-      std::memcpy(body.data(), &sr.handler_delta, sizeof sr.handler_delta);
-      std::memcpy(body.data() + sizeof sr.handler_delta, &sr.send_ns,
-                  sizeof sr.send_ns);
+      eager_body eb;
+      eb.handler_delta = sr.handler_delta;
+      eb.send_ns = sr.send_ns;
+      eb.trace = sr.trace;
+      body.resize(kEagerPrefixBytes + sr.len);
+      std::memcpy(body.data(), &eb, sizeof eb);
       if (sr.len != 0)
-        std::memcpy(body.data() + 2 * sizeof(std::uint64_t), q + sizeof sr,
-                    sr.len);
+        std::memcpy(body.data() + kEagerPrefixBytes, q + sizeof sr, sr.len);
       encode_frame(p.out, h, body.data(), body.size());
       q += sizeof sr + sr.len;
     }
@@ -675,11 +669,9 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
   telemetry::span sp("wire_send", "net");
   peer& p = peer_of(target);
   if (!p.sock.valid() || p.departed) {
-    std::fprintf(stderr,
-                 "aspen/net: fatal: rank %d sent an AM to rank %d, which "
-                 "has already shut down\n",
-                 rank_, target);
-    std::abort();
+    aspen::fatal(
+        "net: rank %d sent an AM to rank %d, which has already shut down",
+        rank_, target);
   }
   const std::size_t len = msg.size();
   const std::uint64_t delta =
@@ -702,8 +694,11 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
 
   std::lock_guard<std::mutex> lk(p.mu);
   const std::uint64_t seq = p.next_send_seq++;
-  telemetry::trace_flow("wire_msg", "net", /*begin=*/true,
-                        flow_id(rank_, target, seq));
+  // otrace wire edge: one flow id per (src, dst, seq); the matching
+  // wire_deliver on the receiver records the same id (see process_frame).
+  const std::uint64_t trace = msg.trace();
+  const std::uint64_t fid = flow_id(rank_, target, seq);
+  telemetry::trace_flow("wire_msg", "net", /*begin=*/true, fid);
 
   // Shared-memory fast path: same-host peer with a wired ring pair and an
   // shm region active. The seq is assigned under p.mu regardless of which
@@ -716,6 +711,7 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
     rh.seq = seq;
     rh.handler_delta = delta;
     rh.send_ns = send_ns;
+    rh.trace = trace;
     rh.len = static_cast<std::uint32_t>(len);
     // Aggregating path: stage the record into the peer's shm batch; it
     // ships as ONE kShmBatch ring record on a size / count watermark (or
@@ -727,6 +723,7 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
       std::memcpy(p.shm_agg.data() + off, &rh, sizeof rh);
       if (len != 0)
         std::memcpy(p.shm_agg.data() + off + sizeof rh, msg.payload(), len);
+      otrace::note_id(trace, otrace::stage::agg_stage, fid);
       if (p.shm_agg_frames++ == 0) p.shm_agg_open_ns = mono_ns();
       const std::size_t batch_cap =
           std::min(agg_max_bytes_, shm_msg_cap_ / 2 - sizeof rh);
@@ -761,6 +758,7 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
       }
     }
     if (pushed) {
+      otrace::note_id(trace, otrace::stage::shm_push, fid);
       telemetry::count(telemetry::counter::shm_msgs_sent);
       telemetry::count(telemetry::counter::shm_bytes_sent,
                        static_cast<std::uint64_t>(len));
@@ -784,15 +782,19 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
     h.kind = static_cast<std::uint16_t>(frame_kind::am_eager);
     h.src = rank_;
     h.seq = seq;
-    std::vector<std::byte> body(2 * sizeof(std::uint64_t) + len);
-    std::memcpy(body.data(), &delta, sizeof delta);
-    std::memcpy(body.data() + sizeof delta, &send_ns, sizeof send_ns);
+    eager_body eb;
+    eb.handler_delta = delta;
+    eb.send_ns = send_ns;
+    eb.trace = trace;
+    std::vector<std::byte> body(kEagerPrefixBytes + len);
+    std::memcpy(body.data(), &eb, sizeof eb);
     if (len != 0)
-      std::memcpy(body.data() + 2 * sizeof(std::uint64_t), msg.payload(), len);
+      std::memcpy(body.data() + kEagerPrefixBytes, msg.payload(), len);
     encode_frame(p.out, h, body.data(), body.size());
     if (agg_on_) {
       // Coalesce: leave the frame queued; it flushes with its batch on a
       // watermark (here: bytes / frame count; pump() owns the age check).
+      otrace::note_id(trace, otrace::stage::agg_stage, fid);
       if (p.agg_frames++ == 0) p.agg_open_ns = mono_ns();
       if (p.out.size() - p.out_off >= agg_max_bytes_)
         agg_flush_locked(p, target, telemetry::counter::agg_flush_bytes);
@@ -800,6 +802,7 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
         agg_flush_locked(p, target, telemetry::counter::agg_flush_frames);
       return;
     }
+    otrace::note_id(trace, otrace::stage::wire_eager, fid);
   } else {
     // Rendezvous: park the payload until the receiver grants a CTS, so a
     // large transfer never floods a peer that is not ready for it.
@@ -807,6 +810,7 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
     const std::uint32_t token = p.next_token++;
     pending_rdzv pr;
     pr.seq = seq;
+    pr.trace = trace;
     pr.bytes.assign(msg.payload(), msg.payload() + len);
     p.rdzv_out.emplace(token, std::move(pr));
     rdzv_body rb;
@@ -814,6 +818,8 @@ void endpoint::send_am(gex::runtime& rt, int target, gex::am_message msg) {
     rb.handler_delta = delta;
     rb.total_len = len;
     rb.send_ns = send_ns;
+    rb.trace = trace;
+    otrace::note_id(trace, otrace::stage::wire_rts, fid);
     frame_header h{};
     h.kind = static_cast<std::uint16_t>(frame_kind::am_rts);
     h.src = rank_;
@@ -904,11 +910,9 @@ std::size_t endpoint::pump_shm_peer(gex::runtime& rt, int rank) {
     const std::size_t sz = p.shm_in_msg.front_size();
     if (sz == 0) break;
     if (sz < sizeof(shm_rec_hdr)) {
-      std::fprintf(stderr,
-                   "aspen/net: fatal: runt shm record (%zu bytes) on the "
-                   "rank %d -> %d ring\n",
+      aspen::fatal("net: runt shm record (%zu bytes) on the rank %d -> %d "
+                   "ring",
                    sz, rank, rank_);
-      std::abort();
     }
     rec.resize(sz);
     p.shm_in_msg.pop_front(rec.data());
@@ -918,11 +922,10 @@ std::size_t endpoint::pump_shm_peer(gex::runtime& rt, int rank) {
       // One ring record carrying rh.handler_delta coalesced sub-records,
       // each [shm_rec_hdr][payload] with its own seq.
       if (sz != sizeof rh + rh.len) {
-        std::fprintf(stderr,
-                     "aspen/net: fatal: shm batch record length mismatch "
-                     "from rank %d (%zu record bytes, %u batch bytes)\n",
-                     rank, sz, rh.len);
-        std::abort();
+        aspen::fatal(
+            "net: shm batch record length mismatch from rank %d (%zu "
+            "record bytes, %u batch bytes)",
+            rank, sz, rh.len);
       }
       std::uint64_t remaining = rh.handler_delta;
       const std::byte* q = rec.data() + sizeof rh;
@@ -944,17 +947,18 @@ std::size_t endpoint::pump_shm_peer(gex::runtime& rt, int rank) {
         telemetry::count(telemetry::counter::shm_bytes_received, sr.len);
         gex::am_message msg(decode_handler(sr.handler_delta, text_anchor()),
                             rank, q + sizeof sr, sr.len);
-        p.staged.emplace(sr.seq, staged_am{std::move(msg), sr.send_ns, true});
+        msg.set_trace(sr.trace);
+        p.staged.emplace(sr.seq,
+                         staged_am{std::move(msg), sr.send_ns,
+                                   flow_id(rank, rank_, sr.seq), true});
         q += sizeof sr + sr.len;
         --remaining;
         ++work;
       }
       if (remaining != 0) {
-        std::fprintf(stderr,
-                     "aspen/net: fatal: malformed shm batch from rank %d "
-                     "(announced %" PRIu64 " sub-records)\n",
+        aspen::fatal("net: malformed shm batch from rank %d (announced "
+                     "%" PRIu64 " sub-records)",
                      rank, rh.handler_delta);
-        std::abort();
       }
       continue;
     }
@@ -965,29 +969,33 @@ std::size_t endpoint::pump_shm_peer(gex::runtime& rt, int rank) {
       // record, so the matching bulk record is guaranteed present.
       const std::size_t bsz = p.shm_in_bulk.front_size();
       if (bsz != rh.len) {
-        std::fprintf(stderr,
-                     "aspen/net: fatal: shm bulk record from rank %d does "
-                     "not match its control record (%zu vs %u bytes)\n",
-                     rank, bsz, rh.len);
-        std::abort();
+        aspen::fatal(
+            "net: shm bulk record from rank %d does not match its control "
+            "record (%zu vs %u bytes)",
+            rank, bsz, rh.len);
       }
       std::vector<std::byte> payload(rh.len);
       if (rh.len != 0) p.shm_in_bulk.pop_front(payload.data());
       else p.shm_in_bulk.consume_front();
       gex::am_message msg(decode_handler(rh.handler_delta, text_anchor()),
                           rank, payload.data(), payload.size());
-      p.staged.emplace(rh.seq, staged_am{std::move(msg), rh.send_ns, true});
+      msg.set_trace(rh.trace);
+      p.staged.emplace(rh.seq,
+                       staged_am{std::move(msg), rh.send_ns,
+                                 flow_id(rank, rank_, rh.seq), true});
     } else {
       if (sz != sizeof rh + rh.len) {
-        std::fprintf(stderr,
-                     "aspen/net: fatal: shm record length mismatch from "
-                     "rank %d (%zu record bytes for a %u-byte payload)\n",
-                     rank, sz, rh.len);
-        std::abort();
+        aspen::fatal(
+            "net: shm record length mismatch from rank %d (%zu record "
+            "bytes for a %u-byte payload)",
+            rank, sz, rh.len);
       }
       gex::am_message msg(decode_handler(rh.handler_delta, text_anchor()),
                           rank, rec.data() + sizeof rh, rh.len);
-      p.staged.emplace(rh.seq, staged_am{std::move(msg), rh.send_ns, true});
+      msg.set_trace(rh.trace);
+      p.staged.emplace(rh.seq,
+                       staged_am{std::move(msg), rh.send_ns,
+                                 flow_id(rank, rank_, rh.seq), true});
     }
     ++work;
   }
@@ -1037,23 +1045,18 @@ std::size_t endpoint::drain_peer(gex::runtime& rt, int rank) {
     ++work;
   }
   if (p.dec && p.dec->in_error()) {
-    std::fprintf(stderr,
-                 "aspen/net: fatal: protocol error on the rank %d -> %d "
-                 "stream: %s\n",
+    aspen::fatal("net: protocol error on the rank %d -> %d stream: %s",
                  rank, rank_, p.dec->error().c_str());
-    std::abort();
   }
   if (p.eof_pending) {
     // Resolved after the frame drain: the bye marker may have arrived in
     // the very byte batch that ended with the EOF.
     p.eof_pending = false;
     if (!p.bye_seen) {
-      std::fprintf(stderr,
-                   "aspen/net: fatal: rank %d closed its connection "
-                   "without a clean shutdown (crashed?); aborting rank "
-                   "%d\n",
-                   rank, rank_);
-      std::abort();
+      aspen::fatal(
+          "net: rank %d closed its connection without a clean shutdown "
+          "(crashed?); aborting rank %d",
+          rank, rank_);
     }
     p.departed = true;
     io_->detach(rank);
@@ -1068,24 +1071,39 @@ void endpoint::process_frame(gex::runtime& rt, int rank, frame&& f) {
   peer& p = peer_of(rank);
   switch (f.kind()) {
     case frame_kind::am_eager: {
-      const std::uint64_t delta = read_u64(f.payload.data());
-      const std::uint64_t send_ns =
-          read_u64(f.payload.data() + sizeof delta);
-      const std::size_t len = f.payload.size() - 2 * sizeof(std::uint64_t);
-      gex::am_message msg(decode_handler(delta, text_anchor()), rank,
-                          f.payload.data() + 2 * sizeof(std::uint64_t), len);
-      p.staged.emplace(f.hdr.seq, staged_am{std::move(msg), send_ns});
+      eager_body eb;
+      if (!decode_eager_prefix(f.payload.data(), f.payload.size(), &eb)) {
+        aspen::fatal("net: runt am_eager frame from rank %d (%zu payload "
+                     "bytes)",
+                     rank, f.payload.size());
+      }
+      const std::size_t len = f.payload.size() - kEagerPrefixBytes;
+      gex::am_message msg(decode_handler(eb.handler_delta, text_anchor()),
+                          rank, f.payload.data() + kEagerPrefixBytes, len);
+      msg.set_trace(eb.trace);
+      p.staged.emplace(f.hdr.seq,
+                       staged_am{std::move(msg), eb.send_ns,
+                                 flow_id(rank, rank_, f.hdr.seq), false});
       break;
     }
     case frame_kind::am_rts: {
       rdzv_body rb;
-      std::memcpy(&rb, f.payload.data(), sizeof rb);
+      if (!decode_rdzv_body(f.payload.data(), f.payload.size(), &rb)) {
+        aspen::fatal("net: malformed am_rts frame from rank %d (%zu "
+                     "payload bytes)",
+                     rank, f.payload.size());
+      }
       inbound_rdzv in;
       in.seq = f.hdr.seq;
       in.handler_delta = rb.handler_delta;
       in.total_len = rb.total_len;
       in.send_ns = rb.send_ns;
+      in.trace = rb.trace;
       p.rdzv_in.emplace(rb.token, in);
+      // The RTS->CTS turn: the exporter salts this aux into the rts flow's
+      // finish and the cts flow's start.
+      otrace::note_id(rb.trace, otrace::stage::wire_cts,
+                      flow_id(rank, rank_, f.hdr.seq));
       frame_header cts{};
       cts.kind = static_cast<std::uint16_t>(frame_kind::am_cts);
       cts.src = rank_;
@@ -1097,6 +1115,9 @@ void endpoint::process_frame(gex::runtime& rt, int rank, frame&& f) {
       std::lock_guard<std::mutex> lk(p.mu);
       auto it = p.rdzv_out.find(f.hdr.aux);
       if (it == p.rdzv_out.end()) break;  // duplicate CTS: ignore
+      // The CTS->DATA turn, back on the initiator.
+      otrace::note_id(it->second.trace, otrace::stage::wire_data,
+                      flow_id(rank_, rank, it->second.seq));
       frame_header dh{};
       dh.kind = static_cast<std::uint16_t>(frame_kind::am_data);
       dh.src = rank_;
@@ -1120,17 +1141,23 @@ void endpoint::process_frame(gex::runtime& rt, int rank, frame&& f) {
       auto it = p.rdzv_in.find(f.hdr.aux);
       if (it == p.rdzv_in.end() ||
           it->second.total_len != f.payload.size()) {
-        std::fprintf(stderr,
-                     "aspen/net: fatal: rendezvous data from rank %d does "
-                     "not match its RTS (token %u)\n",
+        aspen::fatal("net: rendezvous data from rank %d does not match its "
+                     "RTS (token %u)",
                      rank, f.hdr.aux);
-        std::abort();
       }
       gex::am_message msg(
           decode_handler(it->second.handler_delta, text_anchor()), rank,
           f.payload.data(), f.payload.size());
-      p.staged.emplace(it->second.seq,
-                       staged_am{std::move(msg), it->second.send_ns});
+      msg.set_trace(it->second.trace);
+      // Pre-salt the delivery edge: release_staged records it as-is, and
+      // the DATA leg's sender side staged the matching 's' under the same
+      // salt.
+      p.staged.emplace(
+          it->second.seq,
+          staged_am{std::move(msg), it->second.send_ns,
+                    flow_id(rank, rank_, it->second.seq) ^
+                        otrace::kEdgeSaltData,
+                    false});
       p.rdzv_in.erase(it);
       break;
     }
@@ -1162,22 +1189,18 @@ void endpoint::process_frame(gex::runtime& rt, int rank, frame&& f) {
     }
     case frame_kind::telemetry: {
       if (rank_ != 0) {
-        std::fprintf(stderr,
-                     "aspen/net: fatal: telemetry frame from rank %d "
-                     "arrived at rank %d (only rank 0 collects)\n",
+        aspen::fatal("net: telemetry frame from rank %d arrived at rank %d "
+                     "(only rank 0 collects)",
                      rank, rank_);
-        std::abort();
       }
       telemetry::count(telemetry::counter::net_telemetry_received);
       telemetry::snapshot d{};
       telemetry::live::gauges g;
       if (!telemetry::live::decode_update(f.payload.data(), f.payload.size(),
                                           &d, &g)) {
-        std::fprintf(stderr,
-                     "aspen/net: fatal: malformed telemetry update from "
-                     "rank %d (%zu payload bytes)\n",
+        aspen::fatal("net: malformed telemetry update from rank %d (%zu "
+                     "payload bytes)",
                      rank, f.payload.size());
-        std::abort();
       }
       telemetry::live::collector_accumulate(rank, d, g,
                                             (f.hdr.aux & 1u) != 0);
@@ -1191,11 +1214,9 @@ void endpoint::process_frame(gex::runtime& rt, int rank, frame&& f) {
     case frame_kind::ident:
     case frame_kind::clock_probe:
     case frame_kind::clock_reply:
-      std::fprintf(stderr,
-                   "aspen/net: fatal: unexpected bootstrap frame (%s) on "
-                   "the established rank %d -> %d stream\n",
+      aspen::fatal("net: unexpected bootstrap frame (%s) on the "
+                   "established rank %d -> %d stream",
                    kind_name(f.kind()), rank, rank_);
-      std::abort();
   }
 }
 
@@ -1207,6 +1228,8 @@ std::size_t endpoint::release_staged(gex::runtime& rt, int rank) {
     telemetry::span sp("wire_deliver", "net");
     telemetry::trace_flow("wire_msg", "net", /*begin=*/false,
                           flow_id(rank, rank_, it->first));
+    otrace::note_id(it->second.msg.trace(), otrace::stage::wire_deliver,
+                    it->second.edge);
     if (telemetry::compiled_in() && it->second.send_ns != 0) {
       // Both clocks are rank-0-normalized; clamp at 0 against residual
       // offset-estimation error on sub-microsecond hops.
@@ -1431,6 +1454,14 @@ void endpoint::end_region(const progress_fn& progress) {
     (void)telemetry::write_trace_file(std::string(tb) + ".rank" +
                                       std::to_string(rank_) + ".trace.json");
   }
+  // Region-exit otrace export: every rank writes its flight-recorder ring
+  // as a Perfetto fragment; bench::merge_rank_otraces (or `cat` plus a
+  // JSON array wrapper) joins them into one cross-rank timeline.
+  if (otrace::enabled()) {
+    (void)otrace::export_json(otrace::dump_path(otrace::dump_base(), rank_),
+                              rank_);
+    otrace::clear();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1453,6 +1484,8 @@ telemetry::live::gauges endpoint::live_gauges() const {
   g.sendq_high_water = sendq_high_water_.load(std::memory_order_relaxed);
   g.lpc_mailbox_depth = current_persona().mailbox_depth();
   g.backend = std::strcmp(io_->name(), "uring") == 0 ? 1 : 0;
+  g.wd_state =
+      static_cast<std::uint64_t>(telemetry::watchdog::health_state());
   return g;
 }
 

@@ -172,6 +172,7 @@ class endpoint final : public gex::wire_transport,
 
   struct pending_rdzv {
     std::uint64_t seq = 0;
+    std::uint64_t trace = 0;       ///< otrace id from the RTS (0 unsampled)
     std::vector<std::byte> bytes;  ///< the AM payload (DATA frame body)
   };
   struct inbound_rdzv {
@@ -179,6 +180,7 @@ class endpoint final : public gex::wire_transport,
     std::uint64_t handler_delta = 0;
     std::uint64_t total_len = 0;
     std::uint64_t send_ns = 0;  ///< from the RTS; rank-0-normalized
+    std::uint64_t trace = 0;    ///< otrace id from the RTS (0 unsampled)
   };
 
   /// An in-order delivery slot: the decoded AM plus the sender's
@@ -187,6 +189,10 @@ class endpoint final : public gex::wire_transport,
   struct staged_am {
     gex::am_message msg;
     std::uint64_t send_ns = 0;
+    /// otrace wire edge id for the release's wire_deliver record: the
+    /// message's flow id, pre-salted with kEdgeSaltData for rendezvous
+    /// deliveries so the 'f' flow event pairs with the DATA leg's 's'.
+    std::uint64_t edge = 0;
     bool via_shm = false;  ///< arrived over the shm ring (not the socket)
   };
 
@@ -249,6 +255,7 @@ class endpoint final : public gex::wire_transport,
     std::uint64_t seq = 0;
     std::uint64_t handler_delta = 0;
     std::uint64_t send_ns = 0;
+    std::uint64_t trace = 0;  ///< otrace id (0 unsampled); always carried
     std::uint32_t flags = 0;
     std::uint32_t len = 0;
   };

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <thread>
 
+#include "core/log.hpp"
 #include "core/telemetry.hpp"
 #include "uring/net_backend.hpp"
 
@@ -23,9 +24,8 @@ namespace {
 constexpr nfds_t kMaxPollFds = 64;
 
 [[noreturn]] void die_errno(const char* what, int rank) {
-  std::fprintf(stderr, "aspen/net: fatal: %s (peer rank %d): %s\n", what,
-               rank, std::strerror(errno));
-  std::abort();
+  aspen::fatal("net: %s (peer rank %d): %s", what, rank,
+               std::strerror(errno));
 }
 
 /// The portable data plane: the exact synchronous send/recv/poll behavior

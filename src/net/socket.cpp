@@ -1,5 +1,7 @@
 #include "net/socket.hpp"
 
+#include "core/log.hpp"
+
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -18,9 +20,7 @@ namespace aspen::net {
 namespace {
 
 [[noreturn]] void die(const char* what) {
-  std::fprintf(stderr, "aspen/net: fatal: %s: %s\n", what,
-               std::strerror(errno));
-  std::abort();
+  aspen::fatal("net: %s: %s", what, std::strerror(errno));
 }
 
 void sleep_ms(long ms) {
@@ -135,10 +135,9 @@ void read_exact(int fd, void* dst, std::size_t len) {
       die("recv (bootstrap)");
     }
     if (n == 0) {
-      std::fprintf(stderr,
-                   "aspen/net: fatal: peer closed the connection during "
-                   "bootstrap (launcher or sibling rank died?)\n");
-      std::abort();
+      aspen::fatal(
+          "net: peer closed the connection during bootstrap (launcher or "
+          "sibling rank died?)");
     }
     off += static_cast<std::size_t>(n);
   }
@@ -150,11 +149,9 @@ frame read_frame_blocking(int fd, std::size_t max_frame) {
   frame f;
   read_exact(fd, &f.hdr, sizeof f.hdr);
   if (f.hdr.magic != kMagic || f.hdr.payload_len > max_frame) {
-    std::fprintf(stderr,
-                 "aspen/net: fatal: malformed bootstrap frame (magic 0x%x, "
-                 "kind %u, payload %u)\n",
+    aspen::fatal("net: malformed bootstrap frame (magic 0x%x, kind %u, "
+                 "payload %u)",
                  f.hdr.magic, f.hdr.kind, f.hdr.payload_len);
-    std::abort();
   }
   f.payload.resize(f.hdr.payload_len);
   if (f.hdr.payload_len != 0)

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/log.hpp"
 #include "shm/ring.hpp"
 
 namespace aspen::net {
@@ -121,8 +122,8 @@ std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(v, &end, 0);  // 0x ok
   if (end == v || *end != '\0') {
-    std::fprintf(stderr, "aspen/net: ignoring unparsable %s=\"%s\"\n", name,
-                 v);
+    aspen::log(log_level::warn, "net: ignoring unparsable %s=\"%s\"",
+               name, v);
     return dflt;
   }
   return parsed;

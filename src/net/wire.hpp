@@ -17,13 +17,15 @@
 //                  connecting rank. Empty payload.
 //   am_eager       one complete active message: u64 handler delta, u64
 //                  send timestamp (sender steady-clock ns normalized to
-//                  rank 0's clock base; 0 when untimed), then the AM
-//                  payload bytes. seq orders it per (src -> dst).
+//                  rank 0's clock base; 0 when untimed), u64 otrace trace
+//                  id (0 when the op is unsampled; protocol v5), then the
+//                  AM payload bytes. seq orders it per (src -> dst).
 //   am_rts         rendezvous request-to-send for an AM whose payload
 //                  exceeds eager_max. Payload: rdzv_body (token, handler
-//                  delta, total payload length, send timestamp). seq is
-//                  the *message's* delivery slot; the data frame inherits
-//                  it.
+//                  delta, total payload length, send timestamp, trace id).
+//                  seq is the *message's* delivery slot; the data frame
+//                  inherits it. The CTS/DATA legs carry no trace word —
+//                  both sides key the trace by the rendezvous token.
 //   am_cts         receiver -> sender clear-to-send. aux = token. No
 //                  payload.
 //   am_data        the rendezvous payload, one frame. aux = token.
@@ -62,7 +64,7 @@
 namespace aspen::net {
 
 inline constexpr std::uint16_t kMagic = 0xA59E;
-inline constexpr std::uint32_t kProtocolVersion = 4;
+inline constexpr std::uint32_t kProtocolVersion = 5;
 
 enum class frame_kind : std::uint16_t {
   hello = 1,
@@ -118,8 +120,42 @@ struct rdzv_body {
   std::uint64_t handler_delta = 0;
   std::uint64_t total_len = 0;
   std::uint64_t send_ns = 0;  ///< sender clock, rank-0-normalized; 0 untimed
+  std::uint64_t trace = 0;    ///< otrace trace id; 0 when unsampled
 };
 static_assert(std::is_trivially_copyable_v<rdzv_body>);
+
+/// The fixed am_eager body prefix preceding the AM payload bytes
+/// (protocol v5: handler delta, send timestamp, trace id).
+struct eager_body {
+  std::uint64_t handler_delta = 0;
+  std::uint64_t send_ns = 0;
+  std::uint64_t trace = 0;
+};
+static_assert(sizeof(eager_body) == 24);
+static_assert(std::is_trivially_copyable_v<eager_body>);
+
+inline constexpr std::size_t kEagerPrefixBytes = sizeof(eager_body);
+
+/// Decode the am_eager prefix out of a frame payload. Rejects runt frames
+/// (payload shorter than the fixed prefix) — the conduit treats a false
+/// return as a protocol violation.
+[[nodiscard]] inline bool decode_eager_prefix(const void* payload,
+                                              std::size_t len,
+                                              eager_body* out) noexcept {
+  if (len < kEagerPrefixBytes) return false;
+  std::memcpy(out, payload, sizeof(eager_body));
+  return true;
+}
+
+/// Decode an am_rts payload. Strict: the payload must be exactly one
+/// rdzv_body (no truncation, no trailing bytes).
+[[nodiscard]] inline bool decode_rdzv_body(const void* payload,
+                                           std::size_t len,
+                                           rdzv_body* out) noexcept {
+  if (len != sizeof(rdzv_body)) return false;
+  std::memcpy(out, payload, sizeof(rdzv_body));
+  return true;
+}
 
 /// One decoded frame: header plus owned payload bytes.
 struct frame {

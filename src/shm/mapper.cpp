@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/log.hpp"
 #include "shm/fdpass.hpp"
 
 namespace aspen::shm {
@@ -139,12 +140,10 @@ void mapper::map_data_segments(std::uintptr_t base) noexcept {
                    -1, 0);
     }
     if (got != want) {
-      std::fprintf(stderr,
-                   "aspen::shm: cannot map rank %d segment at %p — the fixed "
+      aspen::fatal("shm: cannot map rank %d segment at %p — the fixed "
                    "segment window is occupied; pick a different "
-                   "ASPEN_NET_SEGMENT_BASE\n",
+                   "ASPEN_NET_SEGMENT_BASE",
                    r, want);
-      std::abort();
     }
   }
 }

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/log.hpp"
 #include "core/telemetry.hpp"
 #include "uring/ring.hpp"
 
@@ -47,9 +48,8 @@ constexpr std::uint64_t make_ud(std::uint64_t tag, int rank) {
 }
 
 [[noreturn]] void die(const char* what, int rank, int err) {
-  std::fprintf(stderr, "aspen/net: fatal: uring %s (peer rank %d): %s\n",
-               what, rank, std::strerror(err));
-  std::abort();
+  aspen::fatal("net: uring %s (peer rank %d): %s", what, rank,
+               std::strerror(err));
 }
 
 /// One queued send: either backend-owned dynamic bytes or a registered

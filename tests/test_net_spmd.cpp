@@ -8,9 +8,11 @@
 
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <numeric>
 #include <set>
 #include <sstream>
@@ -20,6 +22,7 @@
 #include "apps/gups/gups.hpp"
 #include "benchutil/telemetry_report.hpp"
 #include "core/aspen.hpp"
+#include "core/otrace.hpp"
 #include "core/telemetry.hpp"
 #include "core/telemetry_live.hpp"
 #include "net/endpoint.hpp"
@@ -592,6 +595,311 @@ TEST(NetSpmd, MergedTraceCarriesFlowEvents) {
 
   aspen::spmd(n, tcp_cfg(), [] { aspen::barrier(); });  // rank 0 done
   (void)std::remove(aspen::bench::rank_trace_path(base, rank).c_str());
+}
+
+// ---------------------------------------------------------------------------
+// OtraceSpmd — sampled per-operation distributed tracing across real
+// processes (docs/OTRACE.md). Run via ctest net_spmd_otrace_* (tcp / shm /
+// agg legs) and by the unfiltered net_spmd_n* legs. The tests arm sampling
+// programmatically (ASPEN_TRACE_SAMPLE=1 on the filtered legs arms it even
+// earlier, at endpoint bootstrap) and disarm before exiting so later suites
+// in the same process run untraced.
+// ---------------------------------------------------------------------------
+
+namespace otrace = aspen::otrace;
+
+/// Transport for this suite: tcp by default; the shm leg re-runs the same
+/// assertions over the shared-memory fabric with ASPEN_TEST_OTRACE_SHM=1
+/// (the agg leg keeps tcp and arms the coalescer via ASPEN_AGG=1, which the
+/// endpoint reads at region entry).
+aspen::gex::config otrace_cfg() {
+  const char* s = std::getenv("ASPEN_TEST_OTRACE_SHM");
+  return (s != nullptr && *s == '1') ? shm_cfg() : tcp_cfg();
+}
+
+/// RAII arm/disarm so a failing assertion cannot leave sampling enabled
+/// for the suites that follow in this process.
+struct otrace_region {
+  explicit otrace_region(const char* base) {
+    otrace::configure(/*sample_n=*/1, /*ring_bytes=*/1 << 20, base);
+    otrace::reset_sampling();
+    otrace::clear();
+  }
+  ~otrace_region() {
+    otrace::configure(/*sample_n=*/0, /*ring_bytes=*/1 << 20, nullptr);
+  }
+};
+
+/// First record of `st` belonging to trace `id` (t_ns order = ring order
+/// per thread); returns SIZE_MAX when absent.
+std::size_t find_stage(const std::vector<otrace::record_view>& recs,
+                       std::uint64_t id, otrace::stage st) {
+  for (std::size_t i = 0; i < recs.size(); ++i)
+    if (recs[i].trace == id && recs[i].st == st) return i;
+  return static_cast<std::size_t>(-1);
+}
+
+TEST(OtraceSpmd, EagerChainSpansInjectionToFulfillment) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  if (!aspen::telemetry::compiled_in()) {
+    // Still form the job: a rank that exits before its bootstrap hello
+    // takes the whole aspen-run job down as a failure.
+    aspen::spmd(n, otrace_cfg(), [] { aspen::barrier(); });
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  if (n < 2) GTEST_SKIP() << "needs a remote peer";
+  otrace_region arm("/tmp/aspen_otrace_eager");
+  aspen::spmd(n, otrace_cfg(), [n] {
+    otrace::reset_sampling();
+    otrace::clear();
+    // Nobody injects until every rank has cleared: without this barrier a
+    // fast neighbor's request could be delivered (and recorded) here before
+    // our clear() and then be wiped from the ring.
+    aspen::barrier();
+    const int target = (aspen::rank_me() + 1) % n;
+    const int got =
+        aspen::rpc(target, [](int x) { return x + 7; }, 1).wait();
+    EXPECT_EQ(got, 8);
+    aspen::barrier();  // the left neighbor's request has run here
+
+    const auto recs = otrace::snapshot_records();
+    // Initiator side: the sampled rpc recorded injection, the AM handoff,
+    // a wire/agg/shm send stage, and the reply-driven fulfillment — all
+    // under one trace id minted by this rank.
+    std::uint64_t id = 0;
+    for (const auto& r : recs)
+      if (r.st == otrace::stage::inject &&
+          (r.trace >> 48) ==
+              static_cast<std::uint64_t>(aspen::rank_me())) {
+        id = r.trace;
+        break;
+      }
+    ASSERT_NE(id, 0u) << "no sampled injection recorded";
+    const auto inj = find_stage(recs, id, otrace::stage::inject);
+    const auto send = find_stage(recs, id, otrace::stage::am_send);
+    const auto done = find_stage(recs, id, otrace::stage::fulfill_deferred);
+    ASSERT_NE(send, static_cast<std::size_t>(-1));
+    ASSERT_NE(done, static_cast<std::size_t>(-1));
+    const bool staged =
+        find_stage(recs, id, otrace::stage::wire_eager) !=
+            static_cast<std::size_t>(-1) ||
+        find_stage(recs, id, otrace::stage::agg_stage) !=
+            static_cast<std::size_t>(-1) ||
+        find_stage(recs, id, otrace::stage::shm_push) !=
+            static_cast<std::size_t>(-1);
+    EXPECT_TRUE(staged) << "no wire-send stage for the sampled op";
+    EXPECT_LE(recs[inj].t_ns, recs[send].t_ns);
+    EXPECT_LE(recs[send].t_ns, recs[done].t_ns);
+
+    // Target side: the left neighbor's sampled request was delivered and
+    // its handler ran here, on the NEIGHBOR's trace id.
+    const int left = (aspen::rank_me() + n - 1) % n;
+    bool delivered = false;
+    bool handled = false;
+    for (const auto& r : recs) {
+      if ((r.trace >> 48) != static_cast<std::uint64_t>(left)) continue;
+      if (r.st == otrace::stage::wire_deliver) delivered = true;
+      if (r.st == otrace::stage::handler_run) handled = true;
+    }
+    EXPECT_TRUE(delivered) << "neighbor's op never recorded wire_deliver";
+    EXPECT_TRUE(handled) << "neighbor's op never recorded handler_run";
+    aspen::barrier();
+  });
+}
+
+TEST(OtraceSpmd, RendezvousChainRecordsCausalOrder) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  if (!aspen::telemetry::compiled_in()) {
+    aspen::spmd(n, otrace_cfg(), [] { aspen::barrier(); });  // see above
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  if (n < 2) GTEST_SKIP() << "needs a remote peer";
+  otrace_region arm("/tmp/aspen_otrace_rdzv");
+  aspen::spmd(n, otrace_cfg(), [n] {
+    otrace::reset_sampling();
+    otrace::clear();
+    aspen::barrier();  // everyone cleared before anyone injects
+    const auto before = aspen::telemetry::local_snapshot();
+    const int target = (aspen::rank_me() + 1) % n;
+    // 64 KiB payload: far above eager_max, so the transfer negotiates
+    // RTS -> CTS -> DATA.
+    std::vector<std::uint64_t> big(1 << 13);
+    std::iota(big.begin(), big.end(), 7ull);
+    const std::uint64_t want = std::accumulate(big.begin(), big.end(), 0ull);
+    const std::uint64_t got =
+        aspen::rpc(target,
+                   [](const std::vector<std::uint64_t>& v) {
+                     return std::accumulate(v.begin(), v.end(), 0ull);
+                   },
+                   big)
+            .wait();
+    EXPECT_EQ(got, want);
+    const auto d = aspen::telemetry::local_snapshot() - before;
+    if (d.get(aspen::telemetry::counter::net_rdzv_sent) == 0) {
+      // Same-host fabrics can carry the payload over the shm bulk ring
+      // instead of negotiating a rendezvous; every rank takes this exit
+      // together (the config is job-uniform).
+      aspen::barrier();
+      GTEST_SKIP() << "payload bypassed rendezvous on this leg";
+    }
+    aspen::barrier();  // target-side stages recorded before we look
+
+    const auto recs = otrace::snapshot_records();
+    // Initiator: inject -> wire_rts -> wire_data -> fulfill, strictly
+    // ordered on this rank's own clock.
+    std::uint64_t id = 0;
+    for (const auto& r : recs)
+      if (r.st == otrace::stage::wire_rts &&
+          (r.trace >> 48) == static_cast<std::uint64_t>(aspen::rank_me()))
+        id = r.trace;
+    ASSERT_NE(id, 0u) << "no sampled rendezvous RTS recorded";
+    const auto inj = find_stage(recs, id, otrace::stage::inject);
+    const auto rts = find_stage(recs, id, otrace::stage::wire_rts);
+    const auto data = find_stage(recs, id, otrace::stage::wire_data);
+    const auto done = find_stage(recs, id, otrace::stage::fulfill_deferred);
+    ASSERT_NE(inj, static_cast<std::size_t>(-1));
+    ASSERT_NE(data, static_cast<std::size_t>(-1));
+    ASSERT_NE(done, static_cast<std::size_t>(-1));
+    EXPECT_LE(recs[inj].t_ns, recs[rts].t_ns);
+    EXPECT_LE(recs[rts].t_ns, recs[data].t_ns);
+    EXPECT_LE(recs[data].t_ns, recs[done].t_ns);
+
+    // Target: the left neighbor's rendezvous recorded its CTS turn and the
+    // in-order delivery here, in that order, on the neighbor's trace id.
+    const int left = (aspen::rank_me() + n - 1) % n;
+    std::uint64_t lid = 0;
+    for (const auto& r : recs)
+      if (r.st == otrace::stage::wire_cts &&
+          (r.trace >> 48) == static_cast<std::uint64_t>(left))
+        lid = r.trace;
+    ASSERT_NE(lid, 0u) << "neighbor's RTS never recorded wire_cts here";
+    const auto cts = find_stage(recs, lid, otrace::stage::wire_cts);
+    const auto del = find_stage(recs, lid, otrace::stage::wire_deliver);
+    const auto run = find_stage(recs, lid, otrace::stage::handler_run);
+    ASSERT_NE(del, static_cast<std::size_t>(-1));
+    ASSERT_NE(run, static_cast<std::size_t>(-1));
+    EXPECT_LE(recs[cts].t_ns, recs[del].t_ns);
+    EXPECT_LE(recs[del].t_ns, recs[run].t_ns);
+    aspen::barrier();
+  });
+}
+
+TEST(OtraceSpmd, RegionExportMergesIntoOneFlowBoundTimeline) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  if (!aspen::telemetry::compiled_in()) {
+    aspen::spmd(n, otrace_cfg(), [] { aspen::barrier(); });  // see above
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  if (n < 2) GTEST_SKIP() << "needs a remote peer";
+  const std::string base =
+      "/tmp/aspen_otrace_merge." + std::to_string(::getppid());
+  {
+    otrace_region arm(base.c_str());
+    aspen::spmd(n, otrace_cfg(), [n] {
+      otrace::reset_sampling();
+      otrace::clear();
+      aspen::barrier();  // everyone cleared before anyone injects
+      const int target = (aspen::rank_me() + 1) % n;
+      for (int i = 0; i < 4; ++i)
+        (void)aspen::rpc(target, [](int x) { return x + 1; }, i).wait();
+      // One rendezvous op so the merged file carries all three salted legs.
+      std::vector<std::uint64_t> big(1 << 13, 3ull);
+      (void)aspen::rpc(target,
+                       [](const std::vector<std::uint64_t>& v) {
+                         return v.size();
+                       },
+                       big)
+          .wait();
+      aspen::barrier();
+    });  // region exit exported <base>.rank<R>.otrace.json on every rank
+  }
+
+  const int rank = aspen::net::endpoint::instance()->self_rank();
+  aspen::spmd(n, otrace_cfg(), [] { aspen::barrier(); });  // exports on disk
+
+  if (rank == 0) {
+    const std::string out = base + ".merged.otrace.json";
+    EXPECT_EQ(aspen::bench::merge_rank_otraces(base, n, out), n);
+    std::ifstream f(out);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    const std::string s = ss.str();
+    EXPECT_NE(s.find("\"inject\""), std::string::npos);
+    EXPECT_NE(s.find("\"wire_deliver\""), std::string::npos);
+    EXPECT_NE(s.find("\"handler_run\""), std::string::npos);
+    // Every flow id must appear exactly once as a start and once as a
+    // finish across the whole job — the pairwise binding contract the CI
+    // leg re-checks from the command line.
+    auto count_ids = [&s](const char* ph,
+                          std::map<std::string, int>& into) {
+      const std::string needle = std::string("\"ph\":\"") + ph + "\"";
+      for (std::size_t pos = s.find(needle); pos != std::string::npos;
+           pos = s.find(needle, pos + 1)) {
+        const std::size_t id_key = s.find("\"id\":\"", pos);
+        if (id_key == std::string::npos) break;
+        const std::size_t open = id_key + 6;
+        const std::size_t close = s.find('"', open);
+        if (close == std::string::npos) break;
+        ++into[s.substr(open, close - open)];
+      }
+    };
+    std::map<std::string, int> starts;
+    std::map<std::string, int> finishes;
+    count_ids("s", starts);
+    count_ids("f", finishes);
+    ASSERT_FALSE(starts.empty());
+    for (const auto& [fid, cnt] : starts) {
+      EXPECT_EQ(cnt, 1) << "flow " << fid << " started " << cnt << " times";
+      EXPECT_EQ(finishes.count(fid), 1u)
+          << "flow " << fid << " never finishes";
+    }
+    for (const auto& [fid, cnt] : finishes) {
+      EXPECT_EQ(cnt, 1) << "flow " << fid << " finished " << cnt << " times";
+      EXPECT_EQ(starts.count(fid), 1u) << "flow " << fid << " never starts";
+    }
+    (void)std::remove(out.c_str());
+  }
+  aspen::spmd(n, otrace_cfg(), [] { aspen::barrier(); });  // rank 0 done
+  (void)std::remove(aspen::bench::rank_otrace_path(base, rank).c_str());
+}
+
+TEST(OtraceSpmd, Sigusr2DumpsTheFlightRecorder) {
+  ASPEN_REQUIRE_LAUNCHED();
+  const int n = job_size();
+  if (!aspen::telemetry::compiled_in()) {
+    aspen::spmd(n, otrace_cfg(), [] { aspen::barrier(); });  // see above
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  const std::string base =
+      "/tmp/aspen_otrace_usr2." + std::to_string(::getppid());
+  {
+    otrace_region arm(base.c_str());
+    aspen::spmd(n, otrace_cfg(), [n] {
+      otrace::reset_sampling();
+      otrace::clear();
+      aspen::barrier();  // everyone cleared before anyone injects
+      otrace::install_crash_handlers();
+      const int target = (aspen::rank_me() + 1) % n;
+      (void)aspen::rpc(target, [](int x) { return x + 1; }, 1).wait();
+      aspen::barrier();
+      // The operator's probe: signal the process mid-run; the handler
+      // dumps the ring and execution continues unharmed.
+      ::raise(SIGUSR2);
+      const std::string path =
+          otrace::dump_path(otrace::dump_base(), aspen::rank_me());
+      std::ifstream f(path);
+      std::ostringstream ss;
+      ss << f.rdbuf();
+      EXPECT_NE(ss.str().find("\"records\""), std::string::npos)
+          << path << " missing or empty after SIGUSR2";
+      EXPECT_NE(ss.str().find("\"inject\""), std::string::npos);
+      (void)std::remove(path.c_str());
+      aspen::barrier();
+    });
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -132,6 +132,84 @@ TEST(NetWire, TornOneByteFeedReassembles) {
   EXPECT_EQ(dec.buffered(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Trace-context codec (wire protocol v5: the otrace word in every AM body).
+// ---------------------------------------------------------------------------
+
+TEST(NetWire, EagerPrefixRoundTripsThroughTornFeed) {
+  net::eager_body in;
+  in.handler_delta = 0x1234;
+  in.send_ns = 987654321;
+  in.trace = (std::uint64_t{3} << 48) | 77;  // rank 3, seq 77
+  const auto user = bytes_of("payload after the prefix");
+  std::vector<std::byte> body(net::kEagerPrefixBytes + user.size());
+  std::memcpy(body.data(), &in, sizeof in);
+  std::memcpy(body.data() + net::kEagerPrefixBytes, user.data(), user.size());
+  std::vector<std::byte> stream;
+  net::encode_frame(stream,
+                    make_header(net::frame_kind::am_eager,
+                                static_cast<std::uint32_t>(body.size())),
+                    body.data(), body.size());
+
+  net::decoder dec(kMaxFrame);
+  std::vector<net::frame> got;
+  net::frame f;
+  for (std::byte b : stream) {
+    dec.feed(&b, 1);
+    while (dec.try_next(f)) got.push_back(std::move(f));
+  }
+  ASSERT_EQ(got.size(), 1u);
+  net::eager_body out;
+  ASSERT_TRUE(net::decode_eager_prefix(got[0].payload.data(),
+                                       got[0].payload.size(), &out));
+  EXPECT_EQ(out.handler_delta, in.handler_delta);
+  EXPECT_EQ(out.send_ns, in.send_ns);
+  EXPECT_EQ(out.trace, in.trace);
+  EXPECT_EQ(got[0].payload.size() - net::kEagerPrefixBytes, user.size());
+  EXPECT_EQ(std::memcmp(got[0].payload.data() + net::kEagerPrefixBytes,
+                        user.data(), user.size()),
+            0);
+}
+
+TEST(NetWire, EagerPrefixRejectsRuntPayload) {
+  // A zero-length AM still carries the full 24-byte prefix; anything
+  // shorter is a runt and must be rejected, not sliced.
+  net::eager_body full{};
+  std::vector<std::byte> body(net::kEagerPrefixBytes);
+  std::memcpy(body.data(), &full, sizeof full);
+  net::eager_body out;
+  EXPECT_TRUE(net::decode_eager_prefix(body.data(), body.size(), &out));
+  for (std::size_t len = 0; len < net::kEagerPrefixBytes; ++len)
+    EXPECT_FALSE(net::decode_eager_prefix(body.data(), len, &out))
+        << len << "-byte runt decoded";
+}
+
+TEST(NetWire, RdzvBodyRoundTripsAndRejectsSizeMismatch) {
+  net::rdzv_body in;
+  in.token = 41;
+  in.handler_delta = 0xBEEF;
+  in.total_len = std::uint64_t{1} << 33;
+  in.send_ns = 123456789;
+  in.trace = (std::uint64_t{250} << 48) | 0xFFFFFFFFFFFFull;
+  std::vector<std::byte> p(sizeof in);
+  std::memcpy(p.data(), &in, sizeof in);
+
+  net::rdzv_body out;
+  ASSERT_TRUE(net::decode_rdzv_body(p.data(), p.size(), &out));
+  EXPECT_EQ(out.token, in.token);
+  EXPECT_EQ(out.handler_delta, in.handler_delta);
+  EXPECT_EQ(out.total_len, in.total_len);
+  EXPECT_EQ(out.send_ns, in.send_ns);
+  EXPECT_EQ(out.trace, in.trace);
+
+  // An RTS body is exactly sizeof(rdzv_body) — prefixes and trailing bytes
+  // are both protocol errors (a v4 sender's 32-byte body lands here).
+  for (std::size_t len = 0; len < p.size(); ++len)
+    EXPECT_FALSE(net::decode_rdzv_body(p.data(), len, &out));
+  p.push_back(std::byte{0});
+  EXPECT_FALSE(net::decode_rdzv_body(p.data(), p.size(), &out));
+}
+
 /// A coalesced flush (ASPEN_AGG, docs/AGG.md) emits N back-to-back frames
 /// in ONE write; the batch must decode as the same N individual frames, in
 /// seq order, with nothing left buffered.
@@ -424,7 +502,8 @@ TEST(NetWire, TelemetryUpdateRoundTrips) {
   gin.sendq_high_water = 999999;
   gin.staged_msgs = 7;
   gin.lpc_mailbox_depth = 3;
-  gin.backend = 1;  // uring data plane
+  gin.backend = 1;   // uring data plane
+  gin.wd_state = 2;  // stalled-then-recovered
   std::vector<std::byte> body;
   live::encode_update(in, gin, body);
 
@@ -437,11 +516,12 @@ TEST(NetWire, TelemetryUpdateRoundTrips) {
   EXPECT_EQ(gout.staged_msgs, gin.staged_msgs);
   EXPECT_EQ(gout.lpc_mailbox_depth, gin.lpc_mailbox_depth);
   EXPECT_EQ(gout.backend, gin.backend);
+  EXPECT_EQ(gout.wd_state, gin.wd_state);
 
-  // The all-zero update (an idle interval) is 6 bytes and round-trips too.
+  // The all-zero update (an idle interval) is 7 bytes and round-trips too.
   std::vector<std::byte> empty;
   live::encode_update(snapshot{}, live::gauges{}, empty);
-  EXPECT_EQ(empty.size(), 6u);
+  EXPECT_EQ(empty.size(), 7u);
   ASSERT_TRUE(live::decode_update(empty.data(), empty.size(), &out, &gout));
   EXPECT_TRUE(snap_eq(out, snapshot{}));
 }
@@ -500,7 +580,7 @@ TEST(NetWire, TelemetryUpdateRejectsMalformedInput) {
       put_varint(b, idx);
       put_varint(b, val);
     }
-    for (int g = 0; g < 5; ++g) put_varint(b, 0);  // gauges
+    for (int g = 0; g < 6; ++g) put_varint(b, 0);  // gauges
     return b;
   };
   // Non-increasing field indices (canonical form is strictly ascending).
